@@ -1,0 +1,22 @@
+"""Extension — extraction-configuration ablation (DESIGN.md engineering knobs)."""
+
+from repro.bench import render_table, run_ablation_extraction
+
+
+def test_ablation_extraction(benchmark, fast_settings):
+    rows = benchmark.pedantic(run_ablation_extraction, args=(fast_settings,), iterations=1, rounds=1)
+    print()
+    print(render_table(rows, title="Ablation: extraction configuration (ratio / training time)"))
+
+    # Every configuration must stay usable: patterns extracted and a ratio below 1.
+    for row in rows:
+        assert row["patterns"] >= 1
+        assert 0 < row["ratio"] < 1.2
+
+    # Pruning exists to save time: with pruning disabled, training must not be
+    # faster than the equivalent configuration with pruning on (no pre-grouping).
+    by_key = {(row["dataset"], row["configuration"]): row for row in rows}
+    for dataset in {row["dataset"] for row in rows}:
+        pruned = by_key[(dataset, "no pre-grouping")]
+        unpruned = by_key[(dataset, "no pruning")]
+        assert unpruned["train_seconds"] >= pruned["train_seconds"] * 0.5

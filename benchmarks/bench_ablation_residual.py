@@ -1,0 +1,38 @@
+"""Extension — residual-stage ablation: PBC versus PBC_F / PBC_H (Section 5.2 options)."""
+
+from repro.bench import render_table, run_ablation_residual
+
+
+def test_ablation_residual(benchmark, fast_settings):
+    rows = benchmark.pedantic(run_ablation_residual, args=(fast_settings,), iterations=1, rounds=1)
+    print()
+    print(render_table(rows, title="Ablation: residual stage (per-record ratio and speed)"))
+
+    datasets = {row["dataset"] for row in rows}
+    for dataset in datasets:
+        by_method = {row["method"]: row for row in rows if row["dataset"] == dataset}
+        base = by_method["PBC"]["ratio"]
+        for method, row in by_method.items():
+            if method == "PBC":
+                continue
+            if method.startswith("PBC_H"):
+                # Entropy stages fall back to the raw payload behind a one-byte
+                # marker, so they cost at most ~1 byte per record.
+                assert row["ratio"] <= base + 0.03, (dataset, method)
+            else:
+                # PBC_F's FSST framing can add a few bytes per record when the
+                # field payload is already tiny.
+                assert row["ratio"] <= base + 0.15, (dataset, method)
+
+    improved = [
+        row
+        for row in rows
+        if row["method"] != "PBC"
+        and row["ratio"]
+        < next(
+            base["ratio"]
+            for base in rows
+            if base["dataset"] == row["dataset"] and base["method"] == "PBC"
+        )
+    ]
+    assert improved, "at least one residual stage should improve on plain PBC somewhere"

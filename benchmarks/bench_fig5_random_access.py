@@ -1,0 +1,27 @@
+"""Figure 5 — random access: compression ratio and lookup speed versus block size."""
+
+from repro.bench import render_table, run_fig5_random_access
+
+
+def test_fig5_random_access(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        run_fig5_random_access,
+        args=(bench_settings,),
+        kwargs={"datasets": ("kv2", "unece"), "block_sizes": (1, 4, 16, 64)},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(render_table(rows, title="Figure 5: random access vs block size"))
+
+    # Shape checks mirroring the paper: Zstd's ratio improves with block size
+    # while its lookup speed deteriorates; PBC_F is unaffected by block size
+    # and looks up faster than large-block Zstd.
+    kv2 = [row for row in rows if row["dataset"] == "kv2"]
+    zstd = {row["block_size"]: row for row in kv2 if row["method"] == "Zstd"}
+    pbcf = {row["block_size"]: row for row in kv2 if row["method"] == "PBC_F"}
+    largest, smallest = max(zstd), min(zstd)
+    assert zstd[largest]["ratio"] < zstd[smallest]["ratio"]
+    assert zstd[largest]["lookups_per_second"] < zstd[smallest]["lookups_per_second"]
+    assert pbcf[largest]["ratio"] == pbcf[smallest]["ratio"]
+    assert pbcf[largest]["lookups_per_second"] > zstd[largest]["lookups_per_second"]

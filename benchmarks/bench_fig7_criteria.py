@@ -1,0 +1,23 @@
+"""Figure 7 — clustering-criterion ablation (edit distance vs entropy vs encoding length)."""
+
+from repro.bench import render_table, run_fig7_criteria
+
+ABLATION_DATASETS = ("kv1", "kv5", "apache", "urls")
+
+
+def test_fig7_clustering_criteria(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        run_fig7_criteria, args=(bench_settings,), kwargs={"datasets": ABLATION_DATASETS}, iterations=1, rounds=1
+    )
+    print()
+    print(render_table(rows, title="Figure 7: compression ratio by clustering criterion"))
+
+    # Shape check: averaged over the ablation datasets the EL-based criterion
+    # must not lose to the naive edit-distance criterion (the paper shows it
+    # strictly winning on every dataset).
+    def average(criterion):
+        ratios = [row["ratio"] for row in rows if row["criterion"] == criterion]
+        return sum(ratios) / len(ratios)
+
+    assert average("el") <= average("ed") + 0.02
+    assert average("entropy") <= average("ed") + 0.05

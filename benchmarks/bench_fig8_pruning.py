@@ -1,0 +1,25 @@
+"""Figure 8 — pattern-extraction time with and without 1-gram distance pruning."""
+
+from repro.bench import render_table, run_fig8_pruning
+
+PRUNING_DATASETS = ("kv1", "kv5", "apache", "urls")
+
+
+def test_fig8_pruning_running_time(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        run_fig8_pruning, args=(bench_settings,), kwargs={"datasets": PRUNING_DATASETS}, iterations=1, rounds=1
+    )
+    print()
+    print(render_table(rows, title="Figure 8: pattern-extraction time (naive vs 1-gram pruning)"))
+
+    # Shape check: pruning must cut extraction time (or at least DP work) on
+    # the aggregate, as in the paper.
+    naive_time = sum(row["extraction_seconds"] for row in rows if row["method"] == "naive")
+    pruned_time = sum(row["extraction_seconds"] for row in rows if row["method"] == "1-gram pruning")
+    pruned_work = sum(
+        row["pruned_by_bound"] + row["pruned_by_early_exit"]
+        for row in rows
+        if row["method"] == "1-gram pruning"
+    )
+    assert pruned_time <= naive_time * 1.1
+    assert pruned_work > 0

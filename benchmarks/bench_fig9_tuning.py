@@ -1,0 +1,37 @@
+"""Figure 9 — compression ratio versus training-sample size and pattern-dictionary size."""
+
+from repro.bench import render_table, run_fig9_pattern_size, run_fig9_training_size
+
+
+def test_fig9a_training_size(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        run_fig9_training_size,
+        args=(bench_settings,),
+        kwargs={"datasets": ("kv1", "kv2"), "sample_sizes": (8, 16, 32, 64)},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(render_table(rows, title="Figure 9(a): ratio vs training-sample size"))
+    # Shape check: more training data never hurts much; the ratio converges.
+    for dataset in ("kv1", "kv2"):
+        series = [row["ratio"] for row in rows if row["dataset"] == dataset]
+        assert series[-1] <= series[0] + 0.05
+
+
+def test_fig9b_pattern_size(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        run_fig9_pattern_size,
+        args=(bench_settings,),
+        kwargs={"datasets": ("kv1", "kv2"), "pattern_counts": (1, 2, 4, 8, 16)},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(render_table(rows, title="Figure 9(b): ratio vs pattern-dictionary size"))
+    # Shape check: allowing more patterns never makes the ratio much worse, and
+    # the dictionary grows with the pattern budget (diminishing returns).
+    for dataset in ("kv1", "kv2"):
+        series = [row for row in rows if row["dataset"] == dataset]
+        assert series[-1]["ratio"] <= series[0]["ratio"] + 0.05
+        assert series[-1]["dictionary_bytes"] >= series[0]["dictionary_bytes"]

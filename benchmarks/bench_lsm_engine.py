@@ -1,0 +1,19 @@
+"""Extension — LSM storage-engine integration (persistent-engine analogue of Figure 5 / Table 8)."""
+
+from repro.bench import render_table, run_lsm_integration
+
+
+def test_lsm_integration(benchmark, bench_settings):
+    rows = benchmark.pedantic(run_lsm_integration, args=(bench_settings,), iterations=1, rounds=1)
+    print()
+    print(render_table(rows, title="LSM engine: space and point-lookup throughput per storage policy"))
+
+    by_policy = {row["policy"]: row for row in rows}
+    # Shape checks mirroring Figure 5 / Table 8 on the persistent engine: both
+    # compressed policies save space versus raw values, per-record PBC_F keeps
+    # point lookups much faster than whole-block decompression, and PBC_F's
+    # space usage is at least competitive with the Zstd-like block compression.
+    assert by_policy["Zstd blocks"]["space_ratio"] < by_policy["Uncompressed"]["space_ratio"]
+    assert by_policy["PBC_F records"]["space_ratio"] < by_policy["Uncompressed"]["space_ratio"]
+    assert by_policy["PBC_F records"]["lookups_per_s"] > by_policy["Zstd blocks"]["lookups_per_s"] * 2
+    assert by_policy["PBC_F records"]["space_ratio"] <= by_policy["Zstd blocks"]["space_ratio"] * 1.3

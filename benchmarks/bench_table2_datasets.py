@@ -1,0 +1,18 @@
+"""Table 2 — dataset statistics (paper corpus versus generated corpus)."""
+
+from repro.bench import render_table, run_table2_dataset_statistics
+from repro.datasets import load_dataset
+
+
+def test_table2_dataset_statistics(benchmark, bench_settings):
+    rows = benchmark.pedantic(
+        run_table2_dataset_statistics, args=(bench_settings,), iterations=1, rounds=1
+    )
+    print()
+    print(render_table(rows, title="Table 2: dataset statistics (paper vs generated)"))
+    assert len(rows) == len(bench_settings.datasets)
+
+
+def test_dataset_generation_speed(benchmark):
+    records = benchmark(load_dataset, "kv2", 500)
+    assert len(records) == 500

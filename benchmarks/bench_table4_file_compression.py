@@ -1,0 +1,21 @@
+"""Table 4 — whole-file compression ratio and speed."""
+
+from repro.bench import render_table, run_table4_file_compression
+
+
+def test_table4_file_compression(benchmark, fast_settings):
+    rows = benchmark.pedantic(run_table4_file_compression, args=(fast_settings,), iterations=1, rounds=1)
+    print()
+    print(
+        render_table(
+            rows,
+            columns=["dataset", "method", "ratio", "paper_ratio", "comp_mb_s", "decomp_mb_s"],
+            title="Table 4: whole-file compression",
+        )
+    )
+    # Shape check: the PBC block variants reach the best ratios on KV datasets.
+    for dataset in ("kv1", "kv2"):
+        by_method = {row["method"]: row["ratio"] for row in rows if row["dataset"] == dataset}
+        assert by_method["PBC_L"] <= by_method["LZMA"] + 0.02
+        assert by_method["PBC_Z"] < by_method["Snappy"]
+        assert by_method["PBC_L"] < by_method["Zstd"]

@@ -1,0 +1,15 @@
+"""Table 5 — log compression: LogReducer versus PBC_L."""
+
+from repro.bench import render_table, run_table5_log_compression
+
+
+def test_table5_log_compression(benchmark, bench_settings):
+    rows = benchmark.pedantic(run_table5_log_compression, args=(bench_settings,), iterations=1, rounds=1)
+    print()
+    print(render_table(rows, title="Table 5: log compression (average over log datasets)"))
+
+    by_method = {row["method"]: row for row in rows}
+    # Shape checks from the paper: the two methods land in the same ratio
+    # ballpark, and PBC_L decompresses much faster than LogReducer.
+    assert by_method["PBC_L"]["ratio"] <= by_method["LogReducer"]["ratio"] * 2.5
+    assert by_method["PBC_L"]["decomp_mb_s"] > by_method["LogReducer"]["decomp_mb_s"]

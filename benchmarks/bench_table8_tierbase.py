@@ -1,0 +1,18 @@
+"""Table 8 — TierBase case study: memory usage and SET/GET throughput."""
+
+from repro.bench import render_table, run_table8_tierbase
+
+
+def test_table8_tierbase_case_study(benchmark, bench_settings):
+    rows = benchmark.pedantic(run_table8_tierbase, args=(bench_settings,), iterations=1, rounds=1)
+    print()
+    print(render_table(rows, title="Table 8: TierBase case study"))
+
+    for workload in ("A", "B"):
+        by_method = {row["method"]: row for row in rows if row["workload"] == workload}
+        # Shape checks: both compressors save memory versus uncompressed, PBC_F
+        # saves at least as much as the Zstd dictionary, and uncompressed SETs
+        # remain the fastest (compression costs CPU).
+        assert by_method["Zstd"]["memory_percent"] < 100.0
+        assert by_method["PBC_F"]["memory_percent"] <= by_method["Zstd"]["memory_percent"] + 5.0
+        assert by_method["Uncompressed"]["set_qps"] >= by_method["PBC_F"]["set_qps"]

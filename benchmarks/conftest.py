@@ -1,0 +1,35 @@
+"""Shared configuration for the pytest-benchmark drivers.
+
+Each benchmark module reproduces one table or figure of the paper by calling
+the corresponding runner from :mod:`repro.bench.experiments`, printing the
+resulting rows (paper reference values included where available) and timing a
+representative kernel with ``pytest-benchmark``.
+
+The workload sizes here are deliberately small: the reproduction runs on a
+pure-Python substrate, so the goal is the *shape* of each result (who wins and
+by roughly what factor), not the paper's absolute throughput numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkSettings
+from repro.datasets import dataset_names
+
+#: Datasets used by the heavier sweeps (a representative subset of Table 2).
+FAST_DATASETS = ("kv1", "kv2", "kv4", "apache", "hdfs", "urls", "uuid")
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> BenchmarkSettings:
+    """Settings for benchmarks that iterate over every dataset."""
+    return BenchmarkSettings(record_count=160, train_count=80, max_patterns=16, sample_size=56)
+
+
+@pytest.fixture(scope="session")
+def fast_settings() -> BenchmarkSettings:
+    """Settings for the heavier sweeps, restricted to a dataset subset."""
+    return BenchmarkSettings(
+        record_count=160, train_count=80, max_patterns=16, sample_size=56, datasets=FAST_DATASETS
+    )

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""TierBase scenario: value compression inside an in-memory key-value store.
+
+Reproduces the Section 7.5 integration in miniature: the same workload is
+loaded into three TierBase instances — uncompressed, Zstd with a trained
+dictionary (the store's original solution), and PBC_F (the paper's
+contribution) — and memory usage plus SET/GET throughput are compared, like
+Table 8.
+
+Run with::
+
+    python examples/kv_store_compression.py
+"""
+
+from repro.bench import render_table
+from repro.core.extraction import ExtractionConfig
+from repro.datasets import load_dataset
+from repro.tierbase import (
+    NoopValueCompressor,
+    PBCValueCompressor,
+    TierBase,
+    ZstdDictValueCompressor,
+    run_workload,
+)
+
+
+def main() -> None:
+    rows = []
+    for workload_name, dataset in (("A", "kv1"), ("B", "kv2")):
+        values = load_dataset(dataset, count=600)
+        baseline_memory = None
+        for compressor in (
+            NoopValueCompressor(),
+            ZstdDictValueCompressor(level=3),
+            PBCValueCompressor(config=ExtractionConfig(max_patterns=16, sample_size=96)),
+        ):
+            store = TierBase(compressor=compressor)
+            result = run_workload(store, values, workload_name=workload_name, get_operations=len(values))
+            if baseline_memory is None:
+                baseline_memory = result.memory_bytes
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "compressor": compressor.name,
+                    "memory_%": round(100.0 * result.memory_bytes / baseline_memory, 1),
+                    "set_qps": round(result.set_qps),
+                    "get_qps": round(result.get_qps),
+                    "needs_retraining": store.needs_retraining(),
+                }
+            )
+    print(render_table(rows, title="TierBase value compression (Table 8 scenario)"))
+
+    # Demonstrate the monitoring / re-training loop: feed the PBC store values
+    # from a different workload so the unmatched rate rises.
+    store = TierBase(compressor=PBCValueCompressor(config=ExtractionConfig(max_patterns=8, sample_size=64)))
+    kv1 = load_dataset("kv1", count=300)
+    store.train(kv1[:128])
+    drifted = load_dataset("kv5", count=300)  # a different template family
+    for index, value in enumerate(kv1 + drifted):
+        store.set(f"key:{index}", value)
+    print(
+        f"\nafter workload drift: observed value ratio {store.monitor.ratio:.3f}, "
+        f"needs retraining: {store.needs_retraining()}"
+    )
+    store.retrain(drifted[:128] + kv1[:128])
+    print(f"after retraining:     observed value ratio {store.stats().value_ratio:.3f}")
+
+
+if __name__ == "__main__":
+    main()

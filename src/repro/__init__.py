@@ -1,0 +1,47 @@
+"""Reproduction of "High-Ratio Compression for Machine-Generated Data" (PBC, SIGMOD 2023).
+
+The public API re-exports the pieces a downstream user needs most often:
+
+* the PBC compressors (:class:`PBCCompressor`, :class:`PBCFCompressor`,
+  :class:`PBCBlockCompressor`) and the extraction configuration,
+* the baseline codec registry (:func:`repro.compressors.get_codec`),
+* the synthetic dataset registry (:func:`repro.datasets.load_dataset`),
+* the storage substrates (:class:`repro.blockstore.BlockStore`,
+  :class:`repro.tierbase.TierBase`).
+
+Quick start::
+
+    from repro import PBCCompressor, ExtractionConfig
+    from repro.datasets import load_dataset
+
+    records = load_dataset("kv1", count=2000)
+    pbc = PBCCompressor(config=ExtractionConfig(max_patterns=16))
+    pbc.train(records[:256])
+    payload = pbc.compress(records[0])
+    assert pbc.decompress(payload) == records[0]
+"""
+
+from repro.core.compressor import (
+    CompressionStats,
+    PBCBlockCompressor,
+    PBCCompressor,
+    PBCFCompressor,
+    PBCHCompressor,
+)
+from repro.core.extraction import ExtractionConfig, PatternExtractor
+from repro.core.pattern import Pattern, PatternDictionary
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "CompressionStats",
+    "ExtractionConfig",
+    "PBCBlockCompressor",
+    "PBCCompressor",
+    "PBCFCompressor",
+    "PBCHCompressor",
+    "Pattern",
+    "PatternDictionary",
+    "PatternExtractor",
+    "__version__",
+]

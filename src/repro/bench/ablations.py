@@ -1,0 +1,229 @@
+"""Extension experiments beyond the paper's Section 7: ablations and LSM integration.
+
+DESIGN.md calls out several design choices of this reproduction (pre-grouping,
+pattern refinement, the pattern-prefix cap, the choice of residual stage).  The
+runners here measure their effect so the trade-offs are visible rather than
+implicit:
+
+* :func:`run_ablation_extraction` — extraction-configuration ablation: ratio
+  and training time with the engineering knobs toggled.
+* :func:`run_ablation_residual` — residual-stage ablation: plain PBC versus the
+  FSST (PBC_F) and entropy (PBC_H) residual stages (Section 5.2's two options).
+* :func:`run_lsm_integration` — the LSM storage-engine integration: space and
+  point-lookup throughput under block compression versus per-record PBC, the
+  persistent-engine analogue of Figure 5 / Table 8.
+* :func:`run_columnar_comparison` — the PIDS argument from Section 2.2: a
+  single-pattern columnar decomposition keeps up on single-structure columns
+  but falls behind PBC on multi-structure machine-generated data.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Sequence
+
+from repro.bench.experiments import BenchmarkSettings, DEFAULT_SETTINGS
+from repro.columnar import PIDSLikeCodec, encode_column
+from repro.compressors.zstdlike import ZstdLikeCodec
+from repro.core.compressor import PBCCompressor, PBCFCompressor, PBCHCompressor
+from repro.datasets import load_dataset
+from repro.lsm import BlockCompressionPolicy, LSMEngine, PlainPolicy, RecordCompressionPolicy
+from repro.tierbase import PBCValueCompressor
+
+#: Datasets used by the ablation sweeps (a cheap-but-diverse subset of Table 2).
+ABLATION_DATASETS = ("kv1", "kv2", "apache", "urls")
+
+#: Subset used by the extraction ablation, whose un-pruned configurations are
+#: quadratic in sample size; ``kv2``'s long records make it too slow there.
+EXTRACTION_ABLATION_DATASETS = ("kv1", "apache", "urls")
+
+
+# ------------------------------------------------- extraction-config ablation
+
+
+def run_ablation_extraction(
+    settings: BenchmarkSettings | None = None,
+    datasets: Sequence[str] = EXTRACTION_ABLATION_DATASETS,
+) -> list[dict]:
+    """Ratio and training time with the extraction engineering knobs toggled."""
+    settings = settings or DEFAULT_SETTINGS
+    configurations = (
+        ("default", {}),
+        ("no pre-grouping", {"pre_group": False, "sample_size": 32}),
+        ("no refinement", {"refine_patterns": False}),
+        ("no pruning", {"use_pruning": False, "pre_group": False, "sample_size": 32}),
+        ("prefix 128", {"max_pattern_prefix": 128}),
+    )
+    rows = []
+    for name in datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        for label, overrides in configurations:
+            compressor = PBCCompressor(config=settings.extraction_config(**overrides))
+            started = time.perf_counter()
+            compressor.train(records[: settings.train_count])
+            train_seconds = time.perf_counter() - started
+            stats = compressor.measure(records)
+            rows.append(
+                {
+                    "dataset": name,
+                    "configuration": label,
+                    "ratio": round(stats.ratio, 3),
+                    "outlier_rate": round(stats.outlier_rate, 3),
+                    "patterns": len(compressor.dictionary),
+                    "train_seconds": round(train_seconds, 3),
+                }
+            )
+    return rows
+
+
+# ------------------------------------------------------ residual-stage ablation
+
+
+def run_ablation_residual(
+    settings: BenchmarkSettings | None = None, datasets: Sequence[str] = ABLATION_DATASETS
+) -> list[dict]:
+    """Per-record ratio and speed of PBC with the different residual stages."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    for name in datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        sample = records[: settings.train_count]
+        base = PBCCompressor(config=settings.extraction_config())
+        base.train(sample)
+
+        variants: list[tuple[str, PBCCompressor]] = [("PBC", base)]
+        fsst = PBCFCompressor(dictionary=base.dictionary, config=settings.extraction_config())
+        fsst.train_residual(sample)
+        variants.append(("PBC_F", fsst))
+        for entropy in ("rans", "huffman", "arithmetic"):
+            entropy_variant = PBCHCompressor(
+                dictionary=base.dictionary, config=settings.extraction_config(), entropy=entropy
+            )
+            entropy_variant.train_residual(sample)
+            variants.append((f"PBC_H[{entropy}]", entropy_variant))
+
+        for label, compressor in variants:
+            stats = compressor.measure(records)
+            rows.append(
+                {
+                    "dataset": name,
+                    "method": label,
+                    "ratio": round(stats.ratio, 3),
+                    "comp_mb_s": round(stats.compress_mb_per_second, 2),
+                    "decomp_mb_s": round(stats.decompress_mb_per_second, 2),
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------- LSM integration
+
+
+def run_lsm_integration(
+    settings: BenchmarkSettings | None = None,
+    dataset: str = "hdfs",
+    lookup_fraction: float = 0.25,
+) -> list[dict]:
+    """Space ratio and point-lookup throughput of the LSM engine per storage policy."""
+    settings = settings or DEFAULT_SETTINGS
+    records = load_dataset(dataset, count=settings.record_count, seed=settings.seed)
+    items = [(f"key:{index:07d}", record) for index, record in enumerate(records)]
+    rng = random.Random(settings.seed)
+    lookup_count = max(1, int(len(items) * lookup_fraction))
+    lookup_keys = [key for key, _ in rng.sample(items, lookup_count)]
+
+    value_compressor = PBCValueCompressor(config=settings.extraction_config())
+    value_compressor.train([value for _, value in items[: settings.train_count]])
+
+    policies = (
+        ("Uncompressed", PlainPolicy()),
+        ("Zstd blocks", BlockCompressionPolicy(ZstdLikeCodec())),
+        ("PBC_F records", RecordCompressionPolicy(value_compressor)),
+    )
+
+    rows = []
+    with TemporaryDirectory() as tmp:
+        for label, policy in policies:
+            engine = LSMEngine(
+                Path(tmp) / label.replace(" ", "-"),
+                policy=policy,
+                memtable_bytes=32 * 1024,
+                block_bytes=4096,
+            )
+            started = time.perf_counter()
+            for key, value in items:
+                engine.put(key, value)
+            engine.flush()
+            load_seconds = time.perf_counter() - started
+            stats = engine.stats()
+            timing = engine.measure_lookups(lookup_keys)
+            rows.append(
+                {
+                    "policy": label,
+                    "dataset": dataset,
+                    "space_ratio": round(stats.space_ratio, 3),
+                    "disk_bytes": stats.sstable_file_bytes,
+                    "lookups_per_s": round(timing.lookups_per_second, 1),
+                    "load_seconds": round(load_seconds, 3),
+                }
+            )
+            engine.close()
+    return rows
+
+
+# ------------------------------------------------------- columnar comparison
+
+
+def _mixed_structure_records(settings: BenchmarkSettings) -> list[str]:
+    """A shuffled mix of two structurally different datasets (kv1 + apache)."""
+    half = max(20, settings.record_count // 2)
+    records = load_dataset("kv1", count=half, seed=settings.seed) + load_dataset(
+        "apache", count=half, seed=settings.seed
+    )
+    random.Random(settings.seed).shuffle(records)
+    return records
+
+
+def run_columnar_comparison(settings: BenchmarkSettings | None = None) -> list[dict]:
+    """The Section 2.2 PIDS argument: single-pattern decomposition versus PBC.
+
+    Two workloads are compressed as one string column each: ``urls`` (a
+    single-structure column, PIDS's home turf) and a shuffled mix of ``kv1``
+    and ``apache`` records (multi-structure machine-generated data).  For each
+    workload the runner reports the ratio of the best lightweight column
+    encoding, the PIDS-like decomposition and per-record PBC.
+    """
+    settings = settings or DEFAULT_SETTINGS
+    workloads = (
+        ("urls (single structure)", load_dataset("urls", count=settings.record_count, seed=settings.seed)),
+        ("kv1+apache (multi structure)", _mixed_structure_records(settings)),
+    )
+    rows = []
+    for label, records in workloads:
+        raw_bytes = sum(len(record.encode("utf-8")) for record in records)
+        sample = records[: settings.train_count]
+
+        lightweight_ratio = len(encode_column(records)) / raw_bytes
+
+        pids = PIDSLikeCodec(config=settings.extraction_config())
+        pids.train(sample)
+        pids_ratio = len(pids.compress_column(records)) / raw_bytes
+
+        pbc = PBCCompressor(config=settings.extraction_config())
+        pbc.train(sample)
+        pbc_ratio = pbc.measure(records).ratio
+
+        rows.append(
+            {
+                "workload": label,
+                "lightweight": round(lightweight_ratio, 3),
+                "pids_like": round(pids_ratio, 3),
+                "pbc": round(pbc_ratio, 3),
+                "pids_exception_rate": round(pids.exception_rate(records), 3),
+                "pbc_vs_pids_gain": round(pids_ratio / pbc_ratio, 2) if pbc_ratio else None,
+            }
+        )
+    return rows

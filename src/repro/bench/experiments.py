@@ -1,0 +1,683 @@
+"""Experiment runners: one function per table / figure of the paper's Section 7.
+
+Every runner returns a list of row dictionaries (ready for
+:func:`repro.bench.reporting.render_table`) so the pytest benchmarks, the
+examples and EXPERIMENTS.md generation all share the same code path.
+
+The runners accept a :class:`BenchmarkSettings` instance that scales the
+workload: the defaults are sized for a laptop-class pure-Python run (a few
+hundred records per dataset), which preserves the relative ordering of the
+methods even though the absolute corpus sizes are far below the paper's.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.blockstore import BlockStore, CodecRecordCompressor, RecordStore
+from repro.compressors.base import Codec, CodecMeasurement
+from repro.compressors.fsst import FSSTCodec
+from repro.compressors.lz4like import LZ4LikeCodec
+from repro.compressors.snappylike import SnappyLikeCodec
+from repro.compressors.stdlib_codecs import LZMACodec
+from repro.compressors.zstdlike import ZstdLikeCodec, train_dictionary
+from repro.core.compressor import PBCBlockCompressor, PBCCompressor, PBCFCompressor
+from repro.core.extraction import ExtractionConfig, PatternExtractor
+from repro.bench.paper_reference import (
+    FIGURE7_DATASETS,
+    TABLE2_DATASETS,
+    TABLE3_RATIOS,
+    TABLE4_RATIOS,
+    TABLE5_LOGS,
+    TABLE6_JSON,
+    TABLE7_JSON,
+    TABLE8_TIERBASE,
+)
+from repro.bench.pareto import ParetoPoint, pareto_frontier
+from repro.datasets import JSON_DATASETS, LOG_DATASETS, dataset_names, dataset_statistics, load_dataset
+from repro.jsonenc import BinPackCodec, IonLikeCodec
+from repro.logs import LogReducerCodec
+from repro.tierbase import (
+    NoopValueCompressor,
+    PBCValueCompressor,
+    TierBase,
+    ZstdDictValueCompressor,
+    run_workload,
+)
+
+
+@dataclass
+class BenchmarkSettings:
+    """Workload scaling knobs shared by all experiment runners."""
+
+    record_count: int = 400
+    train_count: int = 160
+    max_patterns: int = 16
+    sample_size: int = 128
+    seed: int = 2023
+    datasets: Sequence[str] = field(default_factory=dataset_names)
+
+    def extraction_config(self, **overrides) -> ExtractionConfig:
+        """The PBC extraction configuration used by the benchmarks."""
+        parameters = {
+            "max_patterns": self.max_patterns,
+            "sample_size": self.sample_size,
+            "seed": self.seed,
+        }
+        parameters.update(overrides)
+        return ExtractionConfig(**parameters)
+
+
+#: Settings used when a runner is called without an explicit configuration.
+DEFAULT_SETTINGS = BenchmarkSettings()
+
+
+# --------------------------------------------------------------------- helpers
+
+
+def _measure_record_codec(codec: Codec, records: Sequence[str]) -> CodecMeasurement:
+    """Line-by-line measurement of a byte codec (Table 3 protocol)."""
+    payloads = [record.encode("utf-8") for record in records]
+    started = time.perf_counter()
+    compressed = [codec.compress(payload) for payload in payloads]
+    compress_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    restored = [codec.decompress(blob) for blob in compressed]
+    decompress_seconds = time.perf_counter() - started
+    for original, result in zip(payloads, restored):
+        if original != result:
+            raise AssertionError(f"codec {codec.name} roundtrip mismatch")
+    return CodecMeasurement(
+        name=codec.name,
+        original_bytes=sum(len(payload) for payload in payloads),
+        compressed_bytes=sum(len(blob) for blob in compressed),
+        compress_seconds=compress_seconds,
+        decompress_seconds=decompress_seconds,
+    )
+
+
+def _measure_file_codec(codec: Codec, records: Sequence[str]) -> CodecMeasurement:
+    """Whole-file measurement of a byte codec (Table 4 protocol)."""
+    payload = "\n".join(records).encode("utf-8")
+    started = time.perf_counter()
+    compressed = codec.compress(payload)
+    compress_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    restored = codec.decompress(compressed)
+    decompress_seconds = time.perf_counter() - started
+    if restored != payload:
+        raise AssertionError(f"codec {codec.name} file roundtrip mismatch")
+    return CodecMeasurement(
+        name=codec.name,
+        original_bytes=len(payload),
+        compressed_bytes=len(compressed),
+        compress_seconds=compress_seconds,
+        decompress_seconds=decompress_seconds,
+    )
+
+
+def _trained_pbc(
+    records: Sequence[str], settings: BenchmarkSettings, variant: str = "pbc", **config_overrides
+) -> PBCCompressor:
+    """Train a PBC or PBC_F compressor on the benchmark's training prefix."""
+    config = settings.extraction_config(**config_overrides)
+    compressor = PBCFCompressor(config=config) if variant == "pbc_f" else PBCCompressor(config=config)
+    compressor.train(list(records[: settings.train_count]))
+    return compressor
+
+
+class _PBCFamily:
+    """Trains the pattern dictionary once per dataset and shares it across variants.
+
+    The paper trains one pattern dictionary per workload and reuses it for PBC,
+    PBC_F and the block variants; sharing it here both matches that protocol and
+    keeps the pure-Python benchmark runtime tolerable.
+    """
+
+    def __init__(self, records: Sequence[str], settings: BenchmarkSettings, **config_overrides) -> None:
+        self._records = records
+        self._settings = settings
+        self._sample = list(records[: settings.train_count])
+        self._base = PBCCompressor(config=settings.extraction_config(**config_overrides))
+        self._base.train(self._sample)
+
+    @property
+    def pbc(self) -> PBCCompressor:
+        """The shared plain PBC compressor."""
+        return self._base
+
+    def pbc_f(self) -> PBCFCompressor:
+        """PBC_F reusing the shared dictionary (only the FSST table is trained)."""
+        compressor = PBCFCompressor(
+            dictionary=self._base.dictionary, config=self._settings.extraction_config()
+        )
+        compressor.train_residual(self._sample)
+        return compressor
+
+    def block(self, codec: Codec, name: str) -> PBCBlockCompressor:
+        """A PBC_Z / PBC_L style block compressor reusing the shared dictionary."""
+        return PBCBlockCompressor(self._base, codec, name=name)
+
+
+def _paper_ratio(table: dict[str, dict[str, float]], dataset: str, method: str) -> float | None:
+    return table.get(dataset, {}).get(method)
+
+
+# ------------------------------------------------------------------- Table 2
+
+
+def run_table2_dataset_statistics(settings: BenchmarkSettings | None = None) -> list[dict]:
+    """Table 2: dataset statistics (paper corpus versus generated corpus)."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    for name in settings.datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        stats = dataset_statistics(name, records)
+        paper_records, paper_avg_len = TABLE2_DATASETS.get(name, (float("nan"), float("nan")))
+        rows.append(
+            {
+                "dataset": name,
+                "paper_records": paper_records,
+                "paper_avg_len": paper_avg_len,
+                "generated_records": stats.records,
+                "generated_avg_len": round(stats.avg_record_len, 1),
+                "generated_bytes": stats.total_bytes,
+            }
+        )
+    return rows
+
+
+# ------------------------------------------------------------------- Table 3
+
+
+def run_table3_line_by_line(settings: BenchmarkSettings | None = None) -> list[dict]:
+    """Table 3: line-by-line compression (FSST, LZ4(dict), Zstd(dict), PBC, PBC_F)."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    for name in settings.datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        training = [record.encode("utf-8") for record in records[: settings.train_count]]
+        dictionary = train_dictionary(training)
+
+        fsst = FSSTCodec()
+        fsst.train(training)
+        family = _PBCFamily(records, settings)
+        methods: list[tuple[str, object]] = [
+            ("FSST", _measure_record_codec(fsst, records)),
+            ("LZ4", _measure_record_codec(LZ4LikeCodec(dictionary=dictionary), records)),
+            ("Zstd", _measure_record_codec(ZstdLikeCodec(level=3, dictionary=dictionary), records)),
+            ("PBC", family.pbc.measure(records)),
+            ("PBC_F", family.pbc_f().measure(records)),
+        ]
+        for method, measurement in methods:
+            rows.append(
+                {
+                    "dataset": name,
+                    "method": method,
+                    "ratio": round(measurement.ratio, 3),
+                    "paper_ratio": _paper_ratio(TABLE3_RATIOS, name, method),
+                    "comp_mb_s": round(measurement.compress_mb_per_second, 2),
+                    "decomp_mb_s": round(measurement.decompress_mb_per_second, 2),
+                }
+            )
+    return rows
+
+
+# ------------------------------------------------------------------- Figure 5
+
+
+def run_fig5_random_access(
+    settings: BenchmarkSettings | None = None,
+    datasets: Sequence[str] = ("kv2", "unece"),
+    block_sizes: Sequence[int] = (1, 4, 16, 64, 256),
+    lookup_fraction: float = 0.25,
+) -> list[dict]:
+    """Figure 5: compression ratio and lookup speed versus block size."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    rng = random.Random(settings.seed)
+    for name in datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        lookups = max(1, int(len(records) * lookup_fraction))
+        indices = [rng.randrange(len(records)) for _ in range(lookups)]
+
+        fsst = FSSTCodec()
+        fsst.train(record.encode("utf-8") for record in records[: settings.train_count])
+        fsst_store = RecordStore.from_records(records, CodecRecordCompressor(fsst))
+        pbc_store = RecordStore.from_records(records, _PBCFamily(records, settings).pbc_f())
+
+        for block_size in block_sizes:
+            zstd_store = BlockStore.from_records(records, ZstdLikeCodec(level=3), block_size=block_size)
+            for method, store in (("Zstd", zstd_store), ("FSST", fsst_store), ("PBC_F", pbc_store)):
+                lookup = store.measure_lookups(indices)
+                rows.append(
+                    {
+                        "dataset": name,
+                        "block_size": block_size,
+                        "method": method,
+                        "ratio": round(store.ratio, 3),
+                        "lookups_per_second": round(lookup.lookups_per_second, 1),
+                    }
+                )
+    return rows
+
+
+# ------------------------------------------------------------------- Table 4
+
+
+def run_table4_file_compression(settings: BenchmarkSettings | None = None) -> list[dict]:
+    """Table 4: whole-file compression (Snappy, LZMA, LZ4, Zstd, PBC_Z, PBC_L)."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    for name in settings.datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        measurements: list[tuple[str, CodecMeasurement]] = [
+            ("Snappy", _measure_file_codec(SnappyLikeCodec(), records)),
+            ("LZMA", _measure_file_codec(LZMACodec(preset=6), records)),
+            ("LZ4", _measure_file_codec(LZ4LikeCodec(), records)),
+            ("Zstd", _measure_file_codec(ZstdLikeCodec(level=6), records)),
+        ]
+        family = _PBCFamily(records, settings)
+        for variant_name, block_codec in (("PBC_Z", ZstdLikeCodec(level=6)), ("PBC_L", LZMACodec(preset=6))):
+            block_compressor = family.block(block_codec, variant_name)
+            stats = block_compressor.measure(records)
+            measurements.append(
+                (
+                    variant_name,
+                    CodecMeasurement(
+                        name=variant_name,
+                        original_bytes=stats.original_bytes,
+                        compressed_bytes=stats.compressed_bytes,
+                        compress_seconds=stats.compress_seconds,
+                        decompress_seconds=stats.decompress_seconds,
+                    ),
+                )
+            )
+        for method, measurement in measurements:
+            rows.append(
+                {
+                    "dataset": name,
+                    "method": method,
+                    "ratio": round(measurement.ratio, 3),
+                    "paper_ratio": _paper_ratio(TABLE4_RATIOS, name, method),
+                    "comp_mb_s": round(measurement.compress_mb_per_second, 2),
+                    "decomp_mb_s": round(measurement.decompress_mb_per_second, 2),
+                }
+            )
+    return rows
+
+
+# ------------------------------------------------------------------- Figure 6
+
+
+def run_fig6_pareto(settings: BenchmarkSettings | None = None) -> list[dict]:
+    """Figure 6: ratio / speed positions of all methods plus Pareto membership."""
+    settings = settings or DEFAULT_SETTINGS
+    accumulators: dict[str, dict[str, float]] = {}
+
+    def _accumulate(method: str, measurement: CodecMeasurement) -> None:
+        entry = accumulators.setdefault(
+            method,
+            {"original": 0.0, "compressed": 0.0, "comp_seconds": 0.0, "decomp_seconds": 0.0},
+        )
+        entry["original"] += measurement.original_bytes
+        entry["compressed"] += measurement.compressed_bytes
+        entry["comp_seconds"] += measurement.compress_seconds
+        entry["decomp_seconds"] += measurement.decompress_seconds
+
+    for name in settings.datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        _accumulate("Snappy", _measure_file_codec(SnappyLikeCodec(), records))
+        _accumulate("LZ4", _measure_file_codec(LZ4LikeCodec(), records))
+        _accumulate("LZMA", _measure_file_codec(LZMACodec(preset=6), records))
+        for level in (1, 3, 9):
+            _accumulate(f"Zstd-{level}", _measure_file_codec(ZstdLikeCodec(level=level), records))
+
+        training = [record.encode("utf-8") for record in records[: settings.train_count]]
+        fsst = FSSTCodec()
+        fsst.train(training)
+        _accumulate("FSST", _measure_record_codec(fsst, records))
+
+        family = _PBCFamily(records, settings)
+        stats = family.pbc.measure(records)
+        _accumulate(
+            "PBC",
+            CodecMeasurement("PBC", stats.original_bytes, stats.compressed_bytes, stats.compress_seconds, stats.decompress_seconds),
+        )
+        stats = family.pbc_f().measure(records)
+        _accumulate(
+            "PBC_F",
+            CodecMeasurement("PBC_F", stats.original_bytes, stats.compressed_bytes, stats.compress_seconds, stats.decompress_seconds),
+        )
+        for variant_name, block_codec in (("PBC_Z", ZstdLikeCodec(level=6)), ("PBC_L", LZMACodec(preset=6))):
+            stats = family.block(block_codec, variant_name).measure(records)
+            _accumulate(
+                variant_name,
+                CodecMeasurement(variant_name, stats.original_bytes, stats.compressed_bytes, stats.compress_seconds, stats.decompress_seconds),
+            )
+
+    rows = []
+    compression_points = []
+    decompression_points = []
+    for method, entry in accumulators.items():
+        ratio = entry["compressed"] / entry["original"] if entry["original"] else 1.0
+        comp_speed = entry["original"] / 1e6 / entry["comp_seconds"] if entry["comp_seconds"] else 0.0
+        decomp_speed = entry["original"] / 1e6 / entry["decomp_seconds"] if entry["decomp_seconds"] else 0.0
+        compression_points.append(ParetoPoint(method, ratio, comp_speed))
+        decompression_points.append(ParetoPoint(method, ratio, decomp_speed))
+    compression_frontier = {point.name for point in pareto_frontier(compression_points)}
+    decompression_frontier = {point.name for point in pareto_frontier(decompression_points)}
+    for point, decomp_point in zip(compression_points, decompression_points):
+        rows.append(
+            {
+                "method": point.name,
+                "ratio": round(point.ratio, 3),
+                "comp_mb_s": round(point.speed, 2),
+                "decomp_mb_s": round(decomp_point.speed, 2),
+                "pareto_compression": point.name in compression_frontier,
+                "pareto_decompression": point.name in decompression_frontier,
+            }
+        )
+    rows.sort(key=lambda row: row["ratio"])
+    return rows
+
+
+# ------------------------------------------------------------------- Figure 7
+
+
+def run_fig7_criteria(
+    settings: BenchmarkSettings | None = None, datasets: Sequence[str] = FIGURE7_DATASETS
+) -> list[dict]:
+    """Figure 7: compression ratio under the ED / entropy / EL clustering criteria."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    for name in datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        for criterion in ("ed", "entropy", "el"):
+            compressor = PBCCompressor(
+                config=settings.extraction_config(criterion=criterion, pre_group=False, sample_size=48)
+            )
+            compressor.train(records[: min(settings.train_count, 48)])
+            stats = compressor.measure(records)
+            rows.append(
+                {
+                    "dataset": name,
+                    "criterion": criterion,
+                    "ratio": round(stats.ratio, 3),
+                    "outlier_rate": round(stats.outlier_rate, 3),
+                }
+            )
+    return rows
+
+
+# ------------------------------------------------------------------- Figure 8
+
+
+def run_fig8_pruning(
+    settings: BenchmarkSettings | None = None, datasets: Sequence[str] = FIGURE7_DATASETS
+) -> list[dict]:
+    """Figure 8: pattern-extraction time with and without 1-gram pruning."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    for name in datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        sample = records[: min(settings.train_count, 48)]
+        for label, use_pruning in (("naive", False), ("1-gram pruning", True)):
+            extractor = PatternExtractor(
+                settings.extraction_config(use_pruning=use_pruning, pre_group=False, sample_size=48)
+            )
+            started = time.perf_counter()
+            report = extractor.extract(sample)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                {
+                    "dataset": name,
+                    "method": label,
+                    "extraction_seconds": round(elapsed, 4),
+                    "dp_calls": report.clustering_stats.dp_calls,
+                    "pruned_by_bound": report.clustering_stats.dp_pruned_by_bound,
+                    "pruned_by_early_exit": report.clustering_stats.dp_pruned_by_early_exit,
+                }
+            )
+    return rows
+
+
+# ------------------------------------------------------------------- Figure 9
+
+
+def run_fig9_training_size(
+    settings: BenchmarkSettings | None = None,
+    datasets: Sequence[str] = ("kv1", "kv2"),
+    sample_sizes: Sequence[int] = (8, 16, 32, 64, 128),
+) -> list[dict]:
+    """Figure 9(a): compression ratio versus training-sample size."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    for name in datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        for sample_size in sample_sizes:
+            compressor = PBCCompressor(config=settings.extraction_config(sample_size=sample_size))
+            compressor.train(records[: settings.train_count])
+            stats = compressor.measure(records)
+            training_bytes = sum(
+                len(record.encode("utf-8")) for record in records[: min(sample_size, settings.train_count)]
+            )
+            rows.append(
+                {
+                    "dataset": name,
+                    "sample_records": sample_size,
+                    "training_bytes": training_bytes,
+                    "ratio": round(stats.ratio, 3),
+                }
+            )
+    return rows
+
+
+def run_fig9_pattern_size(
+    settings: BenchmarkSettings | None = None,
+    datasets: Sequence[str] = ("kv1", "kv2"),
+    pattern_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+) -> list[dict]:
+    """Figure 9(b): compression ratio versus pattern-dictionary size."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    for name in datasets:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        for max_patterns in pattern_counts:
+            compressor = PBCCompressor(config=settings.extraction_config(max_patterns=max_patterns))
+            compressor.train(records[: settings.train_count])
+            stats = compressor.measure(records)
+            rows.append(
+                {
+                    "dataset": name,
+                    "max_patterns": max_patterns,
+                    "dictionary_bytes": compressor.dictionary.serialized_size(),
+                    "ratio": round(stats.ratio, 3),
+                }
+            )
+    return rows
+
+
+# ------------------------------------------------------------------- Table 5
+
+
+def run_table5_log_compression(settings: BenchmarkSettings | None = None) -> list[dict]:
+    """Table 5: log compression — LogReducer versus PBC_L (LZMA level 9)."""
+    settings = settings or DEFAULT_SETTINGS
+    totals = {
+        "LogReducer": {"original": 0, "compressed": 0, "comp_seconds": 0.0, "decomp_seconds": 0.0},
+        "PBC_L": {"original": 0, "compressed": 0, "comp_seconds": 0.0, "decomp_seconds": 0.0},
+    }
+    for name in LOG_DATASETS:
+        records = load_dataset(name, count=settings.record_count, seed=settings.seed)
+        log_stats = LogReducerCodec(preset=9).measure(records)
+        totals["LogReducer"]["original"] += log_stats.original_bytes
+        totals["LogReducer"]["compressed"] += log_stats.compressed_bytes
+        totals["LogReducer"]["comp_seconds"] += log_stats.compress_seconds
+        totals["LogReducer"]["decomp_seconds"] += log_stats.decompress_seconds
+
+        pbc_l = _PBCFamily(records, settings).block(LZMACodec(preset=9), "PBC_L")
+        stats = pbc_l.measure(records)
+        totals["PBC_L"]["original"] += stats.original_bytes
+        totals["PBC_L"]["compressed"] += stats.compressed_bytes
+        totals["PBC_L"]["comp_seconds"] += stats.compress_seconds
+        totals["PBC_L"]["decomp_seconds"] += stats.decompress_seconds
+
+    rows = []
+    for method, entry in totals.items():
+        paper = TABLE5_LOGS.get(method, {})
+        rows.append(
+            {
+                "method": method,
+                "ratio": round(entry["compressed"] / entry["original"], 3),
+                "paper_ratio": paper.get("ratio"),
+                "comp_mb_s": round(entry["original"] / 1e6 / entry["comp_seconds"], 2),
+                "decomp_mb_s": round(entry["original"] / 1e6 / entry["decomp_seconds"], 2),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------- Tables 6 & 7
+
+
+def run_table6_json_compression(settings: BenchmarkSettings | None = None) -> list[dict]:
+    """Table 6: JSON record and file compression (Ion-B, BP-D, PBC variants)."""
+    settings = settings or DEFAULT_SETTINGS
+    record_methods = ("Ion-B", "BP-D", "PBC", "PBC_F")
+    file_methods = ("Ion-B+LZMA", "BP-D+LZMA", "PBC_L")
+    totals: dict[str, dict[str, float]] = {
+        method: {"original": 0.0, "compressed": 0.0, "comp_seconds": 0.0, "decomp_seconds": 0.0}
+        for method in record_methods + file_methods
+    }
+
+    def _add(method: str, measurement: CodecMeasurement) -> None:
+        totals[method]["original"] += measurement.original_bytes
+        totals[method]["compressed"] += measurement.compressed_bytes
+        totals[method]["comp_seconds"] += measurement.compress_seconds
+        totals[method]["decomp_seconds"] += measurement.decompress_seconds
+
+    for name in JSON_DATASETS:
+        count = min(settings.record_count, 200) if name == "unece" else settings.record_count
+        records = load_dataset(name, count=count, seed=settings.seed)
+        training = records[: settings.train_count]
+
+        ion = IonLikeCodec()
+        binpack = BinPackCodec()
+        binpack.train(training[: min(len(training), 64)])
+        _add("Ion-B", _measure_record_codec(ion, records))
+        _add("BP-D", _measure_record_codec(binpack, records))
+
+        family = _PBCFamily(records, settings)
+        stats = family.pbc.measure(records)
+        _add("PBC", CodecMeasurement("PBC", stats.original_bytes, stats.compressed_bytes, stats.compress_seconds, stats.decompress_seconds))
+        stats = family.pbc_f().measure(records)
+        _add("PBC_F", CodecMeasurement("PBC_F", stats.original_bytes, stats.compressed_bytes, stats.compress_seconds, stats.decompress_seconds))
+
+        lzma_codec = LZMACodec(preset=6)
+        for method, front in (("Ion-B+LZMA", ion), ("BP-D+LZMA", binpack)):
+            payloads = [front.compress(record.encode("utf-8")) for record in records]
+            original = sum(len(record.encode("utf-8")) for record in records)
+            started = time.perf_counter()
+            blob = lzma_codec.compress(b"".join(payloads))
+            comp_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            lzma_codec.decompress(blob)
+            decomp_seconds = time.perf_counter() - started
+            _add(method, CodecMeasurement(method, original, len(blob), comp_seconds, decomp_seconds))
+
+        pbc_l = PBCBlockCompressor(_trained_pbc(records, settings, "pbc"), LZMACodec(preset=6), name="PBC_L")
+        stats = pbc_l.measure(records)
+        _add("PBC_L", CodecMeasurement("PBC_L", stats.original_bytes, stats.compressed_bytes, stats.compress_seconds, stats.decompress_seconds))
+
+    rows = []
+    for method, entry in totals.items():
+        rows.append(
+            {
+                "method": method,
+                "mode": "record" if method in record_methods else "file",
+                "ratio": round(entry["compressed"] / entry["original"], 3),
+                "paper_ratio": TABLE6_JSON.get(method),
+                "comp_mb_s": round(entry["original"] / 1e6 / entry["comp_seconds"], 2),
+                "decomp_mb_s": round(entry["original"] / 1e6 / entry["decomp_seconds"], 2),
+            }
+        )
+    return rows
+
+
+def run_table7_json_per_dataset(settings: BenchmarkSettings | None = None) -> list[dict]:
+    """Table 7: per-dataset file-compression ratios of BP-D+LZMA versus PBC_L."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    lzma_codec = LZMACodec(preset=6)
+    for name in JSON_DATASETS:
+        count = min(settings.record_count, 200) if name == "unece" else settings.record_count
+        records = load_dataset(name, count=count, seed=settings.seed)
+        original = sum(len(record.encode("utf-8")) for record in records)
+
+        binpack = BinPackCodec()
+        binpack.train(records[: min(settings.train_count, 64)])
+        encoded = b"".join(binpack.compress(record.encode("utf-8")) for record in records)
+        bp_ratio = len(lzma_codec.compress(encoded)) / original
+
+        pbc_l = PBCBlockCompressor(_trained_pbc(records, settings, "pbc"), LZMACodec(preset=6), name="PBC_L")
+        stats = pbc_l.measure(records)
+
+        paper = TABLE7_JSON.get(name, {})
+        rows.append(
+            {
+                "dataset": name,
+                "BP-D": round(bp_ratio, 3),
+                "paper_BP-D": paper.get("BP-D"),
+                "PBC_L": round(stats.ratio, 3),
+                "paper_PBC_L": paper.get("PBC_L"),
+            }
+        )
+    return rows
+
+
+# ------------------------------------------------------------------- Table 8
+
+
+def run_table8_tierbase(
+    settings: BenchmarkSettings | None = None,
+    workloads: Sequence[tuple[str, str]] = (("A", "kv1"), ("B", "kv2")),
+) -> list[dict]:
+    """Table 8: TierBase case study — memory usage and SET/GET throughput."""
+    settings = settings or DEFAULT_SETTINGS
+    rows = []
+    for workload_name, dataset in workloads:
+        records = load_dataset(dataset, count=settings.record_count, seed=settings.seed)
+        compressors = (
+            NoopValueCompressor(),
+            ZstdDictValueCompressor(level=3),
+            PBCValueCompressor(config=settings.extraction_config()),
+        )
+        baseline_memory: int | None = None
+        for compressor in compressors:
+            store = TierBase(compressor=compressor)
+            result = run_workload(
+                store,
+                records,
+                workload_name=workload_name,
+                get_operations=len(records),
+                train_sample=records[: settings.train_count],
+                seed=settings.seed,
+            )
+            if baseline_memory is None:
+                baseline_memory = result.memory_bytes
+            paper = TABLE8_TIERBASE.get(workload_name, {})
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "method": compressor.name,
+                    "memory_percent": round(100.0 * result.memory_bytes / baseline_memory, 1),
+                    "paper_memory_percent": paper.get(compressor.name),
+                    "set_qps": round(result.set_qps, 1),
+                    "get_qps": round(result.get_qps, 1),
+                }
+            )
+    return rows

@@ -1,0 +1,106 @@
+"""Selected reference numbers from the paper's tables and figures.
+
+The reproduction cannot match absolute throughput (pure Python versus the
+authors' C++/Hyperscan build), but the *shape* of the results — which method
+wins on compression ratio, by roughly what factor — should hold.  These
+constants let the benchmark harness and EXPERIMENTS.md print paper-vs-measured
+columns without hard-coding numbers in multiple places.
+
+All ratios follow the paper's convention: compressed size / original size,
+lower is better.
+"""
+
+from __future__ import annotations
+
+#: Table 2 — dataset statistics (record count, average record length in bytes).
+TABLE2_DATASETS: dict[str, tuple[float, float]] = {
+    "kv1": (33.1e9, 71.5),
+    "kv2": (20.9e9, 158.6),
+    "kv3": (2.86e6, 90.6),
+    "kv4": (418e3, 44.1),
+    "kv5": (2.68e6, 53.1),
+    "android": (1.55e6, 129.7),
+    "apache": (56.5e3, 63.9),
+    "bgl": (4.75e6, 164.1),
+    "hdfs": (11.2e6, 141.2),
+    "hadoop": (2.61e6, 266.9),
+    "alilogs": (350e3, 299.2),
+    "github": (8.6e3, 863.8),
+    "cities": (148e3, 232.2),
+    "unece": (0.81e3, 4494.8),
+    "urls": (100e3, 63.1),
+    "uuid": (100e3, 35.6),
+}
+
+#: Table 3 — line-by-line compression ratios per dataset and method.
+TABLE3_RATIOS: dict[str, dict[str, float]] = {
+    "kv1": {"FSST": 0.393, "LZ4": 0.504, "Zstd": 0.577, "PBC": 0.236, "PBC_F": 0.147},
+    "kv2": {"FSST": 0.486, "LZ4": 0.490, "Zstd": 0.433, "PBC": 0.284, "PBC_F": 0.185},
+    "kv3": {"FSST": 0.307, "LZ4": 0.371, "Zstd": 0.423, "PBC": 0.239, "PBC_F": 0.134},
+    "kv4": {"FSST": 0.455, "LZ4": 0.594, "Zstd": 0.771, "PBC": 0.346, "PBC_F": 0.215},
+    "kv5": {"FSST": 0.545, "LZ4": 0.438, "Zstd": 0.596, "PBC": 0.241, "PBC_F": 0.211},
+    "android": {"FSST": 0.576, "LZ4": 0.560, "Zstd": 0.543, "PBC": 0.347, "PBC_F": 0.245},
+    "apache": {"FSST": 0.322, "LZ4": 0.349, "Zstd": 0.411, "PBC": 0.151, "PBC_F": 0.104},
+    "bgl": {"FSST": 0.293, "LZ4": 0.376, "Zstd": 0.356, "PBC": 0.325, "PBC_F": 0.146},
+    "hdfs": {"FSST": 0.288, "LZ4": 0.374, "Zstd": 0.353, "PBC": 0.308, "PBC_F": 0.147},
+    "hadoop": {"FSST": 0.286, "LZ4": 0.215, "Zstd": 0.196, "PBC": 0.157, "PBC_F": 0.075},
+    "alilogs": {"FSST": 0.484, "LZ4": 0.516, "Zstd": 0.436, "PBC": 0.425, "PBC_F": 0.347},
+    "cities": {"FSST": 0.316, "LZ4": 0.336, "Zstd": 0.305, "PBC": 0.261, "PBC_F": 0.189},
+    "github": {"FSST": 0.278, "LZ4": 0.151, "Zstd": 0.101, "PBC": 0.110, "PBC_F": 0.092},
+    "unece": {"FSST": 0.437, "LZ4": 0.210, "Zstd": 0.125, "PBC": 0.106, "PBC_F": 0.057},
+    "urls": {"FSST": 0.413, "LZ4": 0.456, "Zstd": 0.611, "PBC": 0.299, "PBC_F": 0.248},
+    "uuid": {"FSST": 0.443, "LZ4": 0.788, "Zstd": 0.984, "PBC": 0.721, "PBC_F": 0.421},
+}
+
+#: Table 4 — whole-file compression ratios per dataset and method.
+TABLE4_RATIOS: dict[str, dict[str, float]] = {
+    "kv1": {"Snappy": 0.345, "LZMA": 0.138, "LZ4": 0.339, "Zstd": 0.192, "PBC_Z": 0.133, "PBC_L": 0.109},
+    "kv2": {"Snappy": 0.449, "LZMA": 0.131, "LZ4": 0.436, "Zstd": 0.209, "PBC_Z": 0.142, "PBC_L": 0.100},
+    "kv3": {"Snappy": 0.243, "LZMA": 0.109, "LZ4": 0.233, "Zstd": 0.140, "PBC_Z": 0.106, "PBC_L": 0.080},
+    "kv4": {"Snappy": 0.427, "LZMA": 0.183, "LZ4": 0.435, "Zstd": 0.255, "PBC_Z": 0.192, "PBC_L": 0.161},
+    "kv5": {"Snappy": 0.229, "LZMA": 0.078, "LZ4": 0.182, "Zstd": 0.102, "PBC_Z": 0.090, "PBC_L": 0.066},
+    "android": {"Snappy": 0.232, "LZMA": 0.053, "LZ4": 0.197, "Zstd": 0.078, "PBC_Z": 0.059, "PBC_L": 0.038},
+    "apache": {"Snappy": 0.108, "LZMA": 0.040, "LZ4": 0.088, "Zstd": 0.053, "PBC_Z": 0.038, "PBC_L": 0.027},
+    "bgl": {"Snappy": 0.169, "LZMA": 0.057, "LZ4": 0.167, "Zstd": 0.094, "PBC_Z": 0.080, "PBC_L": 0.041},
+    "hdfs": {"Snappy": 0.182, "LZMA": 0.074, "LZ4": 0.176, "Zstd": 0.096, "PBC_Z": 0.072, "PBC_L": 0.051},
+    "hadoop": {"Snappy": 0.108, "LZMA": 0.044, "LZ4": 0.086, "Zstd": 0.048, "PBC_Z": 0.038, "PBC_L": 0.023},
+    "alilogs": {"Snappy": 0.463, "LZMA": 0.288, "LZ4": 0.456, "Zstd": 0.312, "PBC_Z": 0.279, "PBC_L": 0.265},
+    "cities": {"Snappy": 0.205, "LZMA": 0.077, "LZ4": 0.172, "Zstd": 0.120, "PBC_Z": 0.099, "PBC_L": 0.075},
+    "github": {"Snappy": 0.103, "LZMA": 0.055, "LZ4": 0.117, "Zstd": 0.062, "PBC_Z": 0.014, "PBC_L": 0.012},
+    "unece": {"Snappy": 0.201, "LZMA": 0.069, "LZ4": 0.172, "Zstd": 0.090, "PBC_Z": 0.049, "PBC_L": 0.042},
+    "urls": {"Snappy": 0.361, "LZMA": 0.151, "LZ4": 0.355, "Zstd": 0.208, "PBC_Z": 0.158, "PBC_L": 0.122},
+    "uuid": {"Snappy": 0.687, "LZMA": 0.347, "LZ4": 0.687, "Zstd": 0.400, "PBC_Z": 0.396, "PBC_L": 0.346},
+}
+
+#: Table 5 — log compression (average over log datasets).
+TABLE5_LOGS: dict[str, dict[str, float]] = {
+    "LogReducer": {"ratio": 0.219, "comp_mb_s": 7.23, "decomp_mb_s": 12.72},
+    "PBC_L": {"ratio": 0.224, "comp_mb_s": 13.8, "decomp_mb_s": 169.5},
+}
+
+#: Table 6 — JSON compression (average over JSON datasets).
+TABLE6_JSON: dict[str, float] = {
+    "Ion-B": 0.439,
+    "BP-D": 0.409,
+    "PBC": 0.159,
+    "PBC_F": 0.113,
+    "Ion-B+LZMA": 0.051,
+    "BP-D+LZMA": 0.041,
+    "PBC_L": 0.043,
+}
+
+#: Table 7 — per-dataset JSON file compression ratios.
+TABLE7_JSON: dict[str, dict[str, float]] = {
+    "cities": {"BP-D": 0.072, "PBC_L": 0.075},
+    "github": {"BP-D": 0.029, "PBC_L": 0.012},
+    "unece": {"BP-D": 0.023, "PBC_L": 0.042},
+}
+
+#: Table 8 — TierBase case study (memory usage percent of uncompressed).
+TABLE8_TIERBASE: dict[str, dict[str, float]] = {
+    "A": {"Uncompressed": 100.0, "Zstd": 45.0, "PBC_F": 25.0},
+    "B": {"Uncompressed": 100.0, "Zstd": 37.0, "PBC_F": 29.0},
+}
+
+#: Figure 7 — datasets used in the clustering-criterion ablation.
+FIGURE7_DATASETS: tuple[str, ...] = ("kv1", "kv2", "android", "alilogs", "apache", "urls")

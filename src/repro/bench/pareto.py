@@ -1,0 +1,43 @@
+"""Pareto-frontier computation for the Figure 6 analysis.
+
+Figure 6 plots every method as (compression ratio, speed) and identifies the
+Pareto-optimal set: a method is on the frontier if no other method is at least
+as good on both axes and strictly better on one.  Lower compression ratio is
+better; higher speed is better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One method's position in the ratio/speed plane."""
+
+    name: str
+    ratio: float  # lower is better
+    speed: float  # higher is better (MB/s)
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Whether this point is at least as good on both axes and better on one."""
+        at_least_as_good = self.ratio <= other.ratio and self.speed >= other.speed
+        strictly_better = self.ratio < other.ratio or self.speed > other.speed
+        return at_least_as_good and strictly_better
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """Return the non-dominated points, sorted by compression ratio."""
+    point_list = list(points)
+    frontier = [
+        point
+        for point in point_list
+        if not any(other.dominates(point) for other in point_list if other is not point)
+    ]
+    return sorted(frontier, key=lambda point: (point.ratio, -point.speed))
+
+
+def is_pareto_optimal(name: str, points: Sequence[ParetoPoint]) -> bool:
+    """Whether the method called ``name`` is on the Pareto frontier of ``points``."""
+    return any(point.name == name for point in pareto_frontier(points))

@@ -1,0 +1,182 @@
+"""Experiment registry: maps paper artifacts (tables/figures) to runner functions.
+
+The registry backs the per-experiment index in DESIGN.md and lets callers (the
+benchmarks, examples and EXPERIMENTS.md generation) enumerate the full
+evaluation programmatically::
+
+    from repro.bench import EXPERIMENTS, run_experiment
+
+    rows = run_experiment("table3")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.bench import ablations, experiments
+from repro.bench.experiments import BenchmarkSettings
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One paper artifact (table or figure) and the runner that reproduces it."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    runner: Callable[..., list[dict]]
+    bench_module: str
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    experiment.experiment_id: experiment
+    for experiment in (
+        Experiment(
+            "table2",
+            "Table 2",
+            "dataset statistics (paper corpus versus generated corpus)",
+            experiments.run_table2_dataset_statistics,
+            "benchmarks/bench_table2_datasets.py",
+        ),
+        Experiment(
+            "table3",
+            "Table 3",
+            "line-by-line compression ratio and speed",
+            experiments.run_table3_line_by_line,
+            "benchmarks/bench_table3_line_by_line.py",
+        ),
+        Experiment(
+            "fig5",
+            "Figure 5",
+            "random access: ratio and lookup speed versus block size",
+            experiments.run_fig5_random_access,
+            "benchmarks/bench_fig5_random_access.py",
+        ),
+        Experiment(
+            "table4",
+            "Table 4",
+            "whole-file compression ratio and speed",
+            experiments.run_table4_file_compression,
+            "benchmarks/bench_table4_file_compression.py",
+        ),
+        Experiment(
+            "fig6",
+            "Figure 6",
+            "Pareto frontier of ratio versus compression/decompression speed",
+            experiments.run_fig6_pareto,
+            "benchmarks/bench_fig6_pareto.py",
+        ),
+        Experiment(
+            "fig7",
+            "Figure 7",
+            "clustering-criterion ablation (ED / entropy / EL)",
+            experiments.run_fig7_criteria,
+            "benchmarks/bench_fig7_criteria.py",
+        ),
+        Experiment(
+            "fig8",
+            "Figure 8",
+            "pattern-extraction time with and without 1-gram pruning",
+            experiments.run_fig8_pruning,
+            "benchmarks/bench_fig8_pruning.py",
+        ),
+        Experiment(
+            "fig9a",
+            "Figure 9(a)",
+            "compression ratio versus training-sample size",
+            experiments.run_fig9_training_size,
+            "benchmarks/bench_fig9_tuning.py",
+        ),
+        Experiment(
+            "fig9b",
+            "Figure 9(b)",
+            "compression ratio versus pattern-dictionary size",
+            experiments.run_fig9_pattern_size,
+            "benchmarks/bench_fig9_tuning.py",
+        ),
+        Experiment(
+            "table5",
+            "Table 5",
+            "log compression versus LogReducer",
+            experiments.run_table5_log_compression,
+            "benchmarks/bench_table5_logs.py",
+        ),
+        Experiment(
+            "table6",
+            "Table 6",
+            "JSON record and file compression versus Ion-B and BP-D",
+            experiments.run_table6_json_compression,
+            "benchmarks/bench_table6_json.py",
+        ),
+        Experiment(
+            "table7",
+            "Table 7",
+            "per-dataset JSON file compression (BP-D versus PBC_L)",
+            experiments.run_table7_json_per_dataset,
+            "benchmarks/bench_table6_json.py",
+        ),
+        Experiment(
+            "table8",
+            "Table 8",
+            "TierBase case study: memory usage and SET/GET throughput",
+            experiments.run_table8_tierbase,
+            "benchmarks/bench_table8_tierbase.py",
+        ),
+        Experiment(
+            "ablation-extraction",
+            "Extension",
+            "extraction-configuration ablation (pre-grouping, refinement, prefix cap, pruning)",
+            ablations.run_ablation_extraction,
+            "benchmarks/bench_ablation_extraction.py",
+        ),
+        Experiment(
+            "ablation-residual",
+            "Extension",
+            "residual-stage ablation (PBC versus PBC_F and PBC_H entropy stages)",
+            ablations.run_ablation_residual,
+            "benchmarks/bench_ablation_residual.py",
+        ),
+        Experiment(
+            "lsm",
+            "Extension",
+            "LSM storage-engine integration: space and point-lookup throughput per policy",
+            ablations.run_lsm_integration,
+            "benchmarks/bench_lsm_engine.py",
+        ),
+        Experiment(
+            "columnar",
+            "Extension",
+            "columnar comparison: lightweight encodings and PIDS-like decomposition versus PBC",
+            ablations.run_columnar_comparison,
+            "benchmarks/bench_columnar.py",
+        ),
+    )
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (e.g. ``"table3"``, ``"fig5"``)."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; available: {experiment_ids()}")
+    return EXPERIMENTS[key]
+
+
+def run_experiment(
+    experiment_id: str, settings: BenchmarkSettings | None = None, **kwargs
+) -> list[dict]:
+    """Run one experiment and return its rows."""
+    experiment = get_experiment(experiment_id)
+    return experiment.runner(settings, **kwargs)
+
+
+def run_all(settings: BenchmarkSettings | None = None, ids: Sequence[str] | None = None) -> dict[str, list[dict]]:
+    """Run several experiments (all by default) and return their rows keyed by id."""
+    selected = ids if ids is not None else experiment_ids()
+    return {experiment_id: run_experiment(experiment_id, settings) for experiment_id in selected}

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every experiment runner in :mod:`repro.bench.experiments` returns a list of row
+dictionaries; this module renders them as aligned text tables so the pytest
+benchmarks and the examples can print output resembling the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats with fixed precision, everything else via ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render ``rows`` as an aligned text table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.  Missing cells render as an empty string.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        {column: format_value(row.get(column, ""), precision) for column in columns} for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered)) for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rendered:
+        lines.append(" | ".join(row[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: Sequence[Mapping[str, object]],
+    measured_column: str,
+    paper_column: str,
+    label_column: str = "dataset",
+    title: str | None = None,
+) -> str:
+    """Render a paper-vs-measured comparison (used by EXPERIMENTS.md generation)."""
+    columns = [label_column, paper_column, measured_column]
+    return render_table(rows, columns=columns, title=title)

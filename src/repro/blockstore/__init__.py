@@ -1,0 +1,17 @@
+"""Block-wise and record-wise compressed stores (the Figure 5 substrate)."""
+
+from repro.blockstore.store import (
+    BlockStore,
+    CodecRecordCompressor,
+    LookupStats,
+    RecordCompressor,
+    RecordStore,
+)
+
+__all__ = [
+    "BlockStore",
+    "CodecRecordCompressor",
+    "LookupStats",
+    "RecordCompressor",
+    "RecordStore",
+]

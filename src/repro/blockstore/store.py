@@ -1,0 +1,190 @@
+"""Block-wise and record-wise compressed stores (the Figure 5 substrate).
+
+Key-value engines such as RocksDB compress data in *blocks*: to read one record
+the whole containing block must be decompressed first.  Per-record compressors
+(FSST, PBC, PBC_F) avoid that.  Figure 5 of the paper measures exactly this
+trade-off: compression ratio and point-lookup speed as a function of block
+size.
+
+Two stores are provided:
+
+* :class:`BlockStore` — groups records into fixed-size blocks and compresses
+  each block with a block codec (e.g. the Zstd-like codec); ``get`` has to
+  decompress the whole containing block.
+* :class:`RecordStore` — compresses each record individually with a per-record
+  compressor (any object exposing ``compress(str) -> bytes`` and
+  ``decompress(bytes) -> str``, such as :class:`repro.core.compressor.PBCCompressor`
+  or a :class:`~repro.compressors.base.Codec` adapted via :class:`CodecRecordCompressor`);
+  ``get`` touches only one payload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.compressors.base import Codec
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import StoreError
+
+
+class RecordCompressor(Protocol):
+    """Anything that can compress and decompress one record at a time."""
+
+    def compress(self, record: str) -> bytes:  # pragma: no cover - protocol
+        ...
+
+    def decompress(self, data: bytes) -> str:  # pragma: no cover - protocol
+        ...
+
+
+class CodecRecordCompressor:
+    """Adapts a byte-level :class:`Codec` to the per-record compressor protocol."""
+
+    def __init__(self, codec: Codec) -> None:
+        self.codec = codec
+        self.name = codec.name
+
+    def compress(self, record: str) -> bytes:
+        return self.codec.compress(record.encode("utf-8"))
+
+    def decompress(self, data: bytes) -> str:
+        return self.codec.decompress(data).decode("utf-8")
+
+
+@dataclass
+class LookupStats:
+    """Outcome of a random-lookup measurement (Figure 5's right-hand axis)."""
+
+    lookups: int
+    elapsed_seconds: float
+
+    @property
+    def lookups_per_second(self) -> float:
+        """Point lookups per second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.lookups / self.elapsed_seconds
+
+
+class BlockStore:
+    """Records grouped into blocks of ``block_size`` records, block-compressed."""
+
+    def __init__(self, codec: Codec, block_size: int) -> None:
+        if block_size < 1:
+            raise StoreError("block size must be at least 1")
+        self.codec = codec
+        self.block_size = block_size
+        self._blocks: list[bytes] = []
+        self._count = 0
+        self._original_bytes = 0
+
+    @classmethod
+    def from_records(cls, records: Sequence[str], codec: Codec, block_size: int) -> "BlockStore":
+        """Build a store from ``records``."""
+        store = cls(codec=codec, block_size=block_size)
+        store.load(records)
+        return store
+
+    def load(self, records: Sequence[str]) -> None:
+        """(Re)build all blocks from ``records``."""
+        self._blocks = []
+        self._count = len(records)
+        self._original_bytes = sum(len(record.encode("utf-8")) for record in records)
+        for start in range(0, len(records), self.block_size):
+            block_records = records[start : start + self.block_size]
+            buffer = bytearray()
+            buffer += encode_uvarint(len(block_records))
+            for record in block_records:
+                payload = record.encode("utf-8")
+                buffer += encode_uvarint(len(payload))
+                buffer += payload
+            self._blocks.append(self.codec.compress(bytes(buffer)))
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Total size of all compressed blocks."""
+        return sum(len(block) for block in self._blocks)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (compressed / original)."""
+        if self._original_bytes == 0:
+            return 1.0
+        return self.compressed_bytes / self._original_bytes
+
+    def get(self, index: int) -> str:
+        """Point lookup: decompress the containing block, then pick the record."""
+        if not 0 <= index < self._count:
+            raise StoreError(f"record index {index} out of range")
+        block = self._blocks[index // self.block_size]
+        buffer = self.codec.decompress(block)
+        count, offset = decode_uvarint(buffer, 0)
+        target = index % self.block_size
+        for position in range(count):
+            length, offset = decode_uvarint(buffer, offset)
+            end = offset + length
+            if position == target:
+                return buffer[offset:end].decode("utf-8")
+            offset = end
+        raise StoreError("record not found inside its block")
+
+    def measure_lookups(self, indices: Sequence[int]) -> LookupStats:
+        """Time random point lookups."""
+        started = time.perf_counter()
+        for index in indices:
+            self.get(index)
+        return LookupStats(lookups=len(indices), elapsed_seconds=time.perf_counter() - started)
+
+
+class RecordStore:
+    """Every record compressed individually; point lookups touch one payload."""
+
+    def __init__(self, compressor: RecordCompressor) -> None:
+        self.compressor = compressor
+        self._payloads: list[bytes] = []
+        self._original_bytes = 0
+
+    @classmethod
+    def from_records(cls, records: Sequence[str], compressor: RecordCompressor) -> "RecordStore":
+        """Build a store from ``records``."""
+        store = cls(compressor)
+        store.load(records)
+        return store
+
+    def load(self, records: Sequence[str]) -> None:
+        """(Re)build all payloads from ``records``."""
+        self._payloads = [self.compressor.compress(record) for record in records]
+        self._original_bytes = sum(len(record.encode("utf-8")) for record in records)
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Total size of all per-record payloads."""
+        return sum(len(payload) for payload in self._payloads)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (compressed / original)."""
+        if self._original_bytes == 0:
+            return 1.0
+        return self.compressed_bytes / self._original_bytes
+
+    def get(self, index: int) -> str:
+        """Point lookup: decompress exactly one payload."""
+        if not 0 <= index < len(self._payloads):
+            raise StoreError(f"record index {index} out of range")
+        return self.compressor.decompress(self._payloads[index])
+
+    def measure_lookups(self, indices: Sequence[int]) -> LookupStats:
+        """Time random point lookups."""
+        started = time.perf_counter()
+        for index in indices:
+            self.get(index)
+        return LookupStats(lookups=len(indices), elapsed_seconds=time.perf_counter() - started)

@@ -1,0 +1,253 @@
+"""Command-line interface for the PBC reproduction (installed as ``pbc``).
+
+The CLI wraps the offline/online split of the paper's Figure 1 into a small
+file-based workflow:
+
+* ``pbc train`` — offline pattern extraction from a sample file or a synthetic
+  dataset; writes the pattern dictionary to disk.
+* ``pbc compress`` / ``pbc decompress`` — per-record compression of a text file
+  (one record per line) against a trained dictionary.
+* ``pbc inspect`` — print the patterns of a trained dictionary.
+* ``pbc datasets`` — list the synthetic Table 2 datasets.
+* ``pbc codecs`` — list the registered baseline codecs.
+* ``pbc experiments`` / ``pbc experiment <id>`` — enumerate and run the
+  registered paper experiments (tables and figures).
+
+Every command is a thin veneer over the library API, so anything the CLI does
+can also be done programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro import ExtractionConfig, PatternDictionary, PBCCompressor, __version__
+from repro.bench import render_table
+from repro.bench.registry import EXPERIMENTS, get_experiment
+from repro.compressors import available_codecs
+from repro.datasets import DATASET_SPECS, EXTRA_DATASET_SPECS, dataset_statistics, load_dataset
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import ReproError
+
+#: Magic prefix of compressed record files produced by ``pbc compress``.
+_FILE_MAGIC = b"PBC1"
+
+
+# ------------------------------------------------------------------ utilities
+
+
+def _read_records(path: Path) -> list[str]:
+    """Read one record per line (the trailing newline is not part of the record)."""
+    text = path.read_text(encoding="utf-8")
+    if text.endswith("\n"):
+        text = text[:-1]
+    return text.split("\n") if text else []
+
+
+def _load_training_records(args: argparse.Namespace) -> list[str]:
+    """Training records from ``--input`` or ``--dataset``."""
+    if args.input is not None:
+        return _read_records(Path(args.input))
+    return load_dataset(args.dataset, count=args.count)
+
+
+def _build_config(args: argparse.Namespace) -> ExtractionConfig:
+    return ExtractionConfig(
+        max_patterns=args.max_patterns,
+        sample_size=args.sample_size,
+        seed=args.seed,
+    )
+
+
+# ------------------------------------------------------------------- commands
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in DATASET_SPECS.items():
+        row = {
+            "dataset": name,
+            "category": spec.category,
+            "description": spec.description,
+            "paper_records": f"{spec.paper_records:,.0f}",
+            "paper_avg_len": spec.paper_avg_len,
+        }
+        if args.stats:
+            statistics = dataset_statistics(name)
+            row["generated_avg_len"] = round(statistics.avg_record_len, 1)
+        rows.append(row)
+    print(render_table(rows, title="Synthetic datasets (Table 2)"))
+    return 0
+
+
+def _cmd_codecs(_: argparse.Namespace) -> int:
+    for name in available_codecs():
+        print(name)
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    records = _load_training_records(args)
+    if not records:
+        print("error: no training records", file=sys.stderr)
+        return 2
+    compressor = PBCCompressor(config=_build_config(args))
+    report = compressor.train(records)
+    Path(args.output).write_bytes(report.dictionary.to_bytes())
+    print(f"trained {len(report.dictionary)} patterns from {report.sample_count} sampled records")
+    print(f"dictionary written to {args.output} ({Path(args.output).stat().st_size} bytes)")
+    if args.verbose:
+        for pattern in report.dictionary:
+            print(f"  [{pattern.pattern_id}] {pattern.display()}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    dictionary = PatternDictionary.from_bytes(Path(args.dictionary).read_bytes())
+    print(f"{len(dictionary)} patterns")
+    for pattern in dictionary:
+        print(f"  [{pattern.pattern_id}] {pattern.display()}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    dictionary = PatternDictionary.from_bytes(Path(args.dictionary).read_bytes())
+    compressor = PBCCompressor(dictionary=dictionary)
+    records = _read_records(Path(args.input))
+    payloads = compressor.compress_many(records)
+    out = bytearray(_FILE_MAGIC)
+    out += encode_uvarint(len(payloads))
+    for payload in payloads:
+        out += encode_uvarint(len(payload))
+        out += payload
+    Path(args.output).write_bytes(bytes(out))
+    original = sum(len(record.encode("utf-8")) for record in records)
+    compressed = len(out)
+    ratio = compressed / original if original else 1.0
+    print(f"compressed {len(records)} records: {original} -> {compressed} bytes (ratio {ratio:.3f})")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    dictionary = PatternDictionary.from_bytes(Path(args.dictionary).read_bytes())
+    compressor = PBCCompressor(dictionary=dictionary)
+    data = Path(args.input).read_bytes()
+    if not data.startswith(_FILE_MAGIC):
+        print("error: input is not a pbc-compressed file", file=sys.stderr)
+        return 2
+    count, offset = decode_uvarint(data, len(_FILE_MAGIC))
+    records: list[str] = []
+    for _ in range(count):
+        length, offset = decode_uvarint(data, offset)
+        end = offset + length
+        records.append(compressor.decompress(data[offset:end]))
+        offset = end
+    Path(args.output).write_text("\n".join(records) + ("\n" if records else ""), encoding="utf-8")
+    print(f"decompressed {count} records to {args.output}")
+    return 0
+
+
+def _cmd_experiments(_: argparse.Namespace) -> int:
+    rows = [
+        {
+            "id": experiment.experiment_id,
+            "artifact": experiment.paper_artifact,
+            "description": experiment.description,
+            "bench": experiment.bench_module,
+        }
+        for experiment in EXPERIMENTS.values()
+    ]
+    print(render_table(rows, title="Registered experiments"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.id)
+    rows = experiment.runner()
+    print(render_table(rows, title=f"{experiment.paper_artifact}: {experiment.description}"))
+    return 0
+
+
+# --------------------------------------------------------------------- parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="pbc",
+        description="Pattern-Based Compression (SIGMOD 2023 reproduction) command-line tool.",
+    )
+    parser.add_argument("--version", action="version", version=f"pbc {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser("datasets", help="list the synthetic Table 2 datasets")
+    datasets.add_argument("--stats", action="store_true", help="also generate and measure each dataset")
+    datasets.set_defaults(func=_cmd_datasets)
+
+    codecs = subparsers.add_parser("codecs", help="list the registered baseline codecs")
+    codecs.set_defaults(func=_cmd_codecs)
+
+    train = subparsers.add_parser("train", help="extract a pattern dictionary (offline phase)")
+    source = train.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", help="training file with one record per line")
+    source.add_argument(
+        "--dataset",
+        choices=sorted(DATASET_SPECS) + sorted(EXTRA_DATASET_SPECS),
+        help="synthetic dataset name",
+    )
+    train.add_argument("--count", type=int, default=None, help="records to generate for --dataset")
+    train.add_argument("--output", required=True, help="path for the trained dictionary")
+    train.add_argument("--max-patterns", type=int, default=16, help="pattern budget (default 16)")
+    train.add_argument("--sample-size", type=int, default=256, help="training sample size (default 256)")
+    train.add_argument("--seed", type=int, default=2023, help="sampling seed")
+    train.add_argument("--verbose", action="store_true", help="print the extracted patterns")
+    train.set_defaults(func=_cmd_train)
+
+    inspect = subparsers.add_parser("inspect", help="print the patterns of a trained dictionary")
+    inspect.add_argument("--dictionary", required=True, help="dictionary file produced by 'pbc train'")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    compress = subparsers.add_parser("compress", help="compress a record file with a trained dictionary")
+    compress.add_argument("--dictionary", required=True, help="dictionary file produced by 'pbc train'")
+    compress.add_argument("--input", required=True, help="text file with one record per line")
+    compress.add_argument("--output", required=True, help="output file for the compressed records")
+    compress.set_defaults(func=_cmd_compress)
+
+    decompress = subparsers.add_parser("decompress", help="decompress a file produced by 'pbc compress'")
+    decompress.add_argument("--dictionary", required=True, help="dictionary file produced by 'pbc train'")
+    decompress.add_argument("--input", required=True, help="compressed file")
+    decompress.add_argument("--output", required=True, help="output text file")
+    decompress.set_defaults(func=_cmd_decompress)
+
+    experiments = subparsers.add_parser("experiments", help="list the registered paper experiments")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    experiment = subparsers.add_parser("experiment", help="run one registered experiment")
+    experiment.add_argument("id", help="experiment id (see 'pbc experiments')")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Columnar-store substrate: lightweight encodings, a columnar table, and a PIDS-like baseline.
+
+The paper's related work contrasts PBC with column-compression techniques that
+assume data from a single source with a single structure (PIDS, lightweight
+encodings in Parquet/ORC/DuckDB).  This package provides that world so the
+columnar benchmark can reproduce the argument: the PIDS-like single-pattern
+decomposition matches PBC on single-structure columns but breaks down on
+multi-structure machine-generated data.
+"""
+
+from repro.columnar.encodings import (
+    ColumnEncoding,
+    DeltaVarintEncoding,
+    DictionaryEncoding,
+    PlainEncoding,
+    RunLengthEncoding,
+    decode_column,
+    encode_column,
+    select_column_encoding,
+)
+from repro.columnar.pids import PIDSLikeCodec
+from repro.columnar.table import ColumnarTable, ColumnStats
+
+__all__ = [
+    "ColumnEncoding",
+    "ColumnStats",
+    "ColumnarTable",
+    "DeltaVarintEncoding",
+    "DictionaryEncoding",
+    "PIDSLikeCodec",
+    "PlainEncoding",
+    "RunLengthEncoding",
+    "decode_column",
+    "encode_column",
+    "select_column_encoding",
+]

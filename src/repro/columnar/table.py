@@ -1,0 +1,134 @@
+"""A minimal columnar table: named string columns with per-column lightweight encoding.
+
+This is the columnar-store substrate the paper's related work (Parquet, ORC,
+DuckDB, PIDS) assumes: data organised by column, every column serialised with
+the cheapest lightweight encoding.  It exists so the columnar benchmark can put
+PBC, the PIDS-like decomposition and plain lightweight encodings on the same
+footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.columnar.encodings import decode_column, encode_column, select_column_encoding
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import DecodingError, StoreError
+
+
+@dataclass
+class ColumnStats:
+    """Size accounting for one encoded column."""
+
+    name: str
+    rows: int
+    encoding: str
+    raw_bytes: int
+    encoded_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        """Encoded size divided by raw size."""
+        if self.raw_bytes == 0:
+            return 1.0
+        return self.encoded_bytes / self.raw_bytes
+
+
+class ColumnarTable:
+    """Named string columns of equal length."""
+
+    def __init__(self, columns: Mapping[str, Sequence[str]]) -> None:
+        if not columns:
+            raise StoreError("a columnar table needs at least one column")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) != 1:
+            raise StoreError("all columns must have the same number of rows")
+        self._columns: dict[str, list[str]] = {name: list(values) for name, values in columns.items()}
+        self._rows = lengths.pop()
+
+    # ------------------------------------------------------------------ shape
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows."""
+        return self._rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._columns)
+
+    def column(self, name: str) -> list[str]:
+        """The values of one column."""
+        if name not in self._columns:
+            raise StoreError(f"unknown column {name!r}")
+        return list(self._columns[name])
+
+    def row(self, index: int) -> dict[str, str]:
+        """One row as a name -> value mapping."""
+        if not 0 <= index < self._rows:
+            raise StoreError(f"row index {index} out of range")
+        return {name: values[index] for name, values in self._columns.items()}
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, str]]) -> "ColumnarTable":
+        """Build a table from row dictionaries (all rows must share the same keys)."""
+        if not rows:
+            raise StoreError("cannot build a table from zero rows")
+        names = list(rows[0])
+        columns: dict[str, list[str]] = {name: [] for name in names}
+        for row in rows:
+            if list(row) != names:
+                raise StoreError("all rows must have the same columns in the same order")
+            for name in names:
+                columns[name].append(row[name])
+        return cls(columns)
+
+    # ------------------------------------------------------------ persistence
+
+    def column_stats(self) -> list[ColumnStats]:
+        """Encoding choice and size accounting per column."""
+        stats = []
+        for name, values in self._columns.items():
+            encoding = select_column_encoding(values)
+            encoded = encode_column(values)
+            stats.append(
+                ColumnStats(
+                    name=name,
+                    rows=len(values),
+                    encoding=encoding.name,
+                    raw_bytes=sum(len(value.encode("utf-8")) for value in values),
+                    encoded_bytes=len(encoded),
+                )
+            )
+        return stats
+
+    def to_bytes(self) -> bytes:
+        """Serialise the table (per-column lightweight encodings)."""
+        out = bytearray()
+        out += encode_uvarint(len(self._columns))
+        for name, values in self._columns.items():
+            name_bytes = name.encode("utf-8")
+            out += encode_uvarint(len(name_bytes))
+            out += name_bytes
+            payload = encode_column(values)
+            out += encode_uvarint(len(payload))
+            out += payload
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ColumnarTable":
+        """Invert :meth:`to_bytes`."""
+        column_count, offset = decode_uvarint(data, 0)
+        if column_count == 0:
+            raise DecodingError("serialised table has no columns")
+        columns: dict[str, list[str]] = {}
+        for _ in range(column_count):
+            length, offset = decode_uvarint(data, offset)
+            name = data[offset : offset + length].decode("utf-8")
+            offset += length
+            length, offset = decode_uvarint(data, offset)
+            columns[name] = decode_column(data[offset : offset + length])
+            offset += length
+        return cls(columns)

@@ -1,0 +1,37 @@
+"""Baseline compression codecs used in the paper's evaluation.
+
+All codecs implement the small :class:`repro.compressors.base.Codec` interface
+(``compress`` / ``decompress`` over ``bytes``) so benchmarks and the storage
+substrates can treat them interchangeably.  The registry
+(:func:`get_codec`, :func:`available_codecs`) exposes them by the names used in
+the paper's tables.
+
+Substitutions (see DESIGN.md): Zstd, LZ4, Snappy and FSST are pure-Python
+re-implementations of the respective algorithm families; Gzip and LZMA use the
+real stdlib codecs.
+"""
+
+from repro.compressors.base import Codec, available_codecs, get_codec, register_codec
+from repro.compressors.fsst import FSSTCodec
+from repro.compressors.lz4like import LZ4LikeCodec
+from repro.compressors.repair import RePairCodec
+from repro.compressors.sequitur import SequiturCodec
+from repro.compressors.snappylike import SnappyLikeCodec
+from repro.compressors.stdlib_codecs import GzipCodec, LZMACodec
+from repro.compressors.zstdlike import ZstdLikeCodec, train_dictionary
+
+__all__ = [
+    "Codec",
+    "FSSTCodec",
+    "GzipCodec",
+    "LZ4LikeCodec",
+    "LZMACodec",
+    "RePairCodec",
+    "SequiturCodec",
+    "SnappyLikeCodec",
+    "ZstdLikeCodec",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+    "train_dictionary",
+]

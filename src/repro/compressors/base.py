@@ -1,0 +1,105 @@
+"""Codec interface and registry for the baseline compressors."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+class Codec(ABC):
+    """A block codec: compresses and decompresses byte payloads."""
+
+    #: name used in reports and by the registry.
+    name: str = "codec"
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` into an opaque payload."""
+
+    @abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+
+    def compress_record(self, record: str) -> bytes:
+        """Convenience helper for per-record (line-by-line) compression."""
+        return self.compress(record.encode("utf-8"))
+
+    def decompress_record(self, data: bytes) -> str:
+        """Inverse of :meth:`compress_record`."""
+        return self.decompress(data).decode("utf-8")
+
+
+@dataclass
+class CodecMeasurement:
+    """Ratio and throughput of one codec over one payload set."""
+
+    name: str
+    original_bytes: int
+    compressed_bytes: int
+    compress_seconds: float
+    decompress_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Compressed size divided by original size (lower is better)."""
+        if self.original_bytes == 0:
+            return 1.0
+        return self.compressed_bytes / self.original_bytes
+
+    @property
+    def compress_mb_per_second(self) -> float:
+        """Compression throughput in MB/s of original data."""
+        if self.compress_seconds <= 0:
+            return 0.0
+        return self.original_bytes / 1e6 / self.compress_seconds
+
+    @property
+    def decompress_mb_per_second(self) -> float:
+        """Decompression throughput in MB/s of original data."""
+        if self.decompress_seconds <= 0:
+            return 0.0
+        return self.original_bytes / 1e6 / self.decompress_seconds
+
+
+def measure_codec(codec: Codec, payloads: Sequence[bytes]) -> CodecMeasurement:
+    """Compress and decompress every payload, verify the roundtrip, and time it."""
+    started = time.perf_counter()
+    compressed = [codec.compress(payload) for payload in payloads]
+    compress_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    restored = [codec.decompress(blob) for blob in compressed]
+    decompress_seconds = time.perf_counter() - started
+    for original, result in zip(payloads, restored):
+        if original != result:
+            raise AssertionError(f"codec {codec.name} roundtrip mismatch")
+    return CodecMeasurement(
+        name=codec.name,
+        original_bytes=sum(len(payload) for payload in payloads),
+        compressed_bytes=sum(len(blob) for blob in compressed),
+        compress_seconds=compress_seconds,
+        decompress_seconds=decompress_seconds,
+    )
+
+
+_REGISTRY: dict[str, Callable[[], Codec]] = {}
+
+
+def register_codec(name: str, factory: Callable[[], Codec]) -> None:
+    """Register a codec factory under ``name`` (case-insensitive)."""
+    _REGISTRY[name.lower()] = factory
+
+
+def get_codec(name: str, **kwargs) -> Codec:
+    """Instantiate a registered codec by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown codec {name!r}; available: {sorted(_REGISTRY)}")
+    factory = _REGISTRY[key]
+    return factory(**kwargs) if kwargs else factory()
+
+
+def available_codecs() -> list[str]:
+    """Names of all registered codecs."""
+    return sorted(_REGISTRY)

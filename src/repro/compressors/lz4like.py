@@ -1,0 +1,118 @@
+"""LZ4-like codec: byte-oriented LZ77 without an entropy stage.
+
+The format follows the structure of real LZ4 block compression (token byte with
+literal-length and match-length nibbles, little-endian 2-byte offsets, 255-run
+length extensions) so the speed/ratio character matches the original: very fast,
+modest compression ratio.
+"""
+
+from __future__ import annotations
+
+from repro.compressors.base import Codec, register_codec
+from repro.compressors.lz77 import LZToken, tokenize
+from repro.exceptions import DecodingError
+
+_MIN_MATCH = 4
+_MAX_OFFSET = (1 << 16) - 1
+
+
+class LZ4LikeCodec(Codec):
+    """Pure-Python LZ4-format-style codec (see DESIGN.md substitutions)."""
+
+    name = "LZ4"
+
+    def __init__(self, max_chain: int = 8, dictionary: bytes = b"") -> None:
+        self.max_chain = max_chain
+        self.dictionary = dictionary
+
+    # ------------------------------------------------------------------ write
+
+    def compress(self, data: bytes) -> bytes:
+        tokens = tokenize(
+            data,
+            window=_MAX_OFFSET,
+            max_chain=self.max_chain,
+            min_match=_MIN_MATCH,
+            prefix=self.dictionary,
+        )
+        out = bytearray()
+        for index, token in enumerate(tokens):
+            is_last = index == len(tokens) - 1
+            self._write_sequence(out, token, is_last)
+        return bytes(out)
+
+    def _write_sequence(self, out: bytearray, token: LZToken, is_last: bool) -> None:
+        literal_length = len(token.literals)
+        match_length = token.length - _MIN_MATCH if token.offset else 0
+        token_byte = (min(literal_length, 15) << 4) | (min(match_length, 15) if token.offset else 0)
+        out.append(token_byte)
+        self._write_extended(out, literal_length, 15)
+        out += token.literals
+        if token.offset:
+            out.append(token.offset & 0xFF)
+            out.append((token.offset >> 8) & 0xFF)
+            self._write_extended(out, match_length, 15)
+        elif not is_last:
+            # A no-match token in the middle of the stream encodes offset 0.
+            out.append(0)
+            out.append(0)
+
+    @staticmethod
+    def _write_extended(out: bytearray, value: int, threshold: int) -> None:
+        """LZ4-style length extension: 255-bytes runs after the nibble saturates."""
+        if value < threshold:
+            return
+        remaining = value - threshold
+        while remaining >= 255:
+            out.append(255)
+            remaining -= 255
+        out.append(remaining)
+
+    # ------------------------------------------------------------------- read
+
+    def decompress(self, data: bytes) -> bytes:
+        out = bytearray(self.dictionary)
+        base = len(self.dictionary)
+        position = 0
+        length = len(data)
+        while position < length:
+            token_byte = data[position]
+            position += 1
+            literal_length = token_byte >> 4
+            match_nibble = token_byte & 0x0F
+            literal_length, position = self._read_extended(data, position, literal_length, 15)
+            end = position + literal_length
+            if end > length:
+                raise DecodingError("truncated LZ4 literals")
+            out += data[position:end]
+            position = end
+            if position >= length:
+                break
+            offset = data[position] | (data[position + 1] << 8)
+            position += 2
+            if offset == 0:
+                continue
+            match_length, position = self._read_extended(data, position, match_nibble, 15)
+            match_length += _MIN_MATCH
+            start = len(out) - offset
+            if start < 0:
+                raise DecodingError("LZ4 offset out of range")
+            for index in range(match_length):
+                out.append(out[start + index])
+        return bytes(out[base:])
+
+    @staticmethod
+    def _read_extended(data: bytes, position: int, value: int, threshold: int) -> tuple[int, int]:
+        if value < threshold:
+            return value, position
+        while True:
+            if position >= len(data):
+                raise DecodingError("truncated LZ4 length extension")
+            extra = data[position]
+            position += 1
+            value += extra
+            if extra != 255:
+                return value, position
+
+
+register_codec("lz4", LZ4LikeCodec)

@@ -1,0 +1,136 @@
+"""Shared LZ77 match finder used by the LZ4-like, Snappy-like and Zstd-like codecs.
+
+The match finder is a classic hash-table / hash-chain design: 4-byte sequences
+are hashed into a table of chain heads, and candidate positions are verified and
+extended.  It emits a token stream of ``(literals, offset, length)`` tuples that
+the individual codecs serialise in their own formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MIN_MATCH = 4
+_HASH_BITS = 16
+_HASH_SIZE = 1 << _HASH_BITS
+
+
+def _hash4(data: bytes, position: int) -> int:
+    """Hash of the 4 bytes starting at ``position`` (caller guarantees bounds)."""
+    value = (
+        data[position]
+        | (data[position + 1] << 8)
+        | (data[position + 2] << 16)
+        | (data[position + 3] << 24)
+    )
+    return (value * 2654435761) >> (32 - _HASH_BITS) & (_HASH_SIZE - 1)
+
+
+@dataclass(frozen=True)
+class LZToken:
+    """One LZ77 token: a run of literals optionally followed by a back-reference."""
+
+    literals: bytes
+    offset: int  # 0 means "no match" (final literal run)
+    length: int  # match length; 0 when offset is 0
+
+
+def tokenize(
+    data: bytes,
+    window: int = 1 << 16,
+    max_chain: int = 16,
+    min_match: int = _MIN_MATCH,
+    prefix: bytes = b"",
+) -> list[LZToken]:
+    """Greedy LZ77 tokenisation of ``data``.
+
+    ``prefix`` is prepended to the search history without being emitted — this is
+    how dictionary compression works (the Zstd-like codec passes the trained
+    dictionary here and the decompressor seeds its output window with it).
+    """
+    history = prefix + data
+    base = len(prefix)
+    length = len(history)
+    tokens: list[LZToken] = []
+    head: dict[int, int] = {}
+    chain: dict[int, int] = {}
+
+    # Index the prefix so matches can point into the dictionary.
+    for position in range(0, max(0, base - min_match + 1)):
+        key = _hash4(history, position)
+        if key in head:
+            chain[position] = head[key]
+        head[key] = position
+
+    literal_start = base
+    position = base
+    while position < length:
+        best_length = 0
+        best_offset = 0
+        if position + min_match <= length:
+            key = _hash4(history, position)
+            candidate = head.get(key)
+            tries = max_chain
+            limit = position - window
+            while candidate is not None and candidate >= 0 and tries > 0:
+                if candidate < limit:
+                    break
+                if history[candidate] == history[position]:
+                    match_length = _match_length(history, candidate, position, length)
+                    if match_length >= min_match and match_length > best_length:
+                        best_length = match_length
+                        best_offset = position - candidate
+                candidate = chain.get(candidate)
+                tries -= 1
+        if best_length >= min_match:
+            tokens.append(
+                LZToken(
+                    literals=history[literal_start:position],
+                    offset=best_offset,
+                    length=best_length,
+                )
+            )
+            # Insert hash entries for the matched region (sparsely, for speed).
+            end = position + best_length
+            step = 1 if best_length <= 32 else 3
+            insert_limit = min(end, length - min_match + 1)
+            while position < insert_limit:
+                key = _hash4(history, position)
+                if key in head:
+                    chain[position] = head[key]
+                head[key] = position
+                position += step
+            position = end
+            literal_start = position
+        else:
+            if position + min_match <= length:
+                key = _hash4(history, position)
+                if key in head:
+                    chain[position] = head[key]
+                head[key] = position
+            position += 1
+
+    if literal_start < length or not tokens:
+        tokens.append(LZToken(literals=history[literal_start:length], offset=0, length=0))
+    return tokens
+
+
+def _match_length(history: bytes, candidate: int, position: int, limit: int) -> int:
+    """Length of the common prefix of ``history[candidate:]`` and ``history[position:]``."""
+    length = 0
+    maximum = limit - position
+    while length < maximum and history[candidate + length] == history[position + length]:
+        length += 1
+    return length
+
+
+def detokenize(tokens: list[LZToken], prefix: bytes = b"") -> bytes:
+    """Rebuild the original payload from a token stream (used by tests)."""
+    out = bytearray(prefix)
+    for token in tokens:
+        out += token.literals
+        if token.offset:
+            start = len(out) - token.offset
+            for index in range(token.length):
+                out.append(out[start + index])
+    return bytes(out[len(prefix):])

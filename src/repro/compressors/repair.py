@@ -1,0 +1,134 @@
+"""Re-Pair grammar-based compression (Larsson & Moffat, related work Section 2.1).
+
+Re-Pair repeatedly replaces the most frequent adjacent symbol pair with a new
+non-terminal until no pair occurs more than once, producing a straight-line
+context-free grammar for the input.  The paper cites grammar-based compression
+as a high-ratio but expensive family; this baseline lets the benchmarks place
+PBC against it on the ratio/speed plane.
+
+The implementation is a pass-based approximation of the classic algorithm: each
+pass counts all adjacent pairs, replaces every non-overlapping occurrence of the
+most frequent pair, and stops when the best pair occurs fewer than
+``min_pair_count`` times or the rule budget is exhausted.  The serialised form
+is ``uvarint(rule_count) + rules + uvarint(sequence_length) + sequence`` with
+every symbol stored as a varint (terminals 0-255, non-terminals 256+), and the
+whole payload optionally passed through the canonical Huffman stage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.compressors.base import Codec, register_codec
+from repro.entropy.huffman import HuffmanDecoder, HuffmanEncoder
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import DecodingError
+
+#: First symbol id available for grammar non-terminals.
+_FIRST_NONTERMINAL = 256
+
+
+def build_grammar(
+    data: bytes, max_rules: int = 4096, min_pair_count: int = 3
+) -> tuple[list[tuple[int, int]], list[int]]:
+    """Build a Re-Pair grammar; returns ``(rules, final_sequence)``.
+
+    ``rules[i]`` expands non-terminal ``256 + i`` into a pair of symbols (each a
+    terminal byte or an earlier non-terminal).
+    """
+    sequence: list[int] = list(data)
+    rules: list[tuple[int, int]] = []
+    while len(rules) < max_rules and len(sequence) > 1:
+        counts = Counter(zip(sequence, sequence[1:]))
+        pair, count = counts.most_common(1)[0]
+        if count < min_pair_count:
+            break
+        symbol = _FIRST_NONTERMINAL + len(rules)
+        rules.append(pair)
+        replaced: list[int] = []
+        index = 0
+        length = len(sequence)
+        first, second = pair
+        while index < length:
+            if index + 1 < length and sequence[index] == first and sequence[index + 1] == second:
+                replaced.append(symbol)
+                index += 2
+            else:
+                replaced.append(sequence[index])
+                index += 1
+        sequence = replaced
+    return rules, sequence
+
+
+def expand_grammar(rules: list[tuple[int, int]], sequence: list[int]) -> bytes:
+    """Expand ``sequence`` back into bytes using ``rules``."""
+    expansions: list[bytes] = []
+    for left, right in rules:
+        left_bytes = bytes([left]) if left < _FIRST_NONTERMINAL else expansions[left - _FIRST_NONTERMINAL]
+        right_bytes = bytes([right]) if right < _FIRST_NONTERMINAL else expansions[right - _FIRST_NONTERMINAL]
+        expansions.append(left_bytes + right_bytes)
+    out = bytearray()
+    for symbol in sequence:
+        if symbol < _FIRST_NONTERMINAL:
+            out.append(symbol)
+        else:
+            index = symbol - _FIRST_NONTERMINAL
+            if index >= len(expansions):
+                raise DecodingError(f"Re-Pair sequence references unknown rule {symbol}")
+            out += expansions[index]
+    return bytes(out)
+
+
+class RePairCodec(Codec):
+    """Grammar-based block codec built on the pass-based Re-Pair construction."""
+
+    name = "RePair"
+
+    def __init__(self, max_rules: int = 4096, min_pair_count: int = 3, entropy_stage: bool = True) -> None:
+        if max_rules < 0:
+            raise ValueError("max_rules must be non-negative")
+        if min_pair_count < 2:
+            raise ValueError("min_pair_count must be at least 2")
+        self.max_rules = max_rules
+        self.min_pair_count = min_pair_count
+        self.entropy_stage = entropy_stage
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` into a serialised grammar (+ optional Huffman stage)."""
+        rules, sequence = build_grammar(data, self.max_rules, self.min_pair_count)
+        body = bytearray()
+        body += encode_uvarint(len(rules))
+        for left, right in rules:
+            body += encode_uvarint(left)
+            body += encode_uvarint(right)
+        body += encode_uvarint(len(sequence))
+        for symbol in sequence:
+            body += encode_uvarint(symbol)
+        if self.entropy_stage:
+            return b"\x01" + HuffmanEncoder().encode(bytes(body))
+        return b"\x00" + bytes(body)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+        if not data:
+            raise DecodingError("empty Re-Pair payload")
+        marker, body = data[0], data[1:]
+        if marker == 1:
+            body = HuffmanDecoder().decode(body)
+        elif marker != 0:
+            raise DecodingError(f"unknown Re-Pair framing marker {marker}")
+        rule_count, offset = decode_uvarint(body, 0)
+        rules: list[tuple[int, int]] = []
+        for _ in range(rule_count):
+            left, offset = decode_uvarint(body, offset)
+            right, offset = decode_uvarint(body, offset)
+            rules.append((left, right))
+        sequence_length, offset = decode_uvarint(body, offset)
+        sequence: list[int] = []
+        for _ in range(sequence_length):
+            symbol, offset = decode_uvarint(body, offset)
+            sequence.append(symbol)
+        return expand_grammar(rules, sequence)
+
+
+register_codec("repair", RePairCodec)

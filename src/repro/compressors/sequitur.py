@@ -1,0 +1,233 @@
+"""Sequitur grammar inference (Nevill-Manning & Witten, related work Section 2.1).
+
+Sequitur builds a context-free grammar for its input incrementally, enforcing
+two invariants after every appended symbol:
+
+* **digram uniqueness** — no pair of adjacent symbols occurs more than once in
+  the grammar; a repeated digram is replaced by (or promoted to) a rule, and
+* **rule utility** — every rule is referenced at least twice; a rule used only
+  once is inlined and removed.
+
+The serialised form mirrors :mod:`repro.compressors.repair`: rules as symbol
+pair-lists, then the start rule, all varint-coded and optionally passed through
+the canonical Huffman stage.  Sequitur is the second grammar-based baseline the
+benchmarks can place PBC against (Re-Pair being the other).
+"""
+
+from __future__ import annotations
+
+from repro.compressors.base import Codec, register_codec
+from repro.entropy.huffman import HuffmanDecoder, HuffmanEncoder
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import DecodingError
+
+#: First symbol id available for grammar rules (0-255 are terminal bytes).
+_FIRST_RULE_ID = 256
+
+
+class _Grammar:
+    """Mutable Sequitur grammar: rule 0 is the start rule."""
+
+    def __init__(self) -> None:
+        self.rules: list[list[int]] = [[]]  # rule index -> symbol list
+        self.rule_uses: list[int] = [1]  # reference counts (start rule counts as used)
+        self.digrams: dict[tuple[int, int], tuple[int, int]] = {}  # digram -> (rule, position)
+
+    # -- digram index maintenance -------------------------------------------
+
+    def _unlink_digrams_at(self, rule_index: int, position: int) -> None:
+        """Forget index entries whose left symbol sits at ``position`` or one before."""
+        symbols = self.rules[rule_index]
+        for start in (position - 1, position):
+            if 0 <= start < len(symbols) - 1:
+                digram = (symbols[start], symbols[start + 1])
+                if self.digrams.get(digram) == (rule_index, start):
+                    del self.digrams[digram]
+
+    def append_symbol(self, symbol: int) -> None:
+        """Append a terminal or rule symbol to the start rule and restore invariants."""
+        start_rule = self.rules[0]
+        start_rule.append(symbol)
+        if symbol >= _FIRST_RULE_ID:
+            self.rule_uses[symbol - _FIRST_RULE_ID] += 1
+        if len(start_rule) >= 2:
+            self._check_digram(0, len(start_rule) - 2)
+
+    def _check_digram(self, rule_index: int, position: int) -> None:
+        """Enforce digram uniqueness for the digram starting at ``position``."""
+        symbols = self.rules[rule_index]
+        if position < 0 or position + 1 >= len(symbols):
+            return
+        digram = (symbols[position], symbols[position + 1])
+        existing = self.digrams.get(digram)
+        if existing is None:
+            self.digrams[digram] = (rule_index, position)
+            return
+        other_rule, other_position = existing
+        if other_rule == rule_index and abs(other_position - position) < 2:
+            # Overlapping occurrence (e.g. "aaa"); leave it alone.
+            return
+        other_symbols = self.rules[other_rule]
+        if (
+            other_position + 1 >= len(other_symbols)
+            or (other_symbols[other_position], other_symbols[other_position + 1]) != digram
+        ):
+            # Stale index entry; refresh it.
+            self.digrams[digram] = (rule_index, position)
+            return
+        if other_rule != 0 and len(other_symbols) == 2:
+            # The other occurrence is the entire body of an existing rule: reuse it.
+            self._replace_digram(rule_index, position, _FIRST_RULE_ID + other_rule)
+            return
+        # Otherwise create a new rule for the digram and substitute both occurrences.
+        new_rule_index = len(self.rules)
+        self.rules.append([digram[0], digram[1]])
+        self.rule_uses.append(0)
+        if digram[0] >= _FIRST_RULE_ID:
+            self.rule_uses[digram[0] - _FIRST_RULE_ID] += 1
+        if digram[1] >= _FIRST_RULE_ID:
+            self.rule_uses[digram[1] - _FIRST_RULE_ID] += 1
+        self.digrams[digram] = (new_rule_index, 0)
+        new_symbol = _FIRST_RULE_ID + new_rule_index
+        # Replace the later occurrence first so the earlier position stays valid.
+        first, second = sorted([(rule_index, position), (other_rule, other_position)], reverse=True)
+        self._replace_digram(first[0], first[1], new_symbol)
+        self._replace_digram(second[0], second[1], new_symbol)
+
+    def _replace_digram(self, rule_index: int, position: int, new_symbol: int) -> None:
+        """Replace the two symbols at ``position`` with ``new_symbol`` and re-check digrams."""
+        symbols = self.rules[rule_index]
+        if position + 1 >= len(symbols):
+            return
+        self._unlink_digrams_at(rule_index, position)
+        self._unlink_digrams_at(rule_index, position + 1)
+        old_left, old_right = symbols[position], symbols[position + 1]
+        for old in (old_left, old_right):
+            if old >= _FIRST_RULE_ID:
+                self.rule_uses[old - _FIRST_RULE_ID] -= 1
+        symbols[position : position + 2] = [new_symbol]
+        self.rule_uses[new_symbol - _FIRST_RULE_ID] += 1
+        self._check_digram(rule_index, position - 1)
+        self._check_digram(rule_index, position)
+        self._enforce_utility(old_left)
+        self._enforce_utility(old_right)
+
+    def _enforce_utility(self, symbol: int) -> None:
+        """Inline a rule that has dropped to a single reference."""
+        if symbol < _FIRST_RULE_ID:
+            return
+        rule_index = symbol - _FIRST_RULE_ID
+        if rule_index == 0 or self.rule_uses[rule_index] != 1 or not self.rules[rule_index]:
+            return
+        body = self.rules[rule_index]
+        for host_index, host in enumerate(self.rules):
+            if host_index == rule_index:
+                continue
+            try:
+                position = host.index(symbol)
+            except ValueError:
+                continue
+            self._unlink_digrams_at(host_index, position)
+            self._unlink_digrams_at(host_index, position + 1)
+            host[position : position + 1] = body
+            self.rule_uses[rule_index] = 0
+            self.rules[rule_index] = []
+            self._check_digram(host_index, position - 1)
+            self._check_digram(host_index, position + len(body) - 1)
+            return
+
+
+def infer_grammar(data: bytes) -> tuple[list[list[int]], list[int]]:
+    """Run Sequitur over ``data``; returns ``(rule_bodies, start_rule)``.
+
+    Rule ids are compacted so callers see a dense id space: the returned
+    ``start_rule`` and rule bodies reference rules as ``256 + dense_index``.
+    """
+    grammar = _Grammar()
+    for byte in data:
+        grammar.append_symbol(byte)
+    # Compact away rules that were inlined and renumber the survivors densely.
+    alive = [index for index in range(1, len(grammar.rules)) if grammar.rules[index]]
+    dense_ids = {index: position for position, index in enumerate(alive)}
+
+    def remap(symbols: list[int]) -> list[int]:
+        remapped = []
+        for symbol in symbols:
+            if symbol >= _FIRST_RULE_ID:
+                remapped.append(_FIRST_RULE_ID + dense_ids[symbol - _FIRST_RULE_ID])
+            else:
+                remapped.append(symbol)
+        return remapped
+
+    rule_bodies = [remap(grammar.rules[index]) for index in alive]
+    return rule_bodies, remap(grammar.rules[0])
+
+
+def expand(rule_bodies: list[list[int]], start_rule: list[int]) -> bytes:
+    """Expand a compacted Sequitur grammar back into bytes."""
+    cache: dict[int, bytes] = {}
+
+    def expand_symbol(symbol: int) -> bytes:
+        if symbol < _FIRST_RULE_ID:
+            return bytes([symbol])
+        index = symbol - _FIRST_RULE_ID
+        if index >= len(rule_bodies):
+            raise DecodingError(f"Sequitur payload references unknown rule {symbol}")
+        if index not in cache:
+            cache[index] = b"".join(expand_symbol(child) for child in rule_bodies[index])
+        return cache[index]
+
+    return b"".join(expand_symbol(symbol) for symbol in start_rule)
+
+
+class SequiturCodec(Codec):
+    """Grammar-based block codec built on incremental Sequitur inference."""
+
+    name = "Sequitur"
+
+    def __init__(self, entropy_stage: bool = True) -> None:
+        self.entropy_stage = entropy_stage
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` into a serialised Sequitur grammar."""
+        rule_bodies, start_rule = infer_grammar(data)
+        body = bytearray()
+        body += encode_uvarint(len(rule_bodies))
+        for rule in rule_bodies:
+            body += encode_uvarint(len(rule))
+            for symbol in rule:
+                body += encode_uvarint(symbol)
+        body += encode_uvarint(len(start_rule))
+        for symbol in start_rule:
+            body += encode_uvarint(symbol)
+        if self.entropy_stage:
+            return b"\x01" + HuffmanEncoder().encode(bytes(body))
+        return b"\x00" + bytes(body)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+        if not data:
+            raise DecodingError("empty Sequitur payload")
+        marker, body = data[0], data[1:]
+        if marker == 1:
+            body = HuffmanDecoder().decode(body)
+        elif marker != 0:
+            raise DecodingError(f"unknown Sequitur framing marker {marker}")
+        rule_count, offset = decode_uvarint(body, 0)
+        rule_bodies: list[list[int]] = []
+        for _ in range(rule_count):
+            length, offset = decode_uvarint(body, offset)
+            rule: list[int] = []
+            for _ in range(length):
+                symbol, offset = decode_uvarint(body, offset)
+                rule.append(symbol)
+            rule_bodies.append(rule)
+        start_length, offset = decode_uvarint(body, offset)
+        start_rule: list[int] = []
+        for _ in range(start_length):
+            symbol, offset = decode_uvarint(body, offset)
+            start_rule.append(symbol)
+        return expand(rule_bodies, start_rule)
+
+
+register_codec("sequitur", SequiturCodec)

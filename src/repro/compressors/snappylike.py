@@ -1,0 +1,71 @@
+"""Snappy-like codec: varint-tagged literal / copy elements, no entropy stage.
+
+Mirrors the structure of Google's Snappy format (uncompressed-length header
+followed by literal and copy elements); the element encoding is simplified to
+varints, which keeps it byte-oriented and fast while preserving Snappy's
+ratio/speed character relative to the other baselines.
+"""
+
+from __future__ import annotations
+
+from repro.compressors.base import Codec, register_codec
+from repro.compressors.lz77 import tokenize
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import DecodingError
+
+_LITERAL_TAG = 0
+_COPY_TAG = 1
+
+
+class SnappyLikeCodec(Codec):
+    """Pure-Python Snappy-format-style codec (see DESIGN.md substitutions)."""
+
+    name = "Snappy"
+
+    def __init__(self, max_chain: int = 4) -> None:
+        self.max_chain = max_chain
+
+    def compress(self, data: bytes) -> bytes:
+        out = bytearray()
+        out += encode_uvarint(len(data))
+        for token in tokenize(data, window=1 << 15, max_chain=self.max_chain):
+            if token.literals:
+                out.append(_LITERAL_TAG)
+                out += encode_uvarint(len(token.literals))
+                out += token.literals
+            if token.offset:
+                out.append(_COPY_TAG)
+                out += encode_uvarint(token.offset)
+                out += encode_uvarint(token.length)
+        return bytes(out)
+
+    def decompress(self, data: bytes) -> bytes:
+        expected, position = decode_uvarint(data, 0)
+        out = bytearray()
+        length = len(data)
+        while position < length:
+            tag = data[position]
+            position += 1
+            if tag == _LITERAL_TAG:
+                literal_length, position = decode_uvarint(data, position)
+                end = position + literal_length
+                if end > length:
+                    raise DecodingError("truncated Snappy literal")
+                out += data[position:end]
+                position = end
+            elif tag == _COPY_TAG:
+                offset, position = decode_uvarint(data, position)
+                copy_length, position = decode_uvarint(data, position)
+                start = len(out) - offset
+                if start < 0:
+                    raise DecodingError("Snappy copy offset out of range")
+                for index in range(copy_length):
+                    out.append(out[start + index])
+            else:
+                raise DecodingError(f"unknown Snappy element tag {tag}")
+        if len(out) != expected:
+            raise DecodingError("Snappy payload length mismatch")
+        return bytes(out)
+
+
+register_codec("snappy", SnappyLikeCodec)

@@ -1,0 +1,51 @@
+"""Wrappers around the real stdlib codecs (DEFLATE/Gzip and LZMA).
+
+These are the two baselines for which Python ships genuine implementations, so
+their ratios are directly comparable to the paper; the remaining baselines are
+pure-Python re-implementations (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import lzma
+import zlib
+
+from repro.compressors.base import Codec, register_codec
+
+
+class GzipCodec(Codec):
+    """DEFLATE (the algorithm behind Gzip) via ``zlib``."""
+
+    name = "Gzip"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ValueError("zlib level must be in [0, 9]")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        return zlib.decompress(data)
+
+
+class LZMACodec(Codec):
+    """LZMA via the stdlib ``lzma`` module (the paper's highest-ratio LZ baseline)."""
+
+    name = "LZMA"
+
+    def __init__(self, preset: int = 6) -> None:
+        if not 0 <= preset <= 9:
+            raise ValueError("lzma preset must be in [0, 9]")
+        self.preset = preset
+
+    def compress(self, data: bytes) -> bytes:
+        return lzma.compress(data, preset=self.preset)
+
+    def decompress(self, data: bytes) -> bytes:
+        return lzma.decompress(data)
+
+
+register_codec("gzip", GzipCodec)
+register_codec("lzma", LZMACodec)

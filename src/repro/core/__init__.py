@@ -1,0 +1,59 @@
+"""Core of the reproduction: the Pattern-Based Compression (PBC) algorithm.
+
+This package implements Sections 3-6 of the paper:
+
+* :mod:`repro.core.encoders` — the field encoders of Table 1 (CHAR, VARCHAR,
+  INT, VARINT) with byte-exact encode/decode and cost models.
+* :mod:`repro.core.pattern` — patterns (common subsequence + typed wildcard
+  fields) and the pattern dictionary.
+* :mod:`repro.core.alignment` — the minimal encoding-length merging dynamic
+  programs (the generic Section 4.2 algorithm and the monotonic Algorithm 1/2).
+* :mod:`repro.core.distance` — 1-gram distance (Definition 5) and edit distance.
+* :mod:`repro.core.criteria` — clustering criteria: encoding length, entropy
+  (Section 6) and edit distance (the Figure 7 ablation).
+* :mod:`repro.core.clustering` — the agglomerative minimal-EL clustering loop
+  with 1-gram pruning (Figure 3, Section 5.1).
+* :mod:`repro.core.extraction` — the offline pattern-extraction pipeline
+  (sampling, clustering, encoder specialisation; Figure 1a).
+* :mod:`repro.core.matcher` — multi-pattern matching with longest-pattern-wins
+  (the Hyperscan substitute; Figure 1b).
+* :mod:`repro.core.compressor` — per-record compression/decompression, outlier
+  handling and the PBC / PBC_F / PBC_Z / PBC_L variants (Figure 1b/c).
+"""
+
+from repro.core.encoders import (
+    CharEncoder,
+    FieldEncoder,
+    IntEncoder,
+    VarcharEncoder,
+    VarintEncoder,
+    select_encoder,
+)
+from repro.core.pattern import Pattern, PatternDictionary, WILDCARD
+from repro.core.extraction import PatternExtractor, ExtractionConfig
+from repro.core.compressor import (
+    PBCCompressor,
+    PBCFCompressor,
+    PBCBlockCompressor,
+    CompressionStats,
+)
+from repro.core.matcher import MultiPatternMatcher
+
+__all__ = [
+    "CharEncoder",
+    "CompressionStats",
+    "ExtractionConfig",
+    "FieldEncoder",
+    "IntEncoder",
+    "MultiPatternMatcher",
+    "PBCBlockCompressor",
+    "PBCCompressor",
+    "PBCFCompressor",
+    "Pattern",
+    "PatternDictionary",
+    "PatternExtractor",
+    "VarcharEncoder",
+    "VarintEncoder",
+    "WILDCARD",
+    "select_encoder",
+]

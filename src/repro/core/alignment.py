@@ -1,0 +1,339 @@
+"""Minimal encoding-length merging dynamic programs (Section 4.2, Algorithms 1-2).
+
+Two clusters ``C_x`` and ``C_y`` are described by the token sequences of their
+optimal patterns (characters + wildcards) and their sizes (number of records).
+Merging the clusters means finding a common subsequence of the two patterns to
+keep as the merged pattern; every token that is *not* kept becomes residual data
+for the records of the cluster it came from, and every new field incurs one
+VARCHAR length descriptor per record of the merged cluster.
+
+Two implementations are provided:
+
+* :func:`monotonic_merge` — the O(n*m) dynamic program of Algorithms 1 and 2,
+  valid for monotonic encoder sets (Definition 4); it additionally performs a
+  traceback so the merged token sequence is returned alongside the encoding
+  length increment.
+* :func:`generic_merge` — the unrestricted dynamic program sketched at the start
+  of Section 4.2 that enumerates all previous states and all encoders.  It is
+  exponentially more expensive and exists as a reference for cross-checking the
+  monotonic algorithm on small inputs (and for the non-monotonic encoder tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.encoders import select_encoder
+from repro.core.pattern import WILDCARD, collapse_wildcards
+
+#: state "type" flags of Algorithm 1: the previous token was kept in the pattern
+#: or was turned into residual subsequence data.
+IS_PATTERN = 0
+IS_RS = 1
+
+# traceback moves
+_FROM_DIAGONAL = 0
+_FROM_X = 1
+_FROM_Y = 2
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of merging two cluster patterns."""
+
+    increment: int
+    """Encoding length increment (Definition 3) of the merge."""
+
+    tokens: list
+    """Merged pattern token sequence (characters and :data:`WILDCARD`)."""
+
+    def __iter__(self):
+        yield self.increment
+        yield self.tokens
+
+
+def _update_state(state: int, state_type: int, new_is_wildcard: bool, size_own: int, size_other: int) -> int:
+    """Algorithm 2 (UpdateState) — cost of turning one more token into residual data.
+
+    ``size_own`` is the size of the cluster the consumed token belongs to and
+    ``size_other`` the size of the other cluster.  When the previous position was
+    still part of the pattern (``IS_PATTERN``) a new field is opened, which costs
+    one length descriptor per record of the *merged* cluster.  A literal character
+    adds one payload byte per record of its own cluster, while consuming a
+    wildcard releases the descriptors that were already accounted for when the
+    own cluster's pattern was built.
+    """
+    if state_type == IS_PATTERN:
+        state += size_own + size_other
+    if not new_is_wildcard:
+        state += size_own
+    else:
+        state -= size_own
+    return state
+
+
+def monotonic_merge(
+    tokens_x: Sequence, tokens_y: Sequence, size_x: int, size_y: int
+) -> MergeResult:
+    """Minimal encoding-length merge for monotonic encoders (Algorithm 1).
+
+    Among all merges with the minimal encoding-length increment the one that
+    keeps the *most* literal characters in the pattern is preferred: under the
+    VARCHAR cost model used during clustering, keeping an isolated matching
+    character is cost-neutral, but the extra literal pays off later when field
+    encoders are specialised (Definition 2), so ties are broken towards it.
+
+    Parameters
+    ----------
+    tokens_x, tokens_y:
+        Token sequences of the two cluster patterns (characters / WILDCARD).
+    size_x, size_y:
+        Number of records in the two clusters.
+
+    Returns
+    -------
+    MergeResult
+        The encoding-length increment and the merged token sequence.
+    """
+    n = len(tokens_x)
+    m = len(tokens_y)
+    width = m + 1
+    size_both = size_x + size_y
+
+    # The DP optimises lexicographically: primary key is the encoding-length
+    # increment, secondary key (as a tie-breaker) is a weighted count of kept
+    # pattern literals, maximised.  Separator characters (non-alphanumeric)
+    # carry more weight than alphanumeric ones: keeping an isolated digit from
+    # two unrelated number fields is encoding-length neutral but fragments the
+    # field (hurting encoder specialisation), whereas keeping a separator marks
+    # a real field boundary.  Both keys are folded into one integer score
+    # ``EL * scale - kept_weight`` with ``scale`` larger than any possible
+    # weight total, which keeps the inner loop to simple integer comparisons.
+    scale = 4 * (n + m) + 2
+    x_step = size_x * scale
+    y_step = size_y * scale
+    both_step = size_both * scale
+
+    # Flat tables for speed; index = i * width + j.
+    score = [0] * ((n + 1) * width)
+    kept = [0] * ((n + 1) * width)
+    state_type = [IS_PATTERN] * ((n + 1) * width)
+    move = [_FROM_DIAGONAL] * ((n + 1) * width)
+
+    # Initialisation: consuming a prefix of one pattern alone turns it into residuals.
+    for i in range(1, n + 1):
+        index = i * width
+        previous = index - width
+        value = score[previous]
+        if state_type[previous] == IS_PATTERN:
+            value += both_step
+        value += x_step if tokens_x[i - 1] is not WILDCARD else -x_step
+        state_type[index] = IS_RS
+        score[index] = value
+        move[index] = _FROM_X
+    for j in range(1, m + 1):
+        previous = j - 1
+        value = score[previous]
+        if state_type[previous] == IS_PATTERN:
+            value += both_step
+        value += y_step if tokens_y[j - 1] is not WILDCARD else -y_step
+        state_type[j] = IS_RS
+        score[j] = value
+        move[j] = _FROM_Y
+
+    for i in range(1, n + 1):
+        token_x = tokens_x[i - 1]
+        x_is_wildcard = token_x is WILDCARD
+        x_cost = -x_step if x_is_wildcard else x_step
+        row = i * width
+        previous_row = row - width
+        for j in range(1, m + 1):
+            token_y = tokens_y[j - 1]
+            index = row + j
+            up = previous_row + j
+            left = index - 1
+            diagonal = previous_row + j - 1
+
+            from_x = score[up] + x_cost
+            if state_type[up] == IS_PATTERN:
+                from_x += both_step
+            from_y = score[left] + (-y_step if token_y is WILDCARD else y_step)
+            if state_type[left] == IS_PATTERN:
+                from_y += both_step
+
+            if token_x == token_y and not x_is_wildcard:
+                # The character can be kept in the merged pattern at no extra
+                # cost; the weight rewards the kept literal in the tie-break term.
+                weight = 1 if token_x.isalnum() else 4
+                best = score[diagonal] - weight
+                best_move = _FROM_DIAGONAL
+                best_type = IS_PATTERN
+                best_kept = kept[diagonal] + weight
+                if from_x < best:
+                    best, best_move, best_type, best_kept = from_x, _FROM_X, IS_RS, kept[up]
+                if from_y < best:
+                    best, best_move, best_type, best_kept = from_y, _FROM_Y, IS_RS, kept[left]
+            else:
+                best, best_move, best_type, best_kept = from_x, _FROM_X, IS_RS, kept[up]
+                if from_y < best:
+                    best, best_move, best_type, best_kept = from_y, _FROM_Y, IS_RS, kept[left]
+            score[index] = best
+            kept[index] = best_kept
+            state_type[index] = best_type
+            move[index] = best_move
+
+    tokens = _traceback(tokens_x, tokens_y, move, width, n, m)
+    final = n * width + m
+    increment = (score[final] + kept[final]) // scale
+    return MergeResult(increment=increment, tokens=tokens)
+
+
+def _traceback(tokens_x: Sequence, tokens_y: Sequence, move: list, width: int, n: int, m: int) -> list:
+    """Recover the merged pattern from the traceback table."""
+    tokens: list = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        direction = move[i * width + j]
+        if i > 0 and j > 0 and direction == _FROM_DIAGONAL:
+            tokens.append(tokens_x[i - 1])
+            i -= 1
+            j -= 1
+        elif i > 0 and (direction == _FROM_X or j == 0):
+            tokens.append(WILDCARD)
+            i -= 1
+        else:
+            tokens.append(WILDCARD)
+            j -= 1
+    tokens.reverse()
+    return collapse_wildcards(tokens)
+
+
+def merge_increment_bounded(
+    tokens_x: Sequence, tokens_y: Sequence, size_x: int, size_y: int, bound: int
+) -> int | None:
+    """Like :func:`monotonic_merge` but abandons the DP once every state in a row
+    exceeds ``bound`` (step 3 of the Section 5.1 pruning strategy).
+
+    Returns the increment, or ``None`` if the computation was pruned.  No
+    traceback information is kept, which makes this variant the cheap primitive
+    used while scanning for the closest cluster pair.
+    """
+    n = len(tokens_x)
+    m = len(tokens_y)
+    width = m + 1
+    size_both = size_x + size_y
+
+    previous_state = [0] * width
+    previous_type = [IS_PATTERN] * width
+    for j in range(1, m + 1):
+        value = previous_state[j - 1]
+        if previous_type[j - 1] == IS_PATTERN:
+            value += size_both
+        value += -size_y if tokens_y[j - 1] is WILDCARD else size_y
+        previous_state[j] = value
+        previous_type[j] = IS_RS
+
+    y_costs = [-size_y if token is WILDCARD else size_y for token in tokens_y]
+
+    for i in range(1, n + 1):
+        token_x = tokens_x[i - 1]
+        x_is_wildcard = token_x is WILDCARD
+        x_cost = -size_x if x_is_wildcard else size_x
+        current_state = [0] * width
+        current_type = [IS_RS] * width
+        value = previous_state[0] + x_cost
+        if previous_type[0] == IS_PATTERN:
+            value += size_both
+        current_state[0] = value
+        row_minimum = value
+        for j in range(1, m + 1):
+            from_x = previous_state[j] + x_cost
+            if previous_type[j] == IS_PATTERN:
+                from_x += size_both
+            from_y = current_state[j - 1] + y_costs[j - 1]
+            if current_type[j - 1] == IS_PATTERN:
+                from_y += size_both
+            if token_x == tokens_y[j - 1] and not x_is_wildcard:
+                best = previous_state[j - 1]
+                best_type = IS_PATTERN
+                if from_x < best:
+                    best, best_type = from_x, IS_RS
+                if from_y < best:
+                    best, best_type = from_y, IS_RS
+            else:
+                best, best_type = (from_x, IS_RS) if from_x <= from_y else (from_y, IS_RS)
+            current_state[j] = best
+            current_type[j] = best_type
+            if best < row_minimum:
+                row_minimum = best
+        if row_minimum > bound:
+            return None
+        previous_state, previous_type = current_state, current_type
+    return previous_state[m]
+
+
+def generic_merge(
+    records_x: Sequence[str], records_y: Sequence[str], tokens_x: Sequence, tokens_y: Sequence
+) -> MergeResult:
+    """Reference DP for arbitrary (possibly non-monotonic) encoder sets.
+
+    Implements the unrestricted state transition of Section 4.2: every state
+    ``state[i][j]`` is reached from *any* earlier state ``state[i-k][j-l]`` by
+    turning the skipped token ranges into a single new field whose encoder is
+    chosen optimally (via :func:`repro.core.encoders.select_encoder`) for the
+    concrete residual values that the records of both clusters would store.
+
+    The cost model evaluates the real encoders on the real residual strings, so
+    this function needs the cluster *records*, not just the sizes.  Complexity is
+    O(|F| * (N+M) * n^2 * m^2); it is only intended for small inputs (tests and
+    cross-validation of :func:`monotonic_merge`).
+    """
+    n = len(tokens_x)
+    m = len(tokens_y)
+
+    def field_cost(x_piece: Sequence, y_piece: Sequence) -> int:
+        """Cost of storing the skipped token ranges as one field for all records."""
+        x_text = "".join("" if token is WILDCARD else token for token in x_piece)
+        y_text = "".join("" if token is WILDCARD else token for token in y_piece)
+        values = [x_text] * len(records_x) + [y_text] * len(records_y)
+        encoder = select_encoder(values)
+        return sum(encoder.cost(value) for value in values)
+
+    infinity = float("inf")
+    state = [[infinity] * (m + 1) for _ in range(n + 1)]
+    parent: list[list[tuple[int, int] | None]] = [[None] * (m + 1) for _ in range(n + 1)]
+    state[0][0] = 0.0
+
+    for i in range(n + 1):
+        for j in range(m + 1):
+            if state[i][j] is infinity:
+                continue
+            # Keep the next characters if they match (zero cost, stays in pattern).
+            if i < n and j < m and tokens_x[i] == tokens_y[j] and tokens_x[i] is not WILDCARD:
+                if state[i][j] < state[i + 1][j + 1]:
+                    state[i + 1][j + 1] = state[i][j]
+                    parent[i + 1][j + 1] = (i, j)
+            # Open a field covering tokens_x[i:i+k] and tokens_y[j:j+l].
+            for k in range(0, n - i + 1):
+                for l in range(0, m - j + 1):
+                    if k == 0 and l == 0:
+                        continue
+                    cost = state[i][j] + field_cost(tokens_x[i : i + k], tokens_y[j : j + l])
+                    if cost < state[i + k][j + l]:
+                        state[i + k][j + l] = cost
+                        parent[i + k][j + l] = (i, j)
+
+    tokens: list = []
+    i, j = n, m
+    while (i, j) != (0, 0):
+        origin = parent[i][j]
+        assert origin is not None
+        pi, pj = origin
+        if i - pi == 1 and j - pj == 1 and tokens_x[pi] == tokens_y[pj] and tokens_x[pi] is not WILDCARD:
+            tokens.append(tokens_x[pi])
+        else:
+            tokens.append(WILDCARD)
+        i, j = pi, pj
+    tokens.reverse()
+    return MergeResult(increment=int(state[n][m]), tokens=collapse_wildcards(tokens))

@@ -1,0 +1,131 @@
+"""Clustering criteria: encoding length, entropy, and edit distance.
+
+The agglomerative loop in :mod:`repro.core.clustering` is criterion-agnostic: it
+repeatedly merges the pair of clusters with the smallest *score* according to a
+:class:`MergeCriterion`.  Three criteria are provided, matching the Figure 7
+ablation of the paper:
+
+* :class:`EncodingLengthCriterion` — the paper's contribution (Problem 2):
+  the minimal encoding-length increment computed by the monotonic DP.
+* :class:`EntropyCriterion` — the Section 6 formulation (Problem 4): the change
+  in total residual symbol occurrences, i.e. ``L' - L`` of Equation 9.
+* :class:`EditDistanceCriterion` — the naive baseline: Levenshtein distance
+  between the two cluster patterns.
+
+All criteria return, besides the score, the merged pattern token sequence so
+the clustering loop can update the winning cluster without recomputation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.alignment import monotonic_merge
+from repro.core.distance import edit_distance, one_gram_distance_counters
+from repro.core.pattern import literal_length
+
+
+class ClusterState:
+    """Mutable bookkeeping for one cluster during agglomerative clustering."""
+
+    __slots__ = ("tokens", "members", "size", "counter", "encoding_length", "total_record_length")
+
+    def __init__(self, tokens: list, members: list[int], size: int, counter, total_record_length: int) -> None:
+        self.tokens = tokens
+        self.members = members
+        self.size = size
+        self.counter = counter
+        self.encoding_length = 0
+        self.total_record_length = total_record_length
+
+    @property
+    def residual_occurrences(self) -> int:
+        """Total number of residual symbol occurrences over all member records."""
+        return self.total_record_length - self.size * literal_length(self.tokens)
+
+
+class MergeCriterion(ABC):
+    """Scores candidate merges; lower is better (merged first)."""
+
+    #: short name used in reports (Figure 7 x-axis labels).
+    name: str = "criterion"
+
+    @abstractmethod
+    def score(self, cluster_a: ClusterState, cluster_b: ClusterState) -> tuple[float, list]:
+        """Return ``(score, merged_tokens)`` for merging the two clusters."""
+
+    def lower_bound(self, cluster_a: ClusterState, cluster_b: ClusterState) -> float:
+        """Cheap lower bound on :meth:`score`; used for pruning.  Defaults to -inf."""
+        return float("-inf")
+
+    def supports_bounded_search(self) -> bool:
+        """Whether :meth:`lower_bound` is meaningful for this criterion."""
+        return False
+
+
+class EncodingLengthCriterion(MergeCriterion):
+    """The paper's minimal encoding-length increment (Definition 3, Algorithm 1)."""
+
+    name = "el"
+
+    def score(self, cluster_a: ClusterState, cluster_b: ClusterState) -> tuple[float, list]:
+        result = monotonic_merge(cluster_a.tokens, cluster_b.tokens, cluster_a.size, cluster_b.size)
+        return float(result.increment), result.tokens
+
+    def lower_bound(self, cluster_a: ClusterState, cluster_b: ClusterState) -> float:
+        # The 1-gram distance counts symbols that cannot possibly stay in the
+        # merged pattern; every such symbol costs at least one residual byte for
+        # at least one record, so it lower-bounds the EL increment.
+        return float(one_gram_distance_counters(cluster_a.counter, cluster_b.counter))
+
+    def supports_bounded_search(self) -> bool:
+        return True
+
+
+class EntropyCriterion(MergeCriterion):
+    """The Section 6 entropy criterion: growth of residual symbol occurrences.
+
+    Equation 9 reduces the discriminant to ``L' - L`` where ``L`` (``L'``) is the
+    number of residual symbol occurrences before (after) the merge; symbols that
+    drop out of the pattern become residual occurrences for every record of the
+    cluster that loses them.
+    """
+
+    name = "entropy"
+
+    def score(self, cluster_a: ClusterState, cluster_b: ClusterState) -> tuple[float, list]:
+        result = monotonic_merge(cluster_a.tokens, cluster_b.tokens, cluster_a.size, cluster_b.size)
+        merged_literals = literal_length(result.tokens)
+        occurrences_before = cluster_a.residual_occurrences + cluster_b.residual_occurrences
+        occurrences_after = (
+            cluster_a.total_record_length
+            + cluster_b.total_record_length
+            - (cluster_a.size + cluster_b.size) * merged_literals
+        )
+        return float(occurrences_after - occurrences_before), result.tokens
+
+
+class EditDistanceCriterion(MergeCriterion):
+    """Naive baseline: plain Levenshtein distance between the cluster patterns."""
+
+    name = "ed"
+
+    def score(self, cluster_a: ClusterState, cluster_b: ClusterState) -> tuple[float, list]:
+        distance = edit_distance(cluster_a.tokens, cluster_b.tokens)
+        result = monotonic_merge(cluster_a.tokens, cluster_b.tokens, cluster_a.size, cluster_b.size)
+        return float(distance), result.tokens
+
+
+_CRITERIA = {
+    "el": EncodingLengthCriterion,
+    "entropy": EntropyCriterion,
+    "ed": EditDistanceCriterion,
+}
+
+
+def make_criterion(name: str) -> MergeCriterion:
+    """Instantiate a criterion by short name (``"el"``, ``"entropy"``, ``"ed"``)."""
+    try:
+        return _CRITERIA[name]()
+    except KeyError as error:
+        raise ValueError(f"unknown clustering criterion {name!r}; expected one of {sorted(_CRITERIA)}") from error

@@ -1,0 +1,96 @@
+"""String and cluster distances used by clustering and by the pruning strategy.
+
+* :func:`one_gram_distance` — Definition 5; the multiset symbol distance that
+  lower-bounds the encoding-length increment and is used to prune DP calls
+  (Section 5.1).
+* :func:`edit_distance` — classic Levenshtein distance, the naive clustering
+  criterion of the Figure 7 ablation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.core.pattern import WILDCARD
+
+
+def symbol_counter(tokens: Sequence) -> Counter:
+    """Multiset of literal symbols of a token sequence (wildcards are skipped)."""
+    counter: Counter = Counter()
+    for token in tokens:
+        if token is not WILDCARD:
+            counter[token] += 1
+    return counter
+
+
+def one_gram_distance_counters(counter_a: Counter, counter_b: Counter) -> int:
+    """1-gram distance from precomputed symbol multisets.
+
+    ``|MS1 ⊎ MS2| - 2 * |MS1 ∩ MS2|`` where the union is the *additive* multiset
+    union and the intersection takes the minimum multiplicity per symbol — i.e.
+    the size of the multiset symmetric difference.  This is zero for identical
+    multisets, symmetric, and a valid lower bound on the encoding-length
+    increment of Definition 3: every symbol occurrence that has no counterpart
+    in the other cluster must be stored as at least one residual byte.
+    """
+    union = 0
+    intersection = 0
+    for symbol in counter_a.keys() | counter_b.keys():
+        count_a = counter_a.get(symbol, 0)
+        count_b = counter_b.get(symbol, 0)
+        union += count_a + count_b
+        intersection += count_a if count_a < count_b else count_b
+    return union - 2 * intersection
+
+
+def one_gram_distance(text_a: str | Sequence, text_b: str | Sequence) -> int:
+    """1-gram distance between two strings or token sequences (Definition 5)."""
+    counter_a = symbol_counter(list(text_a)) if not isinstance(text_a, str) else Counter(text_a)
+    counter_b = symbol_counter(list(text_b)) if not isinstance(text_b, str) else Counter(text_b)
+    return one_gram_distance_counters(counter_a, counter_b)
+
+
+def edit_distance(sequence_a: Sequence, sequence_b: Sequence) -> int:
+    """Levenshtein distance with unit costs (insert / delete / substitute)."""
+    length_a = len(sequence_a)
+    length_b = len(sequence_b)
+    if length_a == 0:
+        return length_b
+    if length_b == 0:
+        return length_a
+    previous = list(range(length_b + 1))
+    for i in range(1, length_a + 1):
+        current = [i] + [0] * length_b
+        item_a = sequence_a[i - 1]
+        for j in range(1, length_b + 1):
+            substitution = previous[j - 1] + (0 if item_a == sequence_b[j - 1] else 1)
+            deletion = previous[j] + 1
+            insertion = current[j - 1] + 1
+            best = substitution
+            if deletion < best:
+                best = deletion
+            if insertion < best:
+                best = insertion
+            current[j] = best
+        previous = current
+    return previous[length_b]
+
+
+def longest_common_subsequence_length(sequence_a: Sequence, sequence_b: Sequence) -> int:
+    """Length of the longest common subsequence of two sequences."""
+    length_a = len(sequence_a)
+    length_b = len(sequence_b)
+    if length_a == 0 or length_b == 0:
+        return 0
+    previous = [0] * (length_b + 1)
+    for i in range(1, length_a + 1):
+        current = [0] * (length_b + 1)
+        item_a = sequence_a[i - 1]
+        for j in range(1, length_b + 1):
+            if item_a == sequence_b[j - 1]:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = previous[j] if previous[j] >= current[j - 1] else current[j - 1]
+        previous = current
+    return previous[length_b]

@@ -1,0 +1,85 @@
+"""The encoding-length model of Section 4.1 (Definitions 1-3).
+
+These functions evaluate the *actual* encoding length of a string set under a
+pattern and an encoding function, independent of the dynamic programs used
+during clustering.  They are primarily used by tests (to validate that the
+clustering DP's increments are consistent with the definition) and by the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.core.encoders import FieldEncoder, VarcharEncoder, select_encoder
+from repro.core.pattern import Pattern, tokens_to_segments
+
+
+def residual_field_values(pattern_tokens: Sequence, record: str) -> list[str] | None:
+    """Split ``record`` into per-field residual values according to a token pattern.
+
+    Returns ``None`` if the record does not match the pattern (it is then an
+    outlier with respect to that pattern).
+    """
+    literals, field_count = tokens_to_segments(pattern_tokens)
+    probe = Pattern(
+        pattern_id=1,
+        literals=tuple(literals),
+        encoders=tuple(VarcharEncoder() for _ in range(field_count)),
+    )
+    matched = re.compile(probe.to_regex(), re.DOTALL).match(record)
+    if matched is None:
+        return None
+    return list(matched.groups())
+
+
+def encoding_length(
+    records: Sequence[str],
+    pattern_tokens: Sequence,
+    encoders: Sequence[FieldEncoder] | None = None,
+) -> int:
+    """``EL(S, p, f)`` — Definition 1: total encoded size of all residuals.
+
+    When ``encoders`` is ``None`` every field uses VARCHAR (the monotonic
+    encoding function assumed during clustering).
+    """
+    _, field_count = tokens_to_segments(pattern_tokens)
+    if encoders is None:
+        encoders = [VarcharEncoder() for _ in range(field_count)]
+    if len(encoders) != field_count:
+        raise ValueError(f"pattern has {field_count} fields but {len(encoders)} encoders given")
+    total = 0
+    for record in records:
+        values = residual_field_values(pattern_tokens, record)
+        if values is None:
+            raise ValueError(f"record {record!r} does not match the pattern")
+        for encoder, value in zip(encoders, values):
+            total += encoder.cost(value)
+    return total
+
+
+def minimal_encoding_length(records: Sequence[str], pattern_tokens: Sequence) -> int:
+    """``EL_min(S)`` under a fixed pattern: optimal per-field encoder selection.
+
+    This realises the "optimal encoding function" part of Definition 2 for a
+    given pattern: each field independently picks the cheapest encoder able to
+    represent all of its values.
+    """
+    _, field_count = tokens_to_segments(pattern_tokens)
+    if field_count == 0:
+        return 0
+    columns: list[list[str]] = [[] for _ in range(field_count)]
+    for record in records:
+        values = residual_field_values(pattern_tokens, record)
+        if values is None:
+            raise ValueError(f"record {record!r} does not match the pattern")
+        for column, value in zip(columns, values):
+            column.append(value)
+    encoders = [select_encoder(column) for column in columns]
+    return sum(encoder.cost(value) for encoder, column in zip(encoders, columns) for value in column)
+
+
+def varchar_encoding_length(records: Sequence[str], pattern_tokens: Sequence) -> int:
+    """``EL(S, p, f_vc)`` with the VARCHAR encoding function used during clustering."""
+    return encoding_length(records, pattern_tokens, None)

@@ -1,0 +1,257 @@
+"""Offline pattern extraction: sampling, clustering and encoder specialisation.
+
+This is the Figure 1(a) pipeline.  Given a sample of records it
+
+1. (optionally) truncates the sample to a byte budget (Section 7.3.3 shows a few
+   megabytes suffice),
+2. runs the agglomerative minimal encoding-length clustering down to the target
+   pattern count (Section 4),
+3. derives one pattern per cluster and specialises each wildcard field to the
+   cheapest encoder able to represent every residual value observed in the
+   cluster (Definition 2's optimal encoding function),
+4. returns a :class:`repro.core.pattern.PatternDictionary`.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+
+from repro.core.clustering import AgglomerativeClusterer, ClusteringStats
+from repro.core.criteria import ClusterState, MergeCriterion, make_criterion
+from repro.core.encoders import VarcharEncoder, select_encoder
+from repro.core.pattern import (
+    WILDCARD,
+    Pattern,
+    PatternDictionary,
+    collapse_wildcards,
+    tokens_to_segments,
+)
+from repro.exceptions import ClusteringError
+
+
+def _short_literal_runs(tokens: list, max_run: int = 2) -> list[tuple[int, int]]:
+    """``(start, end)`` index ranges of literal runs of at most ``max_run`` tokens.
+
+    Only runs adjacent to at least one wildcard are returned — removing a run in
+    the middle of a longer literal stretch can never help, and runs at the very
+    start or end of the pattern are kept because they anchor the match.
+    """
+    runs: list[tuple[int, int]] = []
+    index = 0
+    count = len(tokens)
+    while index < count:
+        if tokens[index] is WILDCARD:
+            index += 1
+            continue
+        start = index
+        while index < count and tokens[index] is not WILDCARD:
+            index += 1
+        end = index
+        touches_wildcard = (start > 0 and tokens[start - 1] is WILDCARD) or (
+            end < count and tokens[end] is WILDCARD
+        )
+        if end - start <= max_run and touches_wildcard and start > 0 and end < count:
+            runs.append((start, end))
+    return runs
+
+
+@dataclass
+class ExtractionConfig:
+    """Tuning knobs of the pattern-extraction phase.
+
+    ``max_patterns`` is the cluster-count constraint ``k`` of Problem 1;
+    ``sample_size`` / ``sample_bytes`` bound the training sample (Figure 9a);
+    ``criterion`` selects the clustering criterion (Figure 7 ablation);
+    ``use_pruning`` toggles the 1-gram pruning (Figure 8);
+    ``pre_group`` and ``max_seed_clusters`` are the Python-substrate engineering
+    knobs described in DESIGN.md.
+    """
+
+    max_patterns: int = 16
+    sample_size: int | None = 256
+    sample_bytes: int | None = None
+    criterion: str = "el"
+    use_pruning: bool = True
+    pre_group: bool = True
+    max_seed_clusters: int | None = 192
+    max_pattern_prefix: int | None = 512
+    max_group_representatives: int = 16
+    refine_patterns: bool = True
+    min_cluster_size: int = 1
+    seed: int = 2023
+
+    def make_criterion(self) -> MergeCriterion:
+        """Instantiate the configured clustering criterion."""
+        return make_criterion(self.criterion)
+
+
+@dataclass
+class ExtractionReport:
+    """Outcome of a pattern-extraction run (dictionary + instrumentation)."""
+
+    dictionary: PatternDictionary
+    clustering_stats: ClusteringStats
+    sample_count: int
+    sample_bytes: int
+    cluster_sizes: list[int] = field(default_factory=list)
+
+
+class PatternExtractor:
+    """Extracts a pattern dictionary from a sample of records (Figure 1a)."""
+
+    def __init__(self, config: ExtractionConfig | None = None) -> None:
+        self.config = config if config is not None else ExtractionConfig()
+
+    # -------------------------------------------------------------- sampling
+
+    def _sample(self, records: list[str]) -> list[str]:
+        """Apply the record-count and byte budgets to the training sample."""
+        config = self.config
+        sample = list(records)
+        if config.sample_size is not None and len(sample) > config.sample_size:
+            rng = random.Random(config.seed)
+            sample = rng.sample(sample, config.sample_size)
+        if config.sample_bytes is not None:
+            budget = config.sample_bytes
+            trimmed: list[str] = []
+            used = 0
+            for record in sample:
+                size = len(record.encode("utf-8"))
+                if used + size > budget and trimmed:
+                    break
+                trimmed.append(record)
+                used += size
+            sample = trimmed
+        return sample
+
+    # ------------------------------------------------------------ extraction
+
+    def extract(self, records: list[str]) -> ExtractionReport:
+        """Run the full extraction pipeline and return dictionary + stats."""
+        if not records:
+            raise ClusteringError("cannot extract patterns from an empty sample")
+        config = self.config
+        sample = self._sample(records)
+        clusterer = AgglomerativeClusterer(
+            target_clusters=config.max_patterns,
+            criterion=config.make_criterion(),
+            use_pruning=config.use_pruning,
+            pre_group=config.pre_group,
+            max_seed_clusters=config.max_seed_clusters,
+            max_pattern_prefix=config.max_pattern_prefix,
+            max_group_representatives=config.max_group_representatives,
+        )
+        result = clusterer.cluster(sample)
+
+        dictionary = PatternDictionary()
+        cluster_sizes: list[int] = []
+        next_id = 1
+        for cluster in result.clusters:
+            if cluster.size < config.min_cluster_size:
+                continue
+            pattern = self._build_pattern(next_id, cluster, sample)
+            if pattern is None:
+                continue
+            dictionary.add(pattern)
+            cluster_sizes.append(cluster.size)
+            next_id += 1
+
+        return ExtractionReport(
+            dictionary=dictionary,
+            clustering_stats=result.stats,
+            sample_count=len(sample),
+            sample_bytes=sum(len(record.encode("utf-8")) for record in sample),
+            cluster_sizes=cluster_sizes,
+        )
+
+    def fit(self, records: list[str]) -> PatternDictionary:
+        """Convenience wrapper returning only the dictionary."""
+        return self.extract(records).dictionary
+
+    # ------------------------------------------------------------- internals
+
+    def _build_pattern(self, pattern_id: int, cluster: ClusterState, sample: list[str]) -> Pattern | None:
+        """Turn a cluster into a pattern with specialised field encoders.
+
+        When ``refine_patterns`` is enabled the cluster's token sequence is
+        first cleaned up: short literal runs that merging into the neighbouring
+        wildcard would make the encoded residuals *smaller* (per Definition 2's
+        optimal-pattern criterion) are dropped.  Such runs typically come from
+        spurious single-character alignments between unrelated field values.
+        """
+        members = [sample[index] for index in cluster.members]
+        tokens = list(cluster.tokens)
+        if self.config.refine_patterns:
+            tokens = self._refine_tokens(tokens, members)
+
+        cost, pattern = self._evaluate_tokens(pattern_id, tokens, members)
+        if pattern is None:
+            # Fall back to the unrefined tokens with VARCHAR-typed fields.
+            literals, field_count = tokens_to_segments(cluster.tokens)
+            return Pattern(
+                pattern_id=pattern_id,
+                literals=tuple(literals),
+                encoders=tuple(VarcharEncoder() for _ in range(field_count)),
+            )
+        return pattern
+
+    def _refine_tokens(self, tokens: list, members: list[str]) -> list:
+        """Drop short literal runs whose removal lowers the encoded residual size."""
+        best_cost, best_pattern = self._evaluate_tokens(0, tokens, members)
+        if best_pattern is None:
+            return tokens
+        best_tokens = tokens
+        improved = True
+        while improved:
+            improved = False
+            runs = _short_literal_runs(best_tokens, max_run=2)
+            for start, end in runs:
+                candidate = best_tokens[:start] + [WILDCARD] + best_tokens[end:]
+                candidate_cost, candidate_pattern = self._evaluate_tokens(0, candidate, members)
+                if candidate_pattern is not None and candidate_cost < best_cost:
+                    best_cost = candidate_cost
+                    best_tokens = candidate
+                    improved = True
+                    break
+        return best_tokens
+
+    def _evaluate_tokens(
+        self, pattern_id: int, tokens: list, members: list[str]
+    ) -> tuple[float, Pattern | None]:
+        """Encoded size of all member residuals under ``tokens`` plus the built pattern."""
+        tokens = collapse_wildcards(tokens)
+        literals, field_count = tokens_to_segments(tokens)
+        if field_count == 0:
+            if all(member == literals[0] for member in members):
+                return 0.0, Pattern(pattern_id=pattern_id, literals=tuple(literals), encoders=())
+            return float("inf"), None
+
+        varchar_pattern = Pattern(
+            pattern_id=pattern_id,
+            literals=tuple(literals),
+            encoders=tuple(VarcharEncoder() for _ in range(field_count)),
+        )
+        regex = re.compile(varchar_pattern.to_regex(), re.DOTALL)
+        columns: list[list[str]] = [[] for _ in range(field_count)]
+        matched_any = False
+        for member in members:
+            matched = regex.match(member)
+            if matched is None:
+                # Members that no longer match (possible when only a prefix of
+                # the group took part in the merge DP) are compressed as
+                # outliers later; they do not contribute to encoder selection.
+                continue
+            matched_any = True
+            for column, value in zip(columns, matched.groups()):
+                column.append(value)
+        if not matched_any:
+            return float("inf"), None
+
+        encoders = tuple(select_encoder(column) for column in columns)
+        total_cost = sum(
+            encoder.cost(value) for encoder, column in zip(encoders, columns) for value in column
+        )
+        pattern = Pattern(pattern_id=pattern_id, literals=tuple(literals), encoders=encoders)
+        return float(total_cost), pattern

@@ -1,0 +1,102 @@
+"""Multi-pattern matching with longest-pattern-wins selection (Figure 1b).
+
+The paper uses Hyperscan to match every record against the regular expressions
+of all patterns and keeps the longest matching pattern.  This module provides a
+pure-Python substitute with the same contract:
+
+* every pattern is compiled to an anchored regex with one capture group per
+  field (typed by the field encoder);
+* candidate patterns are pre-filtered with a cheap literal-segment containment
+  check (all literal segments must occur in the record, in order), which plays
+  the role of Hyperscan's literal pre-matching;
+* surviving candidates are tried in decreasing order of literal size and the
+  first full match wins, which is exactly "select the longest pattern".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.pattern import Pattern, PatternDictionary
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """A successful pattern match: the pattern and the extracted field values."""
+
+    pattern: Pattern
+    field_values: tuple[str, ...]
+
+
+class _CompiledPattern:
+    """A pattern with its compiled regex and pre-filter literals."""
+
+    __slots__ = ("pattern", "regex", "prefix", "suffix", "inner_literals", "literal_size")
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+        self.regex = re.compile(pattern.to_regex(), re.DOTALL)
+        literals = pattern.literals
+        self.prefix = literals[0]
+        self.suffix = literals[-1] if len(literals) > 1 else ""
+        self.inner_literals = tuple(segment for segment in literals[1:-1] if segment)
+        self.literal_size = pattern.literal_size
+
+    def prefilter(self, record: str) -> bool:
+        """Cheap necessary condition for a match (ordered literal containment)."""
+        if self.literal_size > len(record):
+            return False
+        if self.prefix and not record.startswith(self.prefix):
+            return False
+        if self.suffix and not record.endswith(self.suffix):
+            return False
+        position = len(self.prefix)
+        for segment in self.inner_literals:
+            found = record.find(segment, position)
+            if found < 0:
+                return False
+            position = found + len(segment)
+        return True
+
+    def match(self, record: str) -> MatchResult | None:
+        """Full regex match; returns the extracted field values on success."""
+        matched = self.regex.match(record)
+        if matched is None:
+            return None
+        return MatchResult(pattern=self.pattern, field_values=matched.groups())
+
+
+class MultiPatternMatcher:
+    """Matches records against a pattern dictionary, longest pattern first."""
+
+    def __init__(self, dictionary: PatternDictionary) -> None:
+        self._compiled = sorted(
+            (_CompiledPattern(pattern) for pattern in dictionary),
+            key=lambda compiled: compiled.literal_size,
+            reverse=True,
+        )
+
+    def __len__(self) -> int:
+        return len(self._compiled)
+
+    def match(self, record: str) -> MatchResult | None:
+        """Return the longest-pattern match for ``record``, or ``None`` (outlier)."""
+        for compiled in self._compiled:
+            if not compiled.prefilter(record):
+                continue
+            result = compiled.match(record)
+            if result is not None:
+                return result
+        return None
+
+    def match_all(self, record: str) -> list[MatchResult]:
+        """All pattern matches for ``record`` (used by tests and diagnostics)."""
+        results = []
+        for compiled in self._compiled:
+            if not compiled.prefilter(record):
+                continue
+            result = compiled.match(record)
+            if result is not None:
+                results.append(result)
+        return results

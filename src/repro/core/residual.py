@@ -1,0 +1,250 @@
+"""Residual entropy codecs: the "further compression" stage of Table 1.
+
+Section 5.2 of the paper offers two options for squeezing the residual
+subsequences further once the pattern has been factored out: (1) per-record
+entropy or symbol-table encoders (Huffman, FSST) that preserve random access,
+and (2) block-wise codecs (Zstd, LZMA) that trade random access for ratio.
+Option (2) is covered by :class:`repro.core.compressor.PBCBlockCompressor`;
+this module implements option (1) beyond FSST.
+
+All codecs here satisfy the :class:`repro.core.compressor.ResidualCodec`
+protocol (``compress`` / ``decompress`` over ``bytes``) and operate on the
+*encoded field payload* of a single record, so the per-record property — and
+therefore random access — is preserved.
+
+To avoid paying a frequency-table header on every (short) record, the
+shared-model codecs are trained once on the training sample's payloads and the
+model is stored with the compressor, mirroring how the pattern dictionary and
+the FSST symbol table are handled.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.entropy.arithmetic import BitTreeModel, arithmetic_decode, arithmetic_encode
+from repro.entropy.bitio import BitReader, BitWriter
+from repro.entropy.huffman import build_canonical_code
+from repro.entropy.rans import RansModel, rans_decode, rans_encode
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import CompressorError, DecodingError
+
+#: Escape marker prepended when a payload is stored raw (e.g. it would expand).
+_RAW_MARKER = 0
+_ENCODED_MARKER = 1
+
+
+class SharedRansResidualCodec:
+    """Residual codec backed by a shared (trained) rANS model.
+
+    The model covers the full byte alphabet (unseen symbols get frequency one)
+    so any record remains encodable after training.  Each compressed payload is
+    ``marker + uvarint(length) + rANS stream``; when entropy coding would
+    expand the payload it is stored raw behind the escape marker instead.
+    """
+
+    name = "rans-residual"
+
+    def __init__(self, model: RansModel | None = None) -> None:
+        self._model = model
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether a model is installed."""
+        return self._model is not None
+
+    @property
+    def model(self) -> RansModel:
+        """The installed model."""
+        self._require_trained()
+        assert self._model is not None
+        return self._model
+
+    def train(self, payloads: Iterable[bytes]) -> None:
+        """Fit the shared model on the training payloads."""
+        self._model = RansModel.from_samples(payloads, extra_symbols=range(256))
+
+    def _require_trained(self) -> None:
+        if self._model is None:
+            raise CompressorError(f"{self.name} must be trained before use")
+
+    def compress(self, data: bytes) -> bytes:
+        """Entropy-code ``data`` with the shared model (raw fallback on expansion)."""
+        self._require_trained()
+        assert self._model is not None
+        if not data:
+            return bytes([_ENCODED_MARKER]) + encode_uvarint(0)
+        encoded = rans_encode(data, self._model)
+        framed = bytes([_ENCODED_MARKER]) + encode_uvarint(len(data)) + encoded
+        if len(framed) >= len(data) + 1:
+            return bytes([_RAW_MARKER]) + data
+        return framed
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+        self._require_trained()
+        assert self._model is not None
+        if not data:
+            raise DecodingError("empty residual payload")
+        marker, body = data[0], data[1:]
+        if marker == _RAW_MARKER:
+            return body
+        if marker != _ENCODED_MARKER:
+            raise DecodingError(f"unknown residual marker {marker}")
+        length, offset = decode_uvarint(body, 0)
+        return rans_decode(body[offset:], length, self._model)
+
+
+class SharedHuffmanResidualCodec:
+    """Residual codec backed by a shared canonical Huffman code.
+
+    This is the paper's literal suggestion ("entropy encoding techniques
+    (e.g., Huffman coding)") for residual subsequences.  The code covers the
+    full byte alphabet so any record remains encodable.
+    """
+
+    name = "huffman-residual"
+
+    def __init__(self) -> None:
+        self._codes: dict[int, tuple[int, int]] | None = None
+        self._decode_table: dict[tuple[int, int], int] | None = None
+        self._max_length = 0
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether a code table is installed."""
+        return self._codes is not None
+
+    def train(self, payloads: Iterable[bytes]) -> None:
+        """Build the shared canonical code from the training payloads."""
+        counts: Counter[int] = Counter()
+        for payload in payloads:
+            counts.update(payload)
+        for symbol in range(256):
+            if counts[symbol] == 0:
+                counts[symbol] = 1
+        code = build_canonical_code(dict(counts))
+        self._codes = code.codes
+        self._decode_table = {value: symbol for symbol, value in code.codes.items()}
+        self._max_length = max(length for _, length in code.codes.values())
+
+    def _require_trained(self) -> None:
+        if self._codes is None:
+            raise CompressorError(f"{self.name} must be trained before use")
+
+    def compress(self, data: bytes) -> bytes:
+        """Huffman-code ``data`` with the shared table (raw fallback on expansion)."""
+        self._require_trained()
+        assert self._codes is not None
+        if not data:
+            return bytes([_ENCODED_MARKER]) + encode_uvarint(0)
+        writer = BitWriter()
+        for byte in data:
+            word, width = self._codes[byte]
+            writer.write_bits(word, width)
+        framed = bytes([_ENCODED_MARKER]) + encode_uvarint(len(data)) + writer.getvalue()
+        if len(framed) >= len(data) + 1:
+            return bytes([_RAW_MARKER]) + data
+        return framed
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+        self._require_trained()
+        assert self._decode_table is not None
+        if not data:
+            raise DecodingError("empty residual payload")
+        marker, body = data[0], data[1:]
+        if marker == _RAW_MARKER:
+            return body
+        if marker != _ENCODED_MARKER:
+            raise DecodingError(f"unknown residual marker {marker}")
+        length, offset = decode_uvarint(body, 0)
+        reader = BitReader(body[offset:])
+        out = bytearray()
+        while len(out) < length:
+            word = 0
+            width = 0
+            while True:
+                word = (word << 1) | reader.read_bit()
+                width += 1
+                symbol = self._decode_table.get((word, width))
+                if symbol is not None:
+                    out.append(symbol)
+                    break
+                if width > self._max_length:
+                    raise DecodingError("invalid shared Huffman code word")
+        return bytes(out)
+
+
+class AdaptiveArithmeticResidualCodec:
+    """Residual codec using a fresh adaptive arithmetic model per record.
+
+    No training step is required; every record is coded independently so random
+    access is preserved.  Works best on longer residual payloads where the
+    model has room to adapt.
+    """
+
+    name = "arith-residual"
+
+    #: Training is a no-op — kept so the codec is interchangeable with the shared-model ones.
+    def train(self, payloads: Iterable[bytes]) -> None:  # noqa: D102 - documented above
+        del payloads
+
+    @property
+    def is_trained(self) -> bool:
+        """Adaptive coding never needs training."""
+        return True
+
+    def compress(self, data: bytes) -> bytes:
+        """Arithmetic-code ``data`` with a fresh model (raw fallback on expansion)."""
+        encoded = arithmetic_encode(data, BitTreeModel())
+        framed = bytes([_ENCODED_MARKER]) + encode_uvarint(len(data)) + encoded
+        if len(framed) >= len(data) + 1 and data:
+            return bytes([_RAW_MARKER]) + data
+        return framed
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+        if not data:
+            raise DecodingError("empty residual payload")
+        marker, body = data[0], data[1:]
+        if marker == _RAW_MARKER:
+            return body
+        if marker != _ENCODED_MARKER:
+            raise DecodingError(f"unknown residual marker {marker}")
+        length, offset = decode_uvarint(body, 0)
+        return arithmetic_decode(body[offset:], length, BitTreeModel())
+
+
+#: Registry of residual entropy codecs by short name (used by PBC_H and the CLI).
+RESIDUAL_CODECS = {
+    "rans": SharedRansResidualCodec,
+    "huffman": SharedHuffmanResidualCodec,
+    "arithmetic": AdaptiveArithmeticResidualCodec,
+}
+
+
+def make_residual_codec(name: str):
+    """Instantiate a residual entropy codec by short name."""
+    key = name.lower()
+    if key not in RESIDUAL_CODECS:
+        raise CompressorError(
+            f"unknown residual codec {name!r}; available: {sorted(RESIDUAL_CODECS)}"
+        )
+    return RESIDUAL_CODECS[key]()
+
+
+def collect_training_payloads(matcher, records: Sequence[str]) -> list[bytes]:
+    """Field payloads (or raw bytes for outliers) of ``records`` under ``matcher``.
+
+    Shared helper for the residual-codec training paths of PBC_F and PBC_H.
+    """
+    payloads: list[bytes] = []
+    for record in records:
+        match = matcher.match(record)
+        if match is None:
+            payloads.append(record.encode("utf-8"))
+        else:
+            payloads.append(match.pattern.encode_fields(match.field_values))
+    return payloads

@@ -1,0 +1,124 @@
+"""Synthetic dataset registry for the paper's 16 evaluation datasets (Table 2).
+
+Usage::
+
+    from repro.datasets import load_dataset, dataset_names, dataset_statistics
+
+    records = load_dataset("kv2", count=2000)
+    stats = dataset_statistics("kv2", records)
+
+Every generator is deterministic for a given ``seed``, so benchmark results are
+reproducible run to run.  ``DATASET_SPECS`` carries the paper's Table 2
+statistics (record count, average record length) next to each generator so the
+Table 2 benchmark can print paper-vs-generated columns.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.datasets import json_data, kv, logs, misc, trades
+from repro.datasets.base import DatasetSpec, DatasetStatistics, compute_statistics
+from repro.exceptions import DatasetError
+
+#: Default seed used by :func:`load_dataset`; matches the paper's publication year.
+DEFAULT_SEED = 2023
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("kv1", "kv", "accounting/charging records (Figure 2 family)", kv.generate_kv1, 4000, 33.1e9, 71.5),
+        DatasetSpec("kv2", "kv", "serialised financial trade objects", kv.generate_kv2, 3000, 20.9e9, 158.6),
+        DatasetSpec("kv3", "kv", "session-cache entries", kv.generate_kv3, 3000, 2.86e6, 90.6),
+        DatasetSpec("kv4", "kv", "short counter records", kv.generate_kv4, 4000, 418e3, 44.1),
+        DatasetSpec("kv5", "kv", "feature-flag / config payloads", kv.generate_kv5, 4000, 2.68e6, 53.1),
+        DatasetSpec("android", "log", "Android logcat lines", logs.generate_android, 2500, 1.55e6, 129.7),
+        DatasetSpec("apache", "log", "Apache error-log lines", logs.generate_apache, 3000, 56.5e3, 63.9),
+        DatasetSpec("bgl", "log", "BlueGene/L RAS log lines", logs.generate_bgl, 2000, 4.75e6, 164.1),
+        DatasetSpec("hdfs", "log", "HDFS DataNode log lines", logs.generate_hdfs, 2500, 11.2e6, 141.2),
+        DatasetSpec("hadoop", "log", "Hadoop MapReduce AM log lines", logs.generate_hadoop, 1500, 2.61e6, 266.9),
+        DatasetSpec("alilogs", "log", "industrial cloud key=value traces", logs.generate_alilogs, 1200, 350e3, 299.2),
+        DatasetSpec("github", "json", "GitHub event documents", json_data.generate_github, 600, 8.6e3, 863.8),
+        DatasetSpec("cities", "json", "world-city documents", json_data.generate_cities, 1500, 148e3, 232.2),
+        DatasetSpec("unece", "json", "UNECE country-statistics documents", json_data.generate_unece, 120, 0.81e3, 4494.8),
+        DatasetSpec("urls", "misc", "HTTP URLs (FSST corpus)", misc.generate_urls, 4000, 100e3, 63.1),
+        DatasetSpec("uuid", "misc", "random UUID strings (FSST corpus)", misc.generate_uuid, 5000, 100e3, 35.6),
+    )
+}
+
+#: Datasets that are not part of the paper's Table 2 corpus but ship with the
+#: reproduction for the examples (the introduction's financial-trade workload).
+EXTRA_DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            "trades", "extra", "financial trade records (Section 1 motivating example)",
+            trades.generate_trades, 4000, 0, 95.0,
+        ),
+    )
+}
+
+#: Dataset groups used by the per-category benchmarks.
+LOG_DATASETS = tuple(name for name, spec in DATASET_SPECS.items() if spec.category == "log")
+JSON_DATASETS = tuple(name for name, spec in DATASET_SPECS.items() if spec.category == "json")
+KV_DATASETS = tuple(name for name, spec in DATASET_SPECS.items() if spec.category == "kv")
+
+
+def dataset_names() -> list[str]:
+    """Names of the Table 2 datasets, in Table 2 order (extras excluded)."""
+    return list(DATASET_SPECS)
+
+
+def extra_dataset_names() -> list[str]:
+    """Names of the extra (non-Table 2) datasets."""
+    return list(EXTRA_DATASET_SPECS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Return the registry entry for ``name`` (case-insensitive, extras included)."""
+    key = name.lower()
+    if key in DATASET_SPECS:
+        return DATASET_SPECS[key]
+    if key in EXTRA_DATASET_SPECS:
+        return EXTRA_DATASET_SPECS[key]
+    raise DatasetError(
+        f"unknown dataset {name!r}; available: {dataset_names() + extra_dataset_names()}"
+    )
+
+
+def load_dataset(name: str, count: int | None = None, seed: int = DEFAULT_SEED) -> list[str]:
+    """Generate the dataset ``name`` with ``count`` records (default: registry default)."""
+    spec = get_spec(name)
+    record_count = spec.default_count if count is None else count
+    if record_count <= 0:
+        raise DatasetError("record count must be positive")
+    # Seed with a string so the stream is independent of hash randomisation.
+    rng = random.Random(f"{spec.name}:{seed}:{record_count}")
+    return spec.generator(record_count, rng)
+
+
+def dataset_statistics(name: str, records: Sequence[str] | None = None) -> DatasetStatistics:
+    """Table 2 statistics for a dataset (generating it first when needed)."""
+    spec = get_spec(name)
+    if records is None:
+        records = load_dataset(name)
+    return compute_statistics(spec.name, records)
+
+
+__all__ = [
+    "DATASET_SPECS",
+    "DEFAULT_SEED",
+    "DatasetSpec",
+    "DatasetStatistics",
+    "EXTRA_DATASET_SPECS",
+    "JSON_DATASETS",
+    "KV_DATASETS",
+    "LOG_DATASETS",
+    "compute_statistics",
+    "dataset_names",
+    "dataset_statistics",
+    "extra_dataset_names",
+    "get_spec",
+    "load_dataset",
+]

@@ -1,0 +1,138 @@
+"""Synthetic JSON datasets: ``github``, ``cities`` and ``unece``.
+
+The paper's JSON corpora are public (GitHub events curated from the Zstd test
+data, world cities, and UNECE country statistics).  The generators below emit
+JSON documents with the same schema shape and size character: many shared keys,
+nested objects, numeric and string values, and (for ``unece``) very long
+records composed of many indicator fields.
+
+Every record is rendered with ``json.dumps(..., sort_keys=True)`` so the
+key-level redundancy the paper discusses (Section 7.4.2) is present exactly as
+it would be in machine-serialised JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.datasets.base import hex_token, pick_word, uuid4_string
+
+_COUNTRIES = (
+    "Austria", "Belgium", "Canada", "Denmark", "Estonia", "Finland", "France",
+    "Germany", "Hungary", "Iceland", "Japan", "Latvia", "Mexico", "Norway",
+    "Poland", "Portugal", "Sweden", "Switzerland", "Ukraine", "United States",
+)
+
+_EVENT_TYPES = ("PushEvent", "PullRequestEvent", "IssuesEvent", "WatchEvent", "ForkEvent", "CreateEvent")
+
+_INDICATORS = (
+    "population_mid_year_thousands", "population_density", "total_fertility_rate",
+    "life_expectancy_at_birth_women", "life_expectancy_at_birth_men",
+    "adolescent_fertility_rate", "computer_use_male", "computer_use_female",
+    "gdp_per_capita_us_dollars", "unemployment_rate", "exports_of_goods_percent_gdp",
+    "imports_of_goods_percent_gdp", "consumer_price_index", "area_square_kms",
+    "women_share_of_labour_force", "internet_users_per_100",
+)
+
+
+def _iso_timestamp(rng: random.Random) -> str:
+    return (
+        f"20{rng.randint(15, 23):02d}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+        f"T{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}Z"
+    )
+
+
+def generate_github(count: int, rng: random.Random) -> list[str]:
+    """GitHub event documents (actor / repo / payload envelopes)."""
+    records: list[str] = []
+    for _ in range(count):
+        login = f"{pick_word(rng)}-{pick_word(rng)}{rng.randint(1, 999)}"
+        repo_name = f"{pick_word(rng)}/{pick_word(rng)}-{pick_word(rng)}"
+        event_type = rng.choice(_EVENT_TYPES)
+        document = {
+            "id": str(rng.randint(10**9, 10**10 - 1)),
+            "type": event_type,
+            "public": True,
+            "created_at": _iso_timestamp(rng),
+            "actor": {
+                "id": rng.randint(1, 10**7),
+                "login": login,
+                "gravatar_id": "",
+                "url": f"https://api.github.com/users/{login}",
+                "avatar_url": f"https://avatars.githubusercontent.com/u/{rng.randint(1, 10**7)}?",
+            },
+            "repo": {
+                "id": rng.randint(1, 10**8),
+                "name": repo_name,
+                "url": f"https://api.github.com/repos/{repo_name}",
+            },
+            "payload": {
+                "push_id": rng.randint(10**9, 10**10 - 1),
+                "size": rng.randint(1, 20),
+                "distinct_size": rng.randint(1, 20),
+                "ref": "refs/heads/" + rng.choice(("main", "master", "develop")),
+                "head": hex_token(rng, 40),
+                "before": hex_token(rng, 40),
+                "commits": [
+                    {
+                        "sha": hex_token(rng, 40),
+                        "author": {"email": f"{login}@users.noreply.github.com", "name": login},
+                        "message": f"{rng.choice(('Fix', 'Add', 'Update', 'Remove'))} {pick_word(rng)} {pick_word(rng)}",
+                        "distinct": True,
+                    }
+                    for _ in range(rng.randint(1, 3))
+                ],
+            },
+            "org": {
+                "id": rng.randint(1, 10**7),
+                "login": pick_word(rng),
+                "url": f"https://api.github.com/orgs/{pick_word(rng)}",
+            },
+        }
+        records.append(json.dumps(document, sort_keys=True, separators=(",", ":")))
+    return records
+
+
+def generate_cities(count: int, rng: random.Random) -> list[str]:
+    """World-city documents (name, country, coordinates, population)."""
+    records: list[str] = []
+    for _ in range(count):
+        name = f"{pick_word(rng).title()}{rng.choice(('ville', ' City', 'burg', 'ton', ''))}"
+        country = rng.choice(_COUNTRIES)
+        document = {
+            "id": rng.randint(1, 10**7),
+            "name": name,
+            "country": country,
+            "country_code": country[:2].upper(),
+            "admin1": f"{pick_word(rng).title()} Province",
+            "lat": round(rng.uniform(-90, 90), 5),
+            "lng": round(rng.uniform(-180, 180), 5),
+            "population": rng.randint(1_000, 30_000_000),
+            "elevation_m": rng.randint(-10, 4000),
+            "timezone": rng.choice(("Europe/Paris", "Asia/Tokyo", "America/New_York", "UTC")),
+            "geoname_id": str(rng.randint(10**6, 10**7)),
+        }
+        records.append(json.dumps(document, sort_keys=True, separators=(",", ":")))
+    return records
+
+
+def generate_unece(count: int, rng: random.Random) -> list[str]:
+    """UNECE country-statistics documents: one very long record per country/year."""
+    records: list[str] = []
+    for _ in range(count):
+        country = rng.choice(_COUNTRIES)
+        years = {}
+        for year in range(2010, 2010 + rng.randint(7, 9)):
+            years[str(year)] = {
+                indicator: round(rng.uniform(0, 100_000), 2) for indicator in _INDICATORS
+            }
+        document = {
+            "country": country,
+            "iso_code": country[:3].upper(),
+            "source": "UNECE statistical database",
+            "uuid": uuid4_string(rng),
+            "indicators": years,
+        }
+        records.append(json.dumps(document, sort_keys=True, separators=(",", ":")))
+    return records

@@ -1,0 +1,128 @@
+"""Synthetic production key-value datasets (KV1-KV5 of Table 2).
+
+Each generator mimics one class of machine-generated value payloads observed in
+production key-value stores: records produced by ``sprintf``-style serialisation
+with a handful of templates per workload, mixed identifier / numeric /
+timestamp fields, and a small fraction of outlier records that match none of
+the frequent templates (exercising PBC's outlier path).
+
+The templates are modelled on the paper's own running examples (the
+``V5company_charging-100-…accenter…`` record of Figure 2 and the JSON trade
+record of Section 1), not on any real proprietary data.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import (
+    digits,
+    epoch_seconds,
+    hex_token,
+    ip_address,
+    pick_word,
+    uuid4_string,
+)
+
+#: Fraction of records generated from a random non-template shape.
+_OUTLIER_RATE = 0.01
+
+
+def _outlier(rng: random.Random) -> str:
+    """A record that intentionally matches none of the workload templates."""
+    return f"#raw:{hex_token(rng, rng.randint(8, 40))}:{rng.randint(0, 10**6)}"
+
+
+def generate_kv1(count: int, rng: random.Random) -> list[str]:
+    """KV1: accounting/charging records (the Figure 2 example family)."""
+    records: list[str] = []
+    suffixes = ("ac_accounting_log_", "accounting_log_id", "ac_billing_log_")
+    for _ in range(count):
+        if rng.random() < _OUTLIER_RATE:
+            records.append(_outlier(rng))
+            continue
+        suffix = rng.choice(suffixes)
+        records.append(
+            f"V5company_charging-100-{digits(rng, 2)}accenter{digits(rng, 2)}"
+            f"{suffix}202{digits(rng, 6)}"
+        )
+    return records
+
+
+def generate_kv2(count: int, rng: random.Random) -> list[str]:
+    """KV2: serialised trade objects (the Section 1 JSON trade example)."""
+    symbols = ("IBM", "AAPL", "MSFT", "GOOG", "BABA", "TSLA", "AMZN", "NVDA")
+    records: list[str] = []
+    for _ in range(count):
+        if rng.random() < _OUTLIER_RATE:
+            records.append(_outlier(rng))
+            continue
+        template = rng.random()
+        symbol = rng.choice(symbols)
+        side = rng.choice("BS")
+        quantity = rng.randint(1, 99_999)
+        price = rng.randint(100, 99_999) / 100
+        timestamp = epoch_seconds(rng)
+        if template < 0.55:
+            records.append(
+                '{"symbol": "%s", "side": "%s", "quantity": %d, "price": %.2f, '
+                '"timestamp": %d, "venue": "SSE", "account": "ACC%s", '
+                '"order_id": "%s"}'
+                % (symbol, side, quantity, price, timestamp, digits(rng, 8), uuid4_string(rng))
+            )
+        elif template < 0.85:
+            records.append(
+                '{"symbol": "%s", "side": "%s", "quantity": %d, "price": %.2f, '
+                '"timestamp": %d, "settle": "T+%d", "account": "ACC%s"}'
+                % (symbol, side, quantity, price, timestamp, rng.randint(0, 2), digits(rng, 8))
+            )
+        else:
+            records.append(
+                "trade|%s|%s|%d|%.2f|%d|node-%02d|%s"
+                % (symbol, side, quantity, price, timestamp, rng.randint(0, 31), hex_token(rng, 16))
+            )
+    return records
+
+
+def generate_kv3(count: int, rng: random.Random) -> list[str]:
+    """KV3: session-cache entries keyed by user and device."""
+    records: list[str] = []
+    platforms = ("android", "ios", "web", "mini")
+    for _ in range(count):
+        if rng.random() < _OUTLIER_RATE:
+            records.append(_outlier(rng))
+            continue
+        platform = rng.choice(platforms)
+        records.append(
+            f"session:{uuid4_string(rng)}:uid={digits(rng, 10)}:plat={platform}"
+            f":ip={ip_address(rng)}:exp={epoch_seconds(rng)}:flags=0x{hex_token(rng, 4)}"
+        )
+    return records
+
+
+def generate_kv4(count: int, rng: random.Random) -> list[str]:
+    """KV4: short counter records (the shortest production workload)."""
+    records: list[str] = []
+    for _ in range(count):
+        if rng.random() < _OUTLIER_RATE:
+            records.append(_outlier(rng))
+            continue
+        records.append(
+            f"cnt:{pick_word(rng)}:{digits(rng, 6)}:{rng.randint(0, 9999)}:{digits(rng, 10)}"
+        )
+    return records
+
+
+def generate_kv5(count: int, rng: random.Random) -> list[str]:
+    """KV5: feature-flag / config payloads with key=value pairs."""
+    records: list[str] = []
+    for _ in range(count):
+        if rng.random() < _OUTLIER_RATE:
+            records.append(_outlier(rng))
+            continue
+        records.append(
+            f"cfg;tenant={digits(rng, 6)};group={pick_word(rng)};"
+            f"enabled={rng.choice(('true', 'false'))};rollout={rng.randint(0, 100)};"
+            f"rev={digits(rng, 8)}"
+        )
+    return records

@@ -1,0 +1,40 @@
+"""Capacity-boundary datasets: ``urls`` and ``uuid``.
+
+The paper uses these two FSST test corpora to probe where pattern-based
+compression stops paying off: URLs still share long common subsequences
+(scheme, host, path prefixes), while random UUIDs share almost nothing beyond
+the dash positions, so PBC's advantage should shrink to roughly the dictionary
+overhead (Table 3 / Table 4, ``uuid`` row).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import hex_token, pick_word, uuid4_string
+
+_HOSTS = (
+    "www.example.com", "cdn.assets.example.net", "api.internal.example.org",
+    "img.shop.example.com", "static.news.example.io", "m.media.example.cn",
+)
+
+_PATH_ROOTS = ("products", "articles", "users", "images", "search", "category", "download")
+
+
+def generate_urls(count: int, rng: random.Random) -> list[str]:
+    """HTTP(S) URLs with shared hosts and path prefixes plus query parameters."""
+    records: list[str] = []
+    for _ in range(count):
+        host = rng.choice(_HOSTS)
+        root = rng.choice(_PATH_ROOTS)
+        scheme = "https" if rng.random() < 0.8 else "http"
+        path = f"/{root}/{pick_word(rng)}/{rng.randint(1, 10**6)}"
+        if rng.random() < 0.6:
+            path += f"?ref={pick_word(rng)}&session={hex_token(rng, 12)}&page={rng.randint(1, 50)}"
+        records.append(f"{scheme}://{host}{path}")
+    return records
+
+
+def generate_uuid(count: int, rng: random.Random) -> list[str]:
+    """Random RFC-4122 UUID strings (essentially incompressible content)."""
+    return [uuid4_string(rng) for _ in range(count)]

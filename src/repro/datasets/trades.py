@@ -1,0 +1,75 @@
+"""Financial trade records — the paper's introductory motivating example.
+
+Section 1 of the paper motivates PBC with a C ``struct trade`` serialised to
+JSON through a fixed ``sprintf`` template: the 66-byte template dwarfs the
+~22 bytes of actual values.  This generator reproduces that workload — JSON
+trade records from a handful of serialisation templates (different services
+emit slightly different layouts), with realistic symbol/price/quantity
+distributions and a small outlier fraction.
+
+The dataset is registered as an *extra* dataset (it is not part of the paper's
+Table 2 corpus) and is used by ``examples/trade_records.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import hex_token
+
+_SYMBOLS = (
+    "IBM", "AAPL", "GOOG", "MSFT", "AMZN", "TSLA", "NVDA", "META", "ORCL", "INTC",
+    "BABA", "TSM", "NFLX", "AMD", "CRM", "UBER",
+)
+
+_VENUES = ("NYSE", "NASDAQ", "ARCA", "BATS", "IEX")
+
+_ACCOUNTS = ("alpha-fund", "beta-desk", "gamma-prop", "delta-retail", "omega-mm")
+
+
+def _price(rng: random.Random) -> str:
+    """A plausible trade price with two decimals."""
+    return f"{rng.uniform(5, 900):.2f}"
+
+
+def _timestamp(rng: random.Random) -> int:
+    """An epoch timestamp inside a single trading year."""
+    return rng.randint(1_672_531_200, 1_704_067_199)
+
+
+def generate_trades(count: int, rng: random.Random) -> list[str]:
+    """JSON trade records emitted by a few fixed serialisation templates."""
+    records: list[str] = []
+    for index in range(count):
+        symbol = rng.choice(_SYMBOLS)
+        side = rng.choice("BS")
+        quantity = rng.choice((100, 200, 250, 500, 1000, rng.randint(1, 5000)))
+        price = _price(rng)
+        timestamp = _timestamp(rng)
+        template = index % 10
+        if template < 5:
+            # The paper's introductory to_json() template.
+            records.append(
+                f'{{"symbol": "{symbol}", "side": "{side}", "quantity": {quantity}, '
+                f'"price": {price}, "timestamp": {timestamp}}}'
+            )
+        elif template < 8:
+            # A richer execution-report template from another service.
+            records.append(
+                f'{{"exec_id": "EX-{hex_token(rng, 10)}", "venue": "{rng.choice(_VENUES)}", '
+                f'"symbol": "{symbol}", "side": "{side}", "qty": {quantity}, "px": {price}, '
+                f'"account": "{rng.choice(_ACCOUNTS)}", "ts": {timestamp}}}'
+            )
+        elif template < 9:
+            # A compact FIX-like key=value template.
+            records.append(
+                f"35=8|55={symbol}|54={1 if side == 'B' else 2}|38={quantity}|44={price}"
+                f"|60={timestamp}|17=EX{hex_token(rng, 8)}"
+            )
+        else:
+            # Occasional free-form outlier (manual adjustment entries).
+            records.append(
+                f"manual adjustment for {symbol.lower()} booked by ops-{rng.randint(1, 9)}: "
+                f"{rng.choice(('fee', 'rebate', 'bust', 'correction'))} {price}"
+            )
+    return records

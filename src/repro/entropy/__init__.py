@@ -1,0 +1,63 @@
+"""Entropy-coding substrates: bit IO, varints, Huffman, rANS and arithmetic coding.
+
+These are the low-level building blocks used by the pure-Python baseline codecs
+(:mod:`repro.compressors`), by the PBC field encoders, and by the optional
+residual entropy stages (:mod:`repro.core.residual`).
+"""
+
+from repro.entropy.arithmetic import (
+    ArithmeticCodec,
+    BitTreeModel,
+    arithmetic_decode,
+    arithmetic_encode,
+)
+from repro.entropy.bitio import BitReader, BitWriter
+from repro.entropy.huffman import (
+    HuffmanCode,
+    HuffmanDecoder,
+    HuffmanEncoder,
+    build_canonical_code,
+    shannon_entropy,
+)
+from repro.entropy.rans import (
+    PROB_BITS,
+    PROB_SCALE,
+    RansCodec,
+    RansModel,
+    normalize_frequencies,
+    rans_decode,
+    rans_encode,
+)
+from repro.entropy.varint import (
+    decode_uvarint,
+    decode_zigzag,
+    encode_uvarint,
+    encode_zigzag,
+    uvarint_size,
+)
+
+__all__ = [
+    "ArithmeticCodec",
+    "BitReader",
+    "BitTreeModel",
+    "BitWriter",
+    "HuffmanCode",
+    "HuffmanDecoder",
+    "HuffmanEncoder",
+    "PROB_BITS",
+    "PROB_SCALE",
+    "RansCodec",
+    "RansModel",
+    "arithmetic_decode",
+    "arithmetic_encode",
+    "build_canonical_code",
+    "decode_uvarint",
+    "decode_zigzag",
+    "encode_uvarint",
+    "encode_zigzag",
+    "normalize_frequencies",
+    "rans_decode",
+    "rans_encode",
+    "shannon_entropy",
+    "uvarint_size",
+]

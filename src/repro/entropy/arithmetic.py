@@ -1,0 +1,201 @@
+"""Adaptive binary arithmetic coding over byte payloads.
+
+Arithmetic coding is one of the entropy-coding techniques the paper lists as
+Zstd's backends [42] and as an option for further compressing PBC residual
+subsequences (Section 5.2).  This module implements the classic 32-bit
+arithmetic coder with an adaptive order-0 bit-tree model: every byte is coded
+as eight binary decisions whose probabilities adapt as data is seen, so no
+frequency table needs to be stored.
+
+The adaptive model makes the codec fully self-contained (only the payload
+length is stored), which is what makes it attractive for short residual
+payloads where a static table header would dominate.
+"""
+
+from __future__ import annotations
+
+from repro.entropy.bitio import BitReader, BitWriter
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import DecodingError
+
+_PRECISION = 32
+_WHOLE = (1 << _PRECISION) - 1
+_HALF = 1 << (_PRECISION - 1)
+_QUARTER = 1 << (_PRECISION - 2)
+_THREE_QUARTERS = _HALF + _QUARTER
+
+#: Counts are halved once they reach this value so the model keeps adapting.
+_MAX_COUNT = 1 << 16
+
+
+class BitTreeModel:
+    """Adaptive order-0 model: one zero/one counter pair per bit-tree node.
+
+    The byte being coded selects a path through a binary tree of 255 internal
+    nodes (node 1 is the root, children of node ``i`` are ``2i`` and ``2i+1``),
+    exactly as in classic CM coders, so the probability of each bit is
+    conditioned on the more significant bits of the same byte.
+    """
+
+    def __init__(self) -> None:
+        self._zeros = [1] * 256
+        self._ones = [1] * 256
+
+    def probability_zero(self, node: int) -> tuple[int, int]:
+        """Return ``(zero_count, total_count)`` for the node."""
+        zeros = self._zeros[node]
+        return zeros, zeros + self._ones[node]
+
+    def update(self, node: int, bit: int) -> None:
+        """Record that ``bit`` was observed at ``node``."""
+        if bit:
+            self._ones[node] += 1
+        else:
+            self._zeros[node] += 1
+        if self._zeros[node] + self._ones[node] >= _MAX_COUNT:
+            self._zeros[node] = max(1, self._zeros[node] >> 1)
+            self._ones[node] = max(1, self._ones[node] >> 1)
+
+
+class _Encoder:
+    """32-bit arithmetic encoder with pending-bit (E3) handling."""
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._high = _WHOLE
+        self._pending = 0
+        self._writer = BitWriter()
+
+    def _emit(self, bit: int) -> None:
+        self._writer.write_bit(bit)
+        inverse = bit ^ 1
+        for _ in range(self._pending):
+            self._writer.write_bit(inverse)
+        self._pending = 0
+
+    def encode_bit(self, bit: int, zero_count: int, total_count: int) -> None:
+        span = self._high - self._low + 1
+        split = self._low + (span * zero_count) // total_count - 1
+        if bit == 0:
+            self._high = split
+        else:
+            self._low = split + 1
+        while True:
+            if self._high < _HALF:
+                self._emit(0)
+            elif self._low >= _HALF:
+                self._emit(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._pending += 1
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+
+    def finish(self) -> bytes:
+        self._pending += 1
+        if self._low < _QUARTER:
+            self._emit(0)
+        else:
+            self._emit(1)
+        return self._writer.getvalue()
+
+
+class _Decoder:
+    """Decoder mirroring :class:`_Encoder`."""
+
+    def __init__(self, payload: bytes) -> None:
+        self._reader = BitReader(payload)
+        self._low = 0
+        self._high = _WHOLE
+        self._value = 0
+        for _ in range(_PRECISION):
+            self._value = (self._value << 1) | self._next_bit()
+
+    def _next_bit(self) -> int:
+        if self._reader.bits_remaining > 0:
+            return self._reader.read_bit()
+        return 0
+
+    def decode_bit(self, zero_count: int, total_count: int) -> int:
+        span = self._high - self._low + 1
+        split = self._low + (span * zero_count) // total_count - 1
+        if self._value <= split:
+            bit = 0
+            self._high = split
+        else:
+            bit = 1
+            self._low = split + 1
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._value -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+                self._value -= _QUARTER
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+            self._value = (self._value << 1) | self._next_bit()
+        return bit
+
+
+def arithmetic_encode(data: bytes, model: BitTreeModel | None = None) -> bytes:
+    """Encode ``data`` adaptively; pass a shared ``model`` to carry state across calls."""
+    if not data:
+        return b""
+    local_model = model if model is not None else BitTreeModel()
+    encoder = _Encoder()
+    for byte in data:
+        node = 1
+        for shift in range(7, -1, -1):
+            bit = (byte >> shift) & 1
+            zeros, total = local_model.probability_zero(node)
+            encoder.encode_bit(bit, zeros, total)
+            local_model.update(node, bit)
+            node = (node << 1) | bit
+    return encoder.finish()
+
+
+def arithmetic_decode(payload: bytes, length: int, model: BitTreeModel | None = None) -> bytes:
+    """Decode ``length`` bytes produced by :func:`arithmetic_encode`."""
+    if length == 0:
+        return b""
+    if not payload:
+        raise DecodingError("empty arithmetic payload for non-zero length")
+    local_model = model if model is not None else BitTreeModel()
+    decoder = _Decoder(payload)
+    out = bytearray()
+    for _ in range(length):
+        node = 1
+        for _ in range(8):
+            zeros, total = local_model.probability_zero(node)
+            bit = decoder.decode_bit(zeros, total)
+            local_model.update(node, bit)
+            node = (node << 1) | bit
+        out.append(node & 0xFF)
+    return bytes(out)
+
+
+class ArithmeticCodec:
+    """Self-contained adaptive arithmetic codec (``uvarint(length) + bit stream``)."""
+
+    name = "arith"
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` with a fresh adaptive model."""
+        return encode_uvarint(len(data)) + arithmetic_encode(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+        length, offset = decode_uvarint(data, 0)
+        return arithmetic_decode(data[offset:], length)

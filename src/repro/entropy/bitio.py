@@ -1,0 +1,112 @@
+"""Bit-level reader and writer used by the Huffman entropy stage.
+
+Bits are packed most-significant-bit first inside each byte, which keeps the
+canonical Huffman decoder simple (codes can be compared as left-aligned integers).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DecodingError
+
+
+class BitWriter:
+    """Accumulates bits and renders them as a ``bytes`` payload.
+
+    The writer keeps a small integer accumulator; every time eight bits are
+    available a byte is flushed into an internal ``bytearray``.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append the ``width`` low bits of ``value`` (most significant first)."""
+        if width < 0:
+            raise ValueError("bit width must be non-negative")
+        if width == 0:
+            return
+        if value < 0 or value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._accumulator = (self._accumulator << width) | value
+        self._bit_count += width
+        while self._bit_count >= 8:
+            self._bit_count -= 8
+            byte = (self._accumulator >> self._bit_count) & 0xFF
+            self._buffer.append(byte)
+        self._accumulator &= (1 << self._bit_count) - 1
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self.write_bits(bit & 1, 1)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes; the stream need not be byte aligned."""
+        for byte in data:
+            self.write_bits(byte, 8)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._bit_count
+
+    def getvalue(self) -> bytes:
+        """Return the written bits padded with zero bits to a byte boundary."""
+        if self._bit_count == 0:
+            return bytes(self._buffer)
+        padding = 8 - self._bit_count
+        tail = (self._accumulator << padding) & 0xFF
+        return bytes(self._buffer) + bytes([tail])
+
+
+class BitReader:
+    """Reads bits (most significant first) from a ``bytes`` payload."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # bit position
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits and return them as an unsigned integer."""
+        if width < 0:
+            raise ValueError("bit width must be non-negative")
+        if width == 0:
+            return 0
+        end = self._position + width
+        if end > len(self._data) * 8:
+            raise DecodingError("bit stream exhausted")
+        value = 0
+        position = self._position
+        remaining = width
+        while remaining:
+            byte_index = position // 8
+            bit_offset = position % 8
+            available = 8 - bit_offset
+            take = min(available, remaining)
+            chunk = self._data[byte_index]
+            chunk >>= available - take
+            chunk &= (1 << take) - 1
+            value = (value << take) | chunk
+            position += take
+            remaining -= take
+        self._position = position
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read_bits(1)
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` whole bytes from the current bit position."""
+        return bytes(self.read_bits(8) for _ in range(count))
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of unread bits (including any final padding bits)."""
+        return len(self._data) * 8 - self._position
+
+    @property
+    def position(self) -> int:
+        """Current bit position from the start of the stream."""
+        return self._position

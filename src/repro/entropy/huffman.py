@@ -1,0 +1,178 @@
+"""Canonical Huffman coding over byte symbols.
+
+Used as the entropy stage of the Zstd-like codec and as an optional residual
+encoder in PBC ("further compression" row of Table 1 in the paper).
+
+The code is *canonical*: only the code length of every symbol needs to be
+stored in the compressed header, which keeps headers small for short payloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.entropy.bitio import BitReader, BitWriter
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import DecodingError, EncodingError
+
+_MAX_CODE_LENGTH = 15
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Shannon entropy of ``data`` in bits per byte (0.0 for empty input)."""
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    total = len(data)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """A canonical Huffman code: per-symbol code lengths and code words."""
+
+    lengths: dict[int, int]
+    codes: dict[int, tuple[int, int]]  # symbol -> (codeword, length)
+
+    @property
+    def symbols(self) -> list[int]:
+        """Symbols covered by the code, sorted."""
+        return sorted(self.lengths)
+
+
+def _limited_lengths(frequencies: dict[int, int]) -> dict[int, int]:
+    """Compute Huffman code lengths, clamped to ``_MAX_CODE_LENGTH`` bits."""
+    symbols = sorted(frequencies)
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+    heap: list[tuple[int, int, list[int]]] = []
+    for tiebreak, symbol in enumerate(symbols):
+        heapq.heappush(heap, (frequencies[symbol], tiebreak, [symbol]))
+    depths: dict[int, int] = {symbol: 0 for symbol in symbols}
+    counter = len(symbols)
+    while len(heap) > 1:
+        freq_a, _, group_a = heapq.heappop(heap)
+        freq_b, _, group_b = heapq.heappop(heap)
+        for symbol in group_a:
+            depths[symbol] += 1
+        for symbol in group_b:
+            depths[symbol] += 1
+        counter += 1
+        heapq.heappush(heap, (freq_a + freq_b, counter, group_a + group_b))
+    # Clamp overly deep codes; the canonical assignment below re-balances them.
+    for symbol, depth in depths.items():
+        if depth > _MAX_CODE_LENGTH:
+            depths[symbol] = _MAX_CODE_LENGTH
+    return _fix_kraft(depths)
+
+
+def _fix_kraft(depths: dict[int, int]) -> dict[int, int]:
+    """Adjust code lengths so the Kraft inequality holds with equality or less."""
+    lengths = dict(depths)
+    while True:
+        kraft = sum(2 ** (_MAX_CODE_LENGTH - length) for length in lengths.values())
+        budget = 2**_MAX_CODE_LENGTH
+        if kraft <= budget:
+            return lengths
+        # Demote the symbol with the shortest length (cheapest to extend).
+        victim = min(
+            (symbol for symbol, length in lengths.items() if length < _MAX_CODE_LENGTH),
+            key=lambda symbol: lengths[symbol],
+            default=None,
+        )
+        if victim is None:
+            raise EncodingError("cannot satisfy Kraft inequality")
+        lengths[victim] += 1
+
+
+def build_canonical_code(frequencies: dict[int, int]) -> HuffmanCode:
+    """Build a canonical Huffman code from symbol frequencies."""
+    lengths = _limited_lengths(frequencies)
+    codes = _assign_canonical(lengths)
+    return HuffmanCode(lengths=lengths, codes=codes)
+
+
+def _assign_canonical(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Assign canonical code words given per-symbol code lengths."""
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for symbol, length in ordered:
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+class HuffmanEncoder:
+    """Encodes byte payloads with a canonical Huffman code built from the payload."""
+
+    def encode(self, data: bytes) -> bytes:
+        """Encode ``data``; the output embeds the code-length table."""
+        header = bytearray()
+        header += encode_uvarint(len(data))
+        if not data:
+            return bytes(header)
+        frequencies = dict(Counter(data))
+        code = build_canonical_code(frequencies)
+        header += encode_uvarint(len(code.lengths))
+        for symbol in code.symbols:
+            header.append(symbol)
+            header.append(code.lengths[symbol])
+        writer = BitWriter()
+        codes = code.codes
+        for byte in data:
+            word, width = codes[byte]
+            writer.write_bits(word, width)
+        return bytes(header) + writer.getvalue()
+
+
+class HuffmanDecoder:
+    """Decodes payloads produced by :class:`HuffmanEncoder`."""
+
+    def decode(self, payload: bytes) -> bytes:
+        """Decode ``payload`` back to the original bytes."""
+        length, offset = decode_uvarint(payload, 0)
+        if length == 0:
+            return b""
+        symbol_count, offset = decode_uvarint(payload, offset)
+        lengths: dict[int, int] = {}
+        for _ in range(symbol_count):
+            if offset + 2 > len(payload):
+                raise DecodingError("truncated Huffman header")
+            symbol = payload[offset]
+            code_length = payload[offset + 1]
+            offset += 2
+            lengths[symbol] = code_length
+        codes = _assign_canonical(lengths)
+        # Build a (length, codeword) -> symbol lookup for decoding.
+        lookup = {value: symbol for symbol, value in codes.items()}
+        reader = BitReader(payload[offset:])
+        out = bytearray()
+        if len(lengths) == 1:
+            only_symbol = next(iter(lengths))
+            return bytes([only_symbol]) * length
+        while len(out) < length:
+            word = 0
+            width = 0
+            while True:
+                word = (word << 1) | reader.read_bit()
+                width += 1
+                symbol = lookup.get((word, width))
+                if symbol is not None:
+                    out.append(symbol)
+                    break
+                if width > _MAX_CODE_LENGTH:
+                    raise DecodingError("invalid Huffman code word")
+        return bytes(out)

@@ -1,0 +1,222 @@
+"""Range asymmetric numeral system (rANS) entropy coding over byte symbols.
+
+Zstd's entropy stage is built on ANS [16 in the paper]; this module provides a
+pure-Python byte-oriented rANS coder that the reproduction uses in two places:
+
+* as a self-contained block codec (:class:`RansCodec`) whose header embeds the
+  normalised frequency table, and
+* as a *shared-model* residual encoder for PBC (Section 5.2, "entropy encoding
+  techniques" for residual subsequences): the model is trained once on the
+  training sample and reused for every record, so short records carry no
+  per-record table overhead (see :mod:`repro.core.residual`).
+
+The implementation follows the classic byte-wise rANS construction: the encoder
+walks the input in reverse, emitting renormalisation bytes, and the decoder
+walks the produced stream forward.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import DecodingError, EncodingError
+
+#: Number of bits of precision of the normalised frequency table.
+PROB_BITS = 12
+
+#: Sum of all normalised frequencies (``2 ** PROB_BITS``).
+PROB_SCALE = 1 << PROB_BITS
+
+#: Lower bound of the rANS state during renormalisation.
+_RANS_LOW = 1 << 23
+
+#: Mask used to extract the cumulative-frequency slot from the state.
+_SLOT_MASK = PROB_SCALE - 1
+
+
+def normalize_frequencies(counts: dict[int, int], scale: int = PROB_SCALE) -> dict[int, int]:
+    """Scale raw symbol counts to frequencies summing exactly to ``scale``.
+
+    Every symbol with a non-zero count receives a frequency of at least one so
+    it stays encodable; the remainder is distributed proportionally and the
+    rounding error is absorbed by the most frequent symbol.
+    """
+    present = {symbol: count for symbol, count in counts.items() if count > 0}
+    if not present:
+        raise EncodingError("cannot normalise an empty frequency table")
+    if len(present) > scale:
+        raise EncodingError(f"more than {scale} distinct symbols cannot be normalised")
+    total = sum(present.values())
+    normalized: dict[int, int] = {}
+    for symbol, count in present.items():
+        normalized[symbol] = max(1, (count * scale) // total)
+    error = scale - sum(normalized.values())
+    # Distribute the rounding error over the most frequent symbols; taking from
+    # (or giving to) high-frequency symbols keeps the per-symbol distortion low.
+    for symbol, _ in sorted(present.items(), key=lambda item: -item[1]):
+        if error == 0:
+            break
+        if error > 0:
+            normalized[symbol] += error
+            error = 0
+        else:
+            reducible = normalized[symbol] - 1
+            adjust = min(reducible, -error)
+            normalized[symbol] -= adjust
+            error += adjust
+    if sum(normalized.values()) != scale:
+        raise EncodingError("frequency normalisation failed to reach the target scale")
+    return normalized
+
+
+@dataclass(frozen=True)
+class RansModel:
+    """A static rANS symbol model: normalised frequencies and cumulative starts."""
+
+    frequencies: dict[int, int]
+    starts: dict[int, int]
+    slots: tuple[int, ...]  # slot index -> symbol, length PROB_SCALE
+
+    @classmethod
+    def from_counts(cls, counts: dict[int, int]) -> "RansModel":
+        """Build a model from raw symbol counts."""
+        frequencies = normalize_frequencies(counts)
+        return cls.from_frequencies(frequencies)
+
+    @classmethod
+    def from_frequencies(cls, frequencies: dict[int, int]) -> "RansModel":
+        """Build a model from already-normalised frequencies."""
+        if sum(frequencies.values()) != PROB_SCALE:
+            raise EncodingError("rANS frequencies must sum to PROB_SCALE")
+        starts: dict[int, int] = {}
+        slots: list[int] = []
+        cumulative = 0
+        for symbol in sorted(frequencies):
+            frequency = frequencies[symbol]
+            if frequency <= 0:
+                raise EncodingError("rANS frequencies must be positive")
+            starts[symbol] = cumulative
+            slots.extend([symbol] * frequency)
+            cumulative += frequency
+        return cls(frequencies=dict(frequencies), starts=starts, slots=tuple(slots))
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[bytes], extra_symbols: Sequence[int] = ()) -> "RansModel":
+        """Build a model from a collection of training payloads.
+
+        ``extra_symbols`` are given a count of one even when absent from the
+        samples, which keeps them encodable later (the shared-model residual
+        codec passes the full byte alphabet here).
+        """
+        counts: Counter[int] = Counter()
+        for payload in samples:
+            counts.update(payload)
+        for symbol in extra_symbols:
+            if counts[symbol] == 0:
+                counts[symbol] = 1
+        if not counts:
+            counts = Counter({symbol: 1 for symbol in range(256)})
+        return cls.from_counts(dict(counts))
+
+    def can_encode(self, data: bytes) -> bool:
+        """Whether every byte of ``data`` has a non-zero frequency in the model."""
+        return all(byte in self.frequencies for byte in data)
+
+    def to_bytes(self) -> bytes:
+        """Serialise the frequency table (symbol / frequency varint pairs)."""
+        out = bytearray()
+        out += encode_uvarint(len(self.frequencies))
+        for symbol in sorted(self.frequencies):
+            out += encode_uvarint(symbol)
+            out += encode_uvarint(self.frequencies[symbol])
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int = 0) -> tuple["RansModel", int]:
+        """Inverse of :meth:`to_bytes`; returns ``(model, next_offset)``."""
+        symbol_count, offset = decode_uvarint(data, offset)
+        frequencies: dict[int, int] = {}
+        for _ in range(symbol_count):
+            symbol, offset = decode_uvarint(data, offset)
+            frequency, offset = decode_uvarint(data, offset)
+            frequencies[symbol] = frequency
+        return cls.from_frequencies(frequencies), offset
+
+
+def rans_encode(data: bytes, model: RansModel) -> bytes:
+    """Encode ``data`` with a static ``model``; the output excludes the model."""
+    if not data:
+        return b""
+    frequencies = model.frequencies
+    starts = model.starts
+    emitted = bytearray()
+    state = _RANS_LOW
+    for byte in reversed(data):
+        frequency = frequencies.get(byte)
+        if frequency is None:
+            raise EncodingError(f"symbol {byte} is not present in the rANS model")
+        limit = ((_RANS_LOW >> PROB_BITS) << 8) * frequency
+        while state >= limit:
+            emitted.append(state & 0xFF)
+            state >>= 8
+        state = ((state // frequency) << PROB_BITS) + (state % frequency) + starts[byte]
+    header = state.to_bytes(4, "big")
+    return header + bytes(reversed(emitted))
+
+
+def rans_decode(payload: bytes, length: int, model: RansModel) -> bytes:
+    """Decode ``length`` symbols from ``payload`` using the static ``model``."""
+    if length == 0:
+        return b""
+    if len(payload) < 4:
+        raise DecodingError("truncated rANS payload")
+    state = int.from_bytes(payload[:4], "big")
+    position = 4
+    frequencies = model.frequencies
+    starts = model.starts
+    slots = model.slots
+    out = bytearray()
+    for _ in range(length):
+        slot = state & _SLOT_MASK
+        symbol = slots[slot]
+        out.append(symbol)
+        state = frequencies[symbol] * (state >> PROB_BITS) + slot - starts[symbol]
+        while state < _RANS_LOW:
+            if position >= len(payload):
+                raise DecodingError("rANS stream exhausted before all symbols were decoded")
+            state = (state << 8) | payload[position]
+            position += 1
+    return bytes(out)
+
+
+class RansCodec:
+    """Self-contained rANS codec: the payload embeds the frequency table.
+
+    Layout: ``uvarint(length) + model table + rANS stream``.  Suitable as a
+    block-level entropy stage; for short per-record payloads prefer the
+    shared-model path (:func:`rans_encode` with an externally stored model).
+    """
+
+    name = "rans"
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; empty input produces a one-byte payload."""
+        out = bytearray()
+        out += encode_uvarint(len(data))
+        if not data:
+            return bytes(out)
+        model = RansModel.from_counts(dict(Counter(data)))
+        out += model.to_bytes()
+        out += rans_encode(data, model)
+        return bytes(out)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+        length, offset = decode_uvarint(data, 0)
+        if length == 0:
+            return b""
+        model, offset = RansModel.from_bytes(data, offset)
+        return rans_decode(data[offset:], length, model)

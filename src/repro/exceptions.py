@@ -1,0 +1,48 @@
+"""Exception hierarchy for the PBC reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so callers can
+catch library failures with a single ``except`` clause while still distinguishing
+the individual failure modes when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EncodingError(ReproError):
+    """A field value cannot be encoded by the selected field encoder."""
+
+
+class DecodingError(ReproError):
+    """A compressed payload is malformed or truncated."""
+
+
+class PatternError(ReproError):
+    """A pattern definition is invalid (e.g. empty, or mismatched encoder list)."""
+
+
+class MatchError(ReproError):
+    """A record could not be matched against a pattern it was expected to match."""
+
+
+class ClusteringError(ReproError):
+    """The clustering stage received invalid input (e.g. empty sample set)."""
+
+
+class DictionaryError(ReproError):
+    """A pattern dictionary is inconsistent (duplicate ids, unknown pattern id)."""
+
+
+class CompressorError(ReproError):
+    """A compressor was used before training or with incompatible options."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator received invalid parameters."""
+
+
+class StoreError(ReproError):
+    """A storage substrate (block store / TierBase) operation failed."""

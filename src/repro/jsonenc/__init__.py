@@ -1,0 +1,22 @@
+"""JSON-specific serialisation baselines of Tables 6 and 7.
+
+* :class:`repro.jsonenc.ion.IonLikeCodec` — Amazon Ion-style self-describing
+  binary JSON serialisation (``Ion-B``).
+* :class:`repro.jsonenc.binpack.BinPackCodec` — JSON BinPack-style
+  schema-driven keyless serialisation (``BP-D``), with
+  :func:`repro.jsonenc.binpack.infer_schema` playing the role of the
+  application-provided schema.
+"""
+
+from repro.jsonenc.binpack import BinPackCodec, SchemaNode, infer_schema
+from repro.jsonenc.ion import IonLikeCodec, decode_value, decode_value_at, encode_value
+
+__all__ = [
+    "BinPackCodec",
+    "IonLikeCodec",
+    "SchemaNode",
+    "decode_value",
+    "decode_value_at",
+    "encode_value",
+    "infer_schema",
+]

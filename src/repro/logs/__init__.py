@@ -1,0 +1,20 @@
+"""Log-compression substrate: template parser and the LogReducer-style codec.
+
+* :class:`repro.logs.parser.LogParser` — fixed-depth prefix-tree template
+  parser (the Drain/Logzip-style parser LogReducer depends on).
+* :class:`repro.logs.logreducer.LogReducerCodec` — parser-based whole-file log
+  compressor with column-wise numeric delta encoding and an LZMA backend
+  (the Table 5 baseline).
+"""
+
+from repro.logs.logreducer import LogCompressionStats, LogReducerCodec
+from repro.logs.parser import LogParser, LogTemplate, ParsedLine, PARAMETER_TOKEN
+
+__all__ = [
+    "LogCompressionStats",
+    "LogParser",
+    "LogReducerCodec",
+    "LogTemplate",
+    "PARAMETER_TOKEN",
+    "ParsedLine",
+]

@@ -1,0 +1,189 @@
+"""Fixed-depth log template parser (the Drain/Logzip-style parser substrate).
+
+LogReducer (and Logzip before it) depends on an external log parser that turns
+every log line into ``(template, parameters)`` where the template is the
+constant part of the line and the parameters are the variable tokens.  This
+module implements that substrate: a fixed-depth prefix-tree parser in the
+spirit of Drain.
+
+Parsing model
+-------------
+* a line is tokenised by splitting on single spaces (empty tokens are kept, so
+  joining the tokens with a space reproduces the original line byte-for-byte);
+* lines are grouped by token count and by their first non-parameter tokens (the
+  tree levels); within a leaf group the line is compared to existing templates
+  with a token-wise similarity score;
+* when the best similarity clears the threshold the line joins that template
+  and mismatching template tokens degrade to the parameter marker ``<*>``;
+  otherwise a new template is created.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+#: Token marker for parameter (variable) positions inside a template.
+PARAMETER_TOKEN = "<*>"
+
+_DIGIT = re.compile(r"\d")
+
+
+def tokenize_line(line: str) -> list[str]:
+    """Split a log line into tokens on single spaces, preserving empty tokens."""
+    return line.split(" ")
+
+
+def detokenize_line(tokens: Sequence[str]) -> str:
+    """Inverse of :func:`tokenize_line`."""
+    return " ".join(tokens)
+
+
+def looks_variable(token: str) -> bool:
+    """Heuristic used when seeding templates: tokens containing digits are variables."""
+    return bool(_DIGIT.search(token))
+
+
+@dataclass
+class LogTemplate:
+    """One log template: constant tokens with ``<*>`` at parameter positions."""
+
+    template_id: int
+    tokens: list[str]
+    count: int = 0
+
+    @property
+    def template(self) -> str:
+        """The template rendered as a single string."""
+        return detokenize_line(self.tokens)
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of parameter positions."""
+        return sum(1 for token in self.tokens if token == PARAMETER_TOKEN)
+
+    def extract_parameters(self, tokens: Sequence[str]) -> list[str]:
+        """Values of the parameter positions of ``tokens`` (same length as template)."""
+        return [value for slot, value in zip(self.tokens, tokens) if slot == PARAMETER_TOKEN]
+
+    def reconstruct(self, parameters: Sequence[str]) -> str:
+        """Rebuild a full log line from parameter values."""
+        values = iter(parameters)
+        tokens = [next(values) if token == PARAMETER_TOKEN else token for token in self.tokens]
+        return detokenize_line(tokens)
+
+
+@dataclass
+class ParsedLine:
+    """Result of parsing one line: the owning template and its parameter values."""
+
+    template_id: int
+    parameters: list[str]
+
+
+@dataclass
+class _LeafGroup:
+    """Leaf of the parse tree: the templates sharing a token count and prefix."""
+
+    templates: list[LogTemplate] = field(default_factory=list)
+
+
+class LogParser:
+    """Fixed-depth prefix-tree template parser.
+
+    Parameters
+    ----------
+    similarity_threshold:
+        Minimum fraction of constant-token agreement for a line to join an
+        existing template.
+    tree_depth:
+        Number of leading tokens used as tree levels before the leaf group.
+    """
+
+    def __init__(self, similarity_threshold: float = 0.5, tree_depth: int = 3) -> None:
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in (0, 1]")
+        if tree_depth < 1:
+            raise ValueError("tree_depth must be at least 1")
+        self.similarity_threshold = similarity_threshold
+        self.tree_depth = tree_depth
+        self.templates: dict[int, LogTemplate] = {}
+        self._groups: dict[tuple, _LeafGroup] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ parse
+
+    def parse_line(self, line: str) -> ParsedLine:
+        """Parse one line, creating or updating templates as needed."""
+        tokens = tokenize_line(line)
+        group = self._group_for(tokens)
+        template = self._best_template(group, tokens)
+        if template is None:
+            template = self._new_template(tokens)
+            group.templates.append(template)
+        else:
+            self._absorb(template, tokens)
+        template.count += 1
+        return ParsedLine(template_id=template.template_id, parameters=template.extract_parameters(tokens))
+
+    def parse(self, lines: Iterable[str]) -> list[ParsedLine]:
+        """Parse many lines."""
+        return [self.parse_line(line) for line in lines]
+
+    def get_template(self, template_id: int) -> LogTemplate:
+        """Look up a template by id."""
+        return self.templates[template_id]
+
+    # -------------------------------------------------------------- internals
+
+    def _group_key(self, tokens: Sequence[str]) -> tuple:
+        prefix = []
+        for token in tokens[: self.tree_depth]:
+            prefix.append(PARAMETER_TOKEN if looks_variable(token) else token)
+        return (len(tokens), tuple(prefix))
+
+    def _group_for(self, tokens: Sequence[str]) -> _LeafGroup:
+        key = self._group_key(tokens)
+        group = self._groups.get(key)
+        if group is None:
+            group = _LeafGroup()
+            self._groups[key] = group
+        return group
+
+    @staticmethod
+    def _similarity(template_tokens: Sequence[str], tokens: Sequence[str]) -> float:
+        matches = sum(
+            1
+            for slot, value in zip(template_tokens, tokens)
+            if slot == value and slot != PARAMETER_TOKEN
+        )
+        constants = sum(1 for slot in template_tokens if slot != PARAMETER_TOKEN)
+        if constants == 0:
+            return 1.0
+        return matches / constants
+
+    def _best_template(self, group: _LeafGroup, tokens: Sequence[str]) -> LogTemplate | None:
+        best: LogTemplate | None = None
+        best_similarity = 0.0
+        for template in group.templates:
+            similarity = self._similarity(template.tokens, tokens)
+            if similarity > best_similarity:
+                best, best_similarity = template, similarity
+        if best is not None and best_similarity >= self.similarity_threshold:
+            return best
+        return None
+
+    def _new_template(self, tokens: Sequence[str]) -> LogTemplate:
+        template_tokens = [PARAMETER_TOKEN if looks_variable(token) else token for token in tokens]
+        template = LogTemplate(template_id=self._next_id, tokens=template_tokens)
+        self.templates[template.template_id] = template
+        self._next_id += 1
+        return template
+
+    @staticmethod
+    def _absorb(template: LogTemplate, tokens: Sequence[str]) -> None:
+        """Degrade template tokens that disagree with the new line to parameters."""
+        for index, (slot, value) in enumerate(zip(template.tokens, tokens)):
+            if slot != PARAMETER_TOKEN and slot != value:
+                template.tokens[index] = PARAMETER_TOKEN

@@ -1,0 +1,50 @@
+"""LSM-tree storage engine substrate (RocksDB/LevelDB-style) for the PBC evaluation.
+
+The paper motivates PBC with key-value engines whose block compression makes
+point lookups expensive.  This package provides that substrate: a single-node
+LSM engine (write-ahead log, memtable, SSTables with Bloom filters, size-tiered
+compaction) whose SSTable value layout is pluggable —
+
+* :class:`PlainPolicy` — values stored raw,
+* :class:`BlockCompressionPolicy` — whole data blocks compressed with a block
+  codec (the RocksDB/LevelDB configuration),
+* :class:`RecordCompressionPolicy` — values compressed individually with a
+  trained :class:`repro.tierbase.compression.ValueCompressor` such as PBC_F.
+
+The LSM integration benchmark (``benchmarks/bench_lsm_engine.py``) compares the
+three policies on space usage and point-lookup throughput, extending the
+paper's Figure 5 / Table 8 story to a persistent storage engine.
+"""
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.engine import EngineStats, LookupTiming, LSMEngine
+from repro.lsm.memtable import TOMBSTONE, MemTable
+from repro.lsm.sstable import (
+    BlockCompressionPolicy,
+    PlainPolicy,
+    RecordCompressionPolicy,
+    SSTable,
+    SSTableInfo,
+    StoragePolicy,
+    write_sstable,
+)
+from repro.lsm.wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+__all__ = [
+    "BlockCompressionPolicy",
+    "BloomFilter",
+    "EngineStats",
+    "LSMEngine",
+    "LookupTiming",
+    "MemTable",
+    "OP_DELETE",
+    "OP_PUT",
+    "PlainPolicy",
+    "RecordCompressionPolicy",
+    "SSTable",
+    "SSTableInfo",
+    "StoragePolicy",
+    "TOMBSTONE",
+    "WriteAheadLog",
+    "write_sstable",
+]

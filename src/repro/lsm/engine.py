@@ -1,0 +1,263 @@
+"""A log-structured merge-tree storage engine with pluggable value compression.
+
+This is the reproduction's stand-in for the RocksDB/LevelDB-class engines the
+paper's introduction targets: engines that compress stored data either in
+blocks (general-purpose codecs) or — after integrating PBC — per record.  The
+engine combines
+
+* a write-ahead log (:mod:`repro.lsm.wal`) for durability,
+* an in-memory memtable (:mod:`repro.lsm.memtable`) absorbing writes,
+* immutable SSTables (:mod:`repro.lsm.sstable`) produced by flushes, and
+* a size-tiered compaction that merges all tables once their count crosses a
+  threshold, keeping the newest version of every key and dropping tombstones.
+
+Reads consult the memtable first, then SSTables newest-first, so the engine has
+standard LSM read/write semantics.  The storage policy decides how values are
+compressed inside SSTables, which is what the LSM integration benchmark varies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.exceptions import StoreError
+from repro.lsm.memtable import MemTable
+from repro.lsm.sstable import PlainPolicy, SSTable, StoragePolicy, write_sstable
+from repro.lsm.wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+
+@dataclass
+class EngineStats:
+    """Point-in-time statistics of an :class:`LSMEngine`."""
+
+    policy: str
+    memtable_entries: int
+    memtable_bytes: int
+    sstable_count: int
+    sstable_file_bytes: int
+    logical_value_bytes: int
+    flushes: int
+    compactions: int
+
+    @property
+    def space_ratio(self) -> float:
+        """On-disk bytes divided by logical (uncompressed) value bytes."""
+        if self.logical_value_bytes == 0:
+            return 1.0
+        return self.sstable_file_bytes / self.logical_value_bytes
+
+
+@dataclass
+class LookupTiming:
+    """Outcome of a point-lookup throughput measurement."""
+
+    lookups: int
+    hits: int
+    elapsed_seconds: float
+
+    @property
+    def lookups_per_second(self) -> float:
+        """Point lookups per second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.lookups / self.elapsed_seconds
+
+
+class LSMEngine:
+    """A single-node LSM key-value engine with pluggable SSTable compression."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        policy: StoragePolicy | None = None,
+        memtable_bytes: int = 64 * 1024,
+        block_bytes: int = 4096,
+        compaction_trigger: int = 4,
+    ) -> None:
+        if memtable_bytes < 1:
+            raise StoreError("memtable size threshold must be positive")
+        if compaction_trigger < 2:
+            raise StoreError("compaction trigger must be at least 2")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.policy = policy if policy is not None else PlainPolicy()
+        self.memtable_bytes = memtable_bytes
+        self.block_bytes = block_bytes
+        self.compaction_trigger = compaction_trigger
+        self._memtable = MemTable()
+        self._wal = WriteAheadLog(self.directory / "wal.log")
+        self._tables: list[SSTable] = []  # oldest first
+        self._next_table_id = 0
+        self._flushes = 0
+        self._compactions = 0
+        self._closed = False
+        self._recover()
+
+    # --------------------------------------------------------------- recovery
+
+    def _recover(self) -> None:
+        """Re-open existing SSTables and replay the write-ahead log."""
+        for path in sorted(self.directory.glob("sstable-*.sst")):
+            self._tables.append(SSTable(path, self.policy))
+            table_id = int(path.stem.split("-")[1])
+            self._next_table_id = max(self._next_table_id, table_id + 1)
+        for op, key, value in self._wal.replay():
+            if op == OP_PUT:
+                self._memtable.put(key, value)
+            elif op == OP_DELETE:
+                self._memtable.delete(key)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StoreError("engine is closed")
+
+    # ------------------------------------------------------------------ write
+
+    def put(self, key: str, value: str) -> None:
+        """Insert or overwrite ``key``."""
+        self._require_open()
+        self._wal.append_put(key, value)
+        self._memtable.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: str) -> None:
+        """Delete ``key`` (a no-op if it never existed)."""
+        self._require_open()
+        self._wal.append_delete(key)
+        self._memtable.delete(key)
+        self._maybe_flush()
+
+    def put_many(self, items: Sequence[tuple[str, str]]) -> None:
+        """Bulk insert."""
+        for key, value in items:
+            self.put(key, value)
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approximate_bytes >= self.memtable_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the memtable to a new SSTable and reset the write-ahead log."""
+        self._require_open()
+        if len(self._memtable) == 0:
+            return
+        entries = list(self._memtable.items())
+        path = self.directory / f"sstable-{self._next_table_id:06d}.sst"
+        write_sstable(path, entries, self.policy, block_bytes=self.block_bytes)
+        self._tables.append(SSTable(path, self.policy))
+        self._next_table_id += 1
+        self._memtable.clear()
+        self._wal.reset()
+        self._flushes += 1
+        if len(self._tables) >= self.compaction_trigger:
+            self.compact()
+
+    # ------------------------------------------------------------------- read
+
+    def get(self, key: str) -> str | None:
+        """Point lookup; returns ``None`` for missing or deleted keys."""
+        self._require_open()
+        found, value = self._memtable.get(key)
+        if found:
+            return value
+        for table in reversed(self._tables):
+            found, value = table.get(key)
+            if found:
+                return value
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def scan(self, start: str | None = None, end: str | None = None) -> Iterator[tuple[str, str]]:
+        """All live entries with ``start <= key < end`` in key order (newest version wins)."""
+        self._require_open()
+        merged: dict[str, str | None] = {}
+        for table in self._tables:  # oldest first; later tables overwrite
+            for key, value in table.scan():
+                merged[key] = value
+        for key, value in self._memtable.items():
+            merged[key] = value
+        for key in sorted(merged):
+            if start is not None and key < start:
+                continue
+            if end is not None and key >= end:
+                break
+            value = merged[key]
+            if value is not None:
+                yield key, value
+
+    # ------------------------------------------------------------- compaction
+
+    def compact(self) -> None:
+        """Merge every SSTable into one, keeping newest versions and dropping tombstones."""
+        self._require_open()
+        if len(self._tables) <= 1:
+            return
+        merged: dict[str, str | None] = {}
+        for table in self._tables:  # oldest first
+            for key, value in table.scan():
+                merged[key] = value
+        live_entries = [(key, value) for key, value in sorted(merged.items()) if value is not None]
+        old_paths = [table.path for table in self._tables]
+        self._tables = []
+        if live_entries:
+            path = self.directory / f"sstable-{self._next_table_id:06d}.sst"
+            write_sstable(path, live_entries, self.policy, block_bytes=self.block_bytes)
+            self._tables.append(SSTable(path, self.policy))
+            self._next_table_id += 1
+        for path in old_paths:
+            path.unlink(missing_ok=True)
+        self._compactions += 1
+
+    # ------------------------------------------------------------ measurement
+
+    def stats(self) -> EngineStats:
+        """Current engine statistics (space usage, table counts, flush/compaction counters)."""
+        self._require_open()
+        logical = 0
+        for table in self._tables:
+            for _, value in table.scan():
+                if value is not None:
+                    logical += len(value.encode("utf-8"))
+        return EngineStats(
+            policy=self.policy.name,
+            memtable_entries=len(self._memtable),
+            memtable_bytes=self._memtable.approximate_bytes,
+            sstable_count=len(self._tables),
+            sstable_file_bytes=sum(table.file_bytes for table in self._tables),
+            logical_value_bytes=logical,
+            flushes=self._flushes,
+            compactions=self._compactions,
+        )
+
+    def measure_lookups(self, keys: Sequence[str]) -> LookupTiming:
+        """Time point lookups for ``keys``."""
+        self._require_open()
+        hits = 0
+        started = time.perf_counter()
+        for key in keys:
+            if self.get(key) is not None:
+                hits += 1
+        elapsed = time.perf_counter() - started
+        return LookupTiming(lookups=len(keys), hits=hits, elapsed_seconds=elapsed)
+
+    # ---------------------------------------------------------------- closing
+
+    def close(self) -> None:
+        """Flush pending writes and release the write-ahead log."""
+        if self._closed:
+            return
+        if len(self._memtable):
+            self.flush()
+        self._wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "LSMEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

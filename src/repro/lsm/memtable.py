@@ -1,0 +1,82 @@
+"""In-memory write buffer (memtable) of the LSM engine.
+
+The memtable absorbs writes until it reaches a size threshold, at which point
+the engine flushes it into an immutable, sorted SSTable.  Deletions are
+recorded as tombstones so they shadow older versions of the key living in
+SSTables until a compaction drops them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exceptions import StoreError
+
+#: Sentinel stored for deleted keys (a tombstone shadows older SSTable entries).
+TOMBSTONE = None
+
+
+class MemTable:
+    """A sorted in-memory map from string keys to string values or tombstones."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, str | None] = {}
+        self._approximate_bytes = 0
+
+    # ------------------------------------------------------------------ write
+
+    def put(self, key: str, value: str) -> None:
+        """Insert or overwrite ``key``."""
+        if not key:
+            raise StoreError("keys must be non-empty strings")
+        self._account(key, value)
+        self._entries[key] = value
+
+    def delete(self, key: str) -> None:
+        """Record a tombstone for ``key`` (the key need not exist)."""
+        if not key:
+            raise StoreError("keys must be non-empty strings")
+        self._account(key, TOMBSTONE)
+        self._entries[key] = TOMBSTONE
+
+    def _account(self, key: str, value: str | None) -> None:
+        previous = self._entries.get(key, "")
+        previous_size = len(previous.encode("utf-8")) if previous else 0
+        new_size = len(value.encode("utf-8")) if value else 0
+        if key not in self._entries:
+            self._approximate_bytes += len(key.encode("utf-8"))
+        self._approximate_bytes += new_size - previous_size
+
+    # ------------------------------------------------------------------- read
+
+    def get(self, key: str) -> tuple[bool, str | None]:
+        """Look up ``key``.
+
+        Returns ``(found, value)`` where ``found`` is ``True`` even for
+        tombstones — the engine must know the key was deleted here rather than
+        fall through to older SSTables.
+        """
+        if key in self._entries:
+            return True, self._entries[key]
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Approximate memory footprint of keys and values."""
+        return self._approximate_bytes
+
+    def items(self) -> Iterator[tuple[str, str | None]]:
+        """All entries in key order (tombstones included)."""
+        for key in sorted(self._entries):
+            yield key, self._entries[key]
+
+    def clear(self) -> None:
+        """Drop all entries (after a successful flush)."""
+        self._entries.clear()
+        self._approximate_bytes = 0

@@ -1,0 +1,365 @@
+"""Immutable sorted table files (SSTables) with pluggable value compression.
+
+An SSTable stores key/value entries in key order, grouped into data blocks,
+followed by a block index, a Bloom filter and a fixed-size footer:
+
+    [data block 0][data block 1]...[index][bloom filter][footer]
+
+The footer records the index and Bloom-filter offsets so a reader can open the
+file with two seeks.  Point lookups go Bloom filter -> index binary search ->
+one block read, exactly like LevelDB/RocksDB table files.
+
+How a block's payload is laid out is delegated to a :class:`StoragePolicy`:
+
+* :class:`PlainPolicy` — entries stored raw (the "Uncompressed" configuration),
+* :class:`BlockCompressionPolicy` — the whole block payload is compressed with a
+  block codec (Zstd-like, LZMA, ...): reading one key decompresses the whole
+  block, which is the trade-off Figure 5 of the paper measures,
+* :class:`RecordCompressionPolicy` — each value is compressed individually with
+  a :class:`repro.tierbase.compression.ValueCompressor` (e.g. trained PBC_F):
+  reading one key decompresses exactly one value.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.compressors.base import Codec
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import StoreError
+from repro.lsm.bloom import BloomFilter
+from repro.tierbase.compression import ValueCompressor
+
+#: Magic number terminating every SSTable file.
+_MAGIC = 0x5354424C  # "STBL"
+
+#: Footer layout: index offset, bloom offset, entry count (8 bytes each) + magic (4 bytes).
+_FOOTER_SIZE = 8 + 8 + 8 + 4
+
+#: Flag bytes stored per entry.
+_FLAG_VALUE = 0
+_FLAG_TOMBSTONE = 1
+
+
+# ------------------------------------------------------------------- policies
+
+
+class StoragePolicy(ABC):
+    """Controls how a data block's entries are serialised and read back."""
+
+    #: Name reported in engine statistics.
+    name: str = "policy"
+
+    @abstractmethod
+    def encode_block(self, entries: Sequence[tuple[str, str | None]]) -> bytes:
+        """Serialise ``entries`` (key, value-or-tombstone) into a block payload."""
+
+    @abstractmethod
+    def iter_block(self, payload: bytes) -> Iterator[tuple[str, str | None]]:
+        """Yield every entry of a block payload in key order."""
+
+    def lookup_in_block(self, payload: bytes, key: str) -> tuple[bool, str | None]:
+        """Find ``key`` inside a block payload; returns ``(found, value)``."""
+        for entry_key, value in self.iter_block(payload):
+            if entry_key == key:
+                return True, value
+            if entry_key > key:
+                break
+        return False, None
+
+
+def _encode_entries(
+    entries: Sequence[tuple[str, str | None]], encode_value
+) -> bytes:
+    """Shared entry serialisation: key, flag byte, encoded value."""
+    out = bytearray()
+    out += encode_uvarint(len(entries))
+    for key, value in entries:
+        key_bytes = key.encode("utf-8")
+        out += encode_uvarint(len(key_bytes))
+        out += key_bytes
+        if value is None:
+            out.append(_FLAG_TOMBSTONE)
+            continue
+        out.append(_FLAG_VALUE)
+        value_bytes = encode_value(value)
+        out += encode_uvarint(len(value_bytes))
+        out += value_bytes
+    return bytes(out)
+
+
+def _decode_entries(payload: bytes, decode_value) -> Iterator[tuple[str, str | None]]:
+    """Inverse of :func:`_encode_entries`; ``decode_value`` may be lazy."""
+    count, offset = decode_uvarint(payload, 0)
+    for _ in range(count):
+        key_length, offset = decode_uvarint(payload, offset)
+        key = payload[offset : offset + key_length].decode("utf-8")
+        offset += key_length
+        flag = payload[offset]
+        offset += 1
+        if flag == _FLAG_TOMBSTONE:
+            yield key, None
+            continue
+        value_length, offset = decode_uvarint(payload, offset)
+        value_bytes = payload[offset : offset + value_length]
+        offset += value_length
+        yield key, decode_value(value_bytes)
+
+
+class PlainPolicy(StoragePolicy):
+    """Entries stored uncompressed."""
+
+    name = "plain"
+
+    def encode_block(self, entries: Sequence[tuple[str, str | None]]) -> bytes:
+        return _encode_entries(entries, lambda value: value.encode("utf-8"))
+
+    def iter_block(self, payload: bytes) -> Iterator[tuple[str, str | None]]:
+        return _decode_entries(payload, lambda value_bytes: value_bytes.decode("utf-8"))
+
+
+class BlockCompressionPolicy(StoragePolicy):
+    """The whole block payload is compressed with a block codec (RocksDB style)."""
+
+    def __init__(self, codec: Codec) -> None:
+        self.codec = codec
+        self.name = f"block[{codec.name}]"
+
+    def encode_block(self, entries: Sequence[tuple[str, str | None]]) -> bytes:
+        raw = _encode_entries(entries, lambda value: value.encode("utf-8"))
+        return self.codec.compress(raw)
+
+    def iter_block(self, payload: bytes) -> Iterator[tuple[str, str | None]]:
+        raw = self.codec.decompress(payload)
+        return _decode_entries(raw, lambda value_bytes: value_bytes.decode("utf-8"))
+
+
+class RecordCompressionPolicy(StoragePolicy):
+    """Every value compressed individually with a trained :class:`ValueCompressor`.
+
+    Point lookups decompress only the matched value, which is what gives the
+    per-record compressors (PBC, PBC_F, FSST) their random-access advantage.
+    """
+
+    def __init__(self, compressor: ValueCompressor) -> None:
+        self.compressor = compressor
+        self.name = f"record[{compressor.name}]"
+
+    def encode_block(self, entries: Sequence[tuple[str, str | None]]) -> bytes:
+        return _encode_entries(entries, self.compressor.compress)
+
+    def iter_block(self, payload: bytes) -> Iterator[tuple[str, str | None]]:
+        return _decode_entries(payload, self.compressor.decompress)
+
+    def lookup_in_block(self, payload: bytes, key: str) -> tuple[bool, str | None]:
+        # Scan the entry headers without decompressing values we skip over.
+        count, offset = decode_uvarint(payload, 0)
+        for _ in range(count):
+            key_length, offset = decode_uvarint(payload, offset)
+            entry_key = payload[offset : offset + key_length].decode("utf-8")
+            offset += key_length
+            flag = payload[offset]
+            offset += 1
+            if flag == _FLAG_TOMBSTONE:
+                if entry_key == key:
+                    return True, None
+                continue
+            value_length, offset = decode_uvarint(payload, offset)
+            value_bytes = payload[offset : offset + value_length]
+            offset += value_length
+            if entry_key == key:
+                return True, self.compressor.decompress(value_bytes)
+            if entry_key > key:
+                break
+        return False, None
+
+
+# --------------------------------------------------------------------- writer
+
+
+@dataclass
+class SSTableInfo:
+    """Summary statistics of a written table file."""
+
+    path: Path
+    entry_count: int
+    block_count: int
+    file_bytes: int
+    logical_value_bytes: int
+    min_key: str
+    max_key: str
+
+
+def write_sstable(
+    path: str | Path,
+    entries: Sequence[tuple[str, str | None]],
+    policy: StoragePolicy,
+    block_bytes: int = 4096,
+    bloom_false_positive_rate: float = 0.01,
+) -> SSTableInfo:
+    """Write ``entries`` (already sorted by key, newest version only) to ``path``."""
+    if not entries:
+        raise StoreError("cannot write an empty SSTable")
+    keys = [key for key, _ in entries]
+    if keys != sorted(keys):
+        raise StoreError("SSTable entries must be sorted by key")
+    if len(set(keys)) != len(keys):
+        raise StoreError("SSTable entries must have unique keys")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    bloom = BloomFilter(capacity=len(entries), false_positive_rate=bloom_false_positive_rate)
+    index: list[tuple[str, int, int]] = []  # (first key, offset, length)
+    logical_value_bytes = 0
+
+    with open(path, "wb") as handle:
+        offset = 0
+        block: list[tuple[str, str | None]] = []
+        block_logical = 0
+
+        def flush_block() -> None:
+            nonlocal offset, block, block_logical
+            if not block:
+                return
+            payload = policy.encode_block(block)
+            index.append((block[0][0], offset, len(payload)))
+            handle.write(payload)
+            offset += len(payload)
+            block = []
+            block_logical = 0
+
+        for key, value in entries:
+            bloom.add(key.encode("utf-8"))
+            entry_size = len(key.encode("utf-8")) + (len(value.encode("utf-8")) if value else 0)
+            logical_value_bytes += len(value.encode("utf-8")) if value else 0
+            if block and block_logical + entry_size > block_bytes:
+                flush_block()
+            block.append((key, value))
+            block_logical += entry_size
+        flush_block()
+
+        index_offset = offset
+        index_payload = bytearray()
+        index_payload += encode_uvarint(len(index))
+        for first_key, block_offset, block_length in index:
+            key_bytes = first_key.encode("utf-8")
+            index_payload += encode_uvarint(len(key_bytes))
+            index_payload += key_bytes
+            index_payload += encode_uvarint(block_offset)
+            index_payload += encode_uvarint(block_length)
+        handle.write(bytes(index_payload))
+        offset += len(index_payload)
+
+        bloom_offset = offset
+        bloom_payload = bloom.to_bytes()
+        handle.write(bloom_payload)
+        offset += len(bloom_payload)
+
+        footer = (
+            index_offset.to_bytes(8, "big")
+            + bloom_offset.to_bytes(8, "big")
+            + len(entries).to_bytes(8, "big")
+            + _MAGIC.to_bytes(4, "big")
+        )
+        handle.write(footer)
+
+    return SSTableInfo(
+        path=path,
+        entry_count=len(entries),
+        block_count=len(index),
+        file_bytes=path.stat().st_size,
+        logical_value_bytes=logical_value_bytes,
+        min_key=entries[0][0],
+        max_key=entries[-1][0],
+    )
+
+
+# --------------------------------------------------------------------- reader
+
+
+class SSTable:
+    """Read-only view over a table file written by :func:`write_sstable`."""
+
+    def __init__(self, path: str | Path, policy: StoragePolicy) -> None:
+        self.path = Path(path)
+        self.policy = policy
+        if not self.path.exists():
+            raise StoreError(f"SSTable file {self.path} does not exist")
+        file_size = self.path.stat().st_size
+        if file_size < _FOOTER_SIZE:
+            raise StoreError(f"SSTable file {self.path} is too small to contain a footer")
+        with open(self.path, "rb") as handle:
+            handle.seek(file_size - _FOOTER_SIZE)
+            footer = handle.read(_FOOTER_SIZE)
+        magic = int.from_bytes(footer[24:28], "big")
+        if magic != _MAGIC:
+            raise StoreError(f"SSTable file {self.path} has a bad magic number")
+        self._index_offset = int.from_bytes(footer[0:8], "big")
+        self._bloom_offset = int.from_bytes(footer[8:16], "big")
+        self.entry_count = int.from_bytes(footer[16:24], "big")
+        self._load_metadata(file_size)
+
+    def _load_metadata(self, file_size: int) -> None:
+        with open(self.path, "rb") as handle:
+            handle.seek(self._index_offset)
+            metadata = handle.read(file_size - _FOOTER_SIZE - self._index_offset)
+        index_payload = metadata[: self._bloom_offset - self._index_offset]
+        bloom_payload = metadata[self._bloom_offset - self._index_offset :]
+        block_count, offset = decode_uvarint(index_payload, 0)
+        self._index: list[tuple[str, int, int]] = []
+        for _ in range(block_count):
+            key_length, offset = decode_uvarint(index_payload, offset)
+            first_key = index_payload[offset : offset + key_length].decode("utf-8")
+            offset += key_length
+            block_offset, offset = decode_uvarint(index_payload, offset)
+            block_length, offset = decode_uvarint(index_payload, offset)
+            self._index.append((first_key, block_offset, block_length))
+        self._first_keys = [first_key for first_key, _, _ in self._index]
+        self._bloom, _ = BloomFilter.from_bytes(bloom_payload, 0)
+
+    # ------------------------------------------------------------------- read
+
+    @property
+    def block_count(self) -> int:
+        """Number of data blocks."""
+        return len(self._index)
+
+    @property
+    def file_bytes(self) -> int:
+        """On-disk size of the table file."""
+        return self.path.stat().st_size
+
+    def _read_block(self, position: int) -> bytes:
+        _, block_offset, block_length = self._index[position]
+        with open(self.path, "rb") as handle:
+            handle.seek(block_offset)
+            return handle.read(block_length)
+
+    def get(self, key: str) -> tuple[bool, str | None]:
+        """Point lookup; returns ``(found, value)`` where a found tombstone is ``(True, None)``."""
+        if not self._index:
+            return False, None
+        if not self._bloom.might_contain(key.encode("utf-8")):
+            return False, None
+        position = bisect_right(self._first_keys, key) - 1
+        if position < 0:
+            return False, None
+        return self.policy.lookup_in_block(self._read_block(position), key)
+
+    def scan(self) -> Iterator[tuple[str, str | None]]:
+        """All entries in key order (tombstones included, used by compaction)."""
+        for position in range(len(self._index)):
+            yield from self.policy.iter_block(self._read_block(position))
+
+    def range(self, start: str | None = None, end: str | None = None) -> Iterator[tuple[str, str | None]]:
+        """Entries with ``start <= key < end`` in key order."""
+        for key, value in self.scan():
+            if start is not None and key < start:
+                continue
+            if end is not None and key >= end:
+                break
+            yield key, value

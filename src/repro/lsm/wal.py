@@ -1,0 +1,120 @@
+"""Write-ahead log of the LSM engine.
+
+Every mutation is appended to the log before it is applied to the memtable, so
+an engine that crashes before flushing can rebuild the memtable on restart.
+Each entry carries a CRC32 of its body; replay stops at the first corrupt or
+truncated entry, which models the standard "torn tail" recovery behaviour of
+LevelDB/RocksDB logs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import StoreError
+
+#: Operation tags used in log entries.
+OP_PUT = 1
+OP_DELETE = 2
+
+
+class WriteAheadLog:
+    """Append-only log of ``put`` / ``delete`` operations."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+
+    # ------------------------------------------------------------------ write
+
+    def append_put(self, key: str, value: str) -> None:
+        """Log an insert/overwrite."""
+        self._append(OP_PUT, key, value)
+
+    def append_delete(self, key: str) -> None:
+        """Log a deletion."""
+        self._append(OP_DELETE, key, "")
+
+    def _append(self, op: int, key: str, value: str) -> None:
+        if self._file.closed:
+            raise StoreError("write-ahead log is closed")
+        key_bytes = key.encode("utf-8")
+        value_bytes = value.encode("utf-8")
+        body = bytearray()
+        body.append(op)
+        body += encode_uvarint(len(key_bytes))
+        body += key_bytes
+        body += encode_uvarint(len(value_bytes))
+        body += value_bytes
+        checksum = zlib.crc32(bytes(body))
+        record = encode_uvarint(len(body)) + checksum.to_bytes(4, "big") + bytes(body)
+        self._file.write(record)
+
+    def sync(self) -> None:
+        """Flush buffered writes to the operating system."""
+        if not self._file.closed:
+            self._file.flush()
+
+    # ------------------------------------------------------------------- read
+
+    def replay(self) -> Iterator[tuple[int, str, str]]:
+        """Yield ``(op, key, value)`` for every intact entry, oldest first.
+
+        Replay stops silently at the first truncated or corrupt entry: the tail
+        of a log written during a crash is expected to be damaged and everything
+        before it is still valid.
+        """
+        self.sync()
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        offset = 0
+        total = len(data)
+        while offset < total:
+            try:
+                body_length, body_start = decode_uvarint(data, offset)
+            except Exception:
+                return
+            checksum_end = body_start + 4
+            body_end = checksum_end + body_length
+            if body_end > total:
+                return
+            expected_checksum = int.from_bytes(data[body_start:checksum_end], "big")
+            body = data[checksum_end:body_end]
+            if zlib.crc32(body) != expected_checksum:
+                return
+            op = body[0]
+            key_length, position = decode_uvarint(body, 1)
+            key = body[position : position + key_length].decode("utf-8")
+            position += key_length
+            value_length, position = decode_uvarint(body, position)
+            value = body[position : position + value_length].decode("utf-8")
+            yield op, key, value
+            offset = body_end
+
+    # ------------------------------------------------------------ maintenance
+
+    def reset(self) -> None:
+        """Truncate the log (after the memtable it protects has been flushed)."""
+        if not self._file.closed:
+            self._file.close()
+        self._file = open(self.path, "wb")
+        self._file.close()
+        self._file = open(self.path, "ab")
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    @property
+    def size_bytes(self) -> int:
+        """Current size of the log file."""
+        self.sync()
+        return self.path.stat().st_size if self.path.exists() else 0

@@ -1,0 +1,29 @@
+"""TierBase: in-memory key-value store simulator with pluggable value compression.
+
+This is the substrate for the paper's production case study (Section 7.5,
+Table 8): a Redis-like store whose values are compressed per workload with an
+offline-trained compressor, plus a monitoring component that triggers
+re-training when compression deteriorates.
+"""
+
+from repro.tierbase.compression import (
+    NoopValueCompressor,
+    PBCValueCompressor,
+    ValueCompressor,
+    ZstdDictValueCompressor,
+)
+from repro.tierbase.store import CompressionMonitor, StoreStats, TierBase
+from repro.tierbase.workload import WorkloadResult, WorkloadSpec, run_workload
+
+__all__ = [
+    "CompressionMonitor",
+    "NoopValueCompressor",
+    "PBCValueCompressor",
+    "StoreStats",
+    "TierBase",
+    "ValueCompressor",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "ZstdDictValueCompressor",
+    "run_workload",
+]

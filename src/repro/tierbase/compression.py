@@ -1,0 +1,101 @@
+"""Value-compression plugins for the TierBase store simulator.
+
+TierBase (Section 7.5) compresses every stored value with a workload-trained
+compressor: originally a Zstd dictionary trained offline per workload, and —
+after the paper's integration work — optionally PBC_F patterns trained the same
+way.  The store only sees this small plugin interface:
+
+* ``train(sample_values)`` — offline training on a sample of the workload,
+* ``compress`` / ``decompress`` — per-value transform applied on SET / GET.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.compressors.zstdlike import ZstdLikeCodec, train_dictionary
+from repro.core.compressor import PBCCompressor, PBCFCompressor
+from repro.core.extraction import ExtractionConfig
+
+
+class ValueCompressor(ABC):
+    """Per-value compressor used by :class:`repro.tierbase.store.TierBase`."""
+
+    #: name shown in the Table 8 rows.
+    name: str = "value-compressor"
+
+    @abstractmethod
+    def train(self, sample_values: Sequence[str]) -> None:
+        """Offline training on a sample of the workload's values."""
+
+    @abstractmethod
+    def compress(self, value: str) -> bytes:
+        """Compress one value."""
+
+    @abstractmethod
+    def decompress(self, data: bytes) -> str:
+        """Invert :meth:`compress`."""
+
+
+class NoopValueCompressor(ValueCompressor):
+    """Stores values uncompressed (the "Uncompressed" Table 8 row)."""
+
+    name = "Uncompressed"
+
+    def train(self, sample_values: Sequence[str]) -> None:
+        return None
+
+    def compress(self, value: str) -> bytes:
+        return value.encode("utf-8")
+
+    def decompress(self, data: bytes) -> str:
+        return data.decode("utf-8")
+
+
+class ZstdDictValueCompressor(ValueCompressor):
+    """Zstd with a workload-trained dictionary (TierBase's original solution)."""
+
+    name = "Zstd"
+
+    def __init__(self, level: int = 3, dictionary_size: int = 4096) -> None:
+        self.level = level
+        self.dictionary_size = dictionary_size
+        self._codec = ZstdLikeCodec(level=level)
+
+    def train(self, sample_values: Sequence[str]) -> None:
+        dictionary = train_dictionary(
+            (value.encode("utf-8") for value in sample_values), max_size=self.dictionary_size
+        )
+        self._codec = ZstdLikeCodec(level=self.level, dictionary=dictionary)
+
+    def compress(self, value: str) -> bytes:
+        return self._codec.compress(value.encode("utf-8"))
+
+    def decompress(self, data: bytes) -> str:
+        return self._codec.decompress(data).decode("utf-8")
+
+
+class PBCValueCompressor(ValueCompressor):
+    """PBC_F with workload-trained patterns (the paper's integration, Table 8)."""
+
+    name = "PBC_F"
+
+    def __init__(self, config: ExtractionConfig | None = None, use_fsst: bool = True) -> None:
+        self.config = config if config is not None else ExtractionConfig()
+        compressor_class = PBCFCompressor if use_fsst else PBCCompressor
+        self._pbc = compressor_class(config=self.config)
+
+    @property
+    def pbc(self) -> PBCCompressor:
+        """The underlying PBC compressor (exposed for monitoring and tests)."""
+        return self._pbc
+
+    def train(self, sample_values: Sequence[str]) -> None:
+        self._pbc.train(list(sample_values))
+
+    def compress(self, value: str) -> bytes:
+        return self._pbc.compress(value)
+
+    def decompress(self, data: bytes) -> str:
+        return self._pbc.decompress(data)

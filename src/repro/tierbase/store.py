@@ -1,0 +1,197 @@
+"""TierBase: an in-memory, Redis-like key-value store with value compression.
+
+The paper's case study (Section 7.5, Table 8) integrates PBC_F into TierBase,
+Ant Group's production distributed in-memory database.  The production system
+cannot be reproduced, so this module provides a single-node simulator with the
+same compression integration points (DESIGN.md, substitution 4):
+
+* offline, per-workload training of the value compressor (Zstd dictionary or
+  PBC_F patterns) on a sample of values;
+* SET compresses the value, GET decompresses it;
+* a monitoring component tracks the achieved compression ratio and — for PBC —
+  the unmatched-record rate, and flags the workload for re-training when either
+  deteriorates past its threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.compressor import PBCCompressor
+from repro.exceptions import StoreError
+from repro.tierbase.compression import NoopValueCompressor, PBCValueCompressor, ValueCompressor
+
+
+@dataclass
+class CompressionMonitor:
+    """Tracks the live compression ratio and the unmatched-pattern rate.
+
+    ``ratio_threshold`` is the ratio above which the workload is considered to
+    have drifted (Zstd path); ``unmatched_threshold`` is the outlier-rate limit
+    of the PBC path (Section 7.5's counter of records that match no pattern).
+    """
+
+    ratio_threshold: float = 0.8
+    unmatched_threshold: float = 0.2
+    original_bytes: int = 0
+    stored_bytes: int = 0
+    values_seen: int = 0
+    retraining_events: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """Observed compression ratio over all SET operations."""
+        if self.original_bytes == 0:
+            return 1.0
+        return self.stored_bytes / self.original_bytes
+
+    def observe(self, original_size: int, stored_size: int) -> None:
+        """Record one SET operation."""
+        self.original_bytes += original_size
+        self.stored_bytes += stored_size
+        self.values_seen += 1
+
+    def needs_retraining(self, pbc: PBCCompressor | None = None) -> bool:
+        """Whether the monitored signals crossed their thresholds."""
+        if self.values_seen < 64:
+            return False
+        if self.ratio > self.ratio_threshold:
+            return True
+        if pbc is not None and pbc.outlier_rate > self.unmatched_threshold:
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Clear the counters after a re-training event."""
+        self.original_bytes = 0
+        self.stored_bytes = 0
+        self.values_seen = 0
+        self.retraining_events += 1
+
+
+@dataclass
+class StoreStats:
+    """Aggregate statistics of a TierBase instance."""
+
+    keys: int
+    memory_bytes: int
+    original_value_bytes: int
+    stored_value_bytes: int
+    sets: int
+    gets: int
+    hits: int
+    misses: int
+
+    @property
+    def value_ratio(self) -> float:
+        """Compression ratio over the currently stored values."""
+        if self.original_value_bytes == 0:
+            return 1.0
+        return self.stored_value_bytes / self.original_value_bytes
+
+
+class TierBase:
+    """Single-node TierBase simulator with pluggable value compression."""
+
+    def __init__(
+        self,
+        compressor: ValueCompressor | None = None,
+        ratio_threshold: float = 0.8,
+        unmatched_threshold: float = 0.2,
+    ) -> None:
+        self.compressor = compressor if compressor is not None else NoopValueCompressor()
+        self.monitor = CompressionMonitor(
+            ratio_threshold=ratio_threshold, unmatched_threshold=unmatched_threshold
+        )
+        self._data: dict[str, bytes] = {}
+        self._original_sizes: dict[str, int] = {}
+        self._sets = 0
+        self._gets = 0
+        self._hits = 0
+        self._misses = 0
+
+    # --------------------------------------------------------------- training
+
+    def train(self, sample_values: Sequence[str]) -> None:
+        """Offline training of the value compressor on a workload sample."""
+        if not sample_values:
+            raise StoreError("cannot train the value compressor on an empty sample")
+        self.compressor.train(sample_values)
+
+    def retrain(self, sample_values: Sequence[str]) -> None:
+        """Re-train the compressor and recompress every stored value."""
+        self.train(sample_values)
+        existing = {key: self.get(key) for key in list(self._data)}
+        self.monitor.reset()
+        self._data.clear()
+        self._original_sizes.clear()
+        for key, value in existing.items():
+            self.set(key, value)
+
+    # ------------------------------------------------------------- operations
+
+    def set(self, key: str, value: str) -> None:
+        """Store ``value`` under ``key`` (compressed)."""
+        payload = self.compressor.compress(value)
+        original_size = len(value.encode("utf-8"))
+        self._data[key] = payload
+        self._original_sizes[key] = original_size
+        self._sets += 1
+        self.monitor.observe(original_size, len(payload))
+
+    def get(self, key: str) -> str:
+        """Fetch and decompress the value stored under ``key``."""
+        self._gets += 1
+        payload = self._data.get(key)
+        if payload is None:
+            self._misses += 1
+            raise KeyError(key)
+        self._hits += 1
+        return self.compressor.decompress(payload)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns whether it existed."""
+        existed = key in self._data
+        self._data.pop(key, None)
+        self._original_sizes.pop(key, None)
+        return existed
+
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` is present."""
+        return key in self._data
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over all stored keys."""
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    # --------------------------------------------------------------- metrics
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint: keys plus compressed values."""
+        return sum(len(key.encode("utf-8")) + len(value) for key, value in self._data.items())
+
+    def needs_retraining(self) -> bool:
+        """Whether the compression monitor recommends a re-training pass."""
+        pbc = self.compressor.pbc if isinstance(self.compressor, PBCValueCompressor) else None
+        return self.monitor.needs_retraining(pbc)
+
+    def stats(self) -> StoreStats:
+        """Aggregate statistics snapshot."""
+        return StoreStats(
+            keys=len(self._data),
+            memory_bytes=self.memory_bytes,
+            original_value_bytes=sum(self._original_sizes.values()),
+            stored_value_bytes=sum(len(value) for value in self._data.values()),
+            sets=self._sets,
+            gets=self._gets,
+            hits=self._hits,
+            misses=self._misses,
+        )

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.extraction import ExtractionConfig
+
+
+def make_template_records(count: int, seed: int = 7) -> list[str]:
+    """Records generated from two fixed templates plus a couple of outliers.
+
+    This is the canonical machine-generated workload used across the tests: the
+    structure mirrors the paper's Figure 2 example (literal template, digit
+    fields of fixed and variable width, a free-text field).
+    """
+    rng = random.Random(seed)
+    records = []
+    for index in range(count):
+        if index % 19 == 18:
+            records.append(f"!!corrupt{rng.randint(0, 10**9)}")
+            continue
+        if index % 2 == 0:
+            records.append(
+                f"V5company_charging-100-{rng.randint(10, 99)}accenter{rng.randint(10, 99)}"
+                f"ac_accounting_log_202{rng.randint(100000, 999999)}"
+            )
+        else:
+            records.append(
+                f"order;id={rng.randint(10000, 99999)};sym={rng.choice(['IBM', 'AAPL', 'GOOG'])}"
+                f";qty={rng.randint(1, 999)};ts={rng.randint(1600000000, 1700000000)}"
+            )
+    return records
+
+
+@pytest.fixture
+def template_records() -> list[str]:
+    """200 records from two templates with sporadic outliers."""
+    return make_template_records(200)
+
+
+@pytest.fixture
+def small_config() -> ExtractionConfig:
+    """An extraction configuration sized for fast unit tests."""
+    return ExtractionConfig(max_patterns=6, sample_size=64, seed=11)

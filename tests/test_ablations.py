@@ -1,0 +1,89 @@
+"""Tests for the extension experiment runners (ablations and LSM integration)."""
+
+import pytest
+
+from repro.bench import (
+    BenchmarkSettings,
+    EXPERIMENTS,
+    run_ablation_extraction,
+    run_ablation_residual,
+    run_experiment,
+    run_lsm_integration,
+)
+
+TINY = BenchmarkSettings(record_count=60, train_count=40, max_patterns=8, sample_size=32)
+
+
+class TestRegistry:
+    def test_extension_experiments_are_registered(self):
+        for experiment_id in ("ablation-extraction", "ablation-residual", "lsm"):
+            assert experiment_id in EXPERIMENTS
+            assert EXPERIMENTS[experiment_id].bench_module.startswith("benchmarks/")
+
+    def test_run_experiment_dispatches_to_extension_runner(self):
+        rows = run_experiment("lsm", TINY)
+        assert {row["policy"] for row in rows} == {"Uncompressed", "Zstd blocks", "PBC_F records"}
+
+
+class TestAblationExtraction:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_ablation_extraction(TINY, datasets=("kv1", "apache"))
+
+    def test_covers_every_configuration_per_dataset(self, rows):
+        configurations = {row["configuration"] for row in rows}
+        assert configurations == {
+            "default",
+            "no pre-grouping",
+            "no refinement",
+            "no pruning",
+            "prefix 128",
+        }
+        assert {row["dataset"] for row in rows} == {"kv1", "apache"}
+
+    def test_rows_report_sane_metrics(self, rows):
+        for row in rows:
+            assert row["patterns"] >= 1
+            assert 0 < row["ratio"] < 1.5
+            assert row["train_seconds"] >= 0
+
+
+class TestAblationResidual:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_ablation_residual(TINY, datasets=("kv1",))
+
+    def test_covers_all_residual_stages(self, rows):
+        methods = {row["method"] for row in rows}
+        assert methods == {"PBC", "PBC_F", "PBC_H[rans]", "PBC_H[huffman]", "PBC_H[arithmetic]"}
+
+    def test_residual_stages_do_not_blow_up_the_ratio(self, rows):
+        base = next(row["ratio"] for row in rows if row["method"] == "PBC")
+        for row in rows:
+            if row["method"].startswith("PBC_H"):
+                # Entropy stages fall back to the raw payload behind a one-byte
+                # marker, so they can cost at most ~1 byte per record.
+                assert row["ratio"] <= base + 0.03
+            else:
+                # PBC_F's FSST framing can add a few bytes per record when the
+                # field payload is already tiny; it must still stay in the same
+                # ballpark as plain PBC.
+                assert row["ratio"] <= base + 0.15
+
+
+class TestLSMIntegration:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_lsm_integration(TINY, dataset="apache")
+
+    def test_reports_one_row_per_policy(self, rows):
+        assert len(rows) == 3
+        assert all(row["dataset"] == "apache" for row in rows)
+
+    def test_compression_policies_save_space(self, rows):
+        by_policy = {row["policy"]: row for row in rows}
+        assert by_policy["PBC_F records"]["space_ratio"] < by_policy["Uncompressed"]["space_ratio"]
+        assert by_policy["Zstd blocks"]["space_ratio"] < by_policy["Uncompressed"]["space_ratio"]
+
+    def test_lookup_throughput_is_positive(self, rows):
+        assert all(row["lookups_per_s"] > 0 for row in rows)

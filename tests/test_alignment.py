@@ -1,0 +1,149 @@
+"""Tests for the minimal encoding-length merge dynamic programs (Algorithms 1-2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alignment import generic_merge, merge_increment_bounded, monotonic_merge
+from repro.core.distance import one_gram_distance
+from repro.core.pattern import WILDCARD, tokens_from_string, tokens_to_display
+
+
+def merge_strings(left: str, right: str, size_x: int = 1, size_y: int = 1):
+    return monotonic_merge(tokens_from_string(left), tokens_from_string(right), size_x, size_y)
+
+
+class TestMonotonicMerge:
+    def test_identical_strings_keep_everything(self):
+        result = merge_strings("abcdef", "abcdef")
+        assert result.increment == 0
+        assert tokens_to_display(result.tokens) == "abcdef"
+
+    def test_paper_example_structure(self):
+        # Example 2 / Figure 4: merging 'ab3*2' and 'ab*12'.
+        tokens_x = ["a", "b", "3", WILDCARD, "2"]
+        tokens_y = ["a", "b", WILDCARD, "1", "2"]
+        result = monotonic_merge(tokens_x, tokens_y, 1, 1)
+        display = tokens_to_display(result.tokens)
+        assert display.startswith("ab")
+        assert display.endswith("2")
+        assert "*" in display
+
+    def test_disjoint_strings_become_wildcard(self):
+        result = merge_strings("aaa", "bbb")
+        assert tokens_to_display(result.tokens) == "*"
+        assert result.increment > 0
+
+    def test_common_template_is_preserved(self):
+        result = merge_strings("user-11-x", "user-42-y")
+        display = tokens_to_display(result.tokens)
+        assert display.startswith("user-")
+        assert "*" in display
+
+    def test_separators_survive_on_ties(self):
+        # Keeping the ':' separators is encoding-length neutral under VARCHAR but
+        # preferred by the literal-count tie-breaking.
+        result = merge_strings("cnt:alpha:11:2222", "cnt:beta:93:4871")
+        display = tokens_to_display(result.tokens)
+        assert display.count(":") == 3
+
+    def test_empty_inputs(self):
+        assert monotonic_merge([], [], 1, 1).increment == 0
+        result = monotonic_merge(tokens_from_string("ab"), [], 2, 3)
+        assert tokens_to_display(result.tokens) == "*"
+
+    def test_increment_scales_with_cluster_size(self):
+        small = merge_strings("abcX", "abcY", 1, 1)
+        large = merge_strings("abcX", "abcY", 10, 10)
+        assert large.increment > small.increment
+
+    def test_merged_pattern_is_common_subsequence(self):
+        left, right = "order_1234_sym_IBM", "order_77_sym_GOOG"
+        result = merge_strings(left, right)
+        literals = [token for token in result.tokens if token is not WILDCARD]
+
+        def is_subsequence(needle, haystack):
+            iterator = iter(haystack)
+            return all(character in iterator for character in needle)
+
+        assert is_subsequence(literals, left)
+        assert is_subsequence(literals, right)
+
+    @given(
+        st.text(alphabet="ab1:", max_size=16),
+        st.text(alphabet="ab1:", max_size=16),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merged_pattern_always_common_subsequence(self, left, right, size_x, size_y):
+        result = monotonic_merge(tokens_from_string(left), tokens_from_string(right), size_x, size_y)
+        literals = [token for token in result.tokens if token is not WILDCARD]
+
+        def is_subsequence(needle, haystack):
+            iterator = iter(haystack)
+            return all(character in iterator for character in needle)
+
+        assert is_subsequence(literals, left)
+        assert is_subsequence(literals, right)
+
+    @given(st.text(alphabet="abc12-", max_size=14), st.text(alphabet="abc12-", max_size=14))
+    @settings(max_examples=60, deadline=None)
+    def test_one_gram_distance_is_lower_bound(self, left, right):
+        result = monotonic_merge(tokens_from_string(left), tokens_from_string(right), 1, 1)
+        assert result.increment >= one_gram_distance(left, right)
+
+
+class TestBoundedMerge:
+    def test_matches_unbounded_when_bound_is_loose(self):
+        for left, right in (("abc", "abd"), ("user-1", "user-22"), ("xyz", "pqr")):
+            full = merge_strings(left, right)
+            bounded = merge_increment_bounded(
+                tokens_from_string(left), tokens_from_string(right), 1, 1, bound=10**9
+            )
+            assert bounded == full.increment
+
+    def test_returns_none_when_bound_exceeded(self):
+        result = merge_increment_bounded(
+            tokens_from_string("aaaaaaaaaa"), tokens_from_string("bbbbbbbbbb"), 5, 5, bound=1
+        )
+        assert result is None
+
+    @given(
+        st.text(alphabet="abc1-", min_size=1, max_size=12),
+        st.text(alphabet="abc1-", min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_consistency_property(self, left, right, size_x, size_y):
+        tokens_x = tokens_from_string(left)
+        tokens_y = tokens_from_string(right)
+        full = monotonic_merge(tokens_x, tokens_y, size_x, size_y)
+        bounded = merge_increment_bounded(tokens_x, tokens_y, size_x, size_y, bound=10**9)
+        assert bounded == full.increment
+
+
+class TestGenericMerge:
+    def test_identical_records(self):
+        tokens = tokens_from_string("abc1")
+        result = generic_merge(["abc1"], ["abc1"], tokens, tokens)
+        assert result.increment == 0
+        assert tokens_to_display(result.tokens) == "abc1"
+
+    def test_prefers_cheap_field_encodings(self):
+        # The digit fields can be stored as integers, so the generic DP should
+        # keep the shared literal prefix as pattern.
+        result = generic_merge(
+            ["id=1234"], ["id=5678"], tokens_from_string("id=1234"), tokens_from_string("id=5678")
+        )
+        display = tokens_to_display(result.tokens)
+        assert display.startswith("id=")
+
+    def test_agreement_with_monotonic_on_small_inputs(self):
+        # On tiny inputs both DPs must find patterns of equal VARCHAR quality
+        # (the generic DP optimises real encoders, so it can only be <=).
+        for left, right in (("ab1", "ab2"), ("x=1,y=2", "x=9,y=8")):
+            monotonic = merge_strings(left, right)
+            generic = generic_merge(
+                [left], [right], tokens_from_string(left), tokens_from_string(right)
+            )
+            assert generic.increment <= max(monotonic.increment, 0) + len(left) + len(right)

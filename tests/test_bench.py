@@ -1,0 +1,111 @@
+"""Tests for the benchmark harness (reporting, Pareto analysis, registry, runners)."""
+
+import pytest
+
+from repro.bench import (
+    BenchmarkSettings,
+    EXPERIMENTS,
+    ParetoPoint,
+    experiment_ids,
+    get_experiment,
+    is_pareto_optimal,
+    pareto_frontier,
+    render_table,
+    run_experiment,
+    run_fig9_pattern_size,
+    run_table2_dataset_statistics,
+)
+
+TINY = BenchmarkSettings(
+    record_count=60,
+    train_count=40,
+    max_patterns=4,
+    sample_size=24,
+    datasets=("kv1", "kv4"),
+)
+
+
+class TestReporting:
+    def test_render_empty(self):
+        assert "(no rows)" in render_table([], title="empty")
+
+    def test_render_alignment_and_title(self):
+        rows = [{"dataset": "kv1", "ratio": 0.236}, {"dataset": "alilogs", "ratio": 0.425}]
+        text = render_table(rows, title="Table X")
+        lines = text.splitlines()
+        assert lines[0] == "Table X"
+        assert "dataset" in lines[1] and "ratio" in lines[1]
+        assert "0.236" in text and "alilogs" in text
+
+    def test_column_selection_and_missing_cells(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = render_table(rows, columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+
+class TestPareto:
+    def test_dominated_points_excluded(self):
+        points = [
+            ParetoPoint("good-ratio", 0.1, 10.0),
+            ParetoPoint("good-speed", 0.5, 100.0),
+            ParetoPoint("dominated", 0.6, 5.0),
+        ]
+        frontier = {point.name for point in pareto_frontier(points)}
+        assert frontier == {"good-ratio", "good-speed"}
+        assert is_pareto_optimal("good-ratio", points)
+        assert not is_pareto_optimal("dominated", points)
+
+    def test_single_point_is_optimal(self):
+        points = [ParetoPoint("only", 0.3, 1.0)]
+        assert pareto_frontier(points) == points
+
+    def test_duplicate_points_both_kept(self):
+        points = [ParetoPoint("a", 0.3, 1.0), ParetoPoint("b", 0.3, 1.0)]
+        assert {point.name for point in pareto_frontier(points)} == {"a", "b"}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = set(experiment_ids())
+        assert {"table2", "table3", "table4", "table5", "table6", "table7", "table8",
+                "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b"} <= ids
+
+    def test_experiments_carry_bench_module_paths(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.bench_module.startswith("benchmarks/")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+
+class TestRunners:
+    def test_table2_rows(self):
+        rows = run_table2_dataset_statistics(TINY)
+        assert {row["dataset"] for row in rows} == set(TINY.datasets)
+        for row in rows:
+            assert row["generated_records"] == TINY.record_count
+            assert row["generated_avg_len"] > 0
+
+    def test_fig9_pattern_size_rows(self):
+        rows = run_fig9_pattern_size(TINY, datasets=("kv1",), pattern_counts=(1, 4))
+        assert len(rows) == 2
+        assert all(0 < row["ratio"] <= 1.5 for row in rows)
+        assert rows[0]["dictionary_bytes"] > 0
+
+    def test_run_experiment_by_id(self):
+        rows = run_experiment("table2", TINY)
+        assert rows and "dataset" in rows[0]
+
+    def test_table3_rows_have_expected_methods(self):
+        rows = run_experiment("table3", TINY)
+        methods = {row["method"] for row in rows}
+        assert methods == {"FSST", "LZ4", "Zstd", "PBC", "PBC_F"}
+        for row in rows:
+            assert 0 < row["ratio"] <= 2.5
+            assert row["comp_mb_s"] >= 0
+
+    def test_fig7_criteria_rows(self):
+        rows = run_experiment("fig7", TINY, datasets=("kv1",))
+        criteria = {row["criterion"] for row in rows}
+        assert criteria == {"ed", "entropy", "el"}

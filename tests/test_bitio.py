@@ -1,0 +1,95 @@
+"""Tests for the bit-level reader and writer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.entropy.bitio import BitReader, BitWriter
+from repro.exceptions import DecodingError
+
+
+class TestBitWriter:
+    def test_empty_writer(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_byte(self):
+        writer = BitWriter()
+        writer.write_bits(0xAB, 8)
+        assert writer.getvalue() == b"\xab"
+
+    def test_msb_first_packing(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_bits(0, 7)
+        assert writer.getvalue() == b"\x80"
+
+    def test_padding_to_byte_boundary(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == bytes([0b1010_0000])
+
+    def test_bit_length_tracks_written_bits(self):
+        writer = BitWriter()
+        writer.write_bits(3, 2)
+        writer.write_bits(1, 5)
+        assert writer.bit_length == 7
+
+    def test_value_too_wide_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(4, 2)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_write_bytes(self):
+        writer = BitWriter()
+        writer.write_bytes(b"\x01\x02")
+        assert writer.getvalue() == b"\x01\x02"
+
+
+class TestBitReader:
+    def test_read_back_single_bits(self):
+        reader = BitReader(b"\xA0")
+        assert [reader.read_bit() for _ in range(4)] == [1, 0, 1, 0]
+
+    def test_read_across_byte_boundary(self):
+        reader = BitReader(b"\x12\x34")
+        assert reader.read_bits(12) == 0x123
+
+    def test_zero_width_read(self):
+        assert BitReader(b"").read_bits(0) == 0
+
+    def test_exhausted_stream_rejected(self):
+        reader = BitReader(b"\x00")
+        reader.read_bits(8)
+        with pytest.raises(DecodingError):
+            reader.read_bit()
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        reader.read_bits(3)
+        assert reader.bits_remaining == 13
+
+
+class TestRoundtrip:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**16 - 1), st.integers(min_value=1, max_value=16)), max_size=50))
+    def test_write_read_sequence(self, fields):
+        writer = BitWriter()
+        normalised = []
+        for value, width in fields:
+            value &= (1 << width) - 1
+            normalised.append((value, width))
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in normalised:
+            assert reader.read_bits(width) == value
+
+    @given(st.binary(max_size=64))
+    def test_write_read_bytes(self, payload):
+        writer = BitWriter()
+        writer.write_bit(1)  # force misalignment
+        writer.write_bytes(payload)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bit() == 1
+        assert reader.read_bytes(len(payload)) == payload

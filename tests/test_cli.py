@@ -1,0 +1,230 @@
+"""Tests for the ``pbc`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.pattern import PatternDictionary
+
+from tests.conftest import make_template_records
+
+
+@pytest.fixture
+def records_file(tmp_path):
+    """A training/input file with one machine-generated record per line."""
+    path = tmp_path / "records.txt"
+    path.write_text("\n".join(make_template_records(120, seed=21)) + "\n", encoding="utf-8")
+    return path
+
+
+def train_dictionary_file(tmp_path, records_file):
+    """Run ``pbc train`` and return the dictionary path."""
+    dictionary_path = tmp_path / "dict.json"
+    exit_code = main(
+        [
+            "train",
+            "--input",
+            str(records_file),
+            "--output",
+            str(dictionary_path),
+            "--max-patterns",
+            "6",
+            "--sample-size",
+            "64",
+        ]
+    )
+    assert exit_code == 0
+    return dictionary_path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "pbc" in capsys.readouterr().out
+
+    def test_train_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--output", "dict.json"])
+
+    def test_train_rejects_both_sources(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--input", "a.txt", "--dataset", "kv1", "--output", "dict.json"]
+            )
+
+
+class TestListingCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "kv1" in output
+        assert "unece" in output
+
+    def test_codecs_listing(self, capsys):
+        assert main(["codecs"]) == 0
+        output = capsys.readouterr().out
+        for name in ("zstd", "lz4", "fsst", "repair", "sequitur"):
+            assert name in output
+
+    def test_experiments_listing(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "table3" in output
+        assert "fig5" in output
+
+
+class TestTrainAndInspect:
+    def test_train_from_file_writes_dictionary(self, tmp_path, records_file, capsys):
+        dictionary_path = train_dictionary_file(tmp_path, records_file)
+        output = capsys.readouterr().out
+        assert "trained" in output
+        dictionary = PatternDictionary.from_bytes(dictionary_path.read_bytes())
+        assert len(dictionary) >= 1
+
+    def test_train_from_dataset(self, tmp_path, capsys):
+        dictionary_path = tmp_path / "dict.json"
+        exit_code = main(
+            [
+                "train",
+                "--dataset",
+                "apache",
+                "--count",
+                "120",
+                "--output",
+                str(dictionary_path),
+                "--max-patterns",
+                "8",
+                "--sample-size",
+                "48",
+            ]
+        )
+        assert exit_code == 0
+        assert dictionary_path.exists()
+
+    def test_train_verbose_prints_patterns(self, tmp_path, records_file, capsys):
+        dictionary_path = tmp_path / "dict.json"
+        main(
+            [
+                "train",
+                "--input",
+                str(records_file),
+                "--output",
+                str(dictionary_path),
+                "--max-patterns",
+                "6",
+                "--sample-size",
+                "64",
+                "--verbose",
+            ]
+        )
+        assert "[1]" in capsys.readouterr().out
+
+    def test_train_on_empty_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("", encoding="utf-8")
+        exit_code = main(["train", "--input", str(empty), "--output", str(tmp_path / "d.json")])
+        assert exit_code == 2
+        assert "no training records" in capsys.readouterr().err
+
+    def test_inspect_prints_patterns(self, tmp_path, records_file, capsys):
+        dictionary_path = train_dictionary_file(tmp_path, records_file)
+        capsys.readouterr()
+        assert main(["inspect", "--dictionary", str(dictionary_path)]) == 0
+        output = capsys.readouterr().out
+        assert "patterns" in output
+
+    def test_inspect_missing_file_fails_gracefully(self, tmp_path, capsys):
+        exit_code = main(["inspect", "--dictionary", str(tmp_path / "absent.json")])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompressDecompress:
+    def test_roundtrip_through_files(self, tmp_path, records_file, capsys):
+        dictionary_path = train_dictionary_file(tmp_path, records_file)
+        compressed_path = tmp_path / "records.pbc"
+        restored_path = tmp_path / "restored.txt"
+
+        assert (
+            main(
+                [
+                    "compress",
+                    "--dictionary",
+                    str(dictionary_path),
+                    "--input",
+                    str(records_file),
+                    "--output",
+                    str(compressed_path),
+                ]
+            )
+            == 0
+        )
+        assert "ratio" in capsys.readouterr().out
+        assert compressed_path.stat().st_size < records_file.stat().st_size
+
+        assert (
+            main(
+                [
+                    "decompress",
+                    "--dictionary",
+                    str(dictionary_path),
+                    "--input",
+                    str(compressed_path),
+                    "--output",
+                    str(restored_path),
+                ]
+            )
+            == 0
+        )
+        assert restored_path.read_text(encoding="utf-8") == records_file.read_text(encoding="utf-8")
+
+    def test_decompress_rejects_non_pbc_file(self, tmp_path, records_file, capsys):
+        dictionary_path = train_dictionary_file(tmp_path, records_file)
+        bogus = tmp_path / "bogus.bin"
+        bogus.write_bytes(b"not a pbc file")
+        exit_code = main(
+            [
+                "decompress",
+                "--dictionary",
+                str(dictionary_path),
+                "--input",
+                str(bogus),
+                "--output",
+                str(tmp_path / "out.txt"),
+            ]
+        )
+        assert exit_code == 2
+        assert "not a pbc-compressed file" in capsys.readouterr().err
+
+    def test_compress_with_missing_dictionary_fails_gracefully(self, tmp_path, records_file, capsys):
+        exit_code = main(
+            [
+                "compress",
+                "--dictionary",
+                str(tmp_path / "absent.json"),
+                "--input",
+                str(records_file),
+                "--output",
+                str(tmp_path / "out.pbc"),
+            ]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment_id_fails_gracefully(self, capsys):
+        exit_code = main(["experiment", "does-not-exist"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_table2_experiment_runs(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "kv1" in output

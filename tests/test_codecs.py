@@ -1,0 +1,155 @@
+"""Tests for the baseline byte codecs (LZ4/Snappy/Zstd-like, Gzip, LZMA) and the registry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compressors import (
+    GzipCodec,
+    LZ4LikeCodec,
+    LZMACodec,
+    SnappyLikeCodec,
+    ZstdLikeCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+    train_dictionary,
+)
+from repro.compressors.base import Codec, measure_codec
+from repro.compressors.lz77 import detokenize, tokenize
+
+SAMPLE_PAYLOADS = [
+    b"",
+    b"a",
+    b"abcabcabcabcabcabc",
+    b"the quick brown fox jumps over the lazy dog " * 10,
+    bytes(range(256)) * 3,
+    b"\x00" * 1000,
+    "unicode snow ☃ man".encode("utf-8") * 7,
+]
+
+
+class TestLZ77:
+    def test_roundtrip(self):
+        for payload in SAMPLE_PAYLOADS:
+            assert detokenize(tokenize(payload)) == payload
+
+    def test_dictionary_prefix_matches(self):
+        dictionary = b"common prefix material "
+        payload = b"common prefix material and a tail"
+        tokens = tokenize(payload, prefix=dictionary)
+        assert detokenize(tokens, prefix=dictionary) == payload
+        # The prefix must enable at least one back-reference.
+        assert any(token.offset for token in tokens)
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, payload):
+        assert detokenize(tokenize(payload)) == payload
+
+    @given(st.text(alphabet="ab,", max_size=600))
+    @settings(max_examples=50, deadline=None)
+    def test_repetitive_text_property(self, text):
+        payload = text.encode()
+        assert detokenize(tokenize(payload)) == payload
+
+
+@pytest.mark.parametrize(
+    "codec",
+    [LZ4LikeCodec(), SnappyLikeCodec(), ZstdLikeCodec(level=1), ZstdLikeCodec(level=9), GzipCodec(), LZMACodec(preset=1)],
+    ids=lambda codec: f"{codec.name}",
+)
+class TestCodecRoundtrips:
+    def test_roundtrip_samples(self, codec):
+        for payload in SAMPLE_PAYLOADS:
+            assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_record_helpers(self, codec):
+        record = "log line with numbers 12345 and text"
+        assert codec.decompress_record(codec.compress_record(record)) == record
+
+    def test_repetitive_payload_shrinks(self, codec):
+        payload = b"0123456789abcdef" * 256
+        assert len(codec.compress(payload)) < len(payload)
+
+
+class TestZstdLike:
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            ZstdLikeCodec(level=0)
+
+    def test_higher_level_not_worse(self):
+        payload = ("GET /api/items/%d HTTP/1.1\n" * 200 % tuple(range(200))).encode()
+        fast = len(ZstdLikeCodec(level=1).compress(payload))
+        strong = len(ZstdLikeCodec(level=9).compress(payload))
+        assert strong <= fast * 1.05
+
+    def test_dictionary_improves_short_records(self):
+        samples = [f"user_id={index};action=click;ts=16395740{index:02d}".encode() for index in range(100)]
+        dictionary = train_dictionary(samples, max_size=1024)
+        assert 0 < len(dictionary) <= 1024
+        plain = ZstdLikeCodec(level=3)
+        trained = ZstdLikeCodec(level=3, dictionary=dictionary)
+        record = b"user_id=999;action=click;ts=1639574099"
+        assert len(trained.compress(record)) < len(plain.compress(record))
+        assert trained.decompress(trained.compress(record)) == record
+
+    def test_empty_dictionary_from_empty_samples(self):
+        assert train_dictionary([]) == b""
+
+    @given(st.binary(max_size=1500))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, payload):
+        codec = ZstdLikeCodec(level=3)
+        assert codec.decompress(codec.compress(payload)) == payload
+
+
+class TestLZ4Dictionary:
+    def test_dictionary_roundtrip(self):
+        samples = [f"item={index};price={index * 3}".encode() for index in range(50)]
+        dictionary = train_dictionary(samples, max_size=512)
+        codec = LZ4LikeCodec(dictionary=dictionary)
+        record = b"item=999;price=2997"
+        assert codec.decompress(codec.compress(record)) == record
+
+
+class TestGzipLzmaLevels:
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            GzipCodec(level=10)
+        with pytest.raises(ValueError):
+            LZMACodec(preset=11)
+
+
+class TestRegistry:
+    def test_expected_codecs_registered(self):
+        names = available_codecs()
+        for expected in ("lz4", "snappy", "zstd", "gzip", "lzma", "fsst"):
+            assert expected in names
+
+    def test_get_codec_with_arguments(self):
+        codec = get_codec("zstd", level=9)
+        assert isinstance(codec, ZstdLikeCodec)
+        assert codec.level == 9
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(KeyError):
+            get_codec("does-not-exist")
+
+    def test_register_custom_codec(self):
+        class Identity(Codec):
+            name = "identity"
+
+            def compress(self, data: bytes) -> bytes:
+                return data
+
+            def decompress(self, data: bytes) -> bytes:
+                return data
+
+        register_codec("identity-test", Identity)
+        assert isinstance(get_codec("identity-test"), Identity)
+
+    def test_measure_codec_reports_ratio(self):
+        measurement = measure_codec(GzipCodec(), [b"abc" * 100, b"def" * 100])
+        assert measurement.original_bytes == 600
+        assert 0 < measurement.ratio < 1
+        assert measurement.compress_mb_per_second >= 0

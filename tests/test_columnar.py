@@ -1,0 +1,197 @@
+"""Tests for the columnar substrate: lightweight encodings, the table, and the PIDS-like baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.columnar import (
+    ColumnarTable,
+    DeltaVarintEncoding,
+    DictionaryEncoding,
+    PIDSLikeCodec,
+    PlainEncoding,
+    RunLengthEncoding,
+    decode_column,
+    encode_column,
+    select_column_encoding,
+)
+from repro.core.extraction import ExtractionConfig
+from repro.datasets import load_dataset
+from repro.exceptions import CompressorError, DecodingError, EncodingError, StoreError
+
+
+class TestEncodings:
+    @pytest.mark.parametrize(
+        "encoding",
+        [PlainEncoding(), DictionaryEncoding(), RunLengthEncoding()],
+        ids=["plain", "dictionary", "rle"],
+    )
+    def test_roundtrip_generic_values(self, encoding):
+        values = ["alpha", "beta", "alpha", "", "véhicule", "alpha"]
+        assert encoding.decode(encoding.encode(values)) == values
+
+    def test_empty_column_roundtrip(self):
+        for encoding in (PlainEncoding(), DictionaryEncoding(), RunLengthEncoding()):
+            assert encoding.decode(encoding.encode([])) == []
+
+    def test_dictionary_encoding_wins_on_low_cardinality(self):
+        values = ["GET", "POST", "GET", "GET", "PUT"] * 200
+        assert isinstance(select_column_encoding(values), DictionaryEncoding)
+
+    def test_rle_wins_on_sorted_runs(self):
+        values = ["a"] * 500 + ["b"] * 500
+        chosen = select_column_encoding(values)
+        assert isinstance(chosen, (RunLengthEncoding, DictionaryEncoding))
+        assert len(chosen.encode(values)) < len(PlainEncoding().encode(values)) / 10
+
+    def test_delta_encoding_applies_only_to_clean_integers(self):
+        assert DeltaVarintEncoding.can_encode(["100", "101", "99", "-5"])
+        assert not DeltaVarintEncoding.can_encode(["100", "abc"])
+        assert not DeltaVarintEncoding.can_encode(["007"])
+        assert not DeltaVarintEncoding.can_encode([""])
+        assert not DeltaVarintEncoding.can_encode([])
+
+    def test_delta_encoding_roundtrip(self):
+        values = [str(value) for value in (1639574096, 1639574099, 1639574100, 1639574090)]
+        encoding = DeltaVarintEncoding()
+        assert encoding.decode(encoding.encode(values)) == values
+
+    def test_delta_encoding_rejects_non_integers(self):
+        with pytest.raises(EncodingError):
+            DeltaVarintEncoding().encode(["1", "x"])
+
+    def test_delta_wins_on_monotonic_timestamps(self):
+        values = [str(1639574096 + index) for index in range(500)]
+        assert isinstance(select_column_encoding(values), DeltaVarintEncoding)
+
+    def test_encode_column_tags_are_reversible(self):
+        for values in (["a", "b", "a"], [str(index) for index in range(50)], ["x"] * 40):
+            assert decode_column(encode_column(values)) == values
+
+    def test_decode_column_rejects_bad_payloads(self):
+        with pytest.raises(DecodingError):
+            decode_column(b"")
+        with pytest.raises(DecodingError):
+            decode_column(bytes([250]) + b"junk")
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.text(max_size=12), max_size=40))
+    def test_column_roundtrip_property(self, values):
+        assert decode_column(encode_column(values)) == values
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=-(10**9), max_value=10**9), min_size=1, max_size=40))
+    def test_delta_roundtrip_property(self, numbers):
+        values = [str(number) for number in numbers]
+        encoding = DeltaVarintEncoding()
+        assert encoding.decode(encoding.encode(values)) == values
+
+
+class TestColumnarTable:
+    def test_requires_equal_length_columns(self):
+        with pytest.raises(StoreError):
+            ColumnarTable({"a": ["1"], "b": ["1", "2"]})
+        with pytest.raises(StoreError):
+            ColumnarTable({})
+
+    def test_row_and_column_access(self):
+        table = ColumnarTable({"method": ["GET", "POST"], "status": ["200", "404"]})
+        assert table.row_count == 2
+        assert table.column("status") == ["200", "404"]
+        assert table.row(1) == {"method": "POST", "status": "404"}
+        with pytest.raises(StoreError):
+            table.column("missing")
+        with pytest.raises(StoreError):
+            table.row(5)
+
+    def test_from_rows(self):
+        rows = [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+        table = ColumnarTable.from_rows(rows)
+        assert table.column("a") == ["1", "2"]
+        with pytest.raises(StoreError):
+            ColumnarTable.from_rows([])
+        with pytest.raises(StoreError):
+            ColumnarTable.from_rows([{"a": "1"}, {"b": "2"}])
+
+    def test_serialisation_roundtrip(self):
+        table = ColumnarTable(
+            {
+                "ts": [str(1639574096 + index) for index in range(100)],
+                "method": [random.Random(1).choice(["GET", "POST"]) for _ in range(100)],
+            }
+        )
+        restored = ColumnarTable.from_bytes(table.to_bytes())
+        assert restored.column("ts") == table.column("ts")
+        assert restored.column("method") == table.column("method")
+
+    def test_column_stats_report_encoding_choices(self):
+        table = ColumnarTable(
+            {
+                "ts": [str(1639574096 + index) for index in range(200)],
+                "status": ["200"] * 190 + ["500"] * 10,
+            }
+        )
+        stats = {entry.name: entry for entry in table.column_stats()}
+        assert stats["ts"].encoding == "delta"
+        assert stats["status"].encoding in ("dictionary", "rle")
+        assert stats["ts"].ratio < 0.3
+
+
+class TestPIDSLikeCodec:
+    @pytest.fixture(scope="class")
+    def url_codec(self):
+        codec = PIDSLikeCodec(config=ExtractionConfig(sample_size=64, seed=3))
+        codec.train(load_dataset("urls", count=200)[:100])
+        return codec
+
+    def test_requires_training(self):
+        codec = PIDSLikeCodec()
+        assert not codec.is_trained
+        with pytest.raises(CompressorError):
+            codec.compress_column(["value"])
+        with pytest.raises(CompressorError):
+            codec.pattern
+
+    def test_training_produces_a_single_pattern(self, url_codec):
+        assert url_codec.is_trained
+        assert url_codec.pattern.field_count >= 1
+
+    def test_single_structure_column_roundtrip_and_compression(self, url_codec):
+        urls = load_dataset("urls", count=300)
+        blob = url_codec.compress_column(urls)
+        assert url_codec.decompress_column(blob) == urls
+        raw = sum(len(url.encode("utf-8")) for url in urls)
+        assert len(blob) < raw
+        assert url_codec.exception_rate(urls) < 0.2
+
+    def test_multi_structure_column_still_roundtrips(self):
+        mixed = load_dataset("kv1", count=150) + load_dataset("apache", count=150)
+        random.Random(5).shuffle(mixed)
+        codec = PIDSLikeCodec(config=ExtractionConfig(sample_size=64, seed=3))
+        codec.train(mixed[:100])
+        blob = codec.compress_column(mixed)
+        assert codec.decompress_column(blob) == mixed
+
+    def test_pids_is_weaker_than_pbc_on_multi_structure_data(self):
+        from repro import PBCCompressor
+
+        mixed = load_dataset("kv1", count=150) + load_dataset("apache", count=150)
+        random.Random(5).shuffle(mixed)
+        config = ExtractionConfig(max_patterns=16, sample_size=64, seed=3)
+        pids = PIDSLikeCodec(config=config)
+        pids.train(mixed[:100])
+        pbc = PBCCompressor(config=config)
+        pbc.train(mixed[:100])
+        raw = sum(len(record.encode("utf-8")) for record in mixed)
+        pids_ratio = len(pids.compress_column(mixed)) / raw
+        pbc_ratio = pbc.measure(mixed).ratio
+        assert pbc_ratio < pids_ratio
+
+    def test_decompress_rejects_mismatched_payload(self, url_codec):
+        other = PIDSLikeCodec(config=ExtractionConfig(sample_size=48, seed=3))
+        other.train(load_dataset("kv1", count=100)[:80])
+        blob = other.compress_column(load_dataset("kv1", count=50))
+        if url_codec.pattern.field_count != other.pattern.field_count:
+            with pytest.raises(DecodingError):
+                url_codec.decompress_column(blob)

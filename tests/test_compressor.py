@@ -1,0 +1,171 @@
+"""Tests for the PBC compressors (plain, FSST-backed and block variants)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compressors.stdlib_codecs import LZMACodec
+from repro.compressors.zstdlike import ZstdLikeCodec
+from repro.core.compressor import PBCBlockCompressor, PBCCompressor, PBCFCompressor
+from repro.core.extraction import ExtractionConfig
+from repro.core.pattern import OUTLIER_PATTERN_ID, PatternDictionary
+from repro.entropy.varint import decode_uvarint
+from repro.exceptions import CompressorError
+
+
+class TestPBCCompressor:
+    def test_requires_training(self):
+        with pytest.raises(CompressorError):
+            PBCCompressor().compress("record")
+
+    def test_roundtrip(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train(template_records[:100])
+        for record in template_records:
+            assert compressor.decompress(compressor.compress(record)) == record
+
+    def test_template_records_shrink(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train(template_records[:100])
+        stats = compressor.measure([record for record in template_records if not record.startswith("!!")])
+        assert stats.ratio < 0.7
+
+    def test_outlier_stored_raw_and_roundtrips(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train([record for record in template_records if not record.startswith("!!")][:80])
+        outlier = "@@@ completely unexpected payload @@@"
+        payload = compressor.compress(outlier)
+        pattern_id, _ = decode_uvarint(payload, 0)
+        assert pattern_id == OUTLIER_PATTERN_ID
+        assert compressor.decompress(payload) == outlier
+
+    def test_unicode_roundtrip(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train(template_records[:60])
+        record = "métrique=Ünïcode☃"
+        assert compressor.decompress(compressor.compress(record)) == record
+
+    def test_empty_record_roundtrip(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train(template_records[:60])
+        assert compressor.decompress(compressor.compress("")) == ""
+
+    def test_measure_statistics(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train(template_records[:100])
+        stats = compressor.measure(template_records)
+        assert stats.records == len(template_records)
+        assert stats.original_bytes == sum(len(record.encode()) for record in template_records)
+        assert 0 < stats.compressed_bytes
+        assert stats.outliers == round(stats.outlier_rate * stats.records)
+        assert stats.compress_mb_per_second >= 0
+
+    def test_stats_merge(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train(template_records[:100])
+        first = compressor.measure(template_records[:50])
+        second = compressor.measure(template_records[50:])
+        merged = first.merge(second)
+        assert merged.records == len(template_records)
+        assert merged.original_bytes == first.original_bytes + second.original_bytes
+
+    def test_retrain_callback_fires_on_outlier_rate(self, small_config, template_records):
+        fired = []
+        compressor = PBCCompressor(
+            config=small_config,
+            retrain_threshold=0.3,
+            retrain_callback=lambda c: fired.append(c.outlier_rate),
+        )
+        compressor.train(template_records[:80])
+        for index in range(200):
+            compressor.compress(f"???unmatched-{index}???")
+        assert len(fired) == 1
+        assert fired[0] >= 0.3
+
+    def test_dictionary_roundtrip_between_instances(self, small_config, template_records):
+        trained = PBCCompressor(config=small_config)
+        trained.train(template_records[:100])
+        payloads = trained.compress_many(template_records[:20])
+
+        restored = PBCCompressor(
+            dictionary=PatternDictionary.from_bytes(trained.dictionary.to_bytes())
+        )
+        assert restored.decompress_many(payloads) == template_records[:20]
+
+    @given(st.integers(min_value=0, max_value=999999), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property_on_template(self, number, suffix):
+        compressor = _SHARED_TEMPLATE_COMPRESSOR
+        record = f"V5company_charging-100-{suffix:02d}accenter{suffix:02d}ac_accounting_log_202{number:06d}"
+        assert compressor.decompress(compressor.compress(record)) == record
+
+
+# Trained once at import time so the hypothesis property test stays fast.
+_SHARED_TEMPLATE_COMPRESSOR = PBCCompressor(config=ExtractionConfig(max_patterns=4, sample_size=32))
+_SHARED_TEMPLATE_COMPRESSOR.train(
+    [
+        f"V5company_charging-100-{index % 90 + 10}accenter{index % 80 + 10}ac_accounting_log_202{index:06d}"
+        for index in range(40)
+    ]
+)
+
+
+class TestPBCFCompressor:
+    def test_roundtrip(self, small_config, template_records):
+        compressor = PBCFCompressor(config=small_config)
+        compressor.train(template_records[:100])
+        for record in template_records[:60]:
+            assert compressor.decompress(compressor.compress(record)) == record
+
+    def test_improves_on_plain_pbc_for_textual_residuals(self, small_config):
+        # The message field varies per record (so it cannot move into the
+        # pattern) but is built from a small vocabulary, which the FSST symbol
+        # table exploits while plain PBC stores it verbatim.
+        import random
+
+        rng = random.Random(5)
+        vocabulary = ["payment", "declined", "retry", "gateway", "timeout", "billing", "queue", "audit"]
+        records = [
+            f"evt;id={index};msg=" + " ".join(rng.choice(vocabulary) for _ in range(8))
+            for index in range(120)
+        ]
+        plain = PBCCompressor(config=small_config)
+        plain.train(records[:80])
+        fsst = PBCFCompressor(config=small_config)
+        fsst.train(records[:80])
+        assert fsst.measure(records).ratio < plain.measure(records).ratio
+
+    def test_train_residual_reuses_dictionary(self, small_config, template_records):
+        plain = PBCCompressor(config=small_config)
+        plain.train(template_records[:100])
+        shared = PBCFCompressor(dictionary=plain.dictionary, config=small_config)
+        shared.train_residual(template_records[:100])
+        for record in template_records[:30]:
+            assert shared.decompress(shared.compress(record)) == record
+
+
+class TestPBCBlockCompressor:
+    def test_block_roundtrip_zstd(self, small_config, template_records):
+        block = PBCBlockCompressor(PBCCompressor(config=small_config), ZstdLikeCodec(level=3), name="PBC_Z")
+        block.train(template_records[:100])
+        payload = block.compress_block(template_records[:64])
+        assert block.decompress_block(payload) == template_records[:64]
+
+    def test_file_roundtrip_lzma(self, small_config, template_records):
+        block = PBCBlockCompressor(PBCCompressor(config=small_config), LZMACodec(preset=1), name="PBC_L")
+        block.train(template_records[:100])
+        payload = block.compress_file(template_records)
+        assert block.decompress_file(payload) == template_records
+
+    def test_block_compression_beats_per_record(self, small_config, template_records):
+        pbc = PBCCompressor(config=small_config)
+        pbc.train(template_records[:100])
+        per_record = pbc.measure(template_records).ratio
+        block = PBCBlockCompressor(pbc, LZMACodec(preset=1), name="PBC_L")
+        assert block.measure(template_records).ratio <= per_record
+
+    def test_measure_with_small_blocks(self, small_config, template_records):
+        block = PBCBlockCompressor(PBCCompressor(config=small_config), ZstdLikeCodec(level=1))
+        block.train(template_records[:80])
+        stats = block.measure(template_records[:40], block_size=8)
+        assert stats.records == 40
+        assert stats.compressed_bytes > 0

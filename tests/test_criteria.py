@@ -1,0 +1,99 @@
+"""Tests for the clustering criteria (encoding length, entropy, edit distance)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.criteria import (
+    ClusterState,
+    EditDistanceCriterion,
+    EncodingLengthCriterion,
+    EntropyCriterion,
+    make_criterion,
+)
+from repro.core.distance import symbol_counter
+from repro.core.pattern import tokens_from_string
+
+
+def make_cluster(record: str, size: int = 1) -> ClusterState:
+    tokens = tokens_from_string(record)
+    return ClusterState(
+        tokens=tokens,
+        members=list(range(size)),
+        size=size,
+        counter=symbol_counter(tokens),
+        total_record_length=len(record) * size,
+    )
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_criterion("el"), EncodingLengthCriterion)
+        assert isinstance(make_criterion("entropy"), EntropyCriterion)
+        assert isinstance(make_criterion("ed"), EditDistanceCriterion)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_criterion("cosine")
+
+
+class TestEncodingLengthCriterion:
+    def test_identical_clusters_score_zero(self):
+        criterion = EncodingLengthCriterion()
+        score, tokens = criterion.score(make_cluster("abc123"), make_cluster("abc123"))
+        assert score == 0.0
+        assert tokens == tokens_from_string("abc123")
+
+    def test_similar_clusters_score_lower_than_dissimilar(self):
+        criterion = EncodingLengthCriterion()
+        base = make_cluster("user-123-end")
+        similar, _ = criterion.score(base, make_cluster("user-456-end"))
+        dissimilar, _ = criterion.score(base, make_cluster("ZZZZZZZZZZZZ"))
+        assert similar < dissimilar
+
+    def test_lower_bound_is_a_lower_bound(self):
+        criterion = EncodingLengthCriterion()
+        pairs = [
+            ("user-1-x", "user-22-y"),
+            ("abc", "xyz"),
+            ("log:12:ok", "log:9:fail"),
+        ]
+        for left, right in pairs:
+            cluster_a, cluster_b = make_cluster(left), make_cluster(right)
+            score, _ = criterion.score(cluster_a, cluster_b)
+            assert criterion.lower_bound(cluster_a, cluster_b) <= score
+
+    def test_supports_bounded_search(self):
+        assert EncodingLengthCriterion().supports_bounded_search()
+        assert not EditDistanceCriterion().supports_bounded_search()
+
+
+class TestEntropyCriterion:
+    def test_identical_clusters_do_not_grow_residuals(self):
+        criterion = EntropyCriterion()
+        score, _ = criterion.score(make_cluster("abcabc"), make_cluster("abcabc"))
+        assert score == 0.0
+
+    def test_dissimilar_clusters_grow_residuals(self):
+        criterion = EntropyCriterion()
+        score, _ = criterion.score(make_cluster("aaaa"), make_cluster("bbbb"))
+        assert score > 0.0
+
+    def test_preference_matches_encoding_length_on_clear_cases(self):
+        entropy = EntropyCriterion()
+        base = make_cluster("order=123;sym=IBM")
+        similar, _ = entropy.score(base, make_cluster("order=999;sym=AAPL"))
+        dissimilar, _ = entropy.score(base, make_cluster("###############"))
+        assert similar < dissimilar
+
+
+class TestEditDistanceCriterion:
+    def test_scores_are_levenshtein(self):
+        criterion = EditDistanceCriterion()
+        score, _ = criterion.score(make_cluster("kitten"), make_cluster("sitting"))
+        assert score == 3.0
+
+    def test_returns_merged_tokens(self):
+        criterion = EditDistanceCriterion()
+        _, tokens = criterion.score(make_cluster("ab1"), make_cluster("ab2"))
+        assert tokens[0] == "a" and tokens[1] == "b"

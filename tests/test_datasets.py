@@ -1,0 +1,95 @@
+"""Tests for the synthetic dataset generators and registry."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_SPECS,
+    JSON_DATASETS,
+    KV_DATASETS,
+    LOG_DATASETS,
+    dataset_names,
+    dataset_statistics,
+    get_spec,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_all_sixteen_paper_datasets_present(self):
+        expected = {
+            "kv1", "kv2", "kv3", "kv4", "kv5",
+            "android", "apache", "bgl", "hdfs", "hadoop", "alilogs",
+            "github", "cities", "unece", "urls", "uuid",
+        }
+        assert set(dataset_names()) == expected
+
+    def test_categories(self):
+        assert set(KV_DATASETS) == {"kv1", "kv2", "kv3", "kv4", "kv5"}
+        assert set(LOG_DATASETS) == {"android", "apache", "bgl", "hdfs", "hadoop", "alilogs"}
+        assert set(JSON_DATASETS) == {"github", "cities", "unece"}
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+        with pytest.raises(DatasetError):
+            get_spec("nope")
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("kv1", count=0)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_generation_and_determinism(self, name):
+        records = load_dataset(name, count=50, seed=1)
+        again = load_dataset(name, count=50, seed=1)
+        other_seed = load_dataset(name, count=50, seed=2)
+        assert len(records) == 50
+        assert all(isinstance(record, str) and record for record in records)
+        assert records == again
+        assert records != other_seed
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_average_length_within_factor_of_paper(self, name):
+        spec = get_spec(name)
+        stats = dataset_statistics(name, load_dataset(name, count=80))
+        assert spec.paper_avg_len / 3 <= stats.avg_record_len <= spec.paper_avg_len * 3
+
+    def test_statistics_fields(self):
+        stats = dataset_statistics("kv1", load_dataset("kv1", count=40))
+        assert stats.records == 40
+        assert stats.min_record_len <= stats.avg_record_len <= stats.max_record_len
+        assert stats.total_bytes >= stats.records
+
+    def test_default_counts_used_when_count_omitted(self):
+        records = load_dataset("unece")
+        assert len(records) == DATASET_SPECS["unece"].default_count
+
+    def test_json_datasets_are_valid_json(self):
+        import json
+
+        for name in JSON_DATASETS:
+            for record in load_dataset(name, count=10):
+                json.loads(record)
+
+    def test_log_datasets_are_single_line(self):
+        for name in LOG_DATASETS:
+            assert all("\n" not in record for record in load_dataset(name, count=20))
+
+    def test_uuid_records_have_canonical_shape(self):
+        import re
+
+        pattern = re.compile(r"^[0-9a-f]{8}-[0-9a-f]{4}-4[0-9a-f]{3}-[0-9a-f]{4}-[0-9a-f]{12}$")
+        assert all(pattern.match(record) for record in load_dataset("uuid", count=30))
+
+    def test_kv_datasets_have_template_structure(self):
+        # The vast majority of records in a KV dataset share a small number of
+        # structural signatures (this is what PBC exploits).
+        from repro.core.clustering import record_signature
+
+        for name in KV_DATASETS:
+            records = load_dataset(name, count=100)
+            signatures = {record_signature(record) for record in records}
+            assert len(signatures) <= 25

@@ -1,0 +1,84 @@
+"""Tests for the 1-gram distance, edit distance and LCS helpers."""
+
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.core.distance import (
+    edit_distance,
+    longest_common_subsequence_length,
+    one_gram_distance,
+    one_gram_distance_counters,
+    symbol_counter,
+)
+from repro.core.pattern import WILDCARD
+
+
+class TestOneGramDistance:
+    def test_identical_strings(self):
+        assert one_gram_distance("abc", "abc") == 0
+
+    def test_disjoint_strings(self):
+        # union = 6, intersection = 0
+        assert one_gram_distance("abc", "xyz") == 6
+
+    def test_multiset_definition(self):
+        # MS1 = {a,a,b}, MS2 = {a,b,b}: additive union = 6, intersection(min) = a:1,b:1 -> 2.
+        assert one_gram_distance("aab", "abb") == 6 - 2 * 2
+
+    def test_symmetry(self):
+        assert one_gram_distance("hello", "world") == one_gram_distance("world", "hello")
+
+    def test_counter_variant_matches(self):
+        assert one_gram_distance_counters(Counter("abca"), Counter("bcad")) == one_gram_distance(
+            "abca", "bcad"
+        )
+
+    def test_symbol_counter_skips_wildcards(self):
+        assert symbol_counter(["a", WILDCARD, "a"]) == Counter({"a": 2})
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_non_negative_and_symmetric(self, left, right):
+        distance = one_gram_distance(left, right)
+        assert distance >= 0
+        assert one_gram_distance(right, left) == distance
+
+    @given(st.text(max_size=30))
+    def test_identity(self, text):
+        assert one_gram_distance(text, text) == 0
+
+
+class TestEditDistance:
+    def test_basic_cases(self):
+        assert edit_distance("", "") == 0
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_single_substitution(self):
+        assert edit_distance("abc", "axc") == 1
+
+    def test_works_on_token_lists(self):
+        assert edit_distance(["a", WILDCARD, "b"], ["a", "b"]) == 1
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_bounds(self, left, right):
+        distance = edit_distance(left, right)
+        assert abs(len(left) - len(right)) <= distance <= max(len(left), len(right))
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_symmetry(self, left, right):
+        assert edit_distance(left, right) == edit_distance(right, left)
+
+
+class TestLCS:
+    def test_basic_cases(self):
+        assert longest_common_subsequence_length("abcde", "ace") == 3
+        assert longest_common_subsequence_length("abc", "xyz") == 0
+        assert longest_common_subsequence_length("", "abc") == 0
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_relationship_with_edit_distance(self, left, right):
+        # For unit-cost edit distance: ed >= max(len) - lcs.
+        lcs = longest_common_subsequence_length(left, right)
+        assert edit_distance(left, right) >= max(len(left), len(right)) - lcs

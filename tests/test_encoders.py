@@ -1,0 +1,173 @@
+"""Tests for the field encoders of Table 1."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.encoders import (
+    CharEncoder,
+    IntEncoder,
+    VarcharEncoder,
+    VarintEncoder,
+    candidate_encoders,
+    encoder_from_spec,
+    select_encoder,
+)
+from repro.exceptions import DecodingError, EncodingError
+
+
+class TestVarcharEncoder:
+    def test_roundtrip(self):
+        encoder = VarcharEncoder()
+        for value in ("", "a", "hello world", "héllo", "0" * 300):
+            data = encoder.encode(value)
+            decoded, offset = encoder.decode(data, 0)
+            assert decoded == value
+            assert offset == len(data)
+
+    def test_cost_matches_encoding(self):
+        encoder = VarcharEncoder()
+        for value in ("", "x", "abcdef" * 30, "ünïcode"):
+            assert encoder.cost(value) == len(encoder.encode(value))
+
+    def test_accepts_everything(self):
+        assert VarcharEncoder().can_encode("anything at all ☃")
+
+    def test_truncated_payload_rejected(self):
+        encoder = VarcharEncoder()
+        data = encoder.encode("hello")
+        with pytest.raises(DecodingError):
+            encoder.decode(data[:-2], 0)
+
+
+class TestCharEncoder:
+    def test_roundtrip(self):
+        encoder = CharEncoder(4)
+        data = encoder.encode("abcd")
+        assert encoder.decode(data, 0) == ("abcd", 4)
+
+    def test_rejects_wrong_length(self):
+        encoder = CharEncoder(3)
+        assert not encoder.can_encode("ab")
+        assert not encoder.can_encode("abcd")
+        with pytest.raises(EncodingError):
+            encoder.encode("ab")
+
+    def test_rejects_multibyte_overflow(self):
+        # 3 characters but more than 3 UTF-8 bytes.
+        assert not CharEncoder(3).can_encode("hél")
+
+    def test_no_header_overhead(self):
+        assert CharEncoder(10).cost("abcdefghij") == 10
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            CharEncoder(-1)
+
+
+class TestIntEncoder:
+    def test_roundtrip_preserves_leading_zeros(self):
+        encoder = IntEncoder(6)
+        data = encoder.encode("004512")
+        assert encoder.decode(data, 0) == ("004512", encoder.width)
+
+    def test_width_defaults_to_minimum(self):
+        assert IntEncoder(2).width == 1
+        assert IntEncoder(6).width == 3
+        assert IntEncoder(10).width == 5
+
+    def test_explicit_width_must_fit(self):
+        with pytest.raises(ValueError):
+            IntEncoder(6, 1)
+
+    def test_rejects_non_digits_and_wrong_length(self):
+        encoder = IntEncoder(4)
+        assert not encoder.can_encode("12a4")
+        assert not encoder.can_encode("123")
+        assert not encoder.can_encode("１２３４")  # full-width digits are not ASCII
+
+    def test_spec_roundtrip(self):
+        encoder = IntEncoder(6, 3)
+        assert encoder_from_spec(encoder.spec()) == encoder
+
+    @given(st.integers(min_value=0, max_value=999999))
+    def test_roundtrip_property(self, number):
+        encoder = IntEncoder(6)
+        value = f"{number:06d}"
+        decoded, _ = encoder.decode(encoder.encode(value), 0)
+        assert decoded == value
+
+
+class TestVarintEncoder:
+    def test_roundtrip(self):
+        encoder = VarintEncoder()
+        for value in ("0", "7", "128", "999999999"):
+            decoded, _ = encoder.decode(encoder.encode(value), 0)
+            assert decoded == value
+
+    def test_rejects_leading_zeros(self):
+        encoder = VarintEncoder()
+        assert not encoder.can_encode("007")
+        assert encoder.can_encode("0")
+
+    def test_rejects_non_digits(self):
+        assert not VarintEncoder().can_encode("12.5")
+        assert not VarintEncoder().can_encode("")
+
+    def test_cost_grows_with_magnitude(self):
+        encoder = VarintEncoder()
+        assert encoder.cost("5") < encoder.cost("500000")
+
+
+class TestEncoderSelection:
+    def test_fixed_digits_prefer_int(self):
+        encoder = select_encoder(["123456", "654321", "000001"])
+        assert encoder.spec() == "INT(6,3)"
+
+    def test_variable_digits_prefer_varint(self):
+        encoder = select_encoder(["5", "1234", "99"])
+        assert encoder.spec() == "VARINT"
+
+    def test_fixed_text_prefers_char(self):
+        encoder = select_encoder(["abcd", "efgh", "zzzz"])
+        assert encoder.spec() == "CHAR(4)"
+
+    def test_mixed_text_falls_back_to_varchar(self):
+        encoder = select_encoder(["a", "bcdef", "gh"])
+        assert encoder.spec() == "VARCHAR"
+
+    def test_empty_values_only_varchar(self):
+        assert select_encoder(["", ""]).spec() == "VARCHAR"
+
+    def test_candidate_set_always_contains_varchar(self):
+        for values in (["1", "22"], ["abc"], [""], ["x1", "y2"]):
+            specs = {encoder.spec() for encoder in candidate_encoders(values)}
+            assert "VARCHAR" in specs
+
+    def test_selected_encoder_can_encode_all_values(self):
+        values = ["123", "456", "789"]
+        encoder = select_encoder(values)
+        assert all(encoder.can_encode(value) for value in values)
+
+    def test_selection_is_cost_minimal_among_candidates(self):
+        values = ["120045", "000001", "999999"]
+        best = select_encoder(values)
+        best_cost = sum(best.cost(value) for value in values)
+        for candidate in candidate_encoders(values):
+            assert best_cost <= sum(candidate.cost(value) for value in values)
+
+    @given(st.lists(st.text(alphabet="0123456789abc", min_size=1, max_size=12), min_size=1, max_size=10))
+    def test_selected_encoder_roundtrips_every_value(self, values):
+        encoder = select_encoder(values)
+        for value in values:
+            decoded, _ = encoder.decode(encoder.encode(value), 0)
+            assert decoded == value
+
+
+class TestSpecParsing:
+    def test_all_specs_roundtrip(self):
+        for encoder in (VarcharEncoder(), VarintEncoder(), CharEncoder(7), IntEncoder(4, 2)):
+            assert encoder_from_spec(encoder.spec()) == encoder
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            encoder_from_spec("BLOB(4)")

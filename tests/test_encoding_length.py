@@ -1,0 +1,63 @@
+"""Tests for the encoding-length model (Definitions 1-2)."""
+
+import pytest
+
+from repro.core.encoders import IntEncoder, VarcharEncoder
+from repro.core.encoding_length import (
+    encoding_length,
+    minimal_encoding_length,
+    residual_field_values,
+    varchar_encoding_length,
+)
+from repro.core.pattern import WILDCARD
+
+
+PATTERN = ["i", "d", "=", WILDCARD, ";", "v", "=", WILDCARD]
+
+
+class TestResidualExtraction:
+    def test_matching_record(self):
+        assert residual_field_values(PATTERN, "id=123;v=abc") == ["123", "abc"]
+
+    def test_non_matching_record(self):
+        assert residual_field_values(PATTERN, "nope") is None
+
+    def test_empty_fields(self):
+        assert residual_field_values(PATTERN, "id=;v=") == ["", ""]
+
+
+class TestEncodingLength:
+    def test_varchar_definition(self):
+        records = ["id=123;v=abc", "id=9;v=zz"]
+        # VARCHAR cost = 1-byte header + payload for each field value.
+        expected = (1 + 3) + (1 + 3) + (1 + 1) + (1 + 2)
+        assert varchar_encoding_length(records, PATTERN) == expected
+        assert encoding_length(records, PATTERN) == expected
+
+    def test_explicit_encoders(self):
+        records = ["id=123;v=abc", "id=456;v=xyz"]
+        encoders = [IntEncoder(3), VarcharEncoder()]
+        expected = 2 * (2 + (1 + 3))
+        assert encoding_length(records, PATTERN, encoders) == expected
+
+    def test_wrong_encoder_count_rejected(self):
+        with pytest.raises(ValueError):
+            encoding_length(["id=1;v=a"], PATTERN, [VarcharEncoder()])
+
+    def test_non_matching_record_rejected(self):
+        with pytest.raises(ValueError):
+            encoding_length(["garbage"], PATTERN)
+
+    def test_minimal_encoding_length_not_larger_than_varchar(self):
+        records = ["id=123;v=abc", "id=456;v=def", "id=789;v=ghi"]
+        assert minimal_encoding_length(records, PATTERN) <= varchar_encoding_length(records, PATTERN)
+
+    def test_minimal_encoding_length_uses_int_packing(self):
+        records = [f"id={index:06d};v=x" for index in range(4)]
+        # INT(6,3) costs 3 bytes per record for the digit field (VARCHAR would
+        # cost 7) and the constant one-character field packs as CHAR(1).
+        minimal = minimal_encoding_length(records, PATTERN)
+        assert minimal == 4 * (3 + 1)
+
+    def test_pattern_without_fields(self):
+        assert minimal_encoding_length(["abc", "abc"], ["a", "b", "c"]) == 0

@@ -1,0 +1,94 @@
+"""Tests for the pattern-extraction pipeline (sampling, clustering, specialisation)."""
+
+import pytest
+
+from repro.core.extraction import ExtractionConfig, PatternExtractor
+from repro.core.matcher import MultiPatternMatcher
+from repro.exceptions import ClusteringError
+
+
+class TestSampling:
+    def test_sample_size_budget(self):
+        extractor = PatternExtractor(ExtractionConfig(sample_size=10))
+        sample = extractor._sample([f"record-{index}" for index in range(100)])
+        assert len(sample) == 10
+
+    def test_sample_bytes_budget(self):
+        extractor = PatternExtractor(ExtractionConfig(sample_size=None, sample_bytes=50))
+        sample = extractor._sample(["x" * 20 for _ in range(10)])
+        assert sum(len(record) for record in sample) <= 60
+        assert len(sample) >= 1
+
+    def test_sampling_is_deterministic(self):
+        records = [f"record-{index}" for index in range(100)]
+        first = PatternExtractor(ExtractionConfig(sample_size=10, seed=3))._sample(records)
+        second = PatternExtractor(ExtractionConfig(sample_size=10, seed=3))._sample(records)
+        assert first == second
+
+
+class TestExtraction:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ClusteringError):
+            PatternExtractor().extract([])
+
+    def test_two_templates_two_patterns(self, small_config, template_records):
+        report = PatternExtractor(small_config).extract(template_records)
+        assert 1 <= len(report.dictionary) <= small_config.max_patterns
+        matcher = MultiPatternMatcher(report.dictionary)
+        matched = sum(1 for record in template_records if matcher.match(record) is not None)
+        assert matched / len(template_records) > 0.85
+
+    def test_digit_fields_get_numeric_encoders(self, small_config):
+        records = [f"metric={index:06d};host=web{index % 4}" for index in range(60)]
+        dictionary = PatternExtractor(small_config).fit(records)
+        specs = {encoder.spec() for pattern in dictionary for encoder in pattern.encoders}
+        assert any(spec.startswith("INT(") or spec == "VARINT" for spec in specs)
+
+    def test_extraction_report_statistics(self, small_config, template_records):
+        report = PatternExtractor(small_config).extract(template_records)
+        assert report.sample_count <= small_config.sample_size
+        assert report.sample_bytes > 0
+        assert report.clustering_stats.initial_clusters >= report.clustering_stats.final_clusters
+        assert sum(report.cluster_sizes) <= report.sample_count
+
+    def test_patterns_reconstruct_training_records(self, small_config):
+        records = [f"evt|{index % 7}|{1000 + index}|ok" for index in range(80)]
+        dictionary = PatternExtractor(small_config).fit(records)
+        matcher = MultiPatternMatcher(dictionary)
+        for record in records[:20]:
+            match = matcher.match(record)
+            assert match is not None
+            assert match.pattern.reconstruct(match.field_values) == record
+
+    def test_refinement_can_be_disabled(self, template_records):
+        config = ExtractionConfig(max_patterns=6, sample_size=64, refine_patterns=False)
+        dictionary = PatternExtractor(config).fit(template_records)
+        assert len(dictionary) >= 1
+
+    def test_refinement_never_hurts_encoded_size(self):
+        # Records whose digit fields are fragmented by spurious matches: the
+        # refined pattern must encode the training sample at least as compactly.
+        records = [f"cnt:{name}:{index:06d}" for index, name in enumerate(["alpha", "beta", "gamma", "delta"] * 10)]
+        refined_config = ExtractionConfig(max_patterns=2, sample_size=32, refine_patterns=True)
+        plain_config = ExtractionConfig(max_patterns=2, sample_size=32, refine_patterns=False)
+        refined = PatternExtractor(refined_config).fit(records)
+        plain = PatternExtractor(plain_config).fit(records)
+
+        def encoded_size(dictionary):
+            matcher = MultiPatternMatcher(dictionary)
+            total = 0
+            for record in records:
+                match = matcher.match(record)
+                if match is None:
+                    total += len(record)
+                else:
+                    total += len(match.pattern.encode_fields(match.field_values))
+            return total
+
+        assert encoded_size(refined) <= encoded_size(plain)
+
+    def test_single_record_sample(self):
+        dictionary = PatternExtractor(ExtractionConfig(max_patterns=4, sample_size=8)).fit(["only-one-record"])
+        assert len(dictionary) == 1
+        pattern = next(iter(dictionary))
+        assert pattern.reconstruct([""] * pattern.field_count) == "only-one-record" or pattern.field_count == 0

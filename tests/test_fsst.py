@@ -1,0 +1,110 @@
+"""Tests for the FSST-style symbol-table codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compressors.fsst import (
+    ESCAPE_CODE,
+    FSSTCodec,
+    MAX_SYMBOLS,
+    SymbolTable,
+    train_symbol_table,
+)
+from repro.exceptions import DecodingError
+
+
+class TestSymbolTable:
+    def test_empty_table_escapes_everything(self):
+        table = SymbolTable()
+        encoded = table.encode(b"ab")
+        assert encoded == bytes([ESCAPE_CODE, ord("a"), ESCAPE_CODE, ord("b")])
+        assert table.decode(encoded) == b"ab"
+
+    def test_longest_symbol_wins(self):
+        table = SymbolTable([b"ab", b"abcd"])
+        encoded = table.encode(b"abcdab")
+        # "abcd" (code 1) then "ab" (code 0).
+        assert encoded == bytes([1, 0])
+
+    def test_symbol_limit_enforced(self):
+        with pytest.raises(ValueError):
+            SymbolTable([bytes([value]) for value in range(MAX_SYMBOLS + 1)])
+
+    def test_symbol_length_enforced(self):
+        with pytest.raises(ValueError):
+            SymbolTable([b"123456789"])
+        with pytest.raises(ValueError):
+            SymbolTable([b""])
+
+    def test_serialisation_roundtrip(self):
+        table = SymbolTable([b"http://", b"www.", b".com"])
+        restored, offset = SymbolTable.from_bytes(table.to_bytes())
+        assert restored.symbols == table.symbols
+        assert offset == len(table.to_bytes())
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(DecodingError):
+            SymbolTable([b"a"]).decode(bytes([5]))
+
+    def test_truncated_escape_rejected(self):
+        with pytest.raises(DecodingError):
+            SymbolTable().decode(bytes([ESCAPE_CODE]))
+
+
+class TestTraining:
+    def test_empty_samples_give_empty_table(self):
+        assert len(train_symbol_table([])) == 0
+
+    def test_learns_repeated_substrings(self):
+        samples = [b"https://www.example.com/page/%d" % index for index in range(200)]
+        table = train_symbol_table(samples)
+        assert len(table) > 0
+        assert any(len(symbol) >= 4 for symbol in table.symbols)
+
+    def test_table_size_bounded(self):
+        samples = [bytes([index % 256, (index * 7) % 256]) for index in range(500)]
+        assert len(train_symbol_table(samples)) <= MAX_SYMBOLS
+
+
+class TestFSSTCodec:
+    def test_untrained_roundtrip(self):
+        codec = FSSTCodec()
+        payload = b"anything goes here"
+        assert codec.decompress(codec.compress(payload)) == payload
+        assert not codec.is_trained
+
+    def test_trained_compression_shrinks_similar_payloads(self):
+        samples = [f"GET /api/v1/users/{index}/profile HTTP/1.1".encode() for index in range(300)]
+        codec = FSSTCodec()
+        codec.train(samples)
+        assert codec.is_trained
+        payload = b"GET /api/v1/users/9999/profile HTTP/1.1"
+        compressed = codec.compress(payload)
+        assert len(compressed) < len(payload)
+        assert codec.decompress(compressed) == payload
+
+    def test_roundtrip_on_unseen_bytes(self):
+        codec = FSSTCodec()
+        codec.train([b"aaaa bbbb cccc"] * 20)
+        payload = bytes(range(256))
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_empty_payload(self):
+        codec = FSSTCodec()
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    @given(st.binary(max_size=400))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property_untrained(self, payload):
+        codec = FSSTCodec()
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    @given(st.text(alphabet="abcdef0123456789-/", max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property_trained(self, text):
+        payload = text.encode()
+        assert _TRAINED_CODEC.decompress(_TRAINED_CODEC.compress(payload)) == payload
+
+
+_TRAINED_CODEC = FSSTCodec()
+_TRAINED_CODEC.train([f"abc-{index}/def-0123456789".encode() for index in range(100)])

@@ -1,0 +1,126 @@
+"""Tests for the grammar-based baselines (Re-Pair and Sequitur)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compressors import RePairCodec, SequiturCodec, available_codecs, get_codec
+from repro.compressors.repair import build_grammar, expand_grammar
+from repro.compressors.sequitur import expand, infer_grammar
+from repro.exceptions import DecodingError
+
+SAMPLE_LOG = (
+    b"2023-11-21 12:00:01 INFO worker-3 processed batch 99182 in 35ms\n"
+    b"2023-11-21 12:00:02 INFO worker-4 processed batch 99183 in 31ms\n"
+    b"2023-11-21 12:00:03 WARN worker-3 retrying batch 99184 after timeout\n"
+) * 8
+
+
+class TestRePairGrammar:
+    def test_empty_input(self):
+        rules, sequence = build_grammar(b"")
+        assert rules == []
+        assert sequence == []
+
+    def test_no_repeated_pairs_creates_no_rules(self):
+        rules, sequence = build_grammar(b"abcdef", min_pair_count=2)
+        assert rules == []
+        assert bytes(sequence) == b"abcdef"
+
+    def test_repeated_pair_is_replaced(self):
+        rules, sequence = build_grammar(b"abababab", min_pair_count=2)
+        assert rules
+        assert expand_grammar(rules, sequence) == b"abababab"
+
+    def test_rule_budget_is_respected(self):
+        rules, _ = build_grammar(SAMPLE_LOG, max_rules=5, min_pair_count=2)
+        assert len(rules) <= 5
+
+    def test_expand_rejects_unknown_rule(self):
+        with pytest.raises(DecodingError):
+            expand_grammar([], [300])
+
+    def test_grammar_expansion_matches_input(self):
+        rules, sequence = build_grammar(SAMPLE_LOG)
+        assert expand_grammar(rules, sequence) == SAMPLE_LOG
+
+
+class TestSequiturGrammar:
+    def test_empty_input(self):
+        rule_bodies, start_rule = infer_grammar(b"")
+        assert rule_bodies == []
+        assert start_rule == []
+
+    def test_digram_uniqueness_produces_rules(self):
+        rule_bodies, start_rule = infer_grammar(b"abcabcabc")
+        assert rule_bodies
+        assert expand(rule_bodies, start_rule) == b"abcabcabc"
+
+    def test_overlapping_digrams_are_handled(self):
+        data = b"aaaaaaaa"
+        rule_bodies, start_rule = infer_grammar(data)
+        assert expand(rule_bodies, start_rule) == data
+
+    def test_expansion_matches_input_on_log_data(self):
+        rule_bodies, start_rule = infer_grammar(SAMPLE_LOG)
+        assert expand(rule_bodies, start_rule) == SAMPLE_LOG
+
+    def test_expand_rejects_unknown_rule(self):
+        with pytest.raises(DecodingError):
+            expand([], [400])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(max_size=300))
+    def test_grammar_roundtrip_property(self, data):
+        rule_bodies, start_rule = infer_grammar(data)
+        assert expand(rule_bodies, start_rule) == data
+
+
+@pytest.mark.parametrize("codec_class", [RePairCodec, SequiturCodec])
+class TestGrammarCodecs:
+    def test_registered_in_registry(self, codec_class):
+        assert codec_class().name.lower() in available_codecs()
+        assert isinstance(get_codec(codec_class().name.lower()), codec_class)
+
+    def test_empty_roundtrip(self, codec_class):
+        codec = codec_class()
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_log_payload_roundtrip_and_compression(self, codec_class):
+        codec = codec_class()
+        blob = codec.compress(SAMPLE_LOG)
+        assert codec.decompress(blob) == SAMPLE_LOG
+        assert len(blob) < len(SAMPLE_LOG)
+
+    def test_roundtrip_without_entropy_stage(self, codec_class):
+        codec = codec_class(entropy_stage=False)
+        payload = b"key=value;" * 50
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_binary_payload_roundtrip(self, codec_class):
+        codec = codec_class()
+        payload = bytes(range(256)) * 2
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_empty_compressed_payload_rejected(self, codec_class):
+        with pytest.raises(DecodingError):
+            codec_class().decompress(b"")
+
+    def test_unknown_marker_rejected(self, codec_class):
+        with pytest.raises(DecodingError):
+            codec_class().decompress(b"\x07broken")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_roundtrip_property(self, codec_class, data):
+        codec = codec_class()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_repetitive_machine_records_compress_well(self, codec_class):
+        records = "".join(
+            f"symbol=IBM;side=B;quantity={100 + index};price=50.25;ts=16395740{index:02d}\n"
+            for index in range(80)
+        ).encode("utf-8")
+        codec = codec_class()
+        blob = codec.compress(records)
+        assert codec.decompress(blob) == records
+        assert len(blob) < len(records) / 2

@@ -1,0 +1,97 @@
+"""Tests for canonical Huffman coding and the entropy helper."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.entropy.huffman import (
+    HuffmanDecoder,
+    HuffmanEncoder,
+    build_canonical_code,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_empty_payload(self):
+        assert shannon_entropy(b"") == 0.0
+
+    def test_single_symbol_has_zero_entropy(self):
+        assert shannon_entropy(b"aaaa") == 0.0
+
+    def test_uniform_two_symbols(self):
+        assert shannon_entropy(b"abab") == pytest.approx(1.0)
+
+    def test_uniform_all_bytes(self):
+        payload = bytes(range(256))
+        assert shannon_entropy(payload) == pytest.approx(8.0)
+
+    def test_bounded_by_eight_bits(self):
+        assert shannon_entropy(b"hello world, hello huffman") <= 8.0
+
+
+class TestCanonicalCode:
+    def test_empty_frequencies(self):
+        code = build_canonical_code({})
+        assert code.lengths == {}
+
+    def test_single_symbol_gets_one_bit(self):
+        code = build_canonical_code({65: 10})
+        assert code.lengths == {65: 1}
+
+    def test_frequent_symbols_get_short_codes(self):
+        code = build_canonical_code({0: 1000, 1: 10, 2: 10, 3: 1})
+        assert code.lengths[0] <= code.lengths[3]
+
+    def test_kraft_inequality_holds(self):
+        frequencies = {symbol: symbol + 1 for symbol in range(64)}
+        code = build_canonical_code(frequencies)
+        kraft = sum(2.0 ** -length for length in code.lengths.values())
+        assert kraft <= 1.0 + 1e-9
+
+    def test_codes_are_prefix_free(self):
+        frequencies = {symbol: (symbol % 7) + 1 for symbol in range(40)}
+        code = build_canonical_code(frequencies)
+        words = sorted(code.codes.values(), key=lambda item: item[1])
+        rendered = [format(word, f"0{width}b") for word, width in words]
+        for index, prefix in enumerate(rendered):
+            for other in rendered[index + 1 :]:
+                assert not other.startswith(prefix) or other == prefix
+
+
+class TestHuffmanRoundtrip:
+    def test_empty_payload(self):
+        assert HuffmanDecoder().decode(HuffmanEncoder().encode(b"")) == b""
+
+    def test_single_symbol_payload(self):
+        payload = b"z" * 100
+        assert HuffmanDecoder().decode(HuffmanEncoder().encode(payload)) == payload
+
+    def test_text_payload(self):
+        payload = b"the quick brown fox jumps over the lazy dog" * 5
+        encoded = HuffmanEncoder().encode(payload)
+        assert HuffmanDecoder().decode(encoded) == payload
+        assert len(encoded) < len(payload)
+
+    def test_compresses_skewed_distributions(self):
+        payload = b"a" * 900 + b"b" * 90 + b"c" * 10
+        encoded = HuffmanEncoder().encode(payload)
+        assert len(encoded) < len(payload) / 3
+
+    def test_close_to_entropy_bound(self):
+        payload = (b"ab" * 50 + b"c" * 20) * 10
+        encoded = HuffmanEncoder().encode(payload)
+        entropy_bits = shannon_entropy(payload) * len(payload)
+        # Canonical Huffman should stay within ~1 bit/symbol + header of the bound.
+        assert len(encoded) * 8 <= entropy_bits + len(payload) + 600
+
+    @given(st.binary(max_size=512))
+    def test_roundtrip_property(self, payload):
+        encoded = HuffmanEncoder().encode(payload)
+        assert HuffmanDecoder().decode(encoded) == payload
+
+    @given(st.text(alphabet="abcdef0123456789-:", max_size=200))
+    def test_roundtrip_machine_like_text(self, text):
+        payload = text.encode("utf-8")
+        assert HuffmanDecoder().decode(HuffmanEncoder().encode(payload)) == payload

@@ -1,0 +1,172 @@
+"""Tests for the Ion-like and BinPack-like JSON serialisations."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import load_dataset
+from repro.exceptions import EncodingError
+from repro.jsonenc import BinPackCodec, IonLikeCodec, decode_value, encode_value, infer_schema
+
+DOCUMENTS = [
+    None,
+    True,
+    False,
+    0,
+    -17,
+    2**40,
+    3.14159,
+    "",
+    "hello ☃",
+    [],
+    [1, "two", None, [3.5]],
+    {},
+    {"a": 1, "b": {"c": [True, "x"]}, "d": None},
+]
+
+
+def canonical(value) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+class TestIonValueEncoding:
+    @pytest.mark.parametrize("document", DOCUMENTS, ids=[str(index) for index in range(len(DOCUMENTS))])
+    def test_roundtrip(self, document):
+        assert decode_value(encode_value(document)) == document
+
+    def test_small_integers_are_compact(self):
+        assert len(encode_value(5)) == 2
+        assert len(encode_value(-5)) == 2
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(EncodingError):
+            encode_value({1: "non-string key"})
+        with pytest.raises(EncodingError):
+            encode_value({"x": object()})
+
+    @given(st.recursive(
+        st.none() | st.booleans() | st.integers(min_value=-(2**40), max_value=2**40)
+        | st.floats(allow_nan=False, allow_infinity=False) | st.text(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=20,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, document):
+        assert decode_value(encode_value(document)) == document
+
+
+class TestIonCodec:
+    def test_canonical_json_roundtrip(self):
+        codec = IonLikeCodec()
+        text = '{"b": 2, "a": [1, 2.5, "x"], "c": null}'
+        restored = codec.decompress(codec.compress(text.encode()))
+        assert json.loads(restored) == json.loads(text)
+
+    def test_non_json_rejected(self):
+        with pytest.raises(EncodingError):
+            IonLikeCodec().compress(b"not json at all {")
+
+    def test_smaller_than_text_for_numeric_documents(self):
+        document = {"values": list(range(100)), "flag": True}
+        text = canonical(document).encode()
+        assert len(IonLikeCodec().compress(text)) < len(text)
+
+
+class TestSchemaInference:
+    def test_scalar_kinds(self):
+        assert infer_schema([1, 2, 3]).kind == "integer"
+        assert infer_schema([1.5, 2.5]).kind == "number"
+        assert infer_schema([True, False]).kind == "boolean"
+        assert infer_schema(["a" * 40, "b" * 40]).kind == "string"
+        assert infer_schema([None, None]).kind == "null"
+
+    def test_mixed_types_fall_back_to_any(self):
+        assert infer_schema([1, "x"]).kind == "any"
+
+    def test_nullable_detection(self):
+        node = infer_schema([1, None, 3])
+        assert node.kind == "integer"
+        assert node.nullable
+
+    def test_low_cardinality_strings_become_enum(self):
+        node = infer_schema(["GET", "POST", "GET", "GET", "POST", "PUT"] * 3)
+        assert node.kind == "enum"
+        assert set(node.enum_values) == {"GET", "POST", "PUT"}
+
+    def test_object_required_and_optional(self):
+        node = infer_schema([{"a": 1, "b": 2}, {"a": 3}])
+        assert node.kind == "object"
+        assert node.required == {"a"}
+        assert set(node.properties) == {"a", "b"}
+
+    def test_array_items(self):
+        node = infer_schema([[1, 2], [3]])
+        assert node.kind == "array"
+        assert node.items.kind == "integer"
+
+    def test_schema_serialisation_roundtrip(self):
+        node = infer_schema([{"a": 1, "b": "x", "tags": ["u", "v"]}, {"a": 2, "tags": []}])
+        restored = type(node).from_dict(node.to_dict())
+        assert restored.to_dict() == node.to_dict()
+
+
+class TestBinPackCodec:
+    def _documents(self):
+        return [
+            {"id": index, "kind": "click" if index % 2 else "view", "user": f"user-{index}", "score": index / 3}
+            for index in range(40)
+        ]
+
+    def test_roundtrip_documents(self):
+        documents = self._documents()
+        codec = BinPackCodec()
+        codec.train(documents[:20])
+        for document in documents:
+            payload = codec.encode_document(document)
+            assert codec.decode_document(payload) == document
+
+    def test_codec_interface_roundtrip(self):
+        documents = self._documents()
+        codec = BinPackCodec()
+        codec.train([canonical(document) for document in documents[:20]])
+        blob = codec.compress(canonical(documents[-1]).encode())
+        assert json.loads(codec.decompress(blob)) == documents[-1]
+
+    def test_handles_extra_keys_not_in_schema(self):
+        codec = BinPackCodec()
+        codec.train([{"a": 1}, {"a": 2}])
+        document = {"a": 3, "unexpected": {"deep": [1, 2, 3]}}
+        assert codec.decode_document(codec.encode_document(document)) == document
+
+    def test_handles_missing_optional_keys(self):
+        codec = BinPackCodec()
+        codec.train([{"a": 1, "opt": "x"}, {"a": 2}])
+        assert codec.decode_document(codec.encode_document({"a": 5})) == {"a": 5}
+
+    def test_missing_required_key_rejected(self):
+        codec = BinPackCodec()
+        codec.train([{"a": 1}, {"a": 2}])
+        with pytest.raises(EncodingError):
+            codec.encode_document({})
+
+    def test_enum_escape_for_unseen_values(self):
+        codec = BinPackCodec()
+        codec.train([{"method": "GET"}, {"method": "POST"}, {"method": "GET"}])
+        document = {"method": "DELETE"}
+        assert codec.decode_document(codec.encode_document(document)) == document
+
+    def test_beats_ion_on_schemaful_records(self):
+        records = load_dataset("cities", count=80)
+        binpack = BinPackCodec()
+        binpack.train(records[:40])
+        ion = IonLikeCodec()
+        binpack_bytes = sum(len(binpack.compress(record.encode())) for record in records)
+        ion_bytes = sum(len(ion.compress(record.encode())) for record in records)
+        assert binpack_bytes < ion_bytes
+
+    def test_untrained_codec_is_self_describing(self):
+        codec = BinPackCodec()
+        document = {"anything": [1, "x", None]}
+        assert codec.decode_document(codec.encode_document(document)) == document

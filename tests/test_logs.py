@@ -1,0 +1,106 @@
+"""Tests for the log parser and the LogReducer-style codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import load_dataset
+from repro.logs import LogParser, LogReducerCodec, PARAMETER_TOKEN
+from repro.logs.parser import detokenize_line, tokenize_line
+
+
+class TestTokenisation:
+    def test_roundtrip_preserves_whitespace(self):
+        line = "03-17 16:13:38.811  1702  8671 D Tag: message"
+        assert detokenize_line(tokenize_line(line)) == line
+
+    def test_empty_line(self):
+        assert detokenize_line(tokenize_line("")) == ""
+
+
+class TestLogParser:
+    def test_same_template_grouped(self):
+        parser = LogParser()
+        lines = [f"INFO connection from 10.0.0.{index} established" for index in range(20)]
+        parsed = parser.parse(lines)
+        assert len({item.template_id for item in parsed}) == 1
+        template = parser.get_template(parsed[0].template_id)
+        assert PARAMETER_TOKEN in template.tokens
+        assert "established" in template.tokens
+
+    def test_different_templates_separated(self):
+        parser = LogParser(tree_depth=2)
+        lines = ["INFO user alice logged in", "ERROR disk sda1 is full", "INFO user bob logged in"]
+        parsed = parser.parse(lines)
+        assert parsed[0].template_id == parsed[2].template_id
+        assert parsed[0].template_id != parsed[1].template_id
+
+    def test_parameters_extracted_in_order(self):
+        parser = LogParser()
+        parser.parse_line("job 12 finished in 340 ms")
+        parsed = parser.parse_line("job 77 finished in 125 ms")
+        assert parsed.parameters == ["77", "125"]
+
+    def test_reconstruct_roundtrip(self):
+        parser = LogParser()
+        lines = [f"block blk_{index} replicated to node{index % 3}" for index in range(10)]
+        parser.parse(lines)
+        for line in lines:
+            parsed_line = parser.parse_line(line)
+            template = parser.get_template(parsed_line.template_id)
+            assert template.reconstruct(template.extract_parameters(tokenize_line(line))) == line
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            LogParser(similarity_threshold=0.0)
+        with pytest.raises(ValueError):
+            LogParser(tree_depth=0)
+
+    def test_template_counts(self):
+        parser = LogParser()
+        parser.parse([f"metric cpu={index}" for index in range(5)])
+        template = parser.get_template(0)
+        assert template.count == 5
+
+
+class TestLogReducerCodec:
+    def test_roundtrip_synthetic(self):
+        lines = [f"2023-05-01 10:{index:02d}:00 INFO request {1000 + index} served in {index * 3} ms" for index in range(60)]
+        codec = LogReducerCodec(preset=1)
+        blob = codec.compress_lines(lines)
+        assert codec.decompress_lines(blob) == lines
+
+    def test_roundtrip_empty_and_single(self):
+        codec = LogReducerCodec(preset=1)
+        assert codec.decompress_lines(codec.compress_lines([])) == []
+        assert codec.decompress_lines(codec.compress_lines(["just one line"])) == ["just one line"]
+
+    @pytest.mark.parametrize("dataset", ["apache", "hdfs", "android"])
+    def test_roundtrip_on_log_datasets(self, dataset):
+        lines = load_dataset(dataset, count=120)
+        codec = LogReducerCodec(preset=1)
+        assert codec.decompress_lines(codec.compress_lines(lines)) == lines
+
+    def test_compresses_better_than_half(self):
+        lines = load_dataset("hdfs", count=200)
+        stats = LogReducerCodec(preset=6).measure(lines)
+        assert stats.ratio < 0.5
+        assert stats.template_count >= 1
+        assert stats.compress_mb_per_second > 0
+
+    def test_numeric_columns_use_delta_encoding(self):
+        # Monotonically increasing timestamps compress far better than random text.
+        increasing = [f"tick {1_650_000_000 + index}" for index in range(300)]
+        shuffled = [f"tick {hash(str(index)) % 10**9}" for index in range(300)]
+        codec = LogReducerCodec(preset=1)
+        assert len(codec.compress_lines(increasing)) < len(codec.compress_lines(shuffled))
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdefgh0123456789 .:-", max_size=40),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, lines):
+        codec = LogReducerCodec(preset=0)
+        assert codec.decompress_lines(codec.compress_lines(lines)) == lines

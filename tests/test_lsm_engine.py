@@ -1,0 +1,249 @@
+"""Integration tests for the LSM engine: writes, reads, flushes, compaction, recovery."""
+
+import pytest
+
+from repro.compressors import ZstdLikeCodec
+from repro.core.extraction import ExtractionConfig
+from repro.exceptions import StoreError
+from repro.lsm import BlockCompressionPolicy, LSMEngine, PlainPolicy, RecordCompressionPolicy
+from repro.tierbase import PBCValueCompressor
+
+from tests.conftest import make_template_records
+
+
+def trained_pbc_policy(values: list[str]) -> RecordCompressionPolicy:
+    compressor = PBCValueCompressor(config=ExtractionConfig(max_patterns=6, sample_size=48, seed=9))
+    compressor.train(values[:60])
+    return RecordCompressionPolicy(compressor)
+
+
+class TestBasicOperations:
+    def test_put_get_roundtrip(self, tmp_path):
+        with LSMEngine(tmp_path) as engine:
+            engine.put("user:1", "alice")
+            engine.put("user:2", "bob")
+            assert engine.get("user:1") == "alice"
+            assert engine.get("user:2") == "bob"
+            assert engine.get("user:3") is None
+
+    def test_overwrite_returns_latest_value(self, tmp_path):
+        with LSMEngine(tmp_path) as engine:
+            engine.put("key", "v1")
+            engine.put("key", "v2")
+            assert engine.get("key") == "v2"
+
+    def test_delete_hides_key(self, tmp_path):
+        with LSMEngine(tmp_path) as engine:
+            engine.put("key", "value")
+            engine.delete("key")
+            assert engine.get("key") is None
+            assert "key" not in engine
+
+    def test_contains(self, tmp_path):
+        with LSMEngine(tmp_path) as engine:
+            engine.put("present", "yes")
+            assert "present" in engine
+            assert "absent" not in engine
+
+    def test_operations_after_close_rejected(self, tmp_path):
+        engine = LSMEngine(tmp_path)
+        engine.put("key", "value")
+        engine.close()
+        with pytest.raises(StoreError):
+            engine.get("key")
+        with pytest.raises(StoreError):
+            engine.put("other", "value")
+
+    def test_invalid_configuration_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            LSMEngine(tmp_path, memtable_bytes=0)
+        with pytest.raises(StoreError):
+            LSMEngine(tmp_path, compaction_trigger=1)
+
+
+class TestFlushAndRead:
+    def test_values_remain_readable_after_flush(self, tmp_path):
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20) as engine:
+            records = make_template_records(80, seed=2)
+            for index, record in enumerate(records):
+                engine.put(f"key:{index:05d}", record)
+            engine.flush()
+            stats = engine.stats()
+            assert stats.sstable_count == 1
+            assert stats.memtable_entries == 0
+            for index, record in enumerate(records):
+                assert engine.get(f"key:{index:05d}") == record
+
+    def test_memtable_threshold_triggers_automatic_flush(self, tmp_path):
+        with LSMEngine(tmp_path, memtable_bytes=2048) as engine:
+            for index in range(200):
+                engine.put(f"key:{index:05d}", "x" * 64)
+            assert engine.stats().flushes >= 1
+            assert engine.get("key:00000") == "x" * 64
+
+    def test_newest_version_wins_across_memtable_and_sstables(self, tmp_path):
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20) as engine:
+            engine.put("key", "old")
+            engine.flush()
+            engine.put("key", "new")
+            assert engine.get("key") == "new"
+            engine.flush()
+            assert engine.get("key") == "new"
+
+    def test_deletion_shadows_older_sstable_value(self, tmp_path):
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20) as engine:
+            engine.put("key", "value")
+            engine.flush()
+            engine.delete("key")
+            assert engine.get("key") is None
+            engine.flush()
+            assert engine.get("key") is None
+
+    def test_flush_of_empty_memtable_is_noop(self, tmp_path):
+        with LSMEngine(tmp_path) as engine:
+            engine.flush()
+            assert engine.stats().sstable_count == 0
+
+
+class TestScan:
+    def test_scan_returns_live_entries_sorted(self, tmp_path):
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20) as engine:
+            engine.put("b", "2")
+            engine.put("a", "1")
+            engine.flush()
+            engine.put("c", "3")
+            engine.delete("b")
+            assert list(engine.scan()) == [("a", "1"), ("c", "3")]
+
+    def test_scan_with_bounds(self, tmp_path):
+        with LSMEngine(tmp_path) as engine:
+            for index in range(20):
+                engine.put(f"key:{index:03d}", str(index))
+            window = list(engine.scan("key:005", "key:010"))
+            assert [key for key, _ in window] == [f"key:{index:03d}" for index in range(5, 10)]
+
+
+class TestCompaction:
+    def test_compaction_merges_tables_and_drops_tombstones(self, tmp_path):
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20, compaction_trigger=100) as engine:
+            for index in range(30):
+                engine.put(f"key:{index:03d}", f"value-{index}")
+            engine.flush()
+            for index in range(0, 30, 2):
+                engine.delete(f"key:{index:03d}")
+            engine.flush()
+            assert engine.stats().sstable_count == 2
+            engine.compact()
+            stats = engine.stats()
+            assert stats.sstable_count == 1
+            assert stats.compactions == 1
+            for index in range(30):
+                expected = None if index % 2 == 0 else f"value-{index}"
+                assert engine.get(f"key:{index:03d}") == expected
+
+    def test_compaction_trigger_fires_automatically(self, tmp_path):
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20, compaction_trigger=2) as engine:
+            engine.put("a", "1")
+            engine.flush()
+            engine.put("b", "2")
+            engine.flush()
+            assert engine.stats().compactions >= 1
+            assert engine.stats().sstable_count == 1
+
+    def test_compacting_everything_deleted_leaves_no_tables(self, tmp_path):
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20, compaction_trigger=100) as engine:
+            engine.put("key", "value")
+            engine.flush()
+            engine.delete("key")
+            engine.flush()
+            engine.compact()
+            assert engine.stats().sstable_count == 0
+            assert engine.get("key") is None
+
+
+class TestRecovery:
+    def test_unflushed_writes_survive_restart_via_wal(self, tmp_path):
+        engine = LSMEngine(tmp_path, memtable_bytes=1 << 20)
+        engine.put("durable", "yes")
+        engine.delete("gone")
+        engine._wal.sync()
+        # Simulate a crash: do not close/flush, just drop the object.
+        del engine
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20) as recovered:
+            assert recovered.get("durable") == "yes"
+            assert recovered.get("gone") is None
+
+    def test_flushed_tables_are_rediscovered_on_restart(self, tmp_path):
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20) as engine:
+            records = make_template_records(40, seed=4)
+            for index, record in enumerate(records):
+                engine.put(f"key:{index:04d}", record)
+            engine.flush()
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20) as recovered:
+            assert recovered.stats().sstable_count == 1
+            for index, record in enumerate(records):
+                assert recovered.get(f"key:{index:04d}") == record
+
+    def test_restart_continues_table_numbering(self, tmp_path):
+        with LSMEngine(tmp_path, compaction_trigger=100) as engine:
+            engine.put("a", "1")
+            engine.flush()
+        with LSMEngine(tmp_path, compaction_trigger=100) as engine:
+            engine.put("b", "2")
+            engine.flush()
+            assert engine.stats().sstable_count == 2
+
+
+class TestCompressionPolicies:
+    @pytest.mark.parametrize("policy_name", ["plain", "zstd-block", "pbc-record"])
+    def test_policies_preserve_values(self, tmp_path, policy_name):
+        records = make_template_records(60, seed=6)
+        if policy_name == "plain":
+            policy = PlainPolicy()
+        elif policy_name == "zstd-block":
+            policy = BlockCompressionPolicy(ZstdLikeCodec())
+        else:
+            policy = trained_pbc_policy(records)
+        with LSMEngine(tmp_path, policy=policy, memtable_bytes=1 << 20) as engine:
+            for index, record in enumerate(records):
+                engine.put(f"key:{index:04d}", record)
+            engine.flush()
+            for index, record in enumerate(records):
+                assert engine.get(f"key:{index:04d}") == record
+
+    def test_compressed_policies_reduce_disk_usage(self, tmp_path):
+        records = make_template_records(120, seed=8)
+        sizes = {}
+        for name, policy in (
+            ("plain", PlainPolicy()),
+            ("zstd", BlockCompressionPolicy(ZstdLikeCodec())),
+            ("pbc", trained_pbc_policy(records)),
+        ):
+            with LSMEngine(tmp_path / name, policy=policy, memtable_bytes=1 << 20) as engine:
+                for index, record in enumerate(records):
+                    engine.put(f"key:{index:04d}", record)
+                engine.flush()
+                sizes[name] = engine.stats().sstable_file_bytes
+        assert sizes["zstd"] < sizes["plain"]
+        assert sizes["pbc"] < sizes["plain"]
+
+    def test_stats_space_ratio(self, tmp_path):
+        records = make_template_records(60, seed=10)
+        policy = trained_pbc_policy(records)
+        with LSMEngine(tmp_path, policy=policy, memtable_bytes=1 << 20) as engine:
+            for index, record in enumerate(records):
+                engine.put(f"key:{index:04d}", record)
+            engine.flush()
+            stats = engine.stats()
+            assert 0 < stats.space_ratio < 1.5
+            assert stats.policy.startswith("record[")
+
+    def test_measure_lookups_counts_hits(self, tmp_path):
+        with LSMEngine(tmp_path) as engine:
+            for index in range(50):
+                engine.put(f"key:{index:03d}", str(index))
+            engine.flush()
+            timing = engine.measure_lookups([f"key:{index:03d}" for index in range(0, 100, 2)])
+            assert timing.lookups == 50
+            assert timing.hits == 25
+            assert timing.lookups_per_second > 0

@@ -1,0 +1,162 @@
+"""Tests for SSTable files and their storage policies."""
+
+import pytest
+
+from repro.compressors import LZMACodec, ZstdLikeCodec
+from repro.core.extraction import ExtractionConfig
+from repro.exceptions import StoreError
+from repro.lsm import (
+    BlockCompressionPolicy,
+    PlainPolicy,
+    RecordCompressionPolicy,
+    SSTable,
+    write_sstable,
+)
+from repro.tierbase import PBCValueCompressor
+
+from tests.conftest import make_template_records
+
+
+def make_entries(count: int = 60) -> list[tuple[str, str | None]]:
+    """Sorted machine-generated entries with a couple of tombstones."""
+    records = make_template_records(count, seed=3)
+    entries: list[tuple[str, str | None]] = []
+    for index, record in enumerate(records):
+        value: str | None = record
+        if index % 17 == 16:
+            value = None
+        entries.append((f"key:{index:05d}", value))
+    return entries
+
+
+def make_policies() -> list:
+    pbc = PBCValueCompressor(config=ExtractionConfig(max_patterns=6, sample_size=48, seed=5))
+    pbc.train([value for _, value in make_entries(80) if value is not None])
+    return [
+        PlainPolicy(),
+        BlockCompressionPolicy(ZstdLikeCodec()),
+        BlockCompressionPolicy(LZMACodec(preset=1)),
+        RecordCompressionPolicy(pbc),
+    ]
+
+
+@pytest.fixture(scope="module", params=range(4), ids=["plain", "zstd-block", "lzma-block", "pbc-record"])
+def policy(request):
+    return make_policies()[request.param]
+
+
+class TestWriteSSTable:
+    def test_rejects_empty_entries(self, tmp_path, policy):
+        with pytest.raises(StoreError):
+            write_sstable(tmp_path / "table.sst", [], policy)
+
+    def test_rejects_unsorted_entries(self, tmp_path, policy):
+        entries = [("b", "1"), ("a", "2")]
+        with pytest.raises(StoreError):
+            write_sstable(tmp_path / "table.sst", entries, policy)
+
+    def test_rejects_duplicate_keys(self, tmp_path, policy):
+        entries = [("a", "1"), ("a", "2")]
+        with pytest.raises(StoreError):
+            write_sstable(tmp_path / "table.sst", entries, policy)
+
+    def test_info_reports_counts_and_bounds(self, tmp_path, policy):
+        entries = make_entries(40)
+        info = write_sstable(tmp_path / "table.sst", entries, policy, block_bytes=512)
+        assert info.entry_count == 40
+        assert info.block_count >= 2
+        assert info.min_key == entries[0][0]
+        assert info.max_key == entries[-1][0]
+        assert info.file_bytes == (tmp_path / "table.sst").stat().st_size
+
+
+class TestSSTableReads:
+    def test_every_written_key_is_readable(self, tmp_path, policy):
+        entries = make_entries(60)
+        write_sstable(tmp_path / "table.sst", entries, policy, block_bytes=1024)
+        table = SSTable(tmp_path / "table.sst", policy)
+        for key, value in entries:
+            assert table.get(key) == (True, value)
+
+    def test_absent_keys_are_not_found(self, tmp_path, policy):
+        entries = make_entries(30)
+        write_sstable(tmp_path / "table.sst", entries, policy)
+        table = SSTable(tmp_path / "table.sst", policy)
+        assert table.get("missing-key") == (False, None)
+        assert table.get("key:99999") == (False, None)
+
+    def test_scan_returns_entries_in_key_order(self, tmp_path, policy):
+        entries = make_entries(45)
+        write_sstable(tmp_path / "table.sst", entries, policy, block_bytes=700)
+        table = SSTable(tmp_path / "table.sst", policy)
+        assert list(table.scan()) == entries
+
+    def test_range_scan_bounds(self, tmp_path, policy):
+        entries = make_entries(50)
+        write_sstable(tmp_path / "table.sst", entries, policy)
+        table = SSTable(tmp_path / "table.sst", policy)
+        window = list(table.range("key:00010", "key:00020"))
+        assert [key for key, _ in window] == [f"key:{index:05d}" for index in range(10, 20)]
+
+    def test_tombstones_are_preserved(self, tmp_path, policy):
+        entries = make_entries(40)
+        tombstone_keys = [key for key, value in entries if value is None]
+        assert tombstone_keys, "fixture should include tombstones"
+        write_sstable(tmp_path / "table.sst", entries, policy)
+        table = SSTable(tmp_path / "table.sst", policy)
+        for key in tombstone_keys:
+            assert table.get(key) == (True, None)
+
+
+class TestSSTableFileFormat:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            SSTable(tmp_path / "absent.sst", PlainPolicy())
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "tiny.sst"
+        path.write_bytes(b"short")
+        with pytest.raises(StoreError):
+            SSTable(path, PlainPolicy())
+
+    def test_bad_magic_rejected(self, tmp_path):
+        entries = make_entries(10)
+        path = tmp_path / "table.sst"
+        write_sstable(path, entries, PlainPolicy())
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreError):
+            SSTable(path, PlainPolicy())
+
+    def test_block_size_controls_block_count(self, tmp_path):
+        entries = make_entries(60)
+        small = write_sstable(tmp_path / "small.sst", entries, PlainPolicy(), block_bytes=256)
+        large = write_sstable(tmp_path / "large.sst", entries, PlainPolicy(), block_bytes=64 * 1024)
+        assert small.block_count > large.block_count
+        assert large.block_count == 1
+
+
+class TestCompressionEffect:
+    def test_compressed_policies_use_less_space_than_plain(self, tmp_path):
+        entries = [(key, value) for key, value in make_entries(80) if value is not None]
+        plain_info = write_sstable(tmp_path / "plain.sst", entries, PlainPolicy(), block_bytes=4096)
+        zstd_info = write_sstable(
+            tmp_path / "zstd.sst", entries, BlockCompressionPolicy(ZstdLikeCodec()), block_bytes=4096
+        )
+        pbc = PBCValueCompressor(config=ExtractionConfig(max_patterns=6, sample_size=48, seed=5))
+        pbc.train([value for _, value in entries])
+        pbc_info = write_sstable(
+            tmp_path / "pbc.sst", entries, RecordCompressionPolicy(pbc), block_bytes=4096
+        )
+        assert zstd_info.file_bytes < plain_info.file_bytes
+        assert pbc_info.file_bytes < plain_info.file_bytes
+
+    def test_record_policy_reads_back_identical_values(self, tmp_path):
+        entries = [(key, value) for key, value in make_entries(50) if value is not None]
+        pbc = PBCValueCompressor(config=ExtractionConfig(max_patterns=6, sample_size=48, seed=5))
+        pbc.train([value for _, value in entries])
+        policy = RecordCompressionPolicy(pbc)
+        write_sstable(tmp_path / "pbc.sst", entries, policy)
+        table = SSTable(tmp_path / "pbc.sst", policy)
+        assert list(table.scan()) == entries

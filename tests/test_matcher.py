@@ -1,0 +1,63 @@
+"""Tests for the multi-pattern matcher (Hyperscan substitute)."""
+
+from repro.core.encoders import IntEncoder, VarcharEncoder
+from repro.core.matcher import MultiPatternMatcher
+from repro.core.pattern import Pattern, PatternDictionary
+
+
+def build_dictionary() -> PatternDictionary:
+    dictionary = PatternDictionary()
+    dictionary.add(
+        Pattern(pattern_id=1, literals=("", "ob", ""), encoders=(VarcharEncoder(), VarcharEncoder()))
+    )  # matches "*ob*"
+    dictionary.add(
+        Pattern(pattern_id=2, literals=("", "ooba", ""), encoders=(VarcharEncoder(), VarcharEncoder()))
+    )  # matches "*ooba*"
+    dictionary.add(
+        Pattern(pattern_id=3, literals=("num=", ""), encoders=(IntEncoder(4),))
+    )
+    return dictionary
+
+
+class TestMatching:
+    def test_longest_pattern_wins(self):
+        # The paper's Section 3.2 example: "foobar" matches both "*ob*" and
+        # "*ooba*"; the longer pattern must be selected.
+        matcher = MultiPatternMatcher(build_dictionary())
+        match = matcher.match("foobar")
+        assert match is not None
+        assert match.pattern.pattern_id == 2
+        assert match.pattern.reconstruct(match.field_values) == "foobar"
+
+    def test_all_matches_are_returned_by_match_all(self):
+        matcher = MultiPatternMatcher(build_dictionary())
+        ids = {match.pattern.pattern_id for match in matcher.match_all("foobar")}
+        assert ids == {1, 2}
+
+    def test_typed_field_constrains_match(self):
+        matcher = MultiPatternMatcher(build_dictionary())
+        assert matcher.match("num=1234").pattern.pattern_id == 3
+        # Non-digit payload cannot match the INT-typed pattern; no other pattern fits.
+        assert matcher.match("num=abcd") is None
+
+    def test_outlier_returns_none(self):
+        matcher = MultiPatternMatcher(build_dictionary())
+        assert matcher.match("zzz") is None
+
+    def test_prefix_and_suffix_prefilter(self):
+        dictionary = PatternDictionary()
+        dictionary.add(Pattern(pattern_id=1, literals=("GET /", " HTTP/1.1"), encoders=(VarcharEncoder(),)))
+        matcher = MultiPatternMatcher(dictionary)
+        assert matcher.match("GET /index.html HTTP/1.1") is not None
+        assert matcher.match("POST /index.html HTTP/1.1") is None
+        assert matcher.match("GET /index.html HTTP/2") is None
+
+    def test_empty_dictionary_matches_nothing(self):
+        matcher = MultiPatternMatcher(PatternDictionary())
+        assert len(matcher) == 0
+        assert matcher.match("anything") is None
+
+    def test_field_values_align_with_encoders(self):
+        matcher = MultiPatternMatcher(build_dictionary())
+        match = matcher.match("num=0042")
+        assert match.field_values == ("0042",)

@@ -1,0 +1,150 @@
+"""Tests for patterns, token helpers and the pattern dictionary."""
+
+import pytest
+
+from repro.core.encoders import IntEncoder, VarcharEncoder, VarintEncoder
+from repro.core.pattern import (
+    OUTLIER_PATTERN_ID,
+    Pattern,
+    PatternDictionary,
+    WILDCARD,
+    collapse_wildcards,
+    literal_length,
+    tokens_from_string,
+    tokens_to_display,
+    tokens_to_segments,
+)
+from repro.exceptions import DictionaryError, PatternError
+
+
+class TestTokenHelpers:
+    def test_tokens_from_string(self):
+        assert tokens_from_string("ab") == ["a", "b"]
+        assert tokens_from_string("") == []
+
+    def test_tokens_to_display(self):
+        assert tokens_to_display(["a", WILDCARD, "b"]) == "a*b"
+
+    def test_collapse_wildcards(self):
+        assert collapse_wildcards(["a", WILDCARD, WILDCARD, "b", WILDCARD]) == ["a", WILDCARD, "b", WILDCARD]
+
+    def test_tokens_to_segments(self):
+        literals, fields = tokens_to_segments(["a", "b", WILDCARD, "c", WILDCARD])
+        assert literals == ["ab", "c", ""]
+        assert fields == 2
+
+    def test_tokens_to_segments_collapses_adjacent_wildcards(self):
+        literals, fields = tokens_to_segments([WILDCARD, WILDCARD, "x"])
+        assert literals == ["", "x"]
+        assert fields == 1
+
+    def test_literal_length(self):
+        assert literal_length(["a", WILDCARD, "b", "c"]) == 3
+
+
+class TestPattern:
+    def _pattern(self):
+        return Pattern(
+            pattern_id=1,
+            literals=("user-", "-", ""),
+            encoders=(IntEncoder(4), VarcharEncoder()),
+        )
+
+    def test_encoder_literal_count_must_match(self):
+        with pytest.raises(PatternError):
+            Pattern(pattern_id=1, literals=("a", "b"), encoders=())
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(pattern_id=-1, literals=("a",), encoders=())
+
+    def test_display(self):
+        assert self._pattern().display() == "user-*<INT(4,2)>-*<VARCHAR>"
+
+    def test_reconstruct(self):
+        assert self._pattern().reconstruct(["0042", "alice"]) == "user-0042-alice"
+
+    def test_reconstruct_wrong_arity_rejected(self):
+        with pytest.raises(PatternError):
+            self._pattern().reconstruct(["0042"])
+
+    def test_field_roundtrip(self):
+        pattern = self._pattern()
+        payload = pattern.encode_fields(["0042", "alice"])
+        values, offset = pattern.decode_fields(payload)
+        assert values == ["0042", "alice"]
+        assert offset == len(payload)
+
+    def test_regex_matches_instances(self):
+        import re
+
+        regex = re.compile(self._pattern().to_regex())
+        match = regex.match("user-1234-bob")
+        assert match is not None
+        assert match.groups() == ("1234", "bob")
+        assert regex.match("user-12a4-bob") is None
+
+    def test_serialisation_roundtrip(self):
+        pattern = self._pattern()
+        restored = Pattern.from_dict(pattern.to_dict())
+        assert restored == pattern
+
+    def test_from_tokens_defaults_to_varchar(self):
+        pattern = Pattern.from_tokens(3, ["a", WILDCARD, "b"])
+        assert pattern.field_count == 1
+        assert pattern.encoders[0].spec() == "VARCHAR"
+
+    def test_literal_size(self):
+        assert self._pattern().literal_size == 6
+
+
+class TestPatternDictionary:
+    def test_add_and_get(self):
+        dictionary = PatternDictionary()
+        pattern = Pattern.from_tokens(1, ["a", WILDCARD])
+        dictionary.add(pattern)
+        assert dictionary.get(1) is pattern
+        assert 1 in dictionary
+        assert len(dictionary) == 1
+
+    def test_reserved_id_rejected(self):
+        with pytest.raises(DictionaryError):
+            PatternDictionary().add(Pattern.from_tokens(OUTLIER_PATTERN_ID, ["a"]))
+
+    def test_duplicate_id_rejected(self):
+        dictionary = PatternDictionary()
+        dictionary.add(Pattern.from_tokens(1, ["a", WILDCARD]))
+        with pytest.raises(DictionaryError):
+            dictionary.add(Pattern.from_tokens(1, ["b", WILDCARD]))
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(DictionaryError):
+            PatternDictionary().get(9)
+
+    def test_next_id(self):
+        dictionary = PatternDictionary()
+        assert dictionary.next_id == 1
+        dictionary.add(Pattern.from_tokens(5, ["a", WILDCARD]))
+        assert dictionary.next_id == 6
+
+    def test_bytes_roundtrip(self):
+        dictionary = PatternDictionary()
+        dictionary.add(
+            Pattern(pattern_id=1, literals=("x", ""), encoders=(VarintEncoder(),))
+        )
+        dictionary.add(Pattern.from_tokens(2, ["y", WILDCARD, "z"]))
+        restored = PatternDictionary.from_bytes(dictionary.to_bytes())
+        assert len(restored) == 2
+        assert restored.get(1).encoders[0].spec() == "VARINT"
+        assert restored.get(2).display() == dictionary.get(2).display()
+
+    def test_serialized_size_positive(self):
+        dictionary = PatternDictionary()
+        dictionary.add(Pattern.from_tokens(1, ["a", WILDCARD]))
+        assert dictionary.serialized_size() == len(dictionary.to_bytes()) > 0
+
+    def test_iteration_order(self):
+        dictionary = PatternDictionary()
+        for pattern_id in (1, 2, 3):
+            dictionary.add(Pattern.from_tokens(pattern_id, [str(pattern_id), WILDCARD]))
+        assert [pattern.pattern_id for pattern in dictionary] == [1, 2, 3]

@@ -1,0 +1,179 @@
+"""Tests for the rANS entropy coder (static models, shared models, self-contained codec)."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.entropy.huffman import shannon_entropy
+from repro.entropy.rans import (
+    PROB_SCALE,
+    RansCodec,
+    RansModel,
+    normalize_frequencies,
+    rans_decode,
+    rans_encode,
+)
+from repro.exceptions import DecodingError, EncodingError
+
+
+class TestNormalizeFrequencies:
+    def test_sums_to_scale(self):
+        normalized = normalize_frequencies({0: 3, 1: 5, 2: 100})
+        assert sum(normalized.values()) == PROB_SCALE
+
+    def test_every_present_symbol_keeps_nonzero_frequency(self):
+        normalized = normalize_frequencies({0: 1, 1: 10**9})
+        assert normalized[0] >= 1
+        assert normalized[1] > normalized[0]
+
+    def test_zero_count_symbols_are_dropped(self):
+        normalized = normalize_frequencies({7: 0, 8: 4})
+        assert 7 not in normalized
+        assert normalized[8] == PROB_SCALE
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(EncodingError):
+            normalize_frequencies({})
+
+    def test_all_zero_counts_rejected(self):
+        with pytest.raises(EncodingError):
+            normalize_frequencies({1: 0, 2: 0})
+
+    def test_uniform_distribution(self):
+        normalized = normalize_frequencies({symbol: 5 for symbol in range(256)})
+        assert sum(normalized.values()) == PROB_SCALE
+        assert min(normalized.values()) >= 1
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=1, max_value=10**6),
+            min_size=1,
+            max_size=256,
+        )
+    )
+    def test_normalisation_property(self, counts):
+        normalized = normalize_frequencies(counts)
+        assert sum(normalized.values()) == PROB_SCALE
+        assert set(normalized) == set(counts)
+        assert all(frequency >= 1 for frequency in normalized.values())
+
+
+class TestRansModel:
+    def test_starts_are_cumulative(self):
+        model = RansModel.from_counts({0: 1, 1: 1, 2: 2})
+        ordered = sorted(model.frequencies)
+        cumulative = 0
+        for symbol in ordered:
+            assert model.starts[symbol] == cumulative
+            cumulative += model.frequencies[symbol]
+        assert cumulative == PROB_SCALE
+
+    def test_slot_table_covers_scale(self):
+        model = RansModel.from_counts({65: 10, 66: 30})
+        assert len(model.slots) == PROB_SCALE
+        assert Counter(model.slots)[65] == model.frequencies[65]
+
+    def test_model_serialisation_roundtrip(self):
+        model = RansModel.from_counts({symbol: symbol + 1 for symbol in range(32)})
+        restored, offset = RansModel.from_bytes(model.to_bytes())
+        assert offset == len(model.to_bytes())
+        assert restored.frequencies == model.frequencies
+
+    def test_from_samples_includes_extra_symbols(self):
+        model = RansModel.from_samples([b"abc"], extra_symbols=range(256))
+        assert model.can_encode(bytes(range(256)))
+
+    def test_from_samples_empty_falls_back_to_uniform(self):
+        model = RansModel.from_samples([])
+        assert model.can_encode(bytes(range(256)))
+
+    def test_can_encode_rejects_unknown_symbol(self):
+        model = RansModel.from_counts({97: 4, 98: 4})
+        assert model.can_encode(b"abba")
+        assert not model.can_encode(b"abz")
+
+    def test_invalid_frequencies_rejected(self):
+        with pytest.raises(EncodingError):
+            RansModel.from_frequencies({0: 100})  # does not sum to PROB_SCALE
+
+
+class TestRansStream:
+    def test_empty_payload(self):
+        model = RansModel.from_counts({0: 1})
+        assert rans_encode(b"", model) == b""
+        assert rans_decode(b"", 0, model) == b""
+
+    def test_roundtrip_with_static_model(self):
+        data = b"abcabcabcaabbcc" * 40
+        model = RansModel.from_counts(dict(Counter(data)))
+        encoded = rans_encode(data, model)
+        assert rans_decode(encoded, len(data), model) == data
+
+    def test_shared_model_roundtrip_on_unseen_payload(self):
+        model = RansModel.from_samples([b"GET /index.html 200", b"GET /api/v1 404"], extra_symbols=range(256))
+        payload = b"POST /api/v2/items 201"
+        encoded = rans_encode(payload, model)
+        assert rans_decode(encoded, len(payload), model) == payload
+
+    def test_unknown_symbol_raises(self):
+        model = RansModel.from_counts({97: 1})
+        with pytest.raises(EncodingError):
+            rans_encode(b"b", model)
+
+    def test_truncated_stream_raises(self):
+        data = b"hello hello hello hello"
+        model = RansModel.from_counts(dict(Counter(data)))
+        encoded = rans_encode(data, model)
+        with pytest.raises(DecodingError):
+            rans_decode(encoded[:3], len(data), model)
+
+    def test_skewed_payload_beats_raw_size(self):
+        data = b"a" * 4000 + b"b" * 50
+        model = RansModel.from_counts(dict(Counter(data)))
+        encoded = rans_encode(data, model)
+        assert len(encoded) < len(data) / 4
+
+    def test_close_to_entropy_bound(self):
+        rng = random.Random(13)
+        data = bytes(rng.choice(b"aaaaaabbbcx") for _ in range(6000))
+        model = RansModel.from_counts(dict(Counter(data)))
+        encoded = rans_encode(data, model)
+        bound_bits = shannon_entropy(data) * len(data)
+        assert len(encoded) * 8 <= bound_bits * 1.05 + 64
+
+    @given(st.binary(min_size=1, max_size=600))
+    def test_roundtrip_property(self, data):
+        model = RansModel.from_counts(dict(Counter(data)))
+        encoded = rans_encode(data, model)
+        assert rans_decode(encoded, len(data), model) == data
+
+
+class TestRansCodec:
+    def test_empty_roundtrip(self):
+        codec = RansCodec()
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_text_roundtrip(self):
+        codec = RansCodec()
+        payload = b"machine-generated record 42 machine-generated record 43" * 20
+        blob = codec.compress(payload)
+        assert codec.decompress(blob) == payload
+        assert len(blob) < len(payload)
+
+    def test_single_symbol_roundtrip(self):
+        codec = RansCodec()
+        payload = b"\x00" * 500
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_all_byte_values_roundtrip(self):
+        codec = RansCodec()
+        payload = bytes(range(256)) * 4
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    @given(st.binary(max_size=400))
+    def test_roundtrip_property(self, payload):
+        codec = RansCodec()
+        assert codec.decompress(codec.compress(payload)) == payload

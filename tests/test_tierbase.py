@@ -1,0 +1,143 @@
+"""Tests for the TierBase key-value store simulator (Table 8 substrate)."""
+
+import pytest
+
+from repro.core.extraction import ExtractionConfig
+from repro.datasets import load_dataset
+from repro.exceptions import StoreError
+from repro.tierbase import (
+    NoopValueCompressor,
+    PBCValueCompressor,
+    TierBase,
+    ZstdDictValueCompressor,
+    run_workload,
+)
+
+
+@pytest.fixture
+def values():
+    return load_dataset("kv1", count=150)
+
+
+class TestBasicOperations:
+    def test_set_get_delete(self):
+        store = TierBase()
+        store.set("k1", "value-1")
+        assert store.get("k1") == "value-1"
+        assert "k1" in store
+        assert store.exists("k1")
+        assert store.delete("k1")
+        assert not store.delete("k1")
+        with pytest.raises(KeyError):
+            store.get("k1")
+
+    def test_overwrite(self):
+        store = TierBase()
+        store.set("k", "old")
+        store.set("k", "new")
+        assert store.get("k") == "new"
+        assert len(store) == 1
+
+    def test_keys_iteration(self):
+        store = TierBase()
+        for index in range(5):
+            store.set(f"k{index}", str(index))
+        assert sorted(store.keys()) == [f"k{index}" for index in range(5)]
+
+    def test_stats_counters(self):
+        store = TierBase()
+        store.set("a", "1")
+        store.get("a")
+        with pytest.raises(KeyError):
+            store.get("missing")
+        stats = store.stats()
+        assert stats.sets == 1
+        assert stats.gets == 2
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.keys == 1
+
+    def test_train_requires_values(self):
+        with pytest.raises(StoreError):
+            TierBase().train([])
+
+
+class TestCompressedStores:
+    def test_zstd_dictionary_compression_saves_memory(self, values):
+        plain = TierBase(compressor=NoopValueCompressor())
+        compressed = TierBase(compressor=ZstdDictValueCompressor(level=1))
+        compressed.train(values[:64])
+        for index, value in enumerate(values):
+            plain.set(f"k{index}", value)
+            compressed.set(f"k{index}", value)
+        assert compressed.memory_bytes < plain.memory_bytes
+        assert compressed.get("k10") == values[10]
+
+    def test_pbc_compression_saves_more_memory_than_zstd(self, values):
+        zstd_store = TierBase(compressor=ZstdDictValueCompressor(level=1))
+        pbc_store = TierBase(
+            compressor=PBCValueCompressor(config=ExtractionConfig(max_patterns=6, sample_size=48))
+        )
+        zstd_store.train(values[:64])
+        pbc_store.train(values[:64])
+        for index, value in enumerate(values):
+            zstd_store.set(f"k{index}", value)
+            pbc_store.set(f"k{index}", value)
+        assert pbc_store.memory_bytes < zstd_store.memory_bytes
+        assert pbc_store.get("k42") == values[42]
+
+    def test_value_ratio_reported(self, values):
+        store = TierBase(compressor=PBCValueCompressor(config=ExtractionConfig(max_patterns=4, sample_size=32)))
+        store.train(values[:48])
+        for index, value in enumerate(values[:80]):
+            store.set(f"k{index}", value)
+        assert store.stats().value_ratio < 0.8
+
+
+class TestMonitoring:
+    def test_monitor_flags_poor_compression(self):
+        store = TierBase(compressor=NoopValueCompressor(), ratio_threshold=0.5)
+        for index in range(80):
+            store.set(f"k{index}", f"incompressible-{index}")
+        assert store.needs_retraining()
+
+    def test_monitor_quiet_below_threshold(self, values):
+        store = TierBase(
+            compressor=PBCValueCompressor(config=ExtractionConfig(max_patterns=6, sample_size=48)),
+            ratio_threshold=0.9,
+        )
+        store.train(values[:64])
+        for index, value in enumerate(values):
+            store.set(f"k{index}", value)
+        assert not store.needs_retraining()
+
+    def test_retrain_recompresses_existing_values(self, values):
+        store = TierBase(compressor=PBCValueCompressor(config=ExtractionConfig(max_patterns=6, sample_size=48)))
+        store.train(values[:32])
+        for index, value in enumerate(values[:60]):
+            store.set(f"k{index}", value)
+        before = {key: store.get(key) for key in store.keys()}
+        store.retrain(values[:96])
+        assert store.monitor.retraining_events == 1
+        assert {key: store.get(key) for key in store.keys()} == before
+
+
+class TestWorkloadDriver:
+    def test_run_workload_reports_throughput(self, values):
+        store = TierBase(compressor=NoopValueCompressor())
+        result = run_workload(store, values[:100], workload_name="A", get_operations=50)
+        assert result.set_operations == 100
+        assert result.get_operations == 50
+        assert result.set_qps > 0
+        assert result.get_qps > 0
+        assert result.memory_usage_percent <= 100.0 + 1e-6
+
+    def test_compressed_workload_uses_less_memory(self, values):
+        uncompressed = run_workload(TierBase(compressor=NoopValueCompressor()), values, workload_name="A", get_operations=20)
+        pbc = run_workload(
+            TierBase(compressor=PBCValueCompressor(config=ExtractionConfig(max_patterns=6, sample_size=48))),
+            values,
+            workload_name="A",
+            get_operations=20,
+        )
+        assert pbc.memory_bytes < uncompressed.memory_bytes

@@ -1,0 +1,73 @@
+"""Tests for the extra 'trades' dataset (the Section 1 motivating example)."""
+
+import json
+import random
+
+import pytest
+
+from repro import ExtractionConfig, PBCCompressor
+from repro.datasets import (
+    DATASET_SPECS,
+    EXTRA_DATASET_SPECS,
+    dataset_names,
+    extra_dataset_names,
+    get_spec,
+    load_dataset,
+)
+from repro.datasets.trades import generate_trades
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_trades_is_an_extra_dataset_not_a_table2_dataset(self):
+        assert "trades" in extra_dataset_names()
+        assert "trades" not in dataset_names()
+        assert "trades" not in DATASET_SPECS
+        assert "trades" in EXTRA_DATASET_SPECS
+
+    def test_get_spec_resolves_extras(self):
+        spec = get_spec("trades")
+        assert spec.category == "extra"
+
+    def test_unknown_dataset_error_lists_extras(self):
+        with pytest.raises(DatasetError) as excinfo:
+            get_spec("nonexistent")
+        assert "trades" in str(excinfo.value)
+
+    def test_load_dataset_works_for_extras(self):
+        records = load_dataset("trades", count=50)
+        assert len(records) == 50
+
+    def test_load_is_deterministic_per_seed(self):
+        assert load_dataset("trades", count=40, seed=1) == load_dataset("trades", count=40, seed=1)
+        assert load_dataset("trades", count=40, seed=1) != load_dataset("trades", count=40, seed=2)
+
+
+class TestGenerator:
+    def test_most_records_are_json_documents(self):
+        records = generate_trades(200, random.Random(3))
+        json_like = [record for record in records if record.startswith("{")]
+        assert len(json_like) > len(records) / 2
+        for record in json_like[:20]:
+            document = json.loads(record)
+            assert "symbol" in document or "exec_id" in document
+
+    def test_templates_cover_fix_and_outlier_forms(self):
+        records = generate_trades(200, random.Random(5))
+        assert any(record.startswith("35=8|") for record in records)
+        assert any(record.startswith("manual adjustment") for record in records)
+
+    def test_record_lengths_are_in_expected_band(self):
+        records = generate_trades(300, random.Random(7))
+        average = sum(len(record) for record in records) / len(records)
+        assert 60 < average < 160
+
+
+class TestCompressibility:
+    def test_pbc_compresses_trades_well(self):
+        records = load_dataset("trades", count=800)
+        compressor = PBCCompressor(config=ExtractionConfig(max_patterns=12, sample_size=96, seed=3))
+        compressor.train(records[:200])
+        stats = compressor.measure(records)
+        assert stats.ratio < 0.45
+        assert stats.outlier_rate < 0.1

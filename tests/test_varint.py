@@ -1,0 +1,95 @@
+"""Tests for the LEB128 varint and zigzag encodings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.entropy.varint import (
+    decode_uvarint,
+    decode_zigzag,
+    encode_uvarint,
+    encode_zigzag,
+    uvarint_size,
+)
+from repro.exceptions import DecodingError, EncodingError
+
+
+class TestUvarint:
+    def test_zero_is_single_byte(self):
+        assert encode_uvarint(0) == b"\x00"
+
+    def test_small_values_are_single_byte(self):
+        for value in (1, 42, 127):
+            assert len(encode_uvarint(value)) == 1
+
+    def test_boundary_at_128(self):
+        assert len(encode_uvarint(127)) == 1
+        assert len(encode_uvarint(128)) == 2
+
+    def test_roundtrip_selected_values(self):
+        for value in (0, 1, 127, 128, 300, 2**20, 2**40, 2**63 - 1):
+            encoded = encode_uvarint(value)
+            decoded, offset = decode_uvarint(encoded, 0)
+            assert decoded == value
+            assert offset == len(encoded)
+
+    def test_decode_with_offset(self):
+        payload = b"\xff" + encode_uvarint(300)
+        value, offset = decode_uvarint(payload, 1)
+        assert value == 300
+        assert offset == len(payload)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_uvarint(-1)
+        with pytest.raises(EncodingError):
+            uvarint_size(-1)
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_uvarint(b"\x80", 0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_uvarint(b"", 0)
+
+    def test_size_matches_encoding(self):
+        for value in (0, 127, 128, 16383, 16384, 2**35):
+            assert uvarint_size(value) == len(encode_uvarint(value))
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip_property(self, value):
+        encoded = encode_uvarint(value)
+        decoded, offset = decode_uvarint(encoded, 0)
+        assert decoded == value
+        assert offset == len(encoded)
+        assert uvarint_size(value) == len(encoded)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32), min_size=1, max_size=20))
+    def test_concatenated_stream(self, values):
+        payload = b"".join(encode_uvarint(value) for value in values)
+        offset = 0
+        decoded = []
+        for _ in values:
+            value, offset = decode_uvarint(payload, offset)
+            decoded.append(value)
+        assert decoded == values
+        assert offset == len(payload)
+
+
+class TestZigzag:
+    def test_known_mapping(self):
+        assert encode_zigzag(0) == encode_uvarint(0)
+        assert encode_zigzag(-1) == encode_uvarint(1)
+        assert encode_zigzag(1) == encode_uvarint(2)
+        assert encode_zigzag(-2) == encode_uvarint(3)
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip_property(self, value):
+        encoded = encode_zigzag(value)
+        decoded, offset = decode_zigzag(encoded, 0)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_small_magnitude_is_small(self):
+        assert len(encode_zigzag(-5)) == 1
+        assert len(encode_zigzag(63)) == 1
