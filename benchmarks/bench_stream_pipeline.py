@@ -1,0 +1,102 @@
+"""Stream pipeline — throughput versus worker count and frame size.
+
+Unlike the paper-artifact benchmarks, this one measures the new
+:mod:`repro.stream` subsystem: how fast records flow through the parallel
+frame-compression pipeline as a function of (a) worker count and (b) frame
+size, for the CPU-bound PBC frame codec and for a GIL-releasing stdlib codec.
+
+On a multi-core machine the process pool should deliver clearly super-1×
+scaling for PBC frames (the ISSUE targets >1.5× at 4 workers); on a
+single-core CI runner the table still prints, documenting the measured
+(possibly flat) scaling honestly rather than asserting it.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+
+from repro.bench import render_table
+from repro.datasets import load_dataset
+from repro.stream import StreamConfig, StreamWriter
+
+
+def _records(count: int) -> list[str]:
+    return load_dataset("apache", count=count)
+
+
+def _run_once(records: list[str], codec: str, workers: int, frame_records: int, executor: str) -> dict:
+    sink = io.BytesIO()
+    config = StreamConfig(
+        codec=codec,
+        frame_records=frame_records,
+        workers=workers,
+        executor=executor,
+        timed_stats=False,
+    )
+    started = time.perf_counter()
+    with StreamWriter(sink, config) as writer:
+        writer.write_many(records)
+        summary = writer.close()
+    elapsed = time.perf_counter() - started
+    stats = summary.stats
+    assert stats is not None
+    return {
+        "codec": codec,
+        "workers": workers,
+        "frame_records": frame_records,
+        "frames": len(summary.frames),
+        "ratio": round(stats.ratio, 3),
+        "seconds": round(elapsed, 3),
+        "MB_per_s": round(stats.original_bytes / 1e6 / elapsed, 3) if elapsed > 0 else 0.0,
+    }
+
+
+def test_stream_pipeline_scaling(benchmark):
+    record_count = int(os.environ.get("STREAM_BENCH_RECORDS", "3000"))
+    records = _records(record_count)
+    worker_counts = (1, 2, 4)
+    rows = []
+
+    def run_sweep() -> list[dict]:
+        sweep = []
+        for codec, executor in (("pbc", "process"), ("gzip", "thread")):
+            for workers in worker_counts:
+                sweep.append(_run_once(records, codec, workers, frame_records=500, executor=executor))
+        return sweep
+
+    rows = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    print()
+    print(render_table(rows, title="Stream pipeline: throughput vs workers (500-record frames)"))
+
+    pbc = {row["workers"]: row for row in rows if row["codec"] == "pbc"}
+    speedup = pbc[4]["MB_per_s"] / pbc[1]["MB_per_s"] if pbc[1]["MB_per_s"] else 0.0
+    cores = os.cpu_count() or 1
+    print(f"PBC 4-worker speedup over 1 worker: {speedup:.2f}x on {cores} core(s)")
+    # The >1.5x target needs real cores; never assert it on a starved runner.
+    if cores >= 4:
+        assert speedup > 1.5, f"expected >1.5x PBC speedup at 4 workers, got {speedup:.2f}x"
+
+    # Correctness-adjacent shape checks that hold regardless of core count.
+    for row in rows:
+        assert row["ratio"] < 1.0
+        assert row["frames"] == (record_count + 499) // 500
+
+
+def test_stream_frame_size_tradeoff(benchmark):
+    records = _records(2000)
+    frame_sizes = (125, 500, 2000)
+
+    def run_sweep() -> list[dict]:
+        return [
+            _run_once(records, "pbc", workers=0, frame_records=size, executor="serial")
+            for size in frame_sizes
+        ]
+
+    rows = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    print()
+    print(render_table(rows, title="Stream pipeline: frame size trade-off (PBC, serial)"))
+    # Larger frames amortise the per-frame dictionary: ratio must not degrade.
+    ratios = [row["ratio"] for row in rows]
+    assert ratios[-1] <= ratios[0]

@@ -31,7 +31,7 @@ from repro.core.compressor import (
 from repro.core.extraction import ExtractionConfig, PatternExtractor
 from repro.core.pattern import Pattern, PatternDictionary
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompressionStats",

@@ -1,4 +1,4 @@
-"""Command-line interface for the PBC reproduction (installed as ``pbc``).
+"""Command-line interface for the PBC reproduction (installed as ``repro``/``pbc``).
 
 The CLI wraps the offline/online split of the paper's Figure 1 into a small
 file-based workflow:
@@ -12,6 +12,9 @@ file-based workflow:
 * ``pbc codecs`` — list the registered baseline codecs.
 * ``pbc experiments`` / ``pbc experiment <id>`` — enumerate and run the
   registered paper experiments (tables and figures).
+* ``pbc stream compress|decompress|inspect|get`` — the :mod:`repro.stream`
+  subsystem: seekable containers with per-frame (optionally adaptive) codecs,
+  a parallel compression pipeline, and single-frame random access.
 
 Every command is a thin veneer over the library API, so anything the CLI does
 can also be done programmatically.
@@ -31,6 +34,16 @@ from repro.compressors import available_codecs
 from repro.datasets import DATASET_SPECS, EXTRA_DATASET_SPECS, dataset_statistics, load_dataset
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 from repro.exceptions import ReproError
+from repro.stream import (
+    AdaptiveConfig,
+    StreamConfig,
+    StreamContainerReader,
+    StreamReader,
+    compress_stream,
+    decompress_stream,
+    frame_codec_by_id,
+    frame_codec_names,
+)
 
 #: Magic prefix of compressed record files produced by ``pbc compress``.
 _FILE_MAGIC = b"PBC1"
@@ -150,6 +163,83 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------ stream commands
+
+
+def _stream_input_records(args: argparse.Namespace) -> list[str]:
+    """Records for ``stream compress`` from ``--input`` or ``--dataset``."""
+    if args.input is not None:
+        return _read_records(Path(args.input))
+    return load_dataset(args.dataset, count=args.count)
+
+
+def _cmd_stream_compress(args: argparse.Namespace) -> int:
+    records = _stream_input_records(args)
+    if not records:
+        print("error: no input records", file=sys.stderr)
+        return 2
+    config = StreamConfig(
+        codec=args.codec,
+        frame_records=args.frame_records,
+        workers=args.workers,
+        executor=args.executor,
+        timed_stats=True,
+        adaptive=AdaptiveConfig(sample_size=args.sample_size),
+    )
+    summary = compress_stream(records, Path(args.output), config)
+    stats = summary.stats
+    assert stats is not None
+    usage = ", ".join(f"{name}×{count}" for name, count in sorted(summary.codec_usage.items()))
+    print(
+        f"compressed {stats.records} records into {len(summary.frames)} frames: "
+        f"{stats.original_bytes} -> {Path(args.output).stat().st_size} bytes "
+        f"(payload ratio {stats.ratio:.3f})"
+    )
+    print(f"frame codecs: {usage}; outliers {stats.outliers}; retrains {summary.retrain_count}")
+    return 0
+
+
+def _cmd_stream_decompress(args: argparse.Namespace) -> int:
+    records = decompress_stream(Path(args.input), workers=args.workers)
+    Path(args.output).write_text("\n".join(records) + ("\n" if records else ""), encoding="utf-8")
+    print(f"decompressed {len(records)} records to {args.output}")
+    return 0
+
+
+def _cmd_stream_inspect(args: argparse.Namespace) -> int:
+    with StreamContainerReader(Path(args.input)) as container:
+        print(
+            f"stream container v{container.version}: "
+            f"{container.record_count} records in {container.frame_count} frames"
+        )
+        rows = [
+            {
+                "frame": position,
+                "codec": frame_codec_by_id(frame.codec_id).name,
+                "records": frame.record_count,
+                "first_record": frame.first_record,
+                "bytes": frame.length,
+            }
+            for position, frame in enumerate(container.frames)
+        ]
+        if rows:
+            print(render_table(rows, title="Frames"))
+    return 0
+
+
+def _cmd_stream_get(args: argparse.Namespace) -> int:
+    with StreamReader(Path(args.input)) as reader:
+        record = reader.get(args.index)
+        if args.verbose:
+            print(
+                f"record {args.index} (frame {reader.frame_for_record(args.index)}, "
+                f"{reader.frames_decompressed} frame(s) decompressed):",
+                file=sys.stderr,
+            )
+        print(record)
+    return 0
+
+
 def _cmd_experiments(_: argparse.Namespace) -> int:
     rows = [
         {
@@ -221,6 +311,68 @@ def build_parser() -> argparse.ArgumentParser:
     decompress.add_argument("--input", required=True, help="compressed file")
     decompress.add_argument("--output", required=True, help="output text file")
     decompress.set_defaults(func=_cmd_decompress)
+
+    stream = subparsers.add_parser("stream", help="seekable stream containers (repro.stream)")
+    stream_sub = stream.add_subparsers(dest="stream_command", required=True)
+
+    stream_compress = stream_sub.add_parser(
+        "compress", help="compress records into a seekable stream container"
+    )
+    stream_source = stream_compress.add_mutually_exclusive_group(required=True)
+    stream_source.add_argument("--input", help="text file with one record per line")
+    stream_source.add_argument(
+        "--dataset",
+        choices=sorted(DATASET_SPECS) + sorted(EXTRA_DATASET_SPECS),
+        help="synthetic dataset name",
+    )
+    stream_compress.add_argument("--count", type=int, default=None, help="records for --dataset")
+    stream_compress.add_argument("--output", required=True, help="output container file")
+    stream_compress.add_argument(
+        "--codec",
+        default="adaptive",
+        choices=["adaptive"] + frame_codec_names(),
+        help="frame codec, or 'adaptive' for per-frame selection (default)",
+    )
+    stream_compress.add_argument(
+        "--frame-records", type=int, default=2048, help="records per frame (default 2048)"
+    )
+    stream_compress.add_argument(
+        "--workers", type=int, default=0, help="parallel frame-compression workers (0 = inline)"
+    )
+    stream_compress.add_argument(
+        "--executor",
+        default="auto",
+        choices=["auto", "thread", "process", "serial"],
+        help="worker pool kind (default auto)",
+    )
+    stream_compress.add_argument(
+        "--sample-size", type=int, default=64, help="adaptive scoring sample per frame"
+    )
+    stream_compress.set_defaults(func=_cmd_stream_compress)
+
+    stream_decompress = stream_sub.add_parser(
+        "decompress", help="decompress a stream container back to text"
+    )
+    stream_decompress.add_argument("--input", required=True, help="stream container file")
+    stream_decompress.add_argument("--output", required=True, help="output text file")
+    stream_decompress.add_argument(
+        "--workers", type=int, default=0, help="parallel frame-decompression workers"
+    )
+    stream_decompress.set_defaults(func=_cmd_stream_decompress)
+
+    stream_inspect = stream_sub.add_parser(
+        "inspect", help="print the frame index of a stream container"
+    )
+    stream_inspect.add_argument("--input", required=True, help="stream container file")
+    stream_inspect.set_defaults(func=_cmd_stream_inspect)
+
+    stream_get = stream_sub.add_parser(
+        "get", help="random-access one record (decompresses a single frame)"
+    )
+    stream_get.add_argument("--input", required=True, help="stream container file")
+    stream_get.add_argument("--index", type=int, required=True, help="record index")
+    stream_get.add_argument("--verbose", action="store_true", help="report the frame touched")
+    stream_get.set_defaults(func=_cmd_stream_get)
 
     experiments = subparsers.add_parser("experiments", help="list the registered paper experiments")
     experiments.set_defaults(func=_cmd_experiments)

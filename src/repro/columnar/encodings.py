@@ -166,7 +166,10 @@ class DeltaVarintEncoding(ColumnEncoding):
         if not value or (value[0] == "-" and len(value) == 1):
             return None
         body = value[1:] if value[0] == "-" else value
-        if not body.isdigit():
+        # ``str.isdigit`` accepts non-ASCII digits (e.g. "²", "١٢٣") that either
+        # crash ``int`` or do not survive the ``str(int(value))`` roundtrip, so
+        # restrict to the ASCII decimal digits the decoder will emit.
+        if not (body.isascii() and body.isdigit()):
             return None
         if len(body) > 1 and body[0] == "0":
             return None  # leading zeros would not survive the integer roundtrip

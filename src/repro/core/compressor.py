@@ -130,6 +130,8 @@ class PBCCompressor:
         self._seen_records = 0
         self._seen_outliers = 0
         self._retrain_fired = False
+        self._stats: CompressionStats | None = None
+        self._stats_timed = False
         self.last_extraction: ExtractionReport | None = None
         if dictionary is not None:
             self.load_dictionary(dictionary)
@@ -180,6 +182,24 @@ class PBCCompressor:
 
     def compress(self, record: str) -> bytes:
         """Compress a single record."""
+        stats = self._stats
+        if stats is None:
+            return self._compress_record(record)
+        # Timing is opt-in: the default live-stats path costs two counter
+        # updates and no clock calls (see :meth:`enable_stats`).
+        started = time.perf_counter() if self._stats_timed else 0.0
+        outliers_before = self._seen_outliers
+        payload = self._compress_record(record)
+        if self._stats_timed:
+            stats.compress_seconds += time.perf_counter() - started
+        stats.records += 1
+        stats.original_bytes += len(record.encode("utf-8"))
+        stats.compressed_bytes += len(payload)
+        if self._seen_outliers != outliers_before:
+            stats.outliers += 1
+        return payload
+
+    def _compress_record(self, record: str) -> bytes:
         self._require_trained()
         assert self._matcher is not None
         match = self._matcher.match(record)
@@ -194,6 +214,15 @@ class PBCCompressor:
 
     def decompress(self, data: bytes) -> str:
         """Decompress a single record."""
+        stats = self._stats
+        if stats is None or not self._stats_timed:
+            return self._decompress_record(data)
+        started = time.perf_counter()
+        record = self._decompress_record(data)
+        stats.decompress_seconds += time.perf_counter() - started
+        return record
+
+    def _decompress_record(self, data: bytes) -> str:
         self._require_trained()
         assert self._dictionary is not None
         pattern_id, offset = decode_uvarint(data, 0)
@@ -207,6 +236,27 @@ class PBCCompressor:
                 f"trailing {len(payload) - end} bytes after decoding pattern {pattern_id}"
             )
         return pattern.reconstruct(values)
+
+    # ------------------------------------------------------------- live stats
+
+    def enable_stats(self, timed: bool = False) -> CompressionStats:
+        """Attach a live :class:`CompressionStats` updated on every (de)compress.
+
+        With ``timed=False`` (the default) the hot path performs no clock
+        calls: only record/byte/outlier counters are maintained, which is what
+        the stream pipeline uses inside its frame workers.  Pass ``timed=True``
+        to also accumulate per-record wall-clock time.
+        """
+        self._stats = CompressionStats()
+        self._stats_timed = timed
+        return self._stats
+
+    def disable_stats(self) -> CompressionStats | None:
+        """Detach and return the live stats object (``None`` if not enabled)."""
+        stats = self._stats
+        self._stats = None
+        self._stats_timed = False
+        return stats
 
     # ------------------------------------------------------------- bulk paths
 

@@ -46,3 +46,15 @@ class DatasetError(ReproError):
 
 class StoreError(ReproError):
     """A storage substrate (block store / TierBase) operation failed."""
+
+
+class StreamError(ReproError):
+    """Base class for errors raised by the :mod:`repro.stream` subsystem."""
+
+
+class StreamFormatError(StreamError):
+    """A stream container file is malformed, truncated, or not a stream file."""
+
+
+class FrameCorruptionError(StreamFormatError):
+    """A frame (or the footer) failed its CRC32 integrity check."""

@@ -1,0 +1,78 @@
+"""``repro.stream`` — seekable container format + parallel compression pipeline.
+
+The subsystem that takes the per-record PBC reproduction from in-memory lists
+to on-disk, multi-core streams:
+
+* :mod:`repro.stream.format` — the seekable container layout (framed file with
+  per-frame codec id, trained dictionary, CRC32 and a footer index),
+* :mod:`repro.stream.framecodecs` — the frame codec registry (raw, gzip, lzma,
+  Zstd-like, FSST, PBC, PBC_F) with pool-worker entry points,
+* :mod:`repro.stream.pipeline` — :class:`StreamWriter` / :class:`StreamReader`
+  with thread/process worker pools and order-preserving frame fan-out,
+* :mod:`repro.stream.adaptive` — per-frame codec scoring (measured ratio +
+  encoding-length estimate) and outlier-rate drift detection,
+* :mod:`repro.stream.adapter` — a :class:`~repro.compressors.base.Codec` view
+  of standalone frames for :class:`repro.blockstore.BlockStore` and the LSM
+  SSTables.
+
+Quick start::
+
+    from repro.stream import StreamConfig, StreamReader, compress_stream
+
+    compress_stream(records, "logs.rps", StreamConfig(codec="adaptive", workers=4))
+    with StreamReader("logs.rps") as reader:
+        assert reader.get(12345) == records[12345]   # one frame decompressed
+"""
+
+from repro.stream.adaptive import AdaptiveCodecSelector, AdaptiveConfig, CodecScore, FramePlan
+from repro.stream.adapter import StreamFrameCodec
+from repro.stream.format import (
+    FrameInfo,
+    RawFrame,
+    StreamContainerReader,
+    StreamContainerWriter,
+    pack_records,
+    unpack_records,
+)
+from repro.stream.framecodecs import (
+    CompressedFrame,
+    compress_frame,
+    decompress_frame,
+    frame_codec_by_id,
+    frame_codec_by_name,
+    frame_codec_names,
+)
+from repro.stream.pipeline import (
+    StreamConfig,
+    StreamReader,
+    StreamSummary,
+    StreamWriter,
+    compress_stream,
+    decompress_stream,
+)
+
+__all__ = [
+    "AdaptiveCodecSelector",
+    "AdaptiveConfig",
+    "CodecScore",
+    "CompressedFrame",
+    "FrameInfo",
+    "FramePlan",
+    "RawFrame",
+    "StreamConfig",
+    "StreamContainerReader",
+    "StreamContainerWriter",
+    "StreamFrameCodec",
+    "StreamReader",
+    "StreamSummary",
+    "StreamWriter",
+    "compress_frame",
+    "compress_stream",
+    "decompress_frame",
+    "decompress_stream",
+    "frame_codec_by_id",
+    "frame_codec_by_name",
+    "frame_codec_names",
+    "pack_records",
+    "unpack_records",
+]

@@ -1,0 +1,148 @@
+"""Interop adapter: stream frames as the block format of the storage layers.
+
+:class:`StreamFrameCodec` implements the :class:`repro.compressors.base.Codec`
+interface, so anything that takes a block codec — :class:`repro.blockstore.BlockStore`,
+:class:`repro.lsm.sstable.BlockCompressionPolicy`, :class:`repro.tierbase` —
+can transparently use stream frames as its on-disk block format.  Each
+``compress`` call emits one *standalone frame*: the same self-describing
+``codec_id + dictionary + body + CRC32`` layout as a container frame, minus
+the container header/footer (the host store already has its own index).  The
+benefits carry over: blocks written by different codecs coexist, every block
+is integrity-checked on read, and the codec can be chosen adaptively per
+block.
+
+Two modes:
+
+* ``records_mode=False`` (default) — the incoming payload is opaque bytes;
+  candidates are restricted to the byte-oriented frame codecs (raw, gzip,
+  lzma, zstd, fsst).  This is what SSTable block payloads need.
+* ``records_mode=True`` — the incoming payload is a *record block*
+  (``uvarint(count)`` + length-prefixed UTF-8 records), which is exactly what
+  :class:`~repro.blockstore.BlockStore` builds.  The adapter unpacks it and
+  lets the pattern-based codecs (PBC, PBC_F) compete too, with per-block
+  trained dictionaries.  If the payload does not losslessly roundtrip through
+  the record-block layout the adapter silently falls back to byte mode, so
+  correctness never depends on the caller's framing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compressors.base import Codec
+from repro.exceptions import StreamError, StreamFormatError
+from repro.stream.format import decode_frame, encode_frame, pack_records, unpack_records
+from repro.stream.framecodecs import (
+    FrameCodec,
+    frame_codec_by_id,
+    frame_codec_by_name,
+)
+
+#: Byte-oriented candidates tried in adaptive byte mode.
+BYTE_CANDIDATES: tuple[str, ...] = ("gzip", "zstd", "fsst", "raw")
+
+#: Record-oriented candidates added in adaptive records mode.
+RECORD_CANDIDATES: tuple[str, ...] = ("pbc", "pbc_f") + BYTE_CANDIDATES
+
+
+class StreamFrameCodec(Codec):
+    """A :class:`Codec` whose payloads are standalone, self-describing stream frames."""
+
+    def __init__(
+        self,
+        codec: str = "adaptive",
+        records_mode: bool = False,
+        candidates: Sequence[str] | None = None,
+    ) -> None:
+        self.records_mode = records_mode
+        self._fixed: FrameCodec | None = None
+        if codec == "adaptive":
+            names = tuple(candidates) if candidates else (
+                RECORD_CANDIDATES if records_mode else BYTE_CANDIDATES
+            )
+            self._candidates = [frame_codec_by_name(name) for name in names]
+        else:
+            self._fixed = frame_codec_by_name(codec)
+            self._candidates = [self._fixed]
+        self._byte_candidates = [c for c in self._candidates if _is_byte_oriented(c)]
+        if not records_mode and len(self._byte_candidates) != len(self._candidates):
+            # Fail fast: record-oriented codecs cannot compress opaque bytes.
+            names = [c.name for c in self._candidates if not _is_byte_oriented(c)]
+            raise StreamError(f"frame codecs {names} need records_mode=True")
+        self.name = f"stream[{codec}]"
+
+    # --------------------------------------------------------------- compress
+
+    def compress(self, data: bytes) -> bytes:
+        records: list[str] | None = None
+        if self.records_mode:
+            records = _try_unpack(data)
+        # An empty block must take the byte path: pattern codecs cannot train
+        # on zero records, and record_count 0 is the byte-mode marker.
+        if records:
+            return self._compress_records(records)
+        return self._compress_bytes(data)
+
+    def _compress_records(self, records: list[str]) -> bytes:
+        best: bytes | None = None
+        for codec in self._candidates:
+            dict_payload = codec.train(records) if codec.trains else b""
+            body, _ = codec.encode(records, dict_payload)
+            frame = encode_frame(codec.codec_id, dict_payload, body, len(records))
+            if best is None or len(frame) < len(best):
+                best = frame
+        assert best is not None
+        return best
+
+    def _compress_bytes(self, data: bytes) -> bytes:
+        best: bytes | None = None
+        for codec in self._byte_candidates:
+            dict_payload = codec.train_bytes([data]) if codec.trains else b""
+            body = codec.compress_bytes(data, dict_payload)
+            # record_count 0 marks a byte-mode frame (a real record frame
+            # always covers at least one record).
+            frame = encode_frame(codec.codec_id, dict_payload, body, 0)
+            if best is None or len(frame) < len(best):
+                best = frame
+        if best is None:
+            # A record-only fixed codec received a payload it cannot frame
+            # (e.g. an empty record block): store it raw rather than failing.
+            raw = frame_codec_by_name("raw")
+            return encode_frame(raw.codec_id, b"", raw.compress_bytes(data), 0)
+        return best
+
+    # ------------------------------------------------------------- decompress
+
+    def decompress(self, data: bytes) -> bytes:
+        frame = decode_frame(data)  # CRC-verified
+        codec = frame_codec_by_id(frame.codec_id)
+        if frame.record_count == 0:
+            return codec.decompress_bytes(frame.body, frame.dict_payload)
+        records = codec.decode(frame.body, frame.dict_payload)
+        if len(records) != frame.record_count:
+            raise StreamFormatError(
+                f"frame decoded {len(records)} records, header says {frame.record_count}"
+            )
+        return pack_records(records)
+
+
+def _is_byte_oriented(codec: FrameCodec) -> bool:
+    """Whether the codec implements the opaque-bytes interface."""
+    try:
+        codec.compress_bytes(b"")
+    except StreamError:
+        return False
+    return True
+
+
+def _try_unpack(data: bytes) -> list[str] | None:
+    """Parse ``data`` as a record block iff it roundtrips losslessly."""
+    try:
+        records = unpack_records(data)
+    except Exception:
+        return None
+    # Non-canonical varints or exotic framings could parse but re-serialise
+    # differently; only accept payloads the decompressor will rebuild exactly.
+    if pack_records(records) != data:
+        return None
+    return records

@@ -1,0 +1,259 @@
+"""Adaptive per-frame codec selection with pattern-drift detection.
+
+The paper's PBC wins on machine-generated data whose records share templates;
+on data that drifted away from the trained patterns (or was never templated)
+a byte-oriented codec — or storing raw — is the better choice.  The stream
+pipeline therefore scores candidate frame codecs *per frame* and lets the
+winner compress it:
+
+* every candidate compresses a deterministic sample of the frame and is scored
+  by its **measured ratio** (stored bytes, trained dictionary included, over
+  original bytes),
+* pattern-based candidates additionally get an **encoding-length estimate**
+  from the :mod:`repro.core.encoding_length` machinery (the Section 4.1 model
+  behind the clustering criteria of :mod:`repro.core.criteria`): sampled
+  records are matched against the trained dictionary and their residuals are
+  priced with optimal per-field encoders, outliers at raw cost.  The blend of
+  the two keeps one lucky sample from flipping the choice.
+
+Trained dictionaries (PBC patterns, FSST tables, Zstd prefixes) are built once
+on the first frame and reused, so steady-state frames only pay for sampling.
+**Drift detection** closes the loop: the selector tracks the outlier rate of
+the most recent frames against the installed pattern dictionary and, when the
+windowed rate crosses ``drift_threshold``, drops every trained dictionary and
+retrains on the current frame (Section 7.5's monitor-and-retrain story).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.compressor import PBCCompressor
+from repro.core.encoding_length import minimal_encoding_length
+from repro.core.pattern import WILDCARD, PatternDictionary
+from repro.entropy.varint import uvarint_size
+from repro.exceptions import StreamError
+from repro.stream.framecodecs import FrameCodec, frame_codec_by_name
+
+#: Candidate codec names tried by default, cheapest-to-score first.
+DEFAULT_CANDIDATES: tuple[str, ...] = ("pbc", "pbc_f", "zstd", "fsst", "gzip", "raw")
+
+
+@dataclass
+class AdaptiveConfig:
+    """Tuning knobs of the adaptive selector."""
+
+    #: frame codec names competing for each frame.
+    candidates: tuple[str, ...] = DEFAULT_CANDIDATES
+    #: records sampled per frame for scoring (deterministic stride sample).
+    sample_size: int = 64
+    #: records from the training frame used to build dictionaries.
+    train_size: int = 256
+    #: windowed outlier rate that triggers pattern retraining.
+    drift_threshold: float = 0.25
+    #: number of recent frames the drift window covers.
+    drift_window: int = 4
+    #: weight of the measured sample ratio vs the encoding-length estimate.
+    measured_weight: float = 0.5
+
+
+@dataclass(frozen=True)
+class CodecScore:
+    """Scoring outcome of one candidate on one frame sample."""
+
+    name: str
+    codec_id: int
+    sample_original: int
+    sample_stored: int
+    estimated_ratio: float | None
+    score: float
+
+    @property
+    def measured_ratio(self) -> float:
+        """Stored bytes (dictionary included) over original sample bytes."""
+        if self.sample_original == 0:
+            return 1.0
+        return self.sample_stored / self.sample_original
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """What the selector decided for one frame."""
+
+    codec_id: int
+    codec_name: str
+    dict_payload: bytes
+    scores: tuple[CodecScore, ...]
+    retrained: bool
+    outlier_rate: float
+
+
+@dataclass
+class AdaptiveState:
+    """Mutable selector state (exposed for inspection and tests)."""
+
+    dictionaries: dict[str, bytes] = field(default_factory=dict)
+    recent_outlier_rates: deque = field(default_factory=lambda: deque(maxlen=4))
+    frames_planned: int = 0
+    retrain_count: int = 0
+
+
+def _sample(records: Sequence[str], size: int) -> list[str]:
+    """Deterministic stride sample of up to ``size`` records."""
+    if len(records) <= size:
+        return list(records)
+    stride = len(records) // size
+    return [records[i] for i in range(0, stride * size, stride)]
+
+
+def _pattern_tokens(literals: Sequence[str]) -> list:
+    """Rebuild the token-sequence form of a pattern from its literal segments."""
+    tokens: list = []
+    for position, literal in enumerate(literals):
+        if position:
+            tokens.append(WILDCARD)
+        tokens.extend(literal)
+    return tokens
+
+
+def estimate_pbc_ratio(dictionary: PatternDictionary, sample: Sequence[str]) -> tuple[float, float]:
+    """Encoding-length estimate of PBC on ``sample``: ``(ratio, outlier_rate)``.
+
+    Matched records are grouped per pattern and priced with
+    :func:`repro.core.encoding_length.minimal_encoding_length` (Definition 2's
+    optimal per-field encoder selection) plus the pattern-id varint; outliers
+    cost their raw bytes plus the outlier marker.
+    """
+    compressor = PBCCompressor(dictionary=dictionary)
+    matcher = compressor._matcher
+    assert matcher is not None
+    by_pattern: dict[int, list[str]] = {}
+    estimated = 0
+    original = 0
+    outliers = 0
+    for record in sample:
+        original += len(record.encode("utf-8"))
+        match = matcher.match(record)
+        if match is None:
+            outliers += 1
+            estimated += 1 + len(record.encode("utf-8"))
+            continue
+        estimated += uvarint_size(match.pattern.pattern_id)
+        by_pattern.setdefault(match.pattern.pattern_id, []).append(record)
+    for pattern_id, records in by_pattern.items():
+        tokens = _pattern_tokens(dictionary.get(pattern_id).literals)
+        estimated += minimal_encoding_length(records, tokens)
+    if original == 0:
+        return 1.0, 0.0
+    return estimated / original, outliers / len(sample)
+
+
+class AdaptiveCodecSelector:
+    """Stateful per-frame codec chooser used by :class:`repro.stream.StreamWriter`."""
+
+    def __init__(self, config: AdaptiveConfig | None = None) -> None:
+        self.config = config if config is not None else AdaptiveConfig()
+        if not self.config.candidates:
+            raise StreamError("adaptive selection needs at least one candidate codec")
+        self._codecs: list[FrameCodec] = [
+            frame_codec_by_name(name) for name in self.config.candidates
+        ]
+        self.state = AdaptiveState(
+            recent_outlier_rates=deque(maxlen=max(1, self.config.drift_window))
+        )
+
+    # ------------------------------------------------------------- dictionaries
+
+    def _ensure_trained(self, records: Sequence[str]) -> bool:
+        """Train missing dictionaries on ``records``; True if anything trained."""
+        trained = False
+        corpus = list(records[: self.config.train_size])
+        for codec in self._codecs:
+            if codec.trains and codec.name not in self.state.dictionaries:
+                self.state.dictionaries[codec.name] = codec.train(corpus)
+                trained = True
+        return trained
+
+    def _drift_detected(self) -> bool:
+        window = self.state.recent_outlier_rates
+        if len(window) < window.maxlen:
+            return False
+        return sum(window) / len(window) >= self.config.drift_threshold
+
+    # ------------------------------------------------------------------ select
+
+    def plan_frame(self, records: Sequence[str]) -> FramePlan:
+        """Score every candidate on a sample of ``records`` and pick the winner."""
+        if not records:
+            raise StreamError("cannot plan a frame for zero records")
+        retrained = False
+        if self._drift_detected():
+            self.state.dictionaries.clear()
+            self.state.recent_outlier_rates.clear()
+            self.state.retrain_count += 1
+            retrained = True
+        self._ensure_trained(records)
+
+        sample = _sample(records, self.config.sample_size)
+        sample_original = sum(len(record.encode("utf-8")) for record in sample)
+        pbc_estimate: tuple[float, float] | None = None
+        pbc_dict_payload = self.state.dictionaries.get("pbc")
+        if pbc_dict_payload:
+            pbc_estimate = estimate_pbc_ratio(
+                PatternDictionary.from_bytes(pbc_dict_payload), sample
+            )
+
+        scores: list[CodecScore] = []
+        sample_fraction = len(sample) / len(records)
+        for codec in self._codecs:
+            dict_payload = self.state.dictionaries.get(codec.name, b"")
+            body, _ = codec.encode(sample, dict_payload)
+            # The trained dictionary is persisted once per frame, so charge the
+            # sampled fraction of it to keep the ratio comparable to the body.
+            stored = len(body) + int(len(dict_payload) * sample_fraction)
+            measured = stored / sample_original if sample_original else 1.0
+            estimated: float | None = None
+            if pbc_estimate is not None and codec.name in ("pbc", "pbc_f"):
+                estimated = pbc_estimate[0]
+            weight = self.config.measured_weight
+            score = measured if estimated is None else weight * measured + (1 - weight) * estimated
+            scores.append(
+                CodecScore(
+                    name=codec.name,
+                    codec_id=codec.codec_id,
+                    sample_original=sample_original,
+                    sample_stored=stored,
+                    estimated_ratio=estimated,
+                    score=score,
+                )
+            )
+
+        winner = min(scores, key=lambda item: item.score)
+        outlier_rate = pbc_estimate[1] if pbc_estimate is not None else 0.0
+        self.state.recent_outlier_rates.append(outlier_rate)
+        self.state.frames_planned += 1
+        return FramePlan(
+            codec_id=winner.codec_id,
+            codec_name=winner.name,
+            dict_payload=self.state.dictionaries.get(winner.name, b""),
+            scores=tuple(scores),
+            retrained=retrained,
+            outlier_rate=outlier_rate,
+        )
+
+    # --------------------------------------------------------------- telemetry
+
+    @property
+    def retrain_count(self) -> int:
+        """How many times drift forced a dictionary retrain."""
+        return self.state.retrain_count
+
+    @property
+    def windowed_outlier_rate(self) -> float:
+        """Mean outlier rate over the drift window (0.0 while warming up)."""
+        window = self.state.recent_outlier_rates
+        if not window:
+            return 0.0
+        return sum(window) / len(window)

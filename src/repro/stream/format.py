@@ -1,0 +1,381 @@
+"""Seekable stream container format (the on-disk substrate of ``repro.stream``).
+
+A stream container holds a sequence of independently decompressible *frames*,
+each covering a contiguous run of records, plus a footer index that lets a
+reader binary-search to the frame containing any record index without touching
+the preceding frames.  The layout is RocksDB/Zstd-seekable-format inspired:
+
+    +----------------------------------------------------------------------+
+    | header  | magic ``RPSTRM01`` (8) | version u8 | flags u8             |
+    +----------------------------------------------------------------------+
+    | frame 0 | codec_id u8                                                |
+    |         | uvarint(len(dict)) + dict payload (trained dictionary)     |
+    |         | uvarint(record_count)                                      |
+    |         | uvarint(len(body)) + body (codec-compressed record block)  |
+    |         | crc32 u32-be over everything above (header fields + body)  |
+    +----------------------------------------------------------------------+
+    | frame 1 | ...                                                        |
+    +----------------------------------------------------------------------+
+    | footer  | uvarint(frame_count)                                       |
+    |         | per frame: uvarint(offset) uvarint(length)                 |
+    |         |            uvarint(first_record) uvarint(record_count)     |
+    |         |            codec_id u8                                     |
+    +----------------------------------------------------------------------+
+    | trailer | footer_offset u64-be | crc32(footer) u32-be | ``RSE1`` (4) |
+    +----------------------------------------------------------------------+
+
+Design notes:
+
+* Every frame is self-contained: its codec id and the trained dictionary
+  (pattern dictionary, Zstd dictionary, FSST symbol table, ...) travel with
+  the frame, so frames written with different codecs — the adaptive pipeline
+  does exactly that — coexist in one file and any frame can be decoded in
+  isolation (including by a parallel reader).
+* The footer stores cumulative ``first_record`` indices, so ``get(i)`` is a
+  ``bisect`` over the index followed by a single frame read + decompress.
+* Integrity: each frame and the footer carry a CRC32; a mismatch raises
+  :class:`repro.exceptions.FrameCorruptionError` instead of yielding garbage.
+* Writers only ever append, so the format works on non-seekable sinks; readers
+  need a seekable file (they start from the fixed-size trailer at the end).
+
+The uncompressed *record block* layout shared by every codec is
+``uvarint(count)`` followed by length-prefixed UTF-8 records — the same shape
+:class:`repro.blockstore.BlockStore` and :class:`~repro.core.compressor.PBCBlockCompressor`
+use, which is what makes the :mod:`repro.stream.adapter` interop possible.
+"""
+
+from __future__ import annotations
+
+import io
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Sequence
+
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import FrameCorruptionError, StreamFormatError
+
+#: Magic bytes opening every stream container file.
+MAGIC = b"RPSTRM01"
+
+#: Magic bytes closing the trailer (cheap "is this even a stream file" probe).
+END_MAGIC = b"RSE1"
+
+#: Current container format version.
+VERSION = 1
+
+#: Header size: magic + version byte + flags byte.
+HEADER_SIZE = len(MAGIC) + 2
+
+#: Trailer size: footer offset (8) + footer CRC (4) + end magic (4).
+TRAILER_SIZE = 8 + 4 + len(END_MAGIC)
+
+
+# ------------------------------------------------------------- record blocks
+
+
+def pack_records(records: Sequence[str]) -> bytes:
+    """Serialise records into the shared uncompressed record-block layout."""
+    out = bytearray()
+    out += encode_uvarint(len(records))
+    for record in records:
+        payload = record.encode("utf-8")
+        out += encode_uvarint(len(payload))
+        out += payload
+    return bytes(out)
+
+
+def unpack_records(data: bytes) -> list[str]:
+    """Invert :func:`pack_records`; rejects trailing bytes."""
+    count, offset = decode_uvarint(data, 0)
+    records: list[str] = []
+    for _ in range(count):
+        length, offset = decode_uvarint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise StreamFormatError("truncated record block")
+        records.append(data[offset:end].decode("utf-8"))
+        offset = end
+    if offset != len(data):
+        raise StreamFormatError(f"{len(data) - offset} trailing bytes after record block")
+    return records
+
+
+# -------------------------------------------------------------------- frames
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """Footer index entry describing one frame."""
+
+    codec_id: int
+    offset: int  # absolute byte offset of the frame in the file
+    length: int  # total frame size in bytes (header + body + CRC)
+    first_record: int  # index of the first record covered by this frame
+    record_count: int
+
+    @property
+    def end_record(self) -> int:
+        """One past the last record index covered by this frame."""
+        return self.first_record + self.record_count
+
+
+@dataclass(frozen=True)
+class RawFrame:
+    """A frame as read back from disk, before codec decoding."""
+
+    codec_id: int
+    dict_payload: bytes
+    body: bytes
+    record_count: int
+
+
+def encode_frame(codec_id: int, dict_payload: bytes, body: bytes, record_count: int) -> bytes:
+    """Serialise one frame (header + body + CRC32)."""
+    if not 0 <= codec_id <= 0xFF:
+        raise StreamFormatError(f"codec id {codec_id} does not fit in one byte")
+    out = bytearray()
+    out.append(codec_id)
+    out += encode_uvarint(len(dict_payload))
+    out += dict_payload
+    out += encode_uvarint(record_count)
+    out += encode_uvarint(len(body))
+    out += body
+    out += (zlib.crc32(out) & 0xFFFFFFFF).to_bytes(4, "big")
+    return bytes(out)
+
+
+def decode_frame(data: bytes, verify: bool = True) -> RawFrame:
+    """Parse one serialised frame; ``verify`` checks the trailing CRC32."""
+    if len(data) < 5:
+        raise StreamFormatError("frame too small to contain a header and CRC")
+    if verify:
+        stored = int.from_bytes(data[-4:], "big")
+        actual = zlib.crc32(data[:-4]) & 0xFFFFFFFF
+        if stored != actual:
+            raise FrameCorruptionError(
+                f"frame CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )
+    codec_id = data[0]
+    dict_length, offset = decode_uvarint(data, 1)
+    dict_end = offset + dict_length
+    if dict_end > len(data) - 4:
+        raise StreamFormatError("truncated frame dictionary payload")
+    dict_payload = data[offset:dict_end]
+    record_count, offset = decode_uvarint(data, dict_end)
+    body_length, offset = decode_uvarint(data, offset)
+    body_end = offset + body_length
+    if body_end != len(data) - 4:
+        raise StreamFormatError("frame body length does not match the frame size")
+    return RawFrame(
+        codec_id=codec_id,
+        dict_payload=dict_payload,
+        body=data[offset:body_end],
+        record_count=record_count,
+    )
+
+
+# -------------------------------------------------------------------- writer
+
+
+class StreamContainerWriter:
+    """Append-only writer for the container layout above.
+
+    The writer never seeks, so any binary sink works.  Call
+    :meth:`append_frame` with already-compressed frames (the codec layer lives
+    in :mod:`repro.stream.framecodecs`), then :meth:`finish` to emit the footer
+    index and trailer.
+    """
+
+    def __init__(self, sink: BinaryIO) -> None:
+        self._sink = sink
+        self._frames: list[FrameInfo] = []
+        self._records = 0
+        self._finished = False
+        sink.write(MAGIC)
+        sink.write(bytes([VERSION, 0]))
+        self._offset = HEADER_SIZE
+
+    @property
+    def frames(self) -> list[FrameInfo]:
+        """Index entries of the frames appended so far."""
+        return list(self._frames)
+
+    @property
+    def record_count(self) -> int:
+        """Total records covered by the appended frames."""
+        return self._records
+
+    def append_frame(self, codec_id: int, dict_payload: bytes, body: bytes, record_count: int) -> FrameInfo:
+        """Append one compressed frame and return its index entry."""
+        if self._finished:
+            raise StreamFormatError("cannot append to a finished stream container")
+        if record_count < 1:
+            raise StreamFormatError("a frame must cover at least one record")
+        payload = encode_frame(codec_id, dict_payload, body, record_count)
+        self._sink.write(payload)
+        info = FrameInfo(
+            codec_id=codec_id,
+            offset=self._offset,
+            length=len(payload),
+            first_record=self._records,
+            record_count=record_count,
+        )
+        self._frames.append(info)
+        self._offset += len(payload)
+        self._records += record_count
+        return info
+
+    def finish(self) -> list[FrameInfo]:
+        """Write the footer index and trailer; returns all frame entries."""
+        if self._finished:
+            raise StreamFormatError("stream container already finished")
+        footer = bytearray()
+        footer += encode_uvarint(len(self._frames))
+        for frame in self._frames:
+            footer += encode_uvarint(frame.offset)
+            footer += encode_uvarint(frame.length)
+            footer += encode_uvarint(frame.first_record)
+            footer += encode_uvarint(frame.record_count)
+            footer.append(frame.codec_id)
+        footer_offset = self._offset
+        self._sink.write(bytes(footer))
+        self._sink.write(footer_offset.to_bytes(8, "big"))
+        self._sink.write((zlib.crc32(bytes(footer)) & 0xFFFFFFFF).to_bytes(4, "big"))
+        self._sink.write(END_MAGIC)
+        self._offset = footer_offset + len(footer) + TRAILER_SIZE
+        self._finished = True
+        return list(self._frames)
+
+
+# -------------------------------------------------------------------- reader
+
+
+class StreamContainerReader:
+    """Random-access reader over a finished stream container file.
+
+    Opening the reader touches only the header, trailer and footer; frames are
+    read (and CRC-verified) lazily, one ``seek`` + one ``read`` per frame.
+    """
+
+    def __init__(self, source: str | Path | BinaryIO) -> None:
+        if isinstance(source, (str, Path)):
+            self._file: BinaryIO = open(source, "rb")
+            self._owns_file = True
+        else:
+            self._file = source
+            self._owns_file = False
+        try:
+            self._load_index()
+        except Exception:
+            if self._owns_file:
+                self._file.close()
+            raise
+
+    def _load_index(self) -> None:
+        handle = self._file
+        handle.seek(0, io.SEEK_END)
+        file_size = handle.tell()
+        if file_size < HEADER_SIZE + TRAILER_SIZE:
+            raise StreamFormatError("file too small to be a stream container")
+        handle.seek(0)
+        header = handle.read(HEADER_SIZE)
+        if header[: len(MAGIC)] != MAGIC:
+            raise StreamFormatError("not a repro stream container (bad header magic)")
+        self.version = header[len(MAGIC)]
+        if self.version != VERSION:
+            raise StreamFormatError(f"unsupported stream container version {self.version}")
+        self.flags = header[len(MAGIC) + 1]
+        handle.seek(file_size - TRAILER_SIZE)
+        trailer = handle.read(TRAILER_SIZE)
+        if trailer[-len(END_MAGIC) :] != END_MAGIC:
+            raise StreamFormatError("not a repro stream container (bad trailer magic)")
+        footer_offset = int.from_bytes(trailer[0:8], "big")
+        footer_crc = int.from_bytes(trailer[8:12], "big")
+        if not HEADER_SIZE <= footer_offset <= file_size - TRAILER_SIZE:
+            raise StreamFormatError("footer offset outside the file")
+        handle.seek(footer_offset)
+        footer = handle.read(file_size - TRAILER_SIZE - footer_offset)
+        if (zlib.crc32(footer) & 0xFFFFFFFF) != footer_crc:
+            raise FrameCorruptionError("footer CRC mismatch")
+        frame_count, offset = decode_uvarint(footer, 0)
+        self._frames: list[FrameInfo] = []
+        expected_first = 0
+        for _ in range(frame_count):
+            frame_offset, offset = decode_uvarint(footer, offset)
+            frame_length, offset = decode_uvarint(footer, offset)
+            first_record, offset = decode_uvarint(footer, offset)
+            record_count, offset = decode_uvarint(footer, offset)
+            codec_id = footer[offset]
+            offset += 1
+            if first_record != expected_first:
+                raise StreamFormatError("footer record indices are not contiguous")
+            expected_first += record_count
+            self._frames.append(
+                FrameInfo(
+                    codec_id=codec_id,
+                    offset=frame_offset,
+                    length=frame_length,
+                    first_record=first_record,
+                    record_count=record_count,
+                )
+            )
+        self._record_count = expected_first
+        self._first_records = [frame.first_record for frame in self._frames]
+
+    # ------------------------------------------------------------------ views
+
+    @property
+    def frames(self) -> list[FrameInfo]:
+        """Index entries of every frame, in file order."""
+        return list(self._frames)
+
+    @property
+    def frame_count(self) -> int:
+        """Number of frames in the container."""
+        return len(self._frames)
+
+    @property
+    def record_count(self) -> int:
+        """Total number of records in the container."""
+        return self._record_count
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    def frame_for_record(self, index: int) -> int:
+        """Frame position containing record ``index`` (binary search)."""
+        if not 0 <= index < self._record_count:
+            raise StreamFormatError(
+                f"record index {index} out of range (0..{self._record_count - 1})"
+            )
+        return bisect_right(self._first_records, index) - 1
+
+    def read_frame_bytes(self, position: int) -> bytes:
+        """Raw serialised bytes of frame ``position`` (one seek + one read)."""
+        if not 0 <= position < len(self._frames):
+            raise StreamFormatError(f"frame position {position} out of range")
+        frame = self._frames[position]
+        self._file.seek(frame.offset)
+        payload = self._file.read(frame.length)
+        if len(payload) != frame.length:
+            raise StreamFormatError(f"frame {position} is truncated on disk")
+        return payload
+
+    def read_frame(self, position: int, verify: bool = True) -> RawFrame:
+        """Read and parse frame ``position``; CRC-verified unless ``verify=False``."""
+        return decode_frame(self.read_frame_bytes(position), verify=verify)
+
+    # ---------------------------------------------------------------- cleanup
+
+    def close(self) -> None:
+        """Close the underlying file if this reader opened it."""
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "StreamContainerReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

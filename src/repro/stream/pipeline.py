@@ -1,0 +1,376 @@
+"""Parallel stream compression pipeline: :class:`StreamWriter` / :class:`StreamReader`.
+
+The writer batches incoming records into frames of ``frame_records`` records,
+plans a codec for each frame (fixed, or per-frame via the
+:class:`~repro.stream.adaptive.AdaptiveCodecSelector`) and fans frame
+compression out over a ``concurrent.futures`` pool:
+
+* ``executor="process"`` — CPU-bound pure-Python codecs (PBC, PBC_F, Zstd-like,
+  FSST) scale across cores; workers receive only picklable arguments
+  (codec id, records, dictionary bytes) and return a
+  :class:`~repro.stream.framecodecs.CompressedFrame`,
+* ``executor="thread"`` — the stdlib codecs (gzip, lzma) release the GIL in C,
+  so threads overlap them without process overhead,
+* ``executor="serial"`` — no pool; useful for debugging and tiny inputs,
+* ``executor="auto"`` — process pool when the planned codec family is
+  CPU-bound pure Python, thread pool otherwise.
+
+Frame ordering is preserved by construction: futures are kept in a FIFO deque
+and frames are appended to the container strictly in submission order, while
+the pool is free to *finish* them out of order.  Back-pressure caps the number
+of in-flight frames at ``max_pending`` so a slow sink never buffers the whole
+input.
+
+The reader is the random-access counterpart: opening it reads only the footer
+index; ``get(i)`` binary-searches the index, reads one frame, verifies its CRC
+and decodes it (an LRU of decoded frames makes clustered lookups cheap —
+``frames_decompressed`` counts actual decompressions so callers can verify the
+single-frame guarantee).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict, deque
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, Sequence
+
+from repro.core.compressor import CompressionStats
+from repro.exceptions import StreamError
+from repro.stream.adaptive import AdaptiveCodecSelector, AdaptiveConfig
+from repro.stream.format import FrameInfo, StreamContainerReader, StreamContainerWriter
+from repro.stream.framecodecs import (
+    CompressedFrame,
+    compress_frame,
+    decompress_frame,
+    frame_codec_by_id,
+    frame_codec_by_name,
+)
+
+_EXECUTORS = ("auto", "thread", "process", "serial")
+
+
+@dataclass
+class StreamConfig:
+    """Configuration of a :class:`StreamWriter`."""
+
+    #: frame codec name, or ``"adaptive"`` for per-frame selection.
+    codec: str = "adaptive"
+    #: records per frame (the unit of compression, random access and parallelism).
+    frame_records: int = 2048
+    #: pool size; 0 means compress frames inline on the caller's thread.
+    workers: int = 0
+    #: ``"auto"`` | ``"thread"`` | ``"process"`` | ``"serial"``.
+    executor: str = "auto"
+    #: maximum in-flight frames before the writer blocks (default ``2 * workers``).
+    max_pending: int | None = None
+    #: collect a :class:`CompressionStats` over the stream.
+    collect_stats: bool = True
+    #: also accumulate wall-clock timings in the stats (off keeps hot paths
+    #: free of clock calls; frame workers always count records/bytes only).
+    timed_stats: bool = False
+    #: shared dictionary mode: train once on the first frame and reuse (the
+    #: adaptive selector always does this; fixed codecs opt out with False to
+    #: train per frame inside the workers).
+    shared_dictionary: bool = True
+    #: adaptive-selection tuning (used when ``codec == "adaptive"``).
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+
+    def __post_init__(self) -> None:
+        if self.frame_records < 1:
+            raise StreamError("frame_records must be at least 1")
+        if self.workers < 0:
+            raise StreamError("workers must be non-negative")
+        if self.executor not in _EXECUTORS:
+            raise StreamError(f"executor must be one of {_EXECUTORS}")
+
+
+@dataclass
+class StreamSummary:
+    """What :meth:`StreamWriter.close` returns."""
+
+    frames: list[FrameInfo]
+    stats: CompressionStats | None
+    codec_usage: dict[str, int]
+    retrain_count: int
+
+    @property
+    def record_count(self) -> int:
+        """Total records written."""
+        return sum(frame.record_count for frame in self.frames)
+
+
+class StreamWriter:
+    """Batch records into frames and compress them through a worker pool."""
+
+    def __init__(self, sink: str | Path | BinaryIO, config: StreamConfig | None = None) -> None:
+        self.config = config if config is not None else StreamConfig()
+        # Resolve the codec before touching the sink so a bad name cannot leak
+        # a half-open file.
+        self._selector: AdaptiveCodecSelector | None = None
+        self._fixed_codec_id: int | None = None
+        if self.config.codec == "adaptive":
+            self._selector = AdaptiveCodecSelector(self.config.adaptive)
+        else:
+            self._fixed_codec_id = frame_codec_by_name(self.config.codec).codec_id
+        if isinstance(sink, (str, Path)):
+            self._file: BinaryIO = open(sink, "wb")
+            self._owns_file = True
+        else:
+            self._file = sink
+            self._owns_file = False
+        self._container = StreamContainerWriter(self._file)
+        self._buffer: list[str] = []
+        self._pending: deque[Future] = deque()
+        self._executor: Executor | None = None
+        self._shared_dict: bytes | None = None
+        self._codec_usage: dict[str, int] = {}
+        self._closed = False
+        self.stats: CompressionStats | None = (
+            CompressionStats() if self.config.collect_stats else None
+        )
+
+    # ------------------------------------------------------------------ write
+
+    def write(self, record: str) -> None:
+        """Buffer one record; flushes a frame when the batch is full."""
+        if self._closed:
+            raise StreamError("cannot write to a closed StreamWriter")
+        self._buffer.append(record)
+        if len(self._buffer) >= self.config.frame_records:
+            self._flush_frame()
+
+    def write_many(self, records: Iterable[str]) -> None:
+        """Buffer an iterable of records."""
+        for record in records:
+            self.write(record)
+
+    # --------------------------------------------------------------- internals
+
+    def _plan(self, records: Sequence[str]) -> tuple[int, bytes]:
+        """Pick (codec id, dictionary payload) for the next frame."""
+        if self._selector is not None:
+            plan = self._selector.plan_frame(records)
+            return plan.codec_id, plan.dict_payload
+        assert self._fixed_codec_id is not None
+        codec = frame_codec_by_id(self._fixed_codec_id)
+        if codec.trains and self.config.shared_dictionary:
+            if self._shared_dict is None:
+                self._shared_dict = codec.train(records)
+            return self._fixed_codec_id, self._shared_dict
+        # Empty payload: the worker trains on the frame's own records.
+        return self._fixed_codec_id, b""
+
+    def _ensure_executor(self, codec_id: int) -> Executor | None:
+        if self.config.workers == 0 or self.config.executor == "serial":
+            return None
+        if self._executor is None:
+            kind = self.config.executor
+            if kind == "auto":
+                cpu_bound = frame_codec_by_id(codec_id).cpu_bound
+                kind = "process" if cpu_bound and (os.cpu_count() or 1) > 1 else "thread"
+            if kind == "process":
+                self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
+            else:
+                self._executor = ThreadPoolExecutor(max_workers=self.config.workers)
+        return self._executor
+
+    def _flush_frame(self) -> None:
+        records, self._buffer = self._buffer, []
+        codec_id, dict_payload = self._plan(records)
+        executor = self._ensure_executor(codec_id)
+        if executor is None:
+            self._commit(compress_frame(codec_id, records, dict_payload))
+            return
+        self._pending.append(executor.submit(compress_frame, codec_id, records, dict_payload))
+        max_pending = self.config.max_pending or 2 * self.config.workers
+        # Opportunistically retire finished frames, then apply back-pressure.
+        while self._pending and self._pending[0].done():
+            self._commit(self._pending.popleft().result())
+        while len(self._pending) > max_pending:
+            self._commit(self._pending.popleft().result())
+
+    def _commit(self, frame: CompressedFrame) -> None:
+        """Append a compressed frame to the container (submission order)."""
+        self._container.append_frame(
+            frame.codec_id, frame.dict_payload, frame.body, frame.record_count
+        )
+        name = frame_codec_by_id(frame.codec_id).name
+        self._codec_usage[name] = self._codec_usage.get(name, 0) + 1
+        if self.stats is not None:
+            self.stats.records += frame.record_count
+            self.stats.original_bytes += frame.original_bytes
+            self.stats.compressed_bytes += frame.stored_bytes
+            self.stats.outliers += frame.outliers
+            if self.config.timed_stats:
+                # Sum of per-frame worker time: actual encoding seconds (CPU
+                # time across workers), not writer-session wall clock.
+                self.stats.compress_seconds += frame.compress_seconds
+
+    # ------------------------------------------------------------------ close
+
+    def close(self) -> StreamSummary:
+        """Flush the tail frame, drain the pool, finish the container."""
+        if self._closed:
+            raise StreamError("StreamWriter already closed")
+        self._closed = True
+        try:
+            if self._buffer:
+                records, self._buffer = self._buffer, []
+                codec_id, dict_payload = self._plan(records)
+                executor = self._ensure_executor(codec_id)
+                if executor is None:
+                    self._commit(compress_frame(codec_id, records, dict_payload))
+                else:
+                    self._pending.append(
+                        executor.submit(compress_frame, codec_id, records, dict_payload)
+                    )
+            while self._pending:
+                self._commit(self._pending.popleft().result())
+            frames = self._container.finish()
+        finally:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+            if self._owns_file:
+                self._file.close()
+        return StreamSummary(
+            frames=frames,
+            stats=self.stats,
+            codec_usage=dict(self._codec_usage),
+            retrain_count=self._selector.retrain_count if self._selector else 0,
+        )
+
+    def __enter__(self) -> "StreamWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed:
+            if exc_type is None:
+                self.close()
+            else:
+                # Abandon the container on error: drain the pool but do not
+                # finish the footer, leaving an (intentionally) unreadable file.
+                self._closed = True
+                if self._executor is not None:
+                    self._executor.shutdown(wait=False, cancel_futures=True)
+                    self._executor = None
+                if self._owns_file:
+                    self._file.close()
+
+
+class StreamReader:
+    """Random-access reader over a stream container file."""
+
+    def __init__(self, source: str | Path | BinaryIO, frame_cache: int = 2) -> None:
+        self._container = StreamContainerReader(source)
+        self._cache: OrderedDict[int, list[str]] = OrderedDict()
+        self._cache_limit = max(1, frame_cache)
+        #: number of frames actually decompressed (cache misses); tests use
+        #: this to assert the one-frame-per-lookup guarantee.
+        self.frames_decompressed = 0
+
+    # ------------------------------------------------------------------ intro
+
+    @property
+    def frames(self) -> list[FrameInfo]:
+        """Footer index entries."""
+        return self._container.frames
+
+    @property
+    def frame_count(self) -> int:
+        """Number of frames."""
+        return self._container.frame_count
+
+    def __len__(self) -> int:
+        return self._container.record_count
+
+    def frame_for_record(self, index: int) -> int:
+        """Frame position containing record ``index`` (no decompression)."""
+        return self._container.frame_for_record(index)
+
+    # ------------------------------------------------------------------- read
+
+    def _decode_frame(self, position: int) -> list[str]:
+        cached = self._cache.get(position)
+        if cached is not None:
+            self._cache.move_to_end(position)
+            return cached
+        raw = self._container.read_frame(position)
+        records = decompress_frame(raw.codec_id, raw.dict_payload, raw.body)
+        if len(records) != raw.record_count:
+            raise StreamError(
+                f"frame {position} decoded {len(records)} records, header says {raw.record_count}"
+            )
+        self.frames_decompressed += 1
+        self._cache[position] = records
+        while len(self._cache) > self._cache_limit:
+            self._cache.popitem(last=False)
+        return records
+
+    def get(self, index: int) -> str:
+        """Random access: decompress (at most) the one containing frame."""
+        position = self._container.frame_for_record(index)
+        records = self._decode_frame(position)
+        return records[index - self._container.frames[position].first_record]
+
+    def __iter__(self) -> Iterator[str]:
+        """Sequential scan, one frame at a time."""
+        for position in range(self._container.frame_count):
+            yield from self._decode_frame(position)
+
+    def read_all(self, workers: int = 0) -> list[str]:
+        """Decode every frame; with ``workers`` > 0, frames decode in parallel."""
+        if workers <= 0 or self._container.frame_count <= 1:
+            return list(self)
+        raws = [self._container.read_frame(i) for i in range(self._container.frame_count)]
+        # Mirror the writer's "auto" choice: processes only pay off for the
+        # CPU-bound pure-Python codecs; gzip/lzma release the GIL in C, where
+        # threads avoid pickling every frame across process boundaries.
+        cpu_bound = any(frame_codec_by_id(raw.codec_id).cpu_bound for raw in raws)
+        pool_class = ProcessPoolExecutor if cpu_bound and (os.cpu_count() or 1) > 1 else ThreadPoolExecutor
+        with pool_class(max_workers=workers) as pool:
+            decoded = list(
+                pool.map(
+                    decompress_frame,
+                    [raw.codec_id for raw in raws],
+                    [raw.dict_payload for raw in raws],
+                    [raw.body for raw in raws],
+                )
+            )
+        self.frames_decompressed += len(raws)
+        return [record for frame in decoded for record in frame]
+
+    # ---------------------------------------------------------------- cleanup
+
+    def close(self) -> None:
+        """Close the underlying container file."""
+        self._container.close()
+
+    def __enter__(self) -> "StreamReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------------- helpers
+
+
+def compress_stream(
+    records: Iterable[str],
+    sink: str | Path | BinaryIO,
+    config: StreamConfig | None = None,
+) -> StreamSummary:
+    """One-shot: write every record to a new stream container."""
+    with StreamWriter(sink, config) as writer:
+        writer.write_many(records)
+        return writer.close()
+
+
+def decompress_stream(source: str | Path | BinaryIO, workers: int = 0) -> list[str]:
+    """One-shot: read every record back from a stream container."""
+    with StreamReader(source) as reader:
+        return reader.read_all(workers=workers)

@@ -217,6 +217,79 @@ class TestCompressDecompress:
         assert "error" in capsys.readouterr().err
 
 
+class TestStreamCommands:
+    def test_stream_roundtrip_through_files(self, tmp_path, records_file, capsys):
+        container = tmp_path / "records.rps"
+        restored = tmp_path / "restored.txt"
+        assert (
+            main(
+                [
+                    "stream",
+                    "compress",
+                    "--input",
+                    str(records_file),
+                    "--output",
+                    str(container),
+                    "--codec",
+                    "adaptive",
+                    "--frame-records",
+                    "40",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "frames" in output
+        assert (
+            main(["stream", "decompress", "--input", str(container), "--output", str(restored)])
+            == 0
+        )
+        assert restored.read_text(encoding="utf-8") == records_file.read_text(encoding="utf-8")
+
+    def test_stream_inspect_lists_frames(self, tmp_path, records_file, capsys):
+        container = tmp_path / "records.rps"
+        main(
+            [
+                "stream", "compress", "--input", str(records_file),
+                "--output", str(container), "--codec", "gzip", "--frame-records", "50",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["stream", "inspect", "--input", str(container)]) == 0
+        output = capsys.readouterr().out
+        assert "stream container v1" in output
+        assert "gzip" in output
+
+    def test_stream_get_returns_exact_record(self, tmp_path, records_file, capsys):
+        container = tmp_path / "records.rps"
+        main(
+            [
+                "stream", "compress", "--input", str(records_file),
+                "--output", str(container), "--codec", "pbc", "--frame-records", "32",
+            ]
+        )
+        records = records_file.read_text(encoding="utf-8").splitlines()
+        capsys.readouterr()
+        assert main(["stream", "get", "--input", str(container), "--index", "77"]) == 0
+        assert capsys.readouterr().out.rstrip("\n") == records[77]
+
+    def test_stream_get_out_of_range_fails_gracefully(self, tmp_path, records_file, capsys):
+        container = tmp_path / "records.rps"
+        main(
+            [
+                "stream", "compress", "--input", str(records_file),
+                "--output", str(container), "--codec", "raw",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["stream", "get", "--input", str(container), "--index", "99999"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_stream_inspect_rejects_non_stream_file(self, records_file, capsys):
+        assert main(["stream", "inspect", "--input", str(records_file)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_unknown_experiment_id_fails_gracefully(self, capsys):
         exit_code = main(["experiment", "does-not-exist"])

@@ -109,6 +109,47 @@ _SHARED_TEMPLATE_COMPRESSOR.train(
 )
 
 
+class TestLiveStats:
+    def test_untimed_stats_count_without_clock(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train(template_records[:100])
+        stats = compressor.enable_stats()
+        payloads = [compressor.compress(record) for record in template_records[:50]]
+        assert stats.records == 50
+        assert stats.original_bytes == sum(len(r.encode("utf-8")) for r in template_records[:50])
+        assert stats.compressed_bytes == sum(len(p) for p in payloads)
+        # Timing is opt-in: the default hot path never touches the clock.
+        assert stats.compress_seconds == 0.0
+        assert stats.decompress_seconds == 0.0
+
+    def test_timed_stats_accumulate_seconds(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train(template_records[:100])
+        stats = compressor.enable_stats(timed=True)
+        for record in template_records[:30]:
+            compressor.decompress(compressor.compress(record))
+        assert stats.records == 30
+        assert stats.compress_seconds > 0.0
+        assert stats.decompress_seconds > 0.0
+
+    def test_stats_track_outliers(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train(template_records[:100])
+        stats = compressor.enable_stats()
+        compressor.compress(template_records[0])
+        compressor.compress("@@@ nothing like the training data @@@")
+        assert stats.outliers == 1
+
+    def test_disable_stats_detaches(self, small_config, template_records):
+        compressor = PBCCompressor(config=small_config)
+        compressor.train(template_records[:100])
+        stats = compressor.enable_stats()
+        compressor.compress(template_records[0])
+        assert compressor.disable_stats() is stats
+        compressor.compress(template_records[1])
+        assert stats.records == 1
+
+
 class TestPBCFCompressor:
     def test_roundtrip(self, small_config, template_records):
         compressor = PBCFCompressor(config=small_config)

@@ -1,0 +1,111 @@
+"""Tests for the stream-frame block codec adapter (repro.stream.adapter)."""
+
+import pytest
+
+from repro.blockstore import BlockStore
+from repro.exceptions import FrameCorruptionError, StreamError
+from repro.lsm.sstable import BlockCompressionPolicy, SSTable, write_sstable
+from repro.stream import StreamFrameCodec, pack_records
+
+from tests.conftest import make_template_records
+
+
+@pytest.fixture(scope="module")
+def records():
+    return make_template_records(160, seed=31)
+
+
+class TestByteMode:
+    def test_roundtrip(self):
+        codec = StreamFrameCodec()
+        payload = b"machine-generated payload " * 40
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_compresses_redundant_data(self):
+        codec = StreamFrameCodec()
+        payload = b"the same line over and over\n" * 100
+        assert len(codec.compress(payload)) < len(payload)
+
+    def test_never_catastrophic_on_random_bytes(self):
+        import random
+
+        rng = random.Random(4)
+        payload = bytes(rng.randrange(256) for _ in range(512))
+        frame = StreamFrameCodec().compress(payload)
+        # raw is always a candidate, so overhead is bounded by the frame header.
+        assert len(frame) < len(payload) + 64
+        assert StreamFrameCodec().decompress(frame) == payload
+
+    def test_fixed_codec(self):
+        codec = StreamFrameCodec(codec="gzip")
+        payload = b"abc" * 200
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_record_codecs_rejected_in_byte_mode(self):
+        with pytest.raises(StreamError):
+            StreamFrameCodec(codec="pbc")
+
+    def test_corruption_detected(self):
+        codec = StreamFrameCodec()
+        frame = bytearray(codec.compress(b"hello world " * 30))
+        frame[len(frame) // 2] ^= 0xFF
+        with pytest.raises(FrameCorruptionError):
+            codec.decompress(bytes(frame))
+
+
+class TestRecordsMode:
+    def test_record_block_roundtrip(self, records):
+        codec = StreamFrameCodec(records_mode=True)
+        block = pack_records(records[:64])
+        assert codec.decompress(codec.compress(block)) == block
+
+    def test_pbc_fixed_codec_in_records_mode(self, records):
+        codec = StreamFrameCodec(codec="pbc", records_mode=True)
+        block = pack_records(records[:64])
+        assert codec.decompress(codec.compress(block)) == block
+
+    def test_falls_back_to_bytes_for_non_record_payloads(self):
+        codec = StreamFrameCodec(records_mode=True)
+        payload = b"\xff\xfe not a record block \x00\x01" * 20
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_empty_record_block_roundtrips(self):
+        # Pattern codecs cannot train on zero records; the empty block must
+        # take the byte path instead of crashing.
+        codec = StreamFrameCodec(records_mode=True)
+        block = pack_records([])
+        assert codec.decompress(codec.compress(block)) == block
+
+    def test_empty_block_with_fixed_record_codec(self):
+        codec = StreamFrameCodec(codec="pbc", records_mode=True)
+        block = pack_records([])
+        assert codec.decompress(codec.compress(block)) == block
+
+    def test_empty_payload_in_byte_mode(self):
+        codec = StreamFrameCodec()
+        assert codec.decompress(codec.compress(b"")) == b""
+
+
+class TestBlockStoreIntegration:
+    def test_blockstore_uses_stream_frames(self, records):
+        store = BlockStore.from_records(
+            records, StreamFrameCodec(records_mode=True), block_size=32
+        )
+        assert len(store) == len(records)
+        assert store.ratio < 1.0
+        for index in (0, 31, 32, 95, len(records) - 1):
+            assert store.get(index) == records[index]
+
+
+class TestSSTableIntegration:
+    def test_sstable_block_policy_uses_stream_frames(self, tmp_path, records):
+        entries = sorted((f"key:{i:05d}", records[i]) for i in range(len(records)))
+        policy = BlockCompressionPolicy(StreamFrameCodec())
+        info = write_sstable(tmp_path / "frames.sst", entries, policy, block_bytes=2048)
+        assert info.entry_count == len(entries)
+        table = SSTable(tmp_path / "frames.sst", policy)
+        for key, value in entries[:: len(entries) // 10]:
+            found, stored = table.get(key)
+            assert found and stored == value
+        assert not table.get("key:99999")[0]
+        assert list(table.scan()) == entries

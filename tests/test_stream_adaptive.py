@@ -1,0 +1,146 @@
+"""Tests for adaptive codec selection and drift detection (repro.stream.adaptive)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.stream.adaptive import (
+    AdaptiveCodecSelector,
+    AdaptiveConfig,
+    estimate_pbc_ratio,
+)
+from repro.core.compressor import PBCCompressor
+from repro.core.extraction import ExtractionConfig
+
+
+def template_a(index: int, rng: random.Random) -> str:
+    return f"GET /api/v1/users/{index} 200 {rng.randint(1, 900)}us"
+
+def template_b(index: int, rng: random.Random) -> str:
+    return f"oom-killer invoked by pid {index} rss={rng.randint(1, 1 << 20)}kB anon-rss={rng.randint(1, 512)}kB"
+
+
+def frames_of(template, count, size, seed=5):
+    rng = random.Random(seed)
+    return [
+        [template(frame * size + i, rng) for i in range(size)]
+        for frame in range(count)
+    ]
+
+
+def make_selector(**overrides) -> AdaptiveCodecSelector:
+    defaults = dict(
+        candidates=("pbc", "gzip", "raw"),
+        sample_size=24,
+        train_size=64,
+        drift_window=2,
+        drift_threshold=0.5,
+    )
+    defaults.update(overrides)
+    return AdaptiveCodecSelector(AdaptiveConfig(**defaults))
+
+
+class TestSelection:
+    def test_raw_never_wins_on_compressible_data(self):
+        selector = make_selector()
+        for records in frames_of(template_a, 3, 120):
+            plan = selector.plan_frame(records)
+            assert plan.codec_name != "raw"
+
+    def test_raw_wins_on_incompressible_data(self):
+        rng = random.Random(9)
+        frames = [
+            ["".join(chr(rng.randint(33, 0x2FFF)) for _ in range(40)) for _ in range(60)]
+            for _ in range(2)
+        ]
+        selector = make_selector(candidates=("pbc", "raw"))
+        # The second frame is scored with dictionaries trained on the first;
+        # random text defeats the patterns, so storing raw must win.
+        selector.plan_frame(frames[0])
+        assert selector.plan_frame(frames[1]).codec_name == "raw"
+
+    def test_scores_cover_every_candidate(self):
+        selector = make_selector()
+        plan = selector.plan_frame(frames_of(template_a, 1, 100)[0])
+        assert {score.name for score in plan.scores} == {"pbc", "gzip", "raw"}
+        for score in plan.scores:
+            assert score.measured_ratio > 0
+        pbc_score = next(s for s in plan.scores if s.name == "pbc")
+        assert pbc_score.estimated_ratio is not None
+
+    def test_winner_has_minimal_score(self):
+        selector = make_selector()
+        plan = selector.plan_frame(frames_of(template_a, 1, 100)[0])
+        assert plan.codec_name == min(plan.scores, key=lambda s: s.score).name
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(StreamError):
+            make_selector().plan_frame([])
+
+    def test_needs_candidates(self):
+        with pytest.raises(StreamError):
+            AdaptiveCodecSelector(AdaptiveConfig(candidates=()))
+
+
+class TestDriftDetection:
+    def test_no_drift_on_stable_stream(self):
+        selector = make_selector()
+        for records in frames_of(template_a, 5, 100):
+            selector.plan_frame(records)
+        assert selector.retrain_count == 0
+        assert selector.windowed_outlier_rate < 0.5
+
+    def test_drift_triggers_retrain(self):
+        selector = make_selector()
+        for records in frames_of(template_a, 3, 100):
+            plan = selector.plan_frame(records)
+            assert not plan.retrained
+        for records in frames_of(template_b, 3, 100):
+            selector.plan_frame(records)
+        assert selector.retrain_count >= 1
+
+    def test_retrain_replaces_dictionaries(self):
+        selector = make_selector()
+        for records in frames_of(template_a, 3, 100):
+            selector.plan_frame(records)
+        before = dict(selector.state.dictionaries)
+        for records in frames_of(template_b, 3, 100):
+            selector.plan_frame(records)
+        assert selector.state.dictionaries["pbc"] != before["pbc"]
+
+    def test_outlier_rate_recovers_after_retrain(self):
+        selector = make_selector()
+        for records in frames_of(template_a, 3, 100):
+            selector.plan_frame(records)
+        rates = [selector.plan_frame(records).outlier_rate for records in frames_of(template_b, 5, 100)]
+        # Before retraining the B-records are mostly outliers; after it they match again.
+        assert rates[0] > 0.5
+        assert min(rates[1:]) < rates[0]
+
+
+class TestEncodingLengthEstimate:
+    def test_estimate_matches_reality_in_shape(self):
+        rng = random.Random(2)
+        records = [template_a(i, rng) for i in range(200)]
+        compressor = PBCCompressor(config=ExtractionConfig(max_patterns=8, sample_size=64))
+        compressor.train(records[:96])
+        estimated_ratio, outlier_rate = estimate_pbc_ratio(compressor.dictionary, records[96:])
+        measured = compressor.measure(records[96:])
+        # The Definition-2 estimate prices residuals with optimal encoders; it
+        # must land in the same regime as the real compressor (both well below
+        # raw size, within a 2x band of each other).
+        assert 0 < estimated_ratio < 0.8
+        assert estimated_ratio < measured.ratio * 2
+        assert measured.ratio < estimated_ratio * 2 + 0.1
+        assert outlier_rate == measured.outlier_rate
+
+    def test_estimate_on_unmatched_records(self):
+        rng = random.Random(2)
+        compressor = PBCCompressor(config=ExtractionConfig(max_patterns=4, sample_size=32))
+        compressor.train([template_a(i, rng) for i in range(64)])
+        ratio, outlier_rate = estimate_pbc_ratio(
+            compressor.dictionary, [template_b(i, rng) for i in range(40)]
+        )
+        assert outlier_rate > 0.5
+        assert ratio > 0.9  # outliers cost raw bytes plus a marker

@@ -1,0 +1,160 @@
+"""Tests for the seekable stream container format (repro.stream.format)."""
+
+import io
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FrameCorruptionError, StreamFormatError
+from repro.stream.format import (
+    HEADER_SIZE,
+    MAGIC,
+    StreamContainerReader,
+    StreamContainerWriter,
+    decode_frame,
+    encode_frame,
+    pack_records,
+    unpack_records,
+)
+from repro.stream.framecodecs import compress_frame, decompress_frame, frame_codec_by_name
+
+
+def build_container(frames):
+    """Write ``frames`` (lists of records) raw-coded into an in-memory container."""
+    buffer = io.BytesIO()
+    writer = StreamContainerWriter(buffer)
+    raw = frame_codec_by_name("raw")
+    for records in frames:
+        body, _ = raw.encode(records)
+        writer.append_frame(raw.codec_id, b"", body, len(records))
+    writer.finish()
+    buffer.seek(0)
+    return buffer
+
+
+class TestRecordBlocks:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.text(max_size=24), max_size=30))
+    def test_pack_roundtrip_property(self, records):
+        assert unpack_records(pack_records(records)) == records
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(StreamFormatError):
+            unpack_records(pack_records(["a", "b"]) + b"\x00")
+
+    def test_truncated_block_rejected(self):
+        payload = pack_records(["hello", "world"])
+        with pytest.raises(StreamFormatError):
+            unpack_records(payload[:-3])
+
+
+class TestFrameEncoding:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=64), st.binary(max_size=32), st.integers(0, 10_000))
+    def test_frame_roundtrip_property(self, body, dict_payload, record_count):
+        frame = decode_frame(encode_frame(7, dict_payload, body, record_count))
+        assert frame.codec_id == 7
+        assert frame.dict_payload == dict_payload
+        assert frame.body == body
+        assert frame.record_count == record_count
+
+    def test_crc_detects_any_single_byte_flip(self):
+        payload = encode_frame(1, b"dict", b"body-bytes", 3)
+        for position in range(len(payload)):
+            corrupted = bytearray(payload)
+            corrupted[position] ^= 0x01
+            with pytest.raises((FrameCorruptionError, StreamFormatError)):
+                decode_frame(bytes(corrupted))
+
+    def test_verify_off_skips_crc(self):
+        payload = bytearray(encode_frame(1, b"", b"body", 1))
+        payload[-1] ^= 0xFF  # corrupt only the stored CRC
+        assert decode_frame(bytes(payload), verify=False).body == b"body"
+
+
+class TestContainer:
+    def test_roundtrip_and_index(self):
+        frames = [["a", "b", "c"], ["d"], ["e", "f"]]
+        reader = StreamContainerReader(build_container(frames))
+        assert reader.frame_count == 3
+        assert reader.record_count == 6
+        assert [f.first_record for f in reader.frames] == [0, 3, 4]
+        for position, records in enumerate(frames):
+            raw = reader.read_frame(position)
+            assert decompress_frame(raw.codec_id, raw.dict_payload, raw.body) == records
+
+    def test_frame_for_record_binary_search(self):
+        reader = StreamContainerReader(build_container([["a", "b", "c"], ["d"], ["e", "f"]]))
+        assert [reader.frame_for_record(i) for i in range(6)] == [0, 0, 0, 1, 2, 2]
+        with pytest.raises(StreamFormatError):
+            reader.frame_for_record(6)
+        with pytest.raises(StreamFormatError):
+            reader.frame_for_record(-1)
+
+    def test_empty_container(self):
+        reader = StreamContainerReader(build_container([]))
+        assert reader.frame_count == 0
+        assert reader.record_count == 0
+
+    def test_not_a_stream_file(self, tmp_path):
+        path = tmp_path / "not_a_stream.txt"
+        path.write_bytes(b"just some text, definitely not a container" * 4)
+        with pytest.raises(StreamFormatError):
+            StreamContainerReader(path)
+
+    def test_bad_header_magic(self):
+        data = bytearray(build_container([["x"]]).getvalue())
+        data[0] ^= 0xFF
+        with pytest.raises(StreamFormatError):
+            StreamContainerReader(io.BytesIO(bytes(data)))
+
+    def test_truncated_file(self):
+        data = build_container([["x", "y"]]).getvalue()
+        with pytest.raises(StreamFormatError):
+            StreamContainerReader(io.BytesIO(data[: len(data) // 2]))
+
+    def test_corrupted_frame_body_raises_on_read(self):
+        data = bytearray(build_container([["hello world"]]).getvalue())
+        data[HEADER_SIZE + 6] ^= 0xFF  # inside the first frame's body
+        reader = StreamContainerReader(io.BytesIO(bytes(data)))
+        with pytest.raises(FrameCorruptionError):
+            reader.read_frame(0)
+
+    def test_corrupted_footer_raises_on_open(self):
+        data = build_container([["hello"], ["world"]]).getvalue()
+        # The footer sits between the last frame and the 16-byte trailer.
+        corrupted = bytearray(data)
+        corrupted[-20] ^= 0xFF
+        with pytest.raises(FrameCorruptionError):
+            StreamContainerReader(io.BytesIO(bytes(corrupted)))
+
+    def test_append_after_finish_rejected(self):
+        writer = StreamContainerWriter(io.BytesIO())
+        writer.finish()
+        with pytest.raises(StreamFormatError):
+            writer.append_frame(0, b"", b"", 1)
+
+    def test_header_layout_is_stable(self):
+        buffer = io.BytesIO()
+        StreamContainerWriter(buffer)
+        assert buffer.getvalue()[: len(MAGIC)] == MAGIC
+        assert zlib.crc32(b"") == 0  # sanity: crc32 available
+
+
+class TestFrameCodecRoundtrips:
+    @pytest.mark.parametrize("name", ["raw", "gzip", "lzma", "zstd", "fsst", "pbc", "pbc_f"])
+    def test_codec_frame_roundtrip(self, name):
+        records = [f"job-{i:04d} state=OK latency={i % 97}ms" for i in range(48)]
+        codec = frame_codec_by_name(name)
+        frame = compress_frame(codec.codec_id, records)
+        assert frame.record_count == 48
+        assert decompress_frame(frame.codec_id, frame.dict_payload, frame.body) == records
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.text(min_size=0, max_size=20), min_size=1, max_size=12))
+    def test_pbc_frame_roundtrip_property(self, records):
+        codec = frame_codec_by_name("pbc")
+        frame = compress_frame(codec.codec_id, records)
+        assert decompress_frame(frame.codec_id, frame.dict_payload, frame.body) == records

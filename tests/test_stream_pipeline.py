@@ -1,0 +1,182 @@
+"""Tests for the parallel stream pipeline (repro.stream.pipeline)."""
+
+import io
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.stream import (
+    StreamConfig,
+    StreamReader,
+    StreamWriter,
+    compress_stream,
+    decompress_stream,
+)
+from repro.stream.adaptive import AdaptiveConfig
+
+from tests.conftest import make_template_records
+
+
+@pytest.fixture(scope="module")
+def records():
+    return make_template_records(900, seed=11)
+
+
+def small_config(**overrides) -> StreamConfig:
+    defaults = dict(
+        codec="gzip",
+        frame_records=128,
+        workers=0,
+        adaptive=AdaptiveConfig(sample_size=24, train_size=64),
+    )
+    defaults.update(overrides)
+    return StreamConfig(**defaults)
+
+
+class TestWriterReader:
+    def test_sequential_roundtrip(self, records, tmp_path):
+        path = tmp_path / "stream.rps"
+        summary = compress_stream(records, path, small_config())
+        assert summary.record_count == len(records)
+        assert decompress_stream(path) == records
+
+    def test_roundtrip_in_memory(self, records):
+        buffer = io.BytesIO()
+        compress_stream(records, buffer, small_config())
+        buffer.seek(0)
+        assert decompress_stream(buffer) == records
+
+    def test_random_access_equals_sequential(self, records, tmp_path):
+        path = tmp_path / "stream.rps"
+        compress_stream(records, path, small_config(codec="pbc"))
+        with StreamReader(path) as reader:
+            sequential = list(reader)
+            assert sequential == records
+            for index in (0, 1, 127, 128, 500, len(records) - 1):
+                assert reader.get(index) == records[index]
+
+    def test_get_touches_exactly_one_frame(self, records, tmp_path):
+        path = tmp_path / "stream.rps"
+        compress_stream(records, path, small_config())
+        with StreamReader(path, frame_cache=1) as reader:
+            assert reader.get(400) == records[400]
+            assert reader.frames_decompressed == 1
+            # A lookup in the same frame reuses the cache.
+            assert reader.get(401) == records[401]
+            assert reader.frames_decompressed == 1
+            # A lookup in another frame decompresses exactly one more.
+            assert reader.get(0) == records[0]
+            assert reader.frames_decompressed == 2
+
+    def test_tail_frame_smaller_than_batch(self, tmp_path):
+        path = tmp_path / "stream.rps"
+        summary = compress_stream(["a", "b", "c"], path, small_config(frame_records=2))
+        assert [frame.record_count for frame in summary.frames] == [2, 1]
+        assert decompress_stream(path) == ["a", "b", "c"]
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "stream.rps"
+        summary = compress_stream([], path, small_config())
+        assert summary.frames == []
+        assert decompress_stream(path) == []
+
+    def test_write_after_close_rejected(self, tmp_path):
+        writer = StreamWriter(tmp_path / "stream.rps", small_config())
+        writer.write("x")
+        writer.close()
+        with pytest.raises(StreamError):
+            writer.write("y")
+
+
+class TestWorkerPools:
+    def test_thread_pool_preserves_frame_order(self, records, tmp_path):
+        """Frames may finish out of order; the container must stay in order."""
+        path = tmp_path / "stream.rps"
+        # Tiny frames + more workers than frames in flight maximise reordering
+        # pressure; the deque commit protocol must still write frame i before
+        # frame i+1.
+        config = small_config(frame_records=32, workers=4, executor="thread", max_pending=8)
+        summary = compress_stream(records, path, config)
+        assert summary.record_count == len(records)
+        with StreamReader(path) as reader:
+            assert [f.first_record for f in reader.frames] == sorted(
+                f.first_record for f in reader.frames
+            )
+            assert list(reader) == records
+
+    def test_process_pool_roundtrip(self, records, tmp_path):
+        path = tmp_path / "stream.rps"
+        config = small_config(codec="pbc", frame_records=300, workers=2, executor="process")
+        summary = compress_stream(records, path, config)
+        assert summary.codec_usage == {"pbc": 3}
+        assert decompress_stream(path) == records
+
+    def test_thread_pool_outlier_counts_are_exact(self, tmp_path):
+        """Per-thread compressor instances: counters must not race across workers."""
+        import random
+
+        rng = random.Random(13)
+        # Random 5-digit ids so the dictionary trained on the first frame
+        # cannot pin a digit prefix as a literal and generalises to all frames.
+        clean = [f"job={rng.randint(10000, 99999)} state=DONE code={i % 7}" for i in range(256)]
+        garbage = ["☃" * 20 + str(i) for i in range(150)]
+        path = tmp_path / "stream.rps"
+        # Shared dictionary trained on the first (clean) frame; the garbage
+        # frames can match none of its patterns, so every garbage record is an
+        # outlier and the total is exact, not approximately racy.
+        config = small_config(codec="pbc", frame_records=64, workers=4, executor="thread")
+        summary = compress_stream(clean + garbage, path, config)
+        stats = summary.stats
+        assert stats is not None
+        assert stats.records == len(clean) + len(garbage)
+        assert stats.outliers == len(garbage)
+        assert decompress_stream(path) == clean + garbage
+
+    def test_parallel_read_all(self, records, tmp_path):
+        path = tmp_path / "stream.rps"
+        compress_stream(records, path, small_config(frame_records=200))
+        assert decompress_stream(path, workers=2) == records
+
+    def test_serial_executor_ignores_workers(self, records, tmp_path):
+        path = tmp_path / "stream.rps"
+        config = small_config(workers=4, executor="serial")
+        compress_stream(records, path, config)
+        assert decompress_stream(path) == records
+
+
+class TestStats:
+    def test_stats_counts(self, records, tmp_path):
+        path = tmp_path / "stream.rps"
+        summary = compress_stream(records, path, small_config(codec="pbc"))
+        stats = summary.stats
+        assert stats is not None
+        assert stats.records == len(records)
+        assert stats.original_bytes == sum(len(r.encode("utf-8")) for r in records)
+        assert 0 < stats.compressed_bytes < stats.original_bytes
+        # Untimed by default: no clock calls were made in the hot path.
+        assert stats.compress_seconds == 0.0
+
+    def test_timed_stats_opt_in(self, records, tmp_path):
+        path = tmp_path / "stream.rps"
+        summary = compress_stream(records, path, small_config(timed_stats=True))
+        assert summary.stats is not None
+        assert summary.stats.compress_seconds > 0.0
+
+    def test_stats_opt_out(self, records, tmp_path):
+        path = tmp_path / "stream.rps"
+        summary = compress_stream(records, path, small_config(collect_stats=False))
+        assert summary.stats is None
+
+
+class TestConfigValidation:
+    def test_bad_frame_records(self):
+        with pytest.raises(StreamError):
+            StreamConfig(frame_records=0)
+
+    def test_bad_executor(self):
+        with pytest.raises(StreamError):
+            StreamConfig(executor="rocket")
+
+    def test_unknown_codec(self, tmp_path):
+        with pytest.raises(StreamError):
+            StreamWriter(tmp_path / "stream.rps", StreamConfig(codec="nope"))
