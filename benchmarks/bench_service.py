@@ -1,0 +1,82 @@
+"""Service throughput — mixed GET/SET over the sharded concurrent KV service.
+
+Drives `repro.service.KVService` (4 TierBase shards, PBC_F value compression,
+compressed LRU read cache) with the batched mixed workload from
+`repro.service.workload` and reports per-shard compression ratios, the cache
+hit rate, and GET/SET latency percentiles — the same flow the
+`repro serve-bench` CLI command exposes.
+
+As with every benchmark here, the goal on a pure-Python substrate is the
+*shape* of the result: compressed shards well below 100% memory, a non-zero
+cache hit rate on a GET-heavy mix, and sane latency percentiles.
+"""
+
+from repro.bench import render_table
+from repro.datasets import load_dataset
+from repro.service import KVService, ServiceConfig, run_mixed_workload
+
+#: Mixed-workload parameters (small: the substrate is pure Python).
+SHARDS = 4
+VALUES = 480
+OPERATIONS = 1600
+GET_FRACTION = 0.7
+BATCH_SIZE = 16
+CLIENTS = 2
+
+
+def run_service_benchmark(dataset: str = "kv1") -> "tuple[object, object]":
+    """One end-to-end run; returns ``(result, snapshot)``."""
+    values = load_dataset(dataset, count=VALUES)
+    config = ServiceConfig(
+        shard_count=SHARDS, backend="tierbase", compressor="pbc_f", cache_entries=256
+    )
+    with KVService(config) as service:
+        result = run_mixed_workload(
+            service,
+            values,
+            operations=OPERATIONS,
+            get_fraction=GET_FRACTION,
+            batch_size=BATCH_SIZE,
+            clients=CLIENTS,
+            seed=2023,
+        )
+    return result, result.snapshot
+
+
+def test_service_mixed_workload(benchmark):
+    result, snapshot = benchmark.pedantic(run_service_benchmark, iterations=1, rounds=1)
+    print()
+    print(
+        f"{result.operations} ops ({result.get_operations} GET / {result.set_operations} SET), "
+        f"{CLIENTS} clients: {result.ops_per_second:,.0f} ops/s"
+    )
+    print(render_table(result.shard_rows(), title="Per-shard compression"))
+    print(render_table(result.summary_rows(), title="Service summary"))
+
+    # Every shard received keys and compresses its values well below raw size.
+    assert len(snapshot.shards) == SHARDS
+    assert all(shard.keys > 0 for shard in snapshot.shards)
+    assert all(shard.ratio < 0.8 for shard in snapshot.shards)
+    # The GET-heavy mix produces cache hits, and the percentiles are ordered.
+    assert snapshot.cache.hit_rate > 0.0
+    assert snapshot.get_latency.p99_ms >= snapshot.get_latency.p50_ms > 0.0
+    assert snapshot.set_latency.p99_ms >= snapshot.set_latency.p50_ms > 0.0
+    # All operations were accounted for (preload msets VALUES keys first).
+    assert snapshot.gets == result.get_operations
+    assert snapshot.sets == VALUES + result.set_operations
+    assert result.operations == OPERATIONS
+
+
+def test_service_uncompressed_baseline(benchmark):
+    """The Uncompressed configuration stores at ratio 1.0 (Table 8's baseline row)."""
+
+    def run() -> object:
+        values = load_dataset("kv1", count=240)
+        with KVService(ServiceConfig(shard_count=2, compressor="none")) as service:
+            return run_mixed_workload(
+                service, values, operations=480, get_fraction=0.5, batch_size=8
+            )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert abs(result.snapshot.ratio - 1.0) < 1e-9
+    assert result.snapshot.keys == 240

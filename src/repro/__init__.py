@@ -1,13 +1,21 @@
 """Reproduction of "High-Ratio Compression for Machine-Generated Data" (PBC, SIGMOD 2023).
 
-The public API re-exports the pieces a downstream user needs most often:
+The top-level package re-exports the compression core a downstream user needs
+most often: the PBC compressor variants (:class:`PBCCompressor`,
+:class:`PBCFCompressor`, :class:`PBCHCompressor`, :class:`PBCBlockCompressor`),
+the extraction configuration, patterns, and the live :class:`CompressionStats`.
 
-* the PBC compressors (:class:`PBCCompressor`, :class:`PBCFCompressor`,
-  :class:`PBCBlockCompressor`) and the extraction configuration,
-* the baseline codec registry (:func:`repro.compressors.get_codec`),
-* the synthetic dataset registry (:func:`repro.datasets.load_dataset`),
-* the storage substrates (:class:`repro.blockstore.BlockStore`,
-  :class:`repro.tierbase.TierBase`).
+The bigger subsystems are imported explicitly from their own packages:
+
+* :func:`repro.compressors.get_codec` — the baseline codec registry,
+* :func:`repro.datasets.load_dataset` — the synthetic Table 2 datasets,
+* :mod:`repro.blockstore`, :mod:`repro.lsm`, :mod:`repro.tierbase` — the
+  storage substrates,
+* :mod:`repro.stream` — seekable containers and the parallel pipeline,
+* :mod:`repro.service` — the sharded concurrent KV service.
+
+See ``docs/ARCHITECTURE.md`` for the full layer map and ``docs/FORMATS.md``
+for the on-disk byte layouts.
 
 Quick start::
 
@@ -31,7 +39,7 @@ from repro.core.compressor import (
 from repro.core.extraction import ExtractionConfig, PatternExtractor
 from repro.core.pattern import Pattern, PatternDictionary
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CompressionStats",

@@ -1,6 +1,6 @@
 """Extension experiments beyond the paper's Section 7: ablations and LSM integration.
 
-DESIGN.md calls out several design choices of this reproduction (pre-grouping,
+docs/ARCHITECTURE.md calls out several design choices of this reproduction (pre-grouping,
 pattern refinement, the pattern-prefix cap, the choice of residual stage).  The
 runners here measure their effect so the trade-offs are visible rather than
 implicit:

@@ -1,6 +1,6 @@
 """Experiment registry: maps paper artifacts (tables/figures) to runner functions.
 
-The registry backs the per-experiment index in DESIGN.md and lets callers (the
+The registry backs the per-experiment index in docs/ARCHITECTURE.md and lets callers (the
 benchmarks, examples and EXPERIMENTS.md generation) enumerate the full
 evaluation programmatically::
 

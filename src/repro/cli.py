@@ -15,6 +15,10 @@ file-based workflow:
 * ``pbc stream compress|decompress|inspect|get`` — the :mod:`repro.stream`
   subsystem: seekable containers with per-frame (optionally adaptive) codecs,
   a parallel compression pipeline, and single-frame random access.
+* ``pbc serve-bench`` — the :mod:`repro.service` subsystem: drives a mixed,
+  batched GET/SET workload against the sharded concurrent KV service and
+  reports per-shard compression ratios, cache hit rate and latency
+  percentiles.
 
 Every command is a thin veneer over the library API, so anything the CLI does
 can also be done programmatically.
@@ -240,6 +244,52 @@ def _cmd_stream_get(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------- serve-bench
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.service import KVService, ServiceConfig, run_mixed_workload
+
+    values = load_dataset(args.dataset, count=args.count)
+    directory = args.directory
+    temporary = None
+    if args.backend == "lsm" and directory is None:
+        import tempfile
+
+        temporary = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+        directory = temporary.name
+    config = ServiceConfig(
+        shard_count=args.shards,
+        backend=args.backend,
+        compressor=args.compressor,
+        directory=directory,
+        cache_entries=args.cache_entries,
+        train_size=args.train_size,
+    )
+    try:
+        with KVService(config) as service:
+            result = run_mixed_workload(
+                service,
+                values,
+                operations=args.ops,
+                get_fraction=args.get_fraction,
+                batch_size=args.batch_size,
+                clients=args.clients,
+                seed=args.seed,
+            )
+    finally:
+        if temporary is not None:
+            temporary.cleanup()
+    print(
+        f"{result.operations} mixed operations ({result.get_operations} GET / "
+        f"{result.set_operations} SET) over {args.shards} {args.backend} shard(s) "
+        f"with {args.clients} client(s): {result.ops_per_second:,.0f} ops/s"
+    )
+    print(render_table(result.shard_rows(), title="Per-shard compression"))
+    print(render_table(result.summary_rows(), title="Service summary"))
+    return 0
+
+
 def _cmd_experiments(_: argparse.Namespace) -> int:
     rows = [
         {
@@ -373,6 +423,47 @@ def build_parser() -> argparse.ArgumentParser:
     stream_get.add_argument("--index", type=int, required=True, help="record index")
     stream_get.add_argument("--verbose", action="store_true", help="report the frame touched")
     stream_get.set_defaults(func=_cmd_stream_get)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench", help="benchmark the sharded concurrent KV service (repro.service)"
+    )
+    serve_bench.add_argument(
+        "--dataset",
+        default="kv1",
+        choices=sorted(DATASET_SPECS) + sorted(EXTRA_DATASET_SPECS),
+        help="synthetic dataset providing the values (default kv1)",
+    )
+    serve_bench.add_argument("--count", type=int, default=2000, help="values to load (default 2000)")
+    serve_bench.add_argument("--shards", type=int, default=4, help="shard count (default 4)")
+    serve_bench.add_argument(
+        "--backend",
+        default="tierbase",
+        choices=["tierbase", "lsm"],
+        help="shard backend (default tierbase)",
+    )
+    serve_bench.add_argument(
+        "--compressor",
+        default="pbc_f",
+        choices=["none", "zstd", "pbc", "pbc_f"],
+        help="per-shard value compressor (default pbc_f)",
+    )
+    serve_bench.add_argument(
+        "--directory", default=None, help="base directory for the lsm backend (default: temp dir)"
+    )
+    serve_bench.add_argument("--ops", type=int, default=4096, help="mixed operations (default 4096)")
+    serve_bench.add_argument(
+        "--get-fraction", type=float, default=0.7, help="fraction of GET batches (default 0.7)"
+    )
+    serve_bench.add_argument("--batch-size", type=int, default=16, help="mget/mset batch size")
+    serve_bench.add_argument("--clients", type=int, default=2, help="client threads (default 2)")
+    serve_bench.add_argument(
+        "--cache-entries", type=int, default=1024, help="compressed read-cache entries"
+    )
+    serve_bench.add_argument(
+        "--train-size", type=int, default=256, help="training/retraining sample size"
+    )
+    serve_bench.add_argument("--seed", type=int, default=2023, help="workload seed")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     experiments = subparsers.add_parser("experiments", help="list the registered paper experiments")
     experiments.set_defaults(func=_cmd_experiments)

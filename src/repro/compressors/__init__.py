@@ -6,7 +6,7 @@ substrates can treat them interchangeably.  The registry
 (:func:`get_codec`, :func:`available_codecs`) exposes them by the names used in
 the paper's tables.
 
-Substitutions (see DESIGN.md): Zstd, LZ4, Snappy and FSST are pure-Python
+Substitutions (see docs/ARCHITECTURE.md): Zstd, LZ4, Snappy and FSST are pure-Python
 re-implementations of the respective algorithm families; Gzip and LZMA use the
 real stdlib codecs.
 """

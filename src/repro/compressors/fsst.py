@@ -8,7 +8,7 @@ to individual records is preserved — the property the paper's PBC_F variant an
 the Figure 5 experiment rely on.
 
 This is a faithful pure-Python re-implementation of the algorithm family (see
-DESIGN.md, substitution 3): iterative training that grows symbols by
+docs/ARCHITECTURE.md, substitution 3): iterative training that grows symbols by
 concatenating adjacent symbols of the previous generation, gain-based selection
 of the best 255 symbols, greedy longest-match encoding, and an escape byte for
 uncovered bytes.  Only the raw speed of the original (which relies on AVX512)

@@ -17,7 +17,7 @@ _MAX_OFFSET = (1 << 16) - 1
 
 
 class LZ4LikeCodec(Codec):
-    """Pure-Python LZ4-format-style codec (see DESIGN.md substitutions)."""
+    """Pure-Python LZ4-format-style codec (see docs/ARCHITECTURE.md substitutions)."""
 
     name = "LZ4"
 

@@ -18,7 +18,7 @@ _COPY_TAG = 1
 
 
 class SnappyLikeCodec(Codec):
-    """Pure-Python Snappy-format-style codec (see DESIGN.md substitutions)."""
+    """Pure-Python Snappy-format-style codec (see docs/ARCHITECTURE.md substitutions)."""
 
     name = "Snappy"
 

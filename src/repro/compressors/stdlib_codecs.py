@@ -2,7 +2,7 @@
 
 These are the two baselines for which Python ships genuine implementations, so
 their ratios are directly comparable to the paper; the remaining baselines are
-pure-Python re-implementations (see DESIGN.md).
+pure-Python re-implementations (see docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations

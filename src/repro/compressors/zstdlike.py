@@ -4,7 +4,7 @@ Real Zstandard combines a large-window LZ77 matcher with FSE/Huffman entropy
 coding and offers (a) multiple compression levels trading search effort for
 ratio and (b) an offline dictionary-training mode that makes short payloads
 compressible.  This module re-implements that architecture in pure Python (see
-DESIGN.md, substitution 3):
+docs/ARCHITECTURE.md, substitution 3):
 
 * :class:`ZstdLikeCodec` — hash-chain LZ77 tokenisation (shared with the other
   LZ codecs), a compact token serialisation, and an optional Huffman pass over

@@ -66,7 +66,7 @@ class ExtractionConfig:
     ``criterion`` selects the clustering criterion (Figure 7 ablation);
     ``use_pruning`` toggles the 1-gram pruning (Figure 8);
     ``pre_group`` and ``max_seed_clusters`` are the Python-substrate engineering
-    knobs described in DESIGN.md.
+    knobs described in docs/ARCHITECTURE.md.
     """
 
     max_patterns: int = 16

@@ -5,7 +5,7 @@ corpora and JSON corpora (Table 2).  None of those can ship with this
 reproduction, so each dataset is replaced by a *seeded synthetic generator*
 that emits records with the same structural character: a handful of
 machine-generated templates per dataset, realistic field value distributions,
-matching average record lengths, and a small outlier fraction (DESIGN.md,
+matching average record lengths, and a small outlier fraction (docs/ARCHITECTURE.md,
 substitution 1).
 
 Generators are plain functions ``fn(count, rng) -> list[str]`` registered in a

@@ -58,3 +58,7 @@ class StreamFormatError(StreamError):
 
 class FrameCorruptionError(StreamFormatError):
     """A frame (or the footer) failed its CRC32 integrity check."""
+
+
+class ServiceError(ReproError):
+    """A :mod:`repro.service` operation failed (bad configuration, closed service)."""

@@ -1,0 +1,74 @@
+"""``repro.service`` — sharded, thread-safe KV service over TierBase/LSM shards.
+
+The serving layer the ROADMAP's "heavy traffic" north star asks for, modelled
+on the paper's production deployment (Section 7.5): many independent shards,
+each an in-memory :class:`~repro.tierbase.store.TierBase` or on-disk
+:class:`~repro.lsm.engine.LSMEngine` with its own workload-trained value
+compressor, fronted by one façade:
+
+* :mod:`repro.service.router` — deterministic CRC32 key→shard routing,
+* :mod:`repro.service.backends` — the shard backend interface and the
+  TierBase / LSM implementations (per-shard compressor + drift monitor),
+* :mod:`repro.service.service` — :class:`KVService`: single and batched
+  ``get``/``set``/``delete``/``mget``/``mset`` over single-worker-per-shard
+  executors, with drift-triggered background retraining,
+* :mod:`repro.service.cache` — an LRU read cache holding *compressed*
+  payloads, decompressed per hit (the per-record random-access advantage),
+* :mod:`repro.service.stats` — latency recorders and snapshot dataclasses,
+* :mod:`repro.service.workload` — the mixed GET/SET benchmark driver behind
+  ``repro serve-bench`` and ``benchmarks/bench_service.py``.
+
+Quick start::
+
+    from repro.datasets import load_dataset
+    from repro.service import KVService, ServiceConfig
+
+    values = load_dataset("kv1", count=2000)
+    with KVService(ServiceConfig(shard_count=4, compressor="pbc_f")) as service:
+        service.train(values[:256])
+        service.mset([(f"k:{i}", value) for i, value in enumerate(values)])
+        assert service.mget(["k:0", "k:1"]) == values[:2]
+        print(service.snapshot().ratio)   # service-wide compression ratio
+"""
+
+from repro.service.backends import (
+    BACKEND_CHOICES,
+    COMPRESSOR_CHOICES,
+    LSMShard,
+    ShardBackend,
+    TierBaseShard,
+    make_shard_backend,
+    make_value_compressor,
+)
+from repro.service.cache import CacheStats, CompressedLRUCache
+from repro.service.router import ShardRouter
+from repro.service.service import KVService, ServiceConfig
+from repro.service.stats import (
+    LatencyRecorder,
+    LatencySummary,
+    ServiceSnapshot,
+    ShardSnapshot,
+)
+from repro.service.workload import MixedWorkloadResult, preload, run_mixed_workload
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "COMPRESSOR_CHOICES",
+    "CacheStats",
+    "CompressedLRUCache",
+    "KVService",
+    "LSMShard",
+    "LatencyRecorder",
+    "LatencySummary",
+    "MixedWorkloadResult",
+    "ServiceConfig",
+    "ServiceSnapshot",
+    "ShardBackend",
+    "ShardRouter",
+    "ShardSnapshot",
+    "TierBaseShard",
+    "make_shard_backend",
+    "make_value_compressor",
+    "preload",
+    "run_mixed_workload",
+]

@@ -1,0 +1,293 @@
+"""Shard backends: the per-shard stores fronted by :class:`repro.service.KVService`.
+
+A shard backend owns one partition of the key space, one trained value
+compressor, and one :class:`~repro.tierbase.store.CompressionMonitor`.  Two
+implementations cover the two storage substrates of the reproduction:
+
+* :class:`TierBaseShard` — an in-memory :class:`repro.tierbase.store.TierBase`
+  instance (the paper's Section 7.5 deployment target),
+* :class:`LSMShard` — an on-disk :class:`repro.lsm.engine.LSMEngine` with a
+  :class:`~repro.lsm.sstable.RecordCompressionPolicy`, so values are compressed
+  per record inside SSTable blocks and point reads decompress one value.
+
+Backends are *not* thread-safe on their own; the service serialises every
+mutation of a shard through that shard's single-worker executor.
+"""
+
+from __future__ import annotations
+
+import shutil
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import ServiceError
+from repro.lsm.engine import LSMEngine
+from repro.lsm.sstable import RecordCompressionPolicy
+from repro.service.stats import ShardSnapshot
+from repro.tierbase.compression import (
+    NoopValueCompressor,
+    PBCValueCompressor,
+    ValueCompressor,
+    ZstdDictValueCompressor,
+)
+from repro.tierbase.store import CompressionMonitor, TierBase
+
+#: Compressor names accepted by :func:`make_value_compressor` (CLI / config).
+COMPRESSOR_CHOICES: tuple[str, ...] = ("none", "zstd", "pbc", "pbc_f")
+
+#: Backend names accepted by :func:`make_shard_backend` (CLI / config).
+BACKEND_CHOICES: tuple[str, ...] = ("tierbase", "lsm")
+
+
+def make_value_compressor(name: str) -> ValueCompressor:
+    """Build a fresh value compressor by its CLI name (one per shard)."""
+    if name == "none":
+        return NoopValueCompressor()
+    if name == "zstd":
+        return ZstdDictValueCompressor()
+    if name == "pbc":
+        return PBCValueCompressor(use_fsst=False)
+    if name == "pbc_f":
+        return PBCValueCompressor(use_fsst=True)
+    raise ServiceError(f"unknown value compressor {name!r}; choose from {COMPRESSOR_CHOICES}")
+
+
+class ShardBackend(ABC):
+    """One shard's store: keyed string values behind a trained compressor."""
+
+    #: backend name reported in snapshots ("tierbase" / "lsm").
+    name: str = "shard"
+
+    @abstractmethod
+    def train(self, sample_values: Sequence[str]) -> None:
+        """Offline-train this shard's value compressor."""
+
+    @abstractmethod
+    def set(self, key: str, value: str) -> None:
+        """Insert or overwrite ``key``."""
+
+    @abstractmethod
+    def get_compressed(self, key: str) -> bytes | None:
+        """Compressed payload for ``key`` (``None`` when missing) — feeds the cache."""
+
+    @abstractmethod
+    def decompress(self, payload: bytes) -> str:
+        """Decode a payload produced by :meth:`get_compressed`."""
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns whether it existed."""
+
+    @abstractmethod
+    def needs_retraining(self) -> bool:
+        """Whether the compression monitor flags this shard for retraining."""
+
+    @abstractmethod
+    def retrain(self, sample_values: Sequence[str]) -> None:
+        """Re-train the compressor and recompress the shard's stored values."""
+
+    @abstractmethod
+    def snapshot(self, shard_id: int) -> ShardSnapshot:
+        """Point-in-time statistics for this shard."""
+
+    def get(self, key: str) -> str | None:
+        """Fetch and decompress ``key`` (``None`` when missing)."""
+        value, _ = self.fetch(key)
+        return value
+
+    def fetch(self, key: str) -> tuple[str | None, bytes | None]:
+        """``(value, cacheable_payload)`` in one read; ``(None, None)`` when missing.
+
+        The default goes through :meth:`get_compressed` + :meth:`decompress`,
+        which is optimal for backends that store the compressed payload
+        directly; backends whose stored form is not the per-value payload
+        (LSM) override this to avoid paying a decompress on the value path.
+        """
+        payload = self.get_compressed(key)
+        if payload is None:
+            return None, None
+        return self.decompress(payload), payload
+
+    def close(self) -> None:
+        """Release any resources (files, logs)."""
+
+
+def _pbc_of(compressor: ValueCompressor):
+    """The underlying PBC compressor when ``compressor`` is pattern-based."""
+    return compressor.pbc if isinstance(compressor, PBCValueCompressor) else None
+
+
+class TierBaseShard(ShardBackend):
+    """In-memory shard over a :class:`TierBase` store (compression built in)."""
+
+    name = "tierbase"
+
+    def __init__(
+        self,
+        compressor: ValueCompressor,
+        ratio_threshold: float = 0.8,
+        unmatched_threshold: float = 0.2,
+    ) -> None:
+        self.store = TierBase(
+            compressor=compressor,
+            ratio_threshold=ratio_threshold,
+            unmatched_threshold=unmatched_threshold,
+        )
+        self._retrain_events = 0
+
+    def train(self, sample_values: Sequence[str]) -> None:
+        self.store.train(sample_values)
+
+    def set(self, key: str, value: str) -> None:
+        self.store.set(key, value)
+
+    def get_compressed(self, key: str) -> bytes | None:
+        return self.store.get_compressed(key)
+
+    def decompress(self, payload: bytes) -> str:
+        return self.store.compressor.decompress(payload)
+
+    def delete(self, key: str) -> bool:
+        return self.store.delete(key)
+
+    def needs_retraining(self) -> bool:
+        return self.store.needs_retraining()
+
+    def retrain(self, sample_values: Sequence[str]) -> None:
+        self.store.retrain(sample_values)
+        self._retrain_events += 1
+
+    def snapshot(self, shard_id: int) -> ShardSnapshot:
+        stats = self.store.stats()
+        pbc = _pbc_of(self.store.compressor)
+        return ShardSnapshot(
+            shard_id=shard_id,
+            backend=self.name,
+            compressor=self.store.compressor.name,
+            keys=stats.keys,
+            original_bytes=stats.original_value_bytes,
+            stored_bytes=stats.stored_value_bytes,
+            sets=stats.sets,
+            gets=stats.gets,
+            retrain_events=self._retrain_events,
+            outlier_rate=pbc.outlier_rate if pbc is not None else 0.0,
+        )
+
+
+class LSMShard(ShardBackend):
+    """On-disk shard over an :class:`LSMEngine` with per-record compression.
+
+    The engine's :class:`RecordCompressionPolicy` compresses values when
+    memtable contents are flushed into SSTable blocks; the shard additionally
+    compresses each value once on SET to feed the compression monitor (the
+    monitor tracks what the policy *will* store) and caches nothing itself.
+    """
+
+    name = "lsm"
+
+    def __init__(
+        self,
+        directory: str | Path,
+        compressor: ValueCompressor,
+        ratio_threshold: float = 0.8,
+        unmatched_threshold: float = 0.2,
+        memtable_bytes: int = 64 * 1024,
+    ) -> None:
+        self.directory = Path(directory)
+        self.compressor = compressor
+        self.monitor = CompressionMonitor(
+            ratio_threshold=ratio_threshold, unmatched_threshold=unmatched_threshold
+        )
+        self._memtable_bytes = memtable_bytes
+        self.engine = LSMEngine(
+            self.directory,
+            policy=RecordCompressionPolicy(compressor),
+            memtable_bytes=memtable_bytes,
+        )
+        self._retrain_events = 0
+        self._sets = 0
+        self._gets = 0
+
+    def train(self, sample_values: Sequence[str]) -> None:
+        self.compressor.train(sample_values)
+
+    def set(self, key: str, value: str) -> None:
+        payload = self.compressor.compress(value)
+        self.monitor.observe(len(value.encode("utf-8")), len(payload))
+        self.engine.put(key, value)
+        self._sets += 1
+
+    def get_compressed(self, key: str) -> bytes | None:
+        return self.fetch(key)[1]
+
+    def fetch(self, key: str) -> tuple[str | None, bytes | None]:
+        # The engine already decompressed the value inside the SSTable read;
+        # re-compressing is only for the cache fill, never re-decompressed.
+        self._gets += 1
+        value = self.engine.get(key)
+        if value is None:
+            return None, None
+        return value, self.compressor.compress(value)
+
+    def decompress(self, payload: bytes) -> str:
+        return self.compressor.decompress(payload)
+
+    def delete(self, key: str) -> bool:
+        existed = self.engine.get(key) is not None
+        self.engine.delete(key)
+        return existed
+
+    def needs_retraining(self) -> bool:
+        return self.monitor.needs_retraining(_pbc_of(self.compressor))
+
+    def retrain(self, sample_values: Sequence[str]) -> None:
+        """Re-train and rebuild: old SSTables are unreadable under new patterns."""
+        live = list(self.engine.scan())
+        self.engine.close()
+        shutil.rmtree(self.directory, ignore_errors=True)
+        self.compressor.train(sample_values)
+        self.monitor.reset()
+        self.engine = LSMEngine(
+            self.directory,
+            policy=RecordCompressionPolicy(self.compressor),
+            memtable_bytes=self._memtable_bytes,
+        )
+        for key, value in live:
+            self.set(key, value)
+        self._retrain_events += 1
+
+    def snapshot(self, shard_id: int) -> ShardSnapshot:
+        pbc = _pbc_of(self.compressor)
+        return ShardSnapshot(
+            shard_id=shard_id,
+            backend=self.name,
+            compressor=self.compressor.name,
+            keys=sum(1 for _ in self.engine.scan()),
+            original_bytes=self.monitor.original_bytes,
+            stored_bytes=self.monitor.stored_bytes,
+            sets=self._sets,
+            gets=self._gets,
+            retrain_events=self._retrain_events,
+            outlier_rate=pbc.outlier_rate if pbc is not None else 0.0,
+        )
+
+    def close(self) -> None:
+        self.engine.close()
+
+
+def make_shard_backend(
+    kind: str,
+    compressor_name: str,
+    shard_id: int,
+    directory: str | Path | None = None,
+) -> ShardBackend:
+    """Build one shard backend of ``kind`` with a fresh compressor."""
+    compressor = make_value_compressor(compressor_name)
+    if kind == "tierbase":
+        return TierBaseShard(compressor)
+    if kind == "lsm":
+        if directory is None:
+            raise ServiceError("the lsm backend needs a base directory")
+        return LSMShard(Path(directory) / f"shard-{shard_id:03d}", compressor)
+    raise ServiceError(f"unknown shard backend {kind!r}; choose from {BACKEND_CHOICES}")

@@ -1,0 +1,384 @@
+"""Sharded, thread-safe key-value service over TierBase / LSM shard backends.
+
+The concurrency model mirrors what the related crawler repos do with batched
+worker pools, inverted to the server side:
+
+* every shard owns a **single-worker executor**: all mutations and backend
+  reads of that shard are serialised through it, so the backends themselves
+  need no locks and two operations on the same key cannot interleave;
+* batched operations (``mget`` / ``mset``) group their keys by shard with the
+  :class:`~repro.service.router.ShardRouter` and run one task per shard
+  **in parallel across shards**;
+* the :class:`~repro.service.cache.CompressedLRUCache` is checked on the
+  *calling* thread: a hit decompresses the cached payload without touching
+  the shard's executor at all, which is where the per-record random-access
+  advantage of PBC turns into read concurrency.  Cache fills happen inside
+  the shard task (serialised with writes), so a stale payload can never be
+  cached over a newer write;
+* after every write batch the shard checks its
+  :class:`~repro.tierbase.store.CompressionMonitor`; when the ratio or the
+  PBC outlier rate crosses its threshold, a **retrain task** is queued on the
+  same shard executor (Section 7.5's monitor-and-retrain loop).  The sample
+  is a sliding reservoir of that shard's most recent values, so the new
+  dictionary reflects the drifted workload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.exceptions import ServiceError
+from repro.service.backends import (
+    BACKEND_CHOICES,
+    COMPRESSOR_CHOICES,
+    ShardBackend,
+    make_shard_backend,
+)
+from repro.service.cache import CompressedLRUCache
+from repro.service.router import ShardRouter
+from repro.service.stats import LatencyRecorder, ServiceSnapshot, ShardSnapshot
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of a :class:`KVService`."""
+
+    #: number of independent shards (each with its own backend + compressor).
+    shard_count: int = 4
+    #: shard backend kind: "tierbase" (in-memory) or "lsm" (on-disk).
+    backend: str = "tierbase"
+    #: per-shard value compressor: "none", "zstd", "pbc" or "pbc_f".
+    compressor: str = "pbc_f"
+    #: base directory for on-disk backends (required for "lsm").
+    directory: str | Path | None = None
+    #: entry capacity of the compressed read cache.
+    cache_entries: int = 1024
+    #: optional byte capacity of the compressed read cache.
+    cache_bytes: int | None = None
+    #: per-shard reservoir size used as the retraining sample.
+    train_size: int = 256
+    #: whether drift-triggered background retraining is enabled.
+    auto_retrain: bool = True
+    #: sliding-window size of the latency recorders.
+    latency_window: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ServiceError("service needs at least one shard")
+        if self.backend not in BACKEND_CHOICES:
+            raise ServiceError(f"unknown backend {self.backend!r}; choose from {BACKEND_CHOICES}")
+        if self.compressor not in COMPRESSOR_CHOICES:
+            raise ServiceError(
+                f"unknown compressor {self.compressor!r}; choose from {COMPRESSOR_CHOICES}"
+            )
+
+
+class _Shard:
+    """One shard: backend + single-worker executor + retraining reservoir."""
+
+    def __init__(self, shard_id: int, backend: ShardBackend, train_size: int) -> None:
+        self.shard_id = shard_id
+        self.backend = backend
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"kv-shard-{shard_id}"
+        )
+        # Only the shard worker touches the reservoir, so it needs no lock.
+        self.recent_values: deque[str] = deque(maxlen=max(1, train_size))
+        self.retrain_pending = False
+
+
+class KVService:
+    """Sharded concurrent KV facade with compressed-value caching.
+
+    >>> service = KVService(ServiceConfig(shard_count=2, compressor="none"))
+    >>> service.set("k", "v")
+    >>> service.get("k")
+    'v'
+    >>> service.close()
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.router = ShardRouter(self.config.shard_count)
+        self.cache = CompressedLRUCache(
+            max_entries=self.config.cache_entries, max_bytes=self.config.cache_bytes
+        )
+        self._shards = [
+            _Shard(
+                shard_id,
+                make_shard_backend(
+                    self.config.backend,
+                    self.config.compressor,
+                    shard_id,
+                    directory=self.config.directory,
+                ),
+                self.config.train_size,
+            )
+            for shard_id in range(self.config.shard_count)
+        ]
+        self._get_latency = LatencyRecorder(self.config.latency_window)
+        self._set_latency = LatencyRecorder(self.config.latency_window)
+        self._counter_lock = threading.Lock()
+        self._gets = 0
+        self._sets = 0
+        self._deletes = 0
+        self._cache_hits = 0
+        self._closed = False
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    def close(self) -> None:
+        """Drain every shard executor and close the backends."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.executor.shutdown(wait=True)
+        for shard in self._shards:
+            shard.backend.close()
+
+    def __enter__(self) -> "KVService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self.snapshot().keys
+
+    # ----------------------------------------------------------------- training
+
+    def train(self, sample_values: Sequence[str]) -> None:
+        """Offline-train every shard's compressor (in parallel across shards)."""
+        self._require_open()
+        if not sample_values:
+            raise ServiceError("cannot train the service on an empty sample")
+        futures = [
+            shard.executor.submit(shard.backend.train, list(sample_values))
+            for shard in self._shards
+        ]
+        self._raise_first_error(futures)
+
+    @staticmethod
+    def _raise_first_error(futures: Sequence[Future]) -> None:
+        wait(futures)
+        for future in futures:
+            future.result()
+
+    # --------------------------------------------------------------- shard tasks
+
+    def _shard_set(self, shard: _Shard, items: Sequence[tuple[str, str]]) -> None:
+        for key, value in items:
+            shard.backend.set(key, value)
+            shard.recent_values.append(value)
+            # Invalidate inside the shard task: reads of this shard are
+            # serialised with us, so no reader can re-cache the old payload
+            # after this point.
+            self.cache.invalidate(key)
+        self._maybe_schedule_retrain(shard)
+
+    def _shard_get(self, shard: _Shard, keys: Sequence[str]) -> list[str | None]:
+        results: list[str | None] = []
+        for key in keys:
+            value, payload = shard.backend.fetch(key)
+            if payload is not None:
+                self.cache.put(key, payload)
+            results.append(value)
+        return results
+
+    def _shard_delete(self, shard: _Shard, key: str) -> bool:
+        existed = shard.backend.delete(key)
+        self.cache.invalidate(key)
+        return existed
+
+    def _shard_retrain(self, shard: _Shard) -> None:
+        shard.retrain_pending = False
+        sample = list(shard.recent_values)
+        if not sample:
+            return
+        shard.backend.retrain(sample)
+        # Every cached payload of this shard now has a stale dictionary; the
+        # cache is keyed service-wide, so drop everything (rare event).
+        self.cache.clear()
+
+    def _maybe_schedule_retrain(self, shard: _Shard) -> None:
+        if (
+            self.config.auto_retrain
+            and not shard.retrain_pending
+            and shard.recent_values
+            and shard.backend.needs_retraining()
+        ):
+            shard.retrain_pending = True
+            shard.executor.submit(self._shard_retrain, shard)
+
+    def _decompress_cached(self, shard: _Shard, key: str, payload: bytes) -> str | None:
+        """Decode a cached payload; ``None`` if the shard retrained underneath us.
+
+        A retrain swaps the shard's dictionary and then clears the cache, so a
+        reader can hold a payload fetched just before the clear.  Decoding it
+        with the new dictionary may fail (or, for a non-self-validating codec,
+        succeed by luck); treating any failure as a cache miss keeps the read
+        path correct without locking hits against retrains.
+        """
+        try:
+            return shard.backend.decompress(payload)
+        except Exception:
+            self.cache.invalidate(key)
+            return None
+
+    # ------------------------------------------------------------- single ops
+
+    def set(self, key: str, value: str) -> None:
+        """Store ``value`` under ``key`` (compressed by the owning shard)."""
+        self._require_open()
+        started = time.perf_counter()
+        shard = self._shards[self.router.shard_for(key)]
+        shard.executor.submit(self._shard_set, shard, [(key, value)]).result()
+        self._set_latency.record(time.perf_counter() - started)
+        with self._counter_lock:
+            self._sets += 1
+
+    def get(self, key: str) -> str | None:
+        """Fetch ``key``; ``None`` when missing.  Cache hits skip the shard."""
+        self._require_open()
+        started = time.perf_counter()
+        shard = self._shards[self.router.shard_for(key)]
+        payload = self.cache.get(key)
+        if payload is not None:
+            value = self._decompress_cached(shard, key, payload)
+            if value is not None:
+                self._get_latency.record(time.perf_counter() - started)
+                with self._counter_lock:
+                    self._gets += 1
+                    self._cache_hits += 1
+                return value
+        value = shard.executor.submit(self._shard_get, shard, [key]).result()[0]
+        self._get_latency.record(time.perf_counter() - started)
+        with self._counter_lock:
+            self._gets += 1
+        return value
+
+    def delete(self, key: str) -> bool:
+        """Delete ``key``; returns whether it existed."""
+        self._require_open()
+        shard = self._shards[self.router.shard_for(key)]
+        existed = shard.executor.submit(self._shard_delete, shard, key).result()
+        with self._counter_lock:
+            self._deletes += 1
+        return existed
+
+    # ------------------------------------------------------------- batched ops
+
+    def mset(self, items: Sequence[tuple[str, str]]) -> None:
+        """Batched SET: one task per shard, executed in parallel across shards."""
+        self._require_open()
+        if not items:
+            return
+        started = time.perf_counter()
+        groups = self.router.group_items(items)
+        futures = [
+            self._shards[shard_id].executor.submit(
+                self._shard_set, self._shards[shard_id], shard_items
+            )
+            for shard_id, shard_items in groups.items()
+        ]
+        self._raise_first_error(futures)
+        self._set_latency.record(time.perf_counter() - started, operations=len(items))
+        with self._counter_lock:
+            self._sets += len(items)
+
+    def mget(self, keys: Sequence[str]) -> list[str | None]:
+        """Batched GET preserving key order; cache hits answered inline."""
+        self._require_open()
+        if not keys:
+            return []
+        started = time.perf_counter()
+        results: list[str | None] = [None] * len(keys)
+        miss_positions: list[int] = []
+        hits = 0
+        for position, key in enumerate(keys):
+            payload = self.cache.get(key)
+            value = None
+            if payload is not None:
+                shard = self._shards[self.router.shard_for(key)]
+                value = self._decompress_cached(shard, key, payload)
+            if value is None:
+                miss_positions.append(position)
+                continue
+            results[position] = value
+            hits += 1
+        if miss_positions:
+            miss_keys = [keys[position] for position in miss_positions]
+            groups = self.router.group_keys(miss_keys)
+            futures: list[tuple[list[int], Future]] = []
+            for shard_id, local_positions in groups.items():
+                shard = self._shards[shard_id]
+                shard_keys = [miss_keys[position] for position in local_positions]
+                futures.append(
+                    (
+                        [miss_positions[position] for position in local_positions],
+                        shard.executor.submit(self._shard_get, shard, shard_keys),
+                    )
+                )
+            self._raise_first_error([future for _, future in futures])
+            for original_positions, future in futures:
+                for original_position, value in zip(original_positions, future.result()):
+                    results[original_position] = value
+        self._get_latency.record(time.perf_counter() - started, operations=len(keys))
+        with self._counter_lock:
+            self._gets += len(keys)
+            self._cache_hits += hits
+        return results
+
+    # ----------------------------------------------------------------- metrics
+
+    def shard_snapshots(self) -> list[ShardSnapshot]:
+        """Per-shard statistics, gathered on each shard's executor."""
+        self._require_open()
+        futures = [
+            shard.executor.submit(shard.backend.snapshot, shard.shard_id)
+            for shard in self._shards
+        ]
+        self._raise_first_error(futures)
+        return [future.result() for future in futures]
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Service-wide statistics: shards, cache counters, latency percentiles."""
+        shards = tuple(self.shard_snapshots())
+        with self._counter_lock:
+            gets, sets, deletes, cache_hits = (
+                self._gets,
+                self._sets,
+                self._deletes,
+                self._cache_hits,
+            )
+        return ServiceSnapshot(
+            shards=shards,
+            cache=self.cache.stats(),
+            get_latency=self._get_latency.summary(),
+            set_latency=self._set_latency.summary(),
+            gets=gets,
+            sets=sets,
+            deletes=deletes,
+            cache_hits=cache_hits,
+            retrain_events=sum(shard.retrain_events for shard in shards),
+        )
+
+    def keys(self) -> Iterator[str]:
+        """Iterate the keys of every shard (TierBase backends only)."""
+        for shard in self._shards:
+            backend = shard.backend
+            store = getattr(backend, "store", None)
+            if store is None:
+                raise ServiceError("keys() is only supported by the tierbase backend")
+            yield from list(store.keys())

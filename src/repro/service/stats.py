@@ -1,0 +1,130 @@
+"""Latency tracking and service-wide statistics snapshots.
+
+Latencies are recorded into a bounded sliding window (the most recent
+``window`` samples per operation kind), from which percentiles are computed
+with the nearest-rank method at snapshot time — good enough for the p50/p99
+service metrics the benchmark reports, without keeping every sample alive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.service.cache import CacheStats
+
+
+def percentile(sorted_samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(0, min(len(sorted_samples) - 1, round(fraction * (len(sorted_samples) - 1))))
+    return sorted_samples[rank]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of one operation kind's recent latencies."""
+
+    operations: int
+    window: int
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    @staticmethod
+    def empty() -> "LatencySummary":
+        return LatencySummary(operations=0, window=0, p50_ms=0.0, p99_ms=0.0, mean_ms=0.0)
+
+
+class LatencyRecorder:
+    """Thread-safe sliding window of per-operation latencies (seconds)."""
+
+    def __init__(self, window: int = 8192) -> None:
+        self._samples: deque[float] = deque(maxlen=max(1, window))
+        self._operations = 0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float, operations: int = 1) -> None:
+        """Record one latency sample covering ``operations`` logical operations.
+
+        Batched calls (``mget``/``mset``) record the amortised per-operation
+        latency once per batch member, so percentiles stay comparable between
+        batched and single-operation workloads.
+        """
+        with self._lock:
+            self._operations += operations
+            if operations == 1:
+                self._samples.append(seconds)
+            else:
+                amortised = seconds / operations
+                for _ in range(min(operations, self._samples.maxlen or operations)):
+                    self._samples.append(amortised)
+
+    def summary(self) -> LatencySummary:
+        """Percentile summary over the current window."""
+        with self._lock:
+            samples = sorted(self._samples)
+            operations = self._operations
+        if not samples:
+            return LatencySummary.empty()
+        return LatencySummary(
+            operations=operations,
+            window=len(samples),
+            p50_ms=percentile(samples, 0.50) * 1e3,
+            p99_ms=percentile(samples, 0.99) * 1e3,
+            mean_ms=sum(samples) / len(samples) * 1e3,
+        )
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """Point-in-time view of one shard's backend."""
+
+    shard_id: int
+    backend: str
+    compressor: str
+    keys: int
+    original_bytes: int
+    stored_bytes: int
+    sets: int
+    gets: int
+    retrain_events: int
+    outlier_rate: float
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio of the values currently stored on this shard."""
+        if self.original_bytes == 0:
+            return 1.0
+        return self.stored_bytes / self.original_bytes
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """Service-wide statistics: shards, cache, and latency percentiles."""
+
+    shards: tuple[ShardSnapshot, ...]
+    cache: CacheStats
+    get_latency: LatencySummary
+    set_latency: LatencySummary
+    gets: int
+    sets: int
+    deletes: int
+    cache_hits: int
+    retrain_events: int
+
+    @property
+    def keys(self) -> int:
+        """Total keys across every shard."""
+        return sum(shard.keys for shard in self.shards)
+
+    @property
+    def ratio(self) -> float:
+        """Service-wide compression ratio over the stored values."""
+        original = sum(shard.original_bytes for shard in self.shards)
+        stored = sum(shard.stored_bytes for shard in self.shards)
+        if original == 0:
+            return 1.0
+        return stored / original

@@ -1,0 +1,157 @@
+"""Mixed GET/SET workload driver for the sharded KV service.
+
+Follows the shape of :mod:`repro.tierbase.workload` (the Table 8 harness) but
+drives the concurrent service instead of a single store: values come from a
+:mod:`repro.datasets` generator, operations are issued in batches (``mget`` /
+``mset``) from one or more client threads, and the outcome bundles throughput
+with the service's own snapshot (per-shard ratios, cache hit rate, latency
+percentiles) — the numbers ``repro serve-bench`` and
+``benchmarks/bench_service.py`` report.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from threading import Thread
+from typing import Sequence
+
+from repro.exceptions import ServiceError
+from repro.service.service import KVService
+from repro.service.stats import ServiceSnapshot
+
+
+@dataclass
+class MixedWorkloadResult:
+    """Outcome of one mixed GET/SET run against a :class:`KVService`."""
+
+    operations: int
+    get_operations: int
+    set_operations: int
+    elapsed_seconds: float
+    clients: int
+    snapshot: ServiceSnapshot
+
+    @property
+    def ops_per_second(self) -> float:
+        """Aggregate operation throughput across every client."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.operations / self.elapsed_seconds
+
+    def shard_rows(self) -> list[dict]:
+        """Per-shard table rows for :func:`repro.bench.render_table`."""
+        return [
+            {
+                "shard": shard.shard_id,
+                "backend": shard.backend,
+                "compressor": shard.compressor,
+                "keys": shard.keys,
+                "ratio": round(shard.ratio, 3),
+                "outlier_rate": round(shard.outlier_rate, 3),
+                "retrains": shard.retrain_events,
+            }
+            for shard in self.snapshot.shards
+        ]
+
+    def summary_rows(self) -> list[dict]:
+        """Service-level table rows (throughput, cache, latency percentiles)."""
+        cache = self.snapshot.cache
+        return [
+            {"metric": "operations", "value": f"{self.operations:,}"},
+            {"metric": "clients", "value": self.clients},
+            {"metric": "ops_per_second", "value": f"{self.ops_per_second:,.0f}"},
+            {"metric": "keys", "value": f"{self.snapshot.keys:,}"},
+            {"metric": "value_ratio", "value": f"{self.snapshot.ratio:.3f}"},
+            {"metric": "cache_hit_rate", "value": f"{cache.hit_rate:.3f}"},
+            {"metric": "cache_entries", "value": cache.entries},
+            {"metric": "get_p50_ms", "value": f"{self.snapshot.get_latency.p50_ms:.3f}"},
+            {"metric": "get_p99_ms", "value": f"{self.snapshot.get_latency.p99_ms:.3f}"},
+            {"metric": "set_p50_ms", "value": f"{self.snapshot.set_latency.p50_ms:.3f}"},
+            {"metric": "set_p99_ms", "value": f"{self.snapshot.set_latency.p99_ms:.3f}"},
+            {"metric": "retrain_events", "value": self.snapshot.retrain_events},
+        ]
+
+
+def preload(service: KVService, values: Sequence[str], key_prefix: str = "kv") -> list[str]:
+    """Train the service on a value sample and bulk-load every value; returns the keys."""
+    if not values:
+        raise ServiceError("cannot preload an empty value set")
+    train_sample = values[: min(len(values), service.config.train_size)]
+    service.train(train_sample)
+    keys = [f"{key_prefix}:{index}" for index in range(len(values))]
+    service.mset(list(zip(keys, values)))
+    return keys
+
+
+def run_mixed_workload(
+    service: KVService,
+    values: Sequence[str],
+    operations: int = 4096,
+    get_fraction: float = 0.7,
+    batch_size: int = 16,
+    clients: int = 1,
+    seed: int = 2023,
+    key_prefix: str = "kv",
+) -> MixedWorkloadResult:
+    """Preload ``values`` then drive a mixed, batched GET/SET workload.
+
+    Each client thread issues ``operations // clients`` operations in batches:
+    a batch is either an ``mget`` of uniformly random existing keys (with
+    probability ``get_fraction``) or an ``mset`` overwriting random keys with
+    rotated values — overwrites, not inserts, so cache invalidation and the
+    compression monitor both stay exercised.
+    """
+    if operations < 1:
+        raise ServiceError("workload needs at least one operation")
+    if not 0.0 <= get_fraction <= 1.0:
+        raise ServiceError("get fraction must be within [0, 1]")
+    if batch_size < 1:
+        raise ServiceError("batch size must be at least 1")
+    if clients < 1:
+        raise ServiceError("workload needs at least one client")
+
+    keys = preload(service, values, key_prefix=key_prefix)
+    per_client = max(1, operations // clients)
+    counts = [[0, 0] for _ in range(clients)]  # [gets, sets] per client
+
+    def client_loop(client_id: int) -> None:
+        rng = random.Random(f"{seed}:{client_id}")
+        issued = 0
+        while issued < per_client:
+            size = min(batch_size, per_client - issued)
+            if rng.random() < get_fraction:
+                batch = [keys[rng.randrange(len(keys))] for _ in range(size)]
+                service.mget(batch)
+                counts[client_id][0] += size
+            else:
+                batch = [
+                    (keys[rng.randrange(len(keys))], values[rng.randrange(len(values))])
+                    for _ in range(size)
+                ]
+                service.mset(batch)
+                counts[client_id][1] += size
+            issued += size
+
+    started = time.perf_counter()
+    if clients == 1:
+        client_loop(0)
+    else:
+        threads = [Thread(target=client_loop, args=(client_id,)) for client_id in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    elapsed = time.perf_counter() - started
+
+    total_gets = sum(gets for gets, _ in counts)
+    total_sets = sum(sets for _, sets in counts)
+    return MixedWorkloadResult(
+        operations=total_gets + total_sets,
+        get_operations=total_gets,
+        set_operations=total_sets,
+        elapsed_seconds=elapsed,
+        clients=clients,
+        snapshot=service.snapshot(),
+    )

@@ -24,7 +24,14 @@ Quick start::
         assert reader.get(12345) == records[12345]   # one frame decompressed
 """
 
-from repro.stream.adaptive import AdaptiveCodecSelector, AdaptiveConfig, CodecScore, FramePlan
+from repro.stream.adaptive import (
+    AdaptiveCodecSelector,
+    AdaptiveConfig,
+    AdaptiveState,
+    CodecScore,
+    FramePlan,
+    estimate_pbc_ratio,
+)
 from repro.stream.adapter import StreamFrameCodec
 from repro.stream.format import (
     FrameInfo,
@@ -54,6 +61,7 @@ from repro.stream.pipeline import (
 __all__ = [
     "AdaptiveCodecSelector",
     "AdaptiveConfig",
+    "AdaptiveState",
     "CodecScore",
     "CompressedFrame",
     "FrameInfo",
@@ -70,6 +78,7 @@ __all__ = [
     "compress_stream",
     "decompress_frame",
     "decompress_stream",
+    "estimate_pbc_ratio",
     "frame_codec_by_id",
     "frame_codec_by_name",
     "frame_codec_names",

@@ -85,6 +85,7 @@ class PBCValueCompressor(ValueCompressor):
         self.config = config if config is not None else ExtractionConfig()
         compressor_class = PBCFCompressor if use_fsst else PBCCompressor
         self._pbc = compressor_class(config=self.config)
+        self.name = self._pbc.name  # "PBC_F" with FSST, plain "PBC" without
 
     @property
     def pbc(self) -> PBCCompressor:

@@ -3,7 +3,7 @@
 The paper's case study (Section 7.5, Table 8) integrates PBC_F into TierBase,
 Ant Group's production distributed in-memory database.  The production system
 cannot be reproduced, so this module provides a single-node simulator with the
-same compression integration points (DESIGN.md, substitution 4):
+same compression integration points (docs/ARCHITECTURE.md, substitution 4):
 
 * offline, per-workload training of the value compressor (Zstd dictionary or
   PBC_F patterns) on a sample of values;
@@ -121,8 +121,10 @@ class TierBase:
 
     def retrain(self, sample_values: Sequence[str]) -> None:
         """Re-train the compressor and recompress every stored value."""
-        self.train(sample_values)
+        # Decompress everything with the *current* dictionary before training
+        # replaces it — the stored payloads are undecodable afterwards.
         existing = {key: self.get(key) for key in list(self._data)}
+        self.train(sample_values)
         self.monitor.reset()
         self._data.clear()
         self._original_sizes.clear()
@@ -142,13 +144,25 @@ class TierBase:
 
     def get(self, key: str) -> str:
         """Fetch and decompress the value stored under ``key``."""
+        payload = self.get_compressed(key)
+        if payload is None:
+            raise KeyError(key)
+        return self.compressor.decompress(payload)
+
+    def get_compressed(self, key: str) -> bytes | None:
+        """Fetch the stored (compressed) payload without decompressing it.
+
+        This is the read path of the service layer's compressed LRU cache: the
+        payload is cached as-is and only decompressed on a cache hit.  Counts
+        as a GET in the store statistics.
+        """
         self._gets += 1
         payload = self._data.get(key)
         if payload is None:
             self._misses += 1
-            raise KeyError(key)
+            return None
         self._hits += 1
-        return self.compressor.decompress(payload)
+        return payload
 
     def delete(self, key: str) -> bool:
         """Remove ``key``; returns whether it existed."""

@@ -121,6 +121,25 @@ class TestMonitoring:
         assert store.monitor.retraining_events == 1
         assert {key: store.get(key) for key in store.keys()} == before
 
+    def test_retrain_on_drifted_family_preserves_stored_values(self, values):
+        """Regression: stored payloads must be decoded with the *old* dictionary.
+
+        The stored values pattern-match the original dictionary, while the
+        retraining sample is a completely different template family — if
+        retrain() installed the new dictionary before reading the old payloads
+        back, every pre-retrain value would be corrupted or undecodable.
+        """
+        drifted = load_dataset("apache", count=96)
+        store = TierBase(
+            compressor=PBCValueCompressor(config=ExtractionConfig(max_patterns=6, sample_size=48))
+        )
+        store.train(values[:64])
+        for index, value in enumerate(values[:60]):
+            store.set(f"k{index}", value)
+        before = {key: store.get(key) for key in store.keys()}
+        store.retrain(drifted)
+        assert {key: store.get(key) for key in store.keys()} == before
+
 
 class TestWorkloadDriver:
     def test_run_workload_reports_throughput(self, values):
