@@ -1,0 +1,106 @@
+"""Retrain cost — epoch-based model install vs the stop-the-world rewrite.
+
+Before the :mod:`repro.codecs` refactor, a TierBase retrain had to decompress
+every stored value with the old dictionary, train, and recompress everything
+under the new one (and the LSM shard tore down and re-ingested the whole
+engine) — a stop-the-world pause proportional to the number of live keys.
+With versioned model epochs a retrain installs a new
+:class:`~repro.codecs.VersionedModel` and touches no stored payload: old
+epochs keep decoding via the headers stamped into every value.
+
+This driver measures both on the same store state:
+
+* the retrain pause itself (``retrain(rewrite=True)`` — the legacy behaviour,
+  kept exactly for this comparison — vs the default epoch install), and
+* GET/SET throughput of a mixed workload that retrains mid-run.
+
+The epoch pause should be roughly the cost of training alone, independent of
+the key count; the rewrite pause grows with every stored value.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.extraction import ExtractionConfig
+from repro.datasets import load_dataset
+from repro.tierbase import PBCValueCompressor, TierBase
+
+#: Workload sizes (small: the substrate is pure Python).
+KEYS = 600
+TRAIN = 96
+MIXED_OPS = 800
+
+
+def make_loaded_store(values: list[str]) -> TierBase:
+    """A trained TierBase holding ``KEYS`` pbc_f-compressed values."""
+    store = TierBase(
+        compressor=PBCValueCompressor(config=ExtractionConfig(max_patterns=8, sample_size=64))
+    )
+    store.train(values[:TRAIN])
+    for index, value in enumerate(values[:KEYS]):
+        store.set(f"k{index}", value)
+    return store
+
+
+def measure_retrain_pause(values: list[str], rewrite: bool) -> float:
+    """Seconds one retrain blocks the store, with and without the rewrite."""
+    store = make_loaded_store(values)
+    started = time.perf_counter()
+    store.retrain(values[:TRAIN], rewrite=rewrite)
+    return time.perf_counter() - started
+
+
+def measure_mixed_throughput(values: list[str], rewrite: bool) -> tuple[float, float]:
+    """``(ops_per_second, retrain_pause)`` of a GET/SET mix retraining mid-run."""
+    store = make_loaded_store(values)
+    started = time.perf_counter()
+    pause = 0.0
+    for op in range(MIXED_OPS):
+        index = (op * 37) % KEYS
+        if op == MIXED_OPS // 2:
+            retrain_started = time.perf_counter()
+            store.retrain(values[:TRAIN], rewrite=rewrite)
+            pause = time.perf_counter() - retrain_started
+        if op % 3 == 0:
+            store.set(f"k{index}", values[index])
+        else:
+            store.get(f"k{index}")
+    elapsed = time.perf_counter() - started
+    return MIXED_OPS / elapsed if elapsed > 0 else 0.0, pause
+
+
+def test_retrain_epoch_vs_rewrite(benchmark):
+    values = load_dataset("kv1", count=KEYS)
+
+    def run() -> dict:
+        return {
+            "rewrite_pause": measure_retrain_pause(values, rewrite=True),
+            "epoch_pause": measure_retrain_pause(values, rewrite=False),
+            "rewrite_mixed": measure_mixed_throughput(values, rewrite=True),
+            "epoch_mixed": measure_mixed_throughput(values, rewrite=False),
+        }
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    rewrite_ops, rewrite_pause = result["rewrite_mixed"]
+    epoch_ops, epoch_pause = result["epoch_mixed"]
+    print()
+    print(
+        f"retrain pause over {KEYS} keys: "
+        f"rewrite {result['rewrite_pause'] * 1000:.1f}ms vs "
+        f"epoch {result['epoch_pause'] * 1000:.1f}ms"
+    )
+    print(
+        f"mixed {MIXED_OPS} ops with mid-run retrain: "
+        f"rewrite {rewrite_ops:,.0f} ops/s (pause {rewrite_pause * 1000:.1f}ms) vs "
+        f"epoch {epoch_ops:,.0f} ops/s (pause {epoch_pause * 1000:.1f}ms)"
+    )
+
+    # The epoch install does strictly less work than the stop-the-world
+    # rewrite (training only, zero payloads touched), so it must pause less.
+    # Single-shot wall-clock comparisons are informational on oversubscribed
+    # shared CI runners (same policy as bench_stream_pipeline's speedup gate).
+    if not os.environ.get("CI"):
+        assert result["epoch_pause"] < result["rewrite_pause"]
+        assert epoch_pause < rewrite_pause

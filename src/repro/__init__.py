@@ -39,7 +39,7 @@ from repro.core.compressor import (
 from repro.core.extraction import ExtractionConfig, PatternExtractor
 from repro.core.pattern import Pattern, PatternDictionary
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CompressionStats",

@@ -7,6 +7,10 @@ evaluation programmatically::
     from repro.bench import EXPERIMENTS, run_experiment
 
     rows = run_experiment("table3")
+
+It also re-exports :func:`repro.codecs.codec_inventory`, the report-shaped
+view of the codec registry used by ``repro codecs list`` — benchmarks and the
+CLI enumerate codecs from the registry instead of hand-maintained tables.
 """
 
 from __future__ import annotations
@@ -16,6 +20,17 @@ from typing import Callable, Sequence
 
 from repro.bench import ablations, experiments
 from repro.bench.experiments import BenchmarkSettings
+from repro.codecs import codec_inventory
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "codec_inventory",
+    "experiment_ids",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]
 
 
 @dataclass(frozen=True)

@@ -21,11 +21,13 @@ Two stores are provided:
 from __future__ import annotations
 
 import time
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
+from repro.codecs.base import pack_records
 from repro.compressors.base import Codec
-from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.entropy.varint import decode_uvarint
 from repro.exceptions import StoreError
 
 
@@ -69,7 +71,15 @@ class LookupStats:
 
 
 class BlockStore:
-    """Records grouped into blocks of ``block_size`` records, block-compressed."""
+    """Records grouped into blocks of ``block_size`` records, block-compressed.
+
+    The codec may be a plain :class:`~repro.compressors.base.Codec` or a
+    :class:`repro.codecs.VersionedCodec`: in the versioned case every block
+    payload carries the model-epoch header, so blocks appended before a
+    retrain (:meth:`extend` after :meth:`~repro.codecs.VersionedCodec.train`)
+    keep decoding against the epoch that wrote them.  The write-time epoch of
+    each block is also recorded in :attr:`block_epochs` for inspection.
+    """
 
     def __init__(self, codec: Codec, block_size: int) -> None:
         if block_size < 1:
@@ -77,6 +87,9 @@ class BlockStore:
         self.codec = codec
         self.block_size = block_size
         self._blocks: list[bytes] = []
+        #: model epoch each block was written at (0 for un-versioned codecs).
+        self.block_epochs: list[int] = []
+        self._block_starts: list[int] = []  # first record index per block
         self._count = 0
         self._original_bytes = 0
 
@@ -90,17 +103,28 @@ class BlockStore:
     def load(self, records: Sequence[str]) -> None:
         """(Re)build all blocks from ``records``."""
         self._blocks = []
-        self._count = len(records)
-        self._original_bytes = sum(len(record.encode("utf-8")) for record in records)
+        self.block_epochs = []
+        self._block_starts = []
+        self._count = 0
+        self._original_bytes = 0
+        self.extend(records)
+
+    def extend(self, records: Sequence[str]) -> None:
+        """Append ``records`` as new blocks; existing blocks are not rebuilt.
+
+        This is the incremental-ingestion path: with a versioned codec, blocks
+        written before a retrain stay at their old epoch (and stay decodable)
+        while new blocks pick up the current one.  The final existing block is
+        never repacked, so a partial trailing block stays partial.
+        """
+        epoch = getattr(self.codec, "current_epoch", 0)
+        self._original_bytes += sum(len(record.encode("utf-8")) for record in records)
         for start in range(0, len(records), self.block_size):
             block_records = records[start : start + self.block_size]
-            buffer = bytearray()
-            buffer += encode_uvarint(len(block_records))
-            for record in block_records:
-                payload = record.encode("utf-8")
-                buffer += encode_uvarint(len(payload))
-                buffer += payload
-            self._blocks.append(self.codec.compress(bytes(buffer)))
+            self._blocks.append(self.codec.compress(pack_records(block_records)))
+            self.block_epochs.append(epoch)
+            self._block_starts.append(self._count)
+            self._count += len(block_records)
 
     def __len__(self) -> int:
         return self._count
@@ -121,14 +145,17 @@ class BlockStore:
         """Point lookup: decompress the containing block, then pick the record."""
         if not 0 <= index < self._count:
             raise StoreError(f"record index {index} out of range")
-        block = self._blocks[index // self.block_size]
+        # extend() may leave partial blocks mid-stream, so locate the block by
+        # its first-record index rather than dividing by block_size.
+        block_position = bisect_right(self._block_starts, index) - 1
+        block = self._blocks[block_position]
         buffer = self.codec.decompress(block)
         count, offset = decode_uvarint(buffer, 0)
-        target = index % self.block_size
-        for position in range(count):
+        target = index - self._block_starts[block_position]
+        for record_position in range(count):
             length, offset = decode_uvarint(buffer, offset)
             end = offset + length
-            if position == target:
+            if record_position == target:
                 return buffer[offset:end].decode("utf-8")
             offset = end
         raise StoreError("record not found inside its block")

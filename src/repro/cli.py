@@ -9,7 +9,9 @@ file-based workflow:
   (one record per line) against a trained dictionary.
 * ``pbc inspect`` — print the patterns of a trained dictionary.
 * ``pbc datasets`` — list the synthetic Table 2 datasets.
-* ``pbc codecs`` — list the registered baseline codecs.
+* ``pbc codecs`` — list the registered baseline block codecs; ``pbc codecs
+  list`` prints the :mod:`repro.codecs` registry table (id, name, magic byte,
+  trainable) that every storage layer shares.
 * ``pbc experiments`` / ``pbc experiment <id>`` — enumerate and run the
   registered paper experiments (tables and figures).
 * ``pbc stream compress|decompress|inspect|get`` — the :mod:`repro.stream`
@@ -34,6 +36,7 @@ from typing import Sequence
 from repro import ExtractionConfig, PatternDictionary, PBCCompressor, __version__
 from repro.bench import render_table
 from repro.bench.registry import EXPERIMENTS, get_experiment
+from repro.codecs import trainable_codec_names
 from repro.compressors import available_codecs
 from repro.datasets import DATASET_SPECS, EXTRA_DATASET_SPECS, dataset_statistics, load_dataset
 from repro.entropy.varint import decode_uvarint, encode_uvarint
@@ -103,6 +106,13 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 def _cmd_codecs(_: argparse.Namespace) -> int:
     for name in available_codecs():
         print(name)
+    return 0
+
+
+def _cmd_codecs_list(_: argparse.Namespace) -> int:
+    from repro.codecs import codec_inventory
+
+    print(render_table(codec_inventory(), title="Registered codecs (repro.codecs)"))
     return 0
 
 
@@ -327,8 +337,16 @@ def build_parser() -> argparse.ArgumentParser:
     datasets.add_argument("--stats", action="store_true", help="also generate and measure each dataset")
     datasets.set_defaults(func=_cmd_datasets)
 
-    codecs = subparsers.add_parser("codecs", help="list the registered baseline codecs")
+    codecs = subparsers.add_parser(
+        "codecs",
+        help="list codecs (bare: baseline block codecs; 'list': the repro.codecs registry)",
+    )
     codecs.set_defaults(func=_cmd_codecs)
+    codecs_sub = codecs.add_subparsers(dest="codecs_command", required=False)
+    codecs_list = codecs_sub.add_parser(
+        "list", help="table of every registered codec: id, name, magic, trainable"
+    )
+    codecs_list.set_defaults(func=_cmd_codecs_list)
 
     train = subparsers.add_parser("train", help="extract a pattern dictionary (offline phase)")
     source = train.add_mutually_exclusive_group(required=True)
@@ -441,11 +459,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["tierbase", "lsm"],
         help="shard backend (default tierbase)",
     )
+    # "none" + every trainable registry codec — the same menu the service's
+    # COMPRESSOR_CHOICES derives (pinned by a test); computed here from the
+    # registry directly so the CLI does not import the service stack eagerly.
     serve_bench.add_argument(
         "--compressor",
         default="pbc_f",
-        choices=["none", "zstd", "pbc", "pbc_f"],
-        help="per-shard value compressor (default pbc_f)",
+        choices=["none", *trainable_codec_names()],
+        help="per-shard value compressor, from the codec registry (default pbc_f)",
     )
     serve_bench.add_argument(
         "--directory", default=None, help="base directory for the lsm backend (default: temp dir)"

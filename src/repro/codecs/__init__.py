@@ -1,0 +1,97 @@
+"""``repro.codecs`` — the one codec registry and the versioned model lifecycle.
+
+The single source of truth for codec identity (ids, names, magic bytes) and
+for the train → monitor-drift → retrain loop that every storage and serving
+layer shares:
+
+* :mod:`repro.codecs.base` — the :class:`Codec` interface (frame, record and
+  byte granularity) and the :class:`CodecSpec` identity card,
+* :mod:`repro.codecs.registry` — the process-wide registry; adding a codec is
+  one :func:`register_codec` call in one file,
+* :mod:`repro.codecs.builtin` — the seven built-in codecs (raw, gzip, lzma,
+  zstd, fsst, pbc, pbc_f), registered on import,
+* :mod:`repro.codecs.model` — :class:`VersionedModel` / :class:`ModelStore` /
+  :class:`VersionedCodec`: trained models with monotonically increasing epoch
+  ids embedded in every compressed payload header, so decompression looks up
+  the exact model that produced the bytes and retraining never rewrites data,
+* :mod:`repro.codecs.lifecycle` — :class:`DriftMonitor` / :class:`DriftWindow`
+  / :class:`ModelLifecycle`: the one copy of reservoir sampling, drift
+  monitoring and retrain triggering.
+
+Quick start::
+
+    from repro.codecs import codec_by_name, versioned_codec
+
+    codec = versioned_codec("pbc_f")
+    codec.train(sample_values)                 # epoch 1
+    payload = codec.compress_record(value)     # header names codec + epoch
+    codec.train(new_sample)                    # epoch 2; payload stays valid
+    assert codec.decompress_record(payload) == value
+"""
+
+from repro.codecs.base import Codec, CodecSpec, pack_records, unpack_records
+from repro.codecs.builtin import (
+    DEFAULT_EXTRACTION,
+    FSSTFrameCodec,
+    GzipCodec,
+    LZMACodec,
+    PBCCodec,
+    PBCFCodec,
+    RawCodec,
+    ZstdCodec,
+)
+from repro.codecs.lifecycle import DriftMonitor, DriftWindow, ModelLifecycle
+from repro.codecs.model import (
+    ModelStore,
+    VersionedCodec,
+    VersionedModel,
+    describe_payload,
+    payload_epoch,
+    split_payload,
+    stamp_payload,
+    versioned_codec,
+)
+from repro.codecs.registry import (
+    all_codecs,
+    codec_by_id,
+    codec_by_name,
+    codec_inventory,
+    codec_names,
+    codec_specs,
+    register_codec,
+    trainable_codec_names,
+)
+
+__all__ = [
+    "Codec",
+    "CodecSpec",
+    "DEFAULT_EXTRACTION",
+    "DriftMonitor",
+    "DriftWindow",
+    "FSSTFrameCodec",
+    "GzipCodec",
+    "LZMACodec",
+    "ModelLifecycle",
+    "ModelStore",
+    "PBCCodec",
+    "PBCFCodec",
+    "RawCodec",
+    "VersionedCodec",
+    "VersionedModel",
+    "ZstdCodec",
+    "all_codecs",
+    "codec_by_id",
+    "codec_by_name",
+    "codec_inventory",
+    "codec_names",
+    "codec_specs",
+    "describe_payload",
+    "pack_records",
+    "payload_epoch",
+    "register_codec",
+    "split_payload",
+    "stamp_payload",
+    "trainable_codec_names",
+    "unpack_records",
+    "versioned_codec",
+]

@@ -1,0 +1,104 @@
+"""Process-wide codec registry: the single source of truth for codec identity.
+
+Every codec id, name and magic byte in the tree resolves through this module.
+The stream frame headers, the versioned value-payload headers, the CLI's
+``repro codecs list`` table, the benchmark inventory and the docs-consistency
+tests all enumerate the same registry, so adding a codec is one
+:func:`register_codec` call in one file (see :mod:`repro.codecs.builtin`).
+
+Registration is explicit (a decorated instance, not import-time magic scans):
+importing :mod:`repro.codecs` installs the built-in codecs exactly once per
+process.  Ids and names are enforced unique; lookups raise
+:class:`~repro.exceptions.UnknownCodecError`, which is also a
+``StreamFormatError`` so stream readers keep treating an unknown frame codec
+id as a malformed container.
+"""
+
+from __future__ import annotations
+
+from repro.codecs.base import Codec, CodecSpec
+from repro.exceptions import CodecError, UnknownCodecError
+
+_CODECS_BY_ID: dict[int, Codec] = {}
+_CODECS_BY_NAME: dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Register a codec instance; returns it so it can be used as a decorator.
+
+    Re-registering the *same* instance is a no-op (idempotent imports); a
+    different codec claiming an existing id or name is a hard error.
+    """
+    if not isinstance(codec, Codec):
+        raise CodecError(f"only Codec instances can be registered, got {type(codec).__name__}")
+    if not 0 <= codec.codec_id <= 0xFF:
+        raise CodecError(f"codec {codec.name!r} id {codec.codec_id} does not fit one byte")
+    name = codec.name.lower()
+    existing = _CODECS_BY_ID.get(codec.codec_id)
+    if existing is codec:
+        return codec
+    if existing is not None:
+        raise CodecError(
+            f"codec id {codec.codec_id} already registered by {existing.name!r}"
+        )
+    if name in _CODECS_BY_NAME:
+        raise CodecError(f"codec name {codec.name!r} already registered")
+    _CODECS_BY_ID[codec.codec_id] = codec
+    _CODECS_BY_NAME[name] = codec
+    return codec
+
+
+def codec_by_id(codec_id: int) -> Codec:
+    """Look up a codec by its one-byte id."""
+    try:
+        return _CODECS_BY_ID[codec_id]
+    except KeyError as error:
+        raise UnknownCodecError(f"unknown codec id {codec_id}") from error
+
+
+def codec_by_name(name: str) -> Codec:
+    """Look up a codec by name (case-insensitive)."""
+    try:
+        return _CODECS_BY_NAME[name.lower()]
+    except KeyError as error:
+        raise UnknownCodecError(
+            f"unknown codec {name!r}; available: {codec_names()}"
+        ) from error
+
+
+def all_codecs() -> list[Codec]:
+    """Every registered codec, ordered by codec id."""
+    return [codec for _, codec in sorted(_CODECS_BY_ID.items())]
+
+
+def codec_names() -> list[str]:
+    """Names of all registered codecs (sorted)."""
+    return sorted(_CODECS_BY_NAME)
+
+
+def codec_specs() -> list[CodecSpec]:
+    """Identity snapshots of every registered codec, ordered by id."""
+    return [codec.spec() for codec in all_codecs()]
+
+
+def trainable_codec_names() -> list[str]:
+    """Names of codecs whose :meth:`~repro.codecs.base.Codec.train` produces a model."""
+    return [codec.name for codec in all_codecs() if codec.trains]
+
+
+def codec_inventory() -> list[dict]:
+    """One report row per registered codec: id, name, magic byte, capabilities.
+
+    The single codec-id table of the tree — ``repro codecs list`` and the
+    docs-consistency tests render exactly this.
+    """
+    return [
+        {
+            "id": spec.codec_id,
+            "name": spec.name,
+            "magic": f"0x{spec.magic.hex().upper()}",
+            "trainable": "yes" if spec.trainable else "no",
+            "granularity": "record" if spec.record_oriented else "bytes",
+        }
+        for spec in codec_specs()
+    ]

@@ -62,3 +62,35 @@ class FrameCorruptionError(StreamFormatError):
 
 class ServiceError(ReproError):
     """A :mod:`repro.service` operation failed (bad configuration, closed service)."""
+
+
+class CodecError(ReproError):
+    """A :mod:`repro.codecs` registry or codec operation failed."""
+
+
+class UnknownCodecError(CodecError, StreamFormatError):
+    """A codec id or name is not present in the :mod:`repro.codecs` registry.
+
+    Also a :class:`StreamFormatError`: an unknown codec id read from a stream
+    frame header means the container cannot be decoded, and pre-registry
+    callers catch the stream hierarchy.
+    """
+
+
+class MissingModelError(CompressorError, StreamFormatError):
+    """A trained model payload is required but absent (empty/untrained).
+
+    Dual-typed on purpose: an untrained value compressor historically raised
+    :class:`CompressorError`, while a stream frame missing its dictionary
+    payload historically raised :class:`StreamFormatError` — both contracts
+    are preserved.
+    """
+
+
+class ModelEpochError(CodecError):
+    """A payload references a trained-model epoch that is no longer retained.
+
+    Raised on decompression when the epoch stamped into a versioned payload
+    header has been pruned from the :class:`repro.codecs.ModelStore` — e.g. a
+    cached payload outliving every live reference to its training epoch.
+    """

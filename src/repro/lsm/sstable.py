@@ -34,8 +34,12 @@ from repro.exceptions import StoreError
 from repro.lsm.bloom import BloomFilter
 from repro.tierbase.compression import ValueCompressor
 
-#: Magic number terminating every SSTable file.
-_MAGIC = 0x5354424C  # "STBL"
+#: Magic number terminating every SSTable file.  "STB2" is the epoch-aware
+#: format: RecordCompressionPolicy blocks start with uvarint(model_epoch)
+#: (docs/FORMATS.md §3).  Pre-epoch "STBL" files are rejected with a typed
+#: error instead of being silently misparsed.
+_MAGIC = 0x53544232  # "STB2"
+_MAGIC_V1 = 0x5354424C  # "STBL" (pre-epoch block layout)
 
 #: Footer layout: index offset, bloom offset, entry count (8 bytes each) + magic (4 bytes).
 _FOOTER_SIZE = 8 + 8 + 8 + 4
@@ -143,6 +147,14 @@ class RecordCompressionPolicy(StoragePolicy):
 
     Point lookups decompress only the matched value, which is what gives the
     per-record compressors (PBC, PBC_F, FSST) their random-access advantage.
+
+    A block is encoded in one pass against one trained model, so the model
+    *epoch* is stamped once into the block header — ``uvarint(epoch)`` before
+    the entry layout — and values are stored as headerless epoch bodies.
+    Reads decode against the exact epoch that wrote the block, which is what
+    lets a retrained compressor keep every existing SSTable readable (the
+    :class:`~repro.codecs.ModelStore` retains superseded epochs; LSM blocks
+    never release them because payload lifetimes span compactions).
     """
 
     def __init__(self, compressor: ValueCompressor) -> None:
@@ -150,14 +162,29 @@ class RecordCompressionPolicy(StoragePolicy):
         self.name = f"record[{compressor.name}]"
 
     def encode_block(self, entries: Sequence[tuple[str, str | None]]) -> bytes:
-        return _encode_entries(entries, self.compressor.compress)
+        # Plain per-record compressors (no versioned models) live at epoch 0;
+        # the ValueCompressor base class supplies the epoch surface for them.
+        epoch = self.compressor.current_epoch
+        body = _encode_entries(
+            entries, lambda value: self.compressor.compress_at(value, epoch)
+        )
+        return bytes(encode_uvarint(epoch)) + body
 
     def iter_block(self, payload: bytes) -> Iterator[tuple[str, str | None]]:
-        return _decode_entries(payload, self.compressor.decompress)
+        epoch, offset = decode_uvarint(payload, 0)
+        return _decode_entries(
+            payload[offset:],
+            lambda value_bytes: self.compressor.decompress_at(value_bytes, epoch),
+        )
+
+    def block_epoch(self, payload: bytes) -> int:
+        """The model epoch stamped into a block header (diagnostics/tests)."""
+        return decode_uvarint(payload, 0)[0]
 
     def lookup_in_block(self, payload: bytes, key: str) -> tuple[bool, str | None]:
         # Scan the entry headers without decompressing values we skip over.
-        count, offset = decode_uvarint(payload, 0)
+        epoch, offset = decode_uvarint(payload, 0)
+        count, offset = decode_uvarint(payload, offset)
         for _ in range(count):
             key_length, offset = decode_uvarint(payload, offset)
             entry_key = payload[offset : offset + key_length].decode("utf-8")
@@ -172,7 +199,7 @@ class RecordCompressionPolicy(StoragePolicy):
             value_bytes = payload[offset : offset + value_length]
             offset += value_length
             if entry_key == key:
-                return True, self.compressor.decompress(value_bytes)
+                return True, self.compressor.decompress_at(value_bytes, epoch)
             if entry_key > key:
                 break
         return False, None
@@ -296,6 +323,12 @@ class SSTable:
             handle.seek(file_size - _FOOTER_SIZE)
             footer = handle.read(_FOOTER_SIZE)
         magic = int.from_bytes(footer[24:28], "big")
+        if magic == _MAGIC_V1:
+            raise StoreError(
+                f"SSTable file {self.path} uses the pre-epoch 'STBL' block layout; "
+                "rewrite it with this version (record-policy blocks now carry a "
+                "model-epoch header)"
+            )
         if magic != _MAGIC:
             raise StoreError(f"SSTable file {self.path} has a bad magic number")
         self._index_offset = int.from_bytes(footer[0:8], "big")

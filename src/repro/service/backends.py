@@ -1,7 +1,8 @@
 """Shard backends: the per-shard stores fronted by :class:`repro.service.KVService`.
 
 A shard backend owns one partition of the key space, one trained value
-compressor, and one :class:`~repro.tierbase.store.CompressionMonitor`.  Two
+compressor with versioned model epochs, and one
+:class:`~repro.codecs.ModelLifecycle` (reservoir + drift monitor).  Two
 implementations cover the two storage substrates of the reproduction:
 
 * :class:`TierBaseShard` — an in-memory :class:`repro.tierbase.store.TierBase`
@@ -10,18 +11,29 @@ implementations cover the two storage substrates of the reproduction:
   :class:`~repro.lsm.sstable.RecordCompressionPolicy`, so values are compressed
   per record inside SSTable blocks and point reads decompress one value.
 
+Retraining is epoch-based for both: a new model epoch is installed for future
+writes while every stored payload (TierBase dict entry or cold SSTable block)
+keeps decoding against the epoch stamped into its header.  Neither backend
+rewrites data on retrain any more — the TierBase stop-the-world recompression
+and the LSM rebuild-the-shard path were deleted with the
+:mod:`repro.codecs` refactor (see ``benchmarks/bench_retrain.py`` for the
+before/after cost).
+
+The compressor menu is enumerated from the codec registry: every trainable
+registered codec is a valid per-shard value compressor, plus ``"none"``.
 Backends are *not* thread-safe on their own; the service serialises every
 mutation of a shard through that shard's single-worker executor.
 """
 
 from __future__ import annotations
 
-import shutil
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Sequence
 
-from repro.exceptions import ServiceError
+from repro.codecs import ModelLifecycle
+from repro.codecs.registry import trainable_codec_names
+from repro.exceptions import CodecError, ServiceError
 from repro.lsm.engine import LSMEngine
 from repro.lsm.sstable import RecordCompressionPolicy
 from repro.service.stats import ShardSnapshot
@@ -29,12 +41,14 @@ from repro.tierbase.compression import (
     NoopValueCompressor,
     PBCValueCompressor,
     ValueCompressor,
+    VersionedValueCompressor,
     ZstdDictValueCompressor,
 )
-from repro.tierbase.store import CompressionMonitor, TierBase
+from repro.tierbase.store import TierBase
 
-#: Compressor names accepted by :func:`make_value_compressor` (CLI / config).
-COMPRESSOR_CHOICES: tuple[str, ...] = ("none", "zstd", "pbc", "pbc_f")
+#: Compressor names accepted by :func:`make_value_compressor` (CLI / config):
+#: "none" plus every trainable codec in the registry, in codec-id order.
+COMPRESSOR_CHOICES: tuple[str, ...] = ("none", *trainable_codec_names())
 
 #: Backend names accepted by :func:`make_shard_backend` (CLI / config).
 BACKEND_CHOICES: tuple[str, ...] = ("tierbase", "lsm")
@@ -50,6 +64,9 @@ def make_value_compressor(name: str) -> ValueCompressor:
         return PBCValueCompressor(use_fsst=False)
     if name == "pbc_f":
         return PBCValueCompressor(use_fsst=True)
+    if name in COMPRESSOR_CHOICES:
+        # Any other trainable registry codec (e.g. fsst) via the generic wrapper.
+        return VersionedValueCompressor(name)
     raise ServiceError(f"unknown value compressor {name!r}; choose from {COMPRESSOR_CHOICES}")
 
 
@@ -58,6 +75,8 @@ class ShardBackend(ABC):
 
     #: backend name reported in snapshots ("tierbase" / "lsm").
     name: str = "shard"
+    #: the shard's train → monitor → retrain loop (reservoir + drift monitor).
+    lifecycle: ModelLifecycle
 
     @abstractmethod
     def train(self, sample_values: Sequence[str]) -> None:
@@ -73,23 +92,40 @@ class ShardBackend(ABC):
 
     @abstractmethod
     def decompress(self, payload: bytes) -> str:
-        """Decode a payload produced by :meth:`get_compressed`."""
+        """Decode a payload produced by :meth:`get_compressed`.
+
+        Raises :class:`~repro.exceptions.ModelEpochError` when the payload
+        references a model epoch that is no longer retained.
+        """
 
     @abstractmethod
     def delete(self, key: str) -> bool:
         """Remove ``key``; returns whether it existed."""
 
     @abstractmethod
-    def needs_retraining(self) -> bool:
-        """Whether the compression monitor flags this shard for retraining."""
-
-    @abstractmethod
     def retrain(self, sample_values: Sequence[str]) -> None:
-        """Re-train the compressor and recompress the shard's stored values."""
+        """Install a new model epoch trained on ``sample_values``."""
 
     @abstractmethod
     def snapshot(self, shard_id: int) -> ShardSnapshot:
         """Point-in-time statistics for this shard."""
+
+    def needs_retraining(self) -> bool:
+        """Whether the drift monitor flags this shard for retraining."""
+        return self.lifecycle.needs_retrain(self.outlier_rate)
+
+    @property
+    def outlier_rate(self) -> float:
+        """The compressor's outlier rate since its current epoch."""
+        return 0.0
+
+    def retrain_from_recent(self) -> bool:
+        """Retrain on the lifecycle reservoir; False when the reservoir is empty."""
+        sample = self.lifecycle.sample()
+        if not sample:
+            return False
+        self.retrain(sample)
+        return True
 
     def get(self, key: str) -> str | None:
         """Fetch and decompress ``key`` (``None`` when missing)."""
@@ -113,11 +149,6 @@ class ShardBackend(ABC):
         """Release any resources (files, logs)."""
 
 
-def _pbc_of(compressor: ValueCompressor):
-    """The underlying PBC compressor when ``compressor`` is pattern-based."""
-    return compressor.pbc if isinstance(compressor, PBCValueCompressor) else None
-
-
 class TierBaseShard(ShardBackend):
     """In-memory shard over a :class:`TierBase` store (compression built in)."""
 
@@ -128,12 +159,15 @@ class TierBaseShard(ShardBackend):
         compressor: ValueCompressor,
         ratio_threshold: float = 0.8,
         unmatched_threshold: float = 0.2,
+        train_size: int = 256,
     ) -> None:
         self.store = TierBase(
             compressor=compressor,
             ratio_threshold=ratio_threshold,
             unmatched_threshold=unmatched_threshold,
+            train_size=train_size,
         )
+        self.lifecycle = self.store.lifecycle
         self._retrain_events = 0
 
     def train(self, sample_values: Sequence[str]) -> None:
@@ -151,16 +185,17 @@ class TierBaseShard(ShardBackend):
     def delete(self, key: str) -> bool:
         return self.store.delete(key)
 
-    def needs_retraining(self) -> bool:
-        return self.store.needs_retraining()
+    @property
+    def outlier_rate(self) -> float:
+        return self.store.compressor.outlier_rate
 
     def retrain(self, sample_values: Sequence[str]) -> None:
+        # Epoch-based: installs a new model, rewrites nothing, blocks no reads.
         self.store.retrain(sample_values)
         self._retrain_events += 1
 
     def snapshot(self, shard_id: int) -> ShardSnapshot:
         stats = self.store.stats()
-        pbc = _pbc_of(self.store.compressor)
         return ShardSnapshot(
             shard_id=shard_id,
             backend=self.name,
@@ -171,7 +206,7 @@ class TierBaseShard(ShardBackend):
             sets=stats.sets,
             gets=stats.gets,
             retrain_events=self._retrain_events,
-            outlier_rate=pbc.outlier_rate if pbc is not None else 0.0,
+            outlier_rate=self.outlier_rate,
         )
 
 
@@ -179,9 +214,10 @@ class LSMShard(ShardBackend):
     """On-disk shard over an :class:`LSMEngine` with per-record compression.
 
     The engine's :class:`RecordCompressionPolicy` compresses values when
-    memtable contents are flushed into SSTable blocks; the shard additionally
-    compresses each value once on SET to feed the compression monitor (the
-    monitor tracks what the policy *will* store) and caches nothing itself.
+    memtable contents are flushed into SSTable blocks — each block stamped
+    with the model epoch that wrote it — and the shard additionally
+    compresses each value once on SET to feed the drift monitor (the monitor
+    tracks what the policy *will* store).
     """
 
     name = "lsm"
@@ -193,13 +229,32 @@ class LSMShard(ShardBackend):
         ratio_threshold: float = 0.8,
         unmatched_threshold: float = 0.2,
         memtable_bytes: int = 64 * 1024,
+        train_size: int = 256,
     ) -> None:
         self.directory = Path(directory)
         self.compressor = compressor
-        self.monitor = CompressionMonitor(
-            ratio_threshold=ratio_threshold, unmatched_threshold=unmatched_threshold
+        self.lifecycle = ModelLifecycle(
+            reservoir_size=train_size,
+            ratio_threshold=ratio_threshold,
+            unmatched_threshold=unmatched_threshold,
         )
+        self.monitor = self.lifecycle.monitor
         self._memtable_bytes = memtable_bytes
+        # On-disk payloads outlive the process, so the trained-model epochs
+        # must too: restore the model store persisted next to the SSTables
+        # *before* the engine replays the WAL / opens existing tables.
+        self._models_path = self.directory / "models.bin"
+        if self._models_path.exists():
+            if self.compressor.dump_models() is None:
+                # An un-versioned compressor would silently skip the codec
+                # check inside load_models (a no-op for it) and then decode
+                # versioned blocks as garbage — refuse up front instead.
+                raise CodecError(
+                    f"{self.directory} was written by a versioned compressor "
+                    f"(models.bin present); reopen it with that compressor, not "
+                    f"{self.compressor.name!r}"
+                )
+            self.compressor.load_models(self._models_path.read_bytes())
         self.engine = LSMEngine(
             self.directory,
             policy=RecordCompressionPolicy(compressor),
@@ -209,12 +264,18 @@ class LSMShard(ShardBackend):
         self._sets = 0
         self._gets = 0
 
+    def _save_models(self) -> None:
+        payload = self.compressor.dump_models()
+        if payload is not None:
+            self._models_path.write_bytes(payload)
+
     def train(self, sample_values: Sequence[str]) -> None:
         self.compressor.train(sample_values)
+        self._save_models()
 
     def set(self, key: str, value: str) -> None:
         payload = self.compressor.compress(value)
-        self.monitor.observe(len(value.encode("utf-8")), len(payload))
+        self.lifecycle.observe(value, len(value.encode("utf-8")), len(payload))
         self.engine.put(key, value)
         self._sets += 1
 
@@ -238,38 +299,36 @@ class LSMShard(ShardBackend):
         self.engine.delete(key)
         return existed
 
-    def needs_retraining(self) -> bool:
-        return self.monitor.needs_retraining(_pbc_of(self.compressor))
+    @property
+    def outlier_rate(self) -> float:
+        return self.compressor.outlier_rate
 
     def retrain(self, sample_values: Sequence[str]) -> None:
-        """Re-train and rebuild: old SSTables are unreadable under new patterns."""
-        live = list(self.engine.scan())
-        self.engine.close()
-        shutil.rmtree(self.directory, ignore_errors=True)
+        """Install a new model epoch; existing SSTables stay readable.
+
+        Pre-registry, this tore the whole shard down and re-ingested every
+        live key because old SSTables were unreadable under the new patterns.
+        With epoch-stamped blocks the old tables decode against their retained
+        epochs, so a retrain is just an offline training pass.
+        """
         self.compressor.train(sample_values)
-        self.monitor.reset()
-        self.engine = LSMEngine(
-            self.directory,
-            policy=RecordCompressionPolicy(self.compressor),
-            memtable_bytes=self._memtable_bytes,
-        )
-        for key, value in live:
-            self.set(key, value)
+        self._save_models()
+        self.lifecycle.monitor.reset()
         self._retrain_events += 1
 
     def snapshot(self, shard_id: int) -> ShardSnapshot:
-        pbc = _pbc_of(self.compressor)
+        monitor = self.lifecycle.monitor
         return ShardSnapshot(
             shard_id=shard_id,
             backend=self.name,
             compressor=self.compressor.name,
             keys=sum(1 for _ in self.engine.scan()),
-            original_bytes=self.monitor.original_bytes,
-            stored_bytes=self.monitor.stored_bytes,
+            original_bytes=monitor.original_bytes,
+            stored_bytes=monitor.stored_bytes,
             sets=self._sets,
             gets=self._gets,
             retrain_events=self._retrain_events,
-            outlier_rate=pbc.outlier_rate if pbc is not None else 0.0,
+            outlier_rate=self.outlier_rate,
         )
 
     def close(self) -> None:
@@ -281,13 +340,16 @@ def make_shard_backend(
     compressor_name: str,
     shard_id: int,
     directory: str | Path | None = None,
+    train_size: int = 256,
 ) -> ShardBackend:
     """Build one shard backend of ``kind`` with a fresh compressor."""
     compressor = make_value_compressor(compressor_name)
     if kind == "tierbase":
-        return TierBaseShard(compressor)
+        return TierBaseShard(compressor, train_size=train_size)
     if kind == "lsm":
         if directory is None:
             raise ServiceError("the lsm backend needs a base directory")
-        return LSMShard(Path(directory) / f"shard-{shard_id:03d}", compressor)
+        return LSMShard(
+            Path(directory) / f"shard-{shard_id:03d}", compressor, train_size=train_size
+        )
     raise ServiceError(f"unknown shard backend {kind!r}; choose from {BACKEND_CHOICES}")

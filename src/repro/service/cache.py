@@ -6,6 +6,15 @@ hit: memory stretches by the compression ratio (Section 7.5's motivation for
 compressing TierBase values at all) while a hit still avoids the backend
 round-trip.  Only the payload bytes live here; decompression stays with the
 shard that owns the key, because each shard trains its own compressor.
+
+Every cached payload carries its versioned-model header (codec magic +
+epoch, docs/FORMATS.md §6), so cache hits stay decodable across shard
+retrains and the cache is **not** cleared when a shard retrains.  The only
+stale case left is a payload whose model epoch was pruned after caching
+(its last live backend reference was overwritten or deleted); decompressing
+it raises the typed :class:`~repro.exceptions.ModelEpochError`, which the
+service treats as a miss — it no longer swallows arbitrary decompression
+errors the way the pre-epoch "stale-dictionary fallback" did.
 """
 
 from __future__ import annotations
@@ -98,7 +107,11 @@ class CompressedLRUCache:
             return True
 
     def clear(self) -> None:
-        """Drop every entry (used after a shard retrain recompresses its values)."""
+        """Drop every entry.
+
+        No longer part of the retrain path (epoch-stamped payloads survive
+        retrains); kept for tests and explicit cache resets.
+        """
         with self._lock:
             self._invalidations += len(self._entries)
             self._entries.clear()

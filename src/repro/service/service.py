@@ -16,24 +16,26 @@ worker pools, inverted to the server side:
   the shard task (serialised with writes), so a stale payload can never be
   cached over a newer write;
 * after every write batch the shard checks its
-  :class:`~repro.tierbase.store.CompressionMonitor`; when the ratio or the
-  PBC outlier rate crosses its threshold, a **retrain task** is queued on the
-  same shard executor (Section 7.5's monitor-and-retrain loop).  The sample
-  is a sliding reservoir of that shard's most recent values, so the new
-  dictionary reflects the drifted workload.
+  :class:`~repro.codecs.ModelLifecycle`; when the ratio or the PBC outlier
+  rate crosses its threshold, a **retrain task** is queued on the same shard
+  executor (Section 7.5's monitor-and-retrain loop).  The sample is the
+  lifecycle's sliding reservoir of that shard's most recent values, so the
+  new model reflects the drifted workload.  Retraining installs a new model
+  *epoch* — stored payloads and cached payloads keep decoding against the
+  epoch stamped in their headers, so a retrain no longer clears the cache or
+  rewrites a single byte of the backend.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ModelEpochError, ServiceError
 from repro.service.backends import (
     BACKEND_CHOICES,
     COMPRESSOR_CHOICES,
@@ -80,16 +82,19 @@ class ServiceConfig:
 
 
 class _Shard:
-    """One shard: backend + single-worker executor + retraining reservoir."""
+    """One shard: backend + single-worker executor.
 
-    def __init__(self, shard_id: int, backend: ShardBackend, train_size: int) -> None:
+    The retraining reservoir lives in the backend's
+    :class:`~repro.codecs.ModelLifecycle` (only the shard worker touches it,
+    so it needs no lock).
+    """
+
+    def __init__(self, shard_id: int, backend: ShardBackend) -> None:
         self.shard_id = shard_id
         self.backend = backend
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"kv-shard-{shard_id}"
         )
-        # Only the shard worker touches the reservoir, so it needs no lock.
-        self.recent_values: deque[str] = deque(maxlen=max(1, train_size))
         self.retrain_pending = False
 
 
@@ -117,8 +122,8 @@ class KVService:
                     self.config.compressor,
                     shard_id,
                     directory=self.config.directory,
+                    train_size=self.config.train_size,
                 ),
-                self.config.train_size,
             )
             for shard_id in range(self.config.shard_count)
         ]
@@ -179,8 +184,8 @@ class KVService:
 
     def _shard_set(self, shard: _Shard, items: Sequence[tuple[str, str]]) -> None:
         for key, value in items:
+            # backend.set feeds the lifecycle reservoir + drift monitor.
             shard.backend.set(key, value)
-            shard.recent_values.append(value)
             # Invalidate inside the shard task: reads of this shard are
             # serialised with us, so no reader can re-cache the old payload
             # after this point.
@@ -203,36 +208,34 @@ class KVService:
 
     def _shard_retrain(self, shard: _Shard) -> None:
         shard.retrain_pending = False
-        sample = list(shard.recent_values)
-        if not sample:
-            return
-        shard.backend.retrain(sample)
-        # Every cached payload of this shard now has a stale dictionary; the
-        # cache is keyed service-wide, so drop everything (rare event).
-        self.cache.clear()
+        # Installs a new model epoch for future writes.  Cached and stored
+        # payloads carry their own epoch headers and keep decoding against
+        # the retained old models, so nothing is cleared or rewritten.
+        shard.backend.retrain_from_recent()
 
     def _maybe_schedule_retrain(self, shard: _Shard) -> None:
         if (
             self.config.auto_retrain
             and not shard.retrain_pending
-            and shard.recent_values
             and shard.backend.needs_retraining()
         ):
             shard.retrain_pending = True
             shard.executor.submit(self._shard_retrain, shard)
 
     def _decompress_cached(self, shard: _Shard, key: str, payload: bytes) -> str | None:
-        """Decode a cached payload; ``None`` if the shard retrained underneath us.
+        """Decode a cached payload; ``None`` if its model epoch is gone.
 
-        A retrain swaps the shard's dictionary and then clears the cache, so a
-        reader can hold a payload fetched just before the clear.  Decoding it
-        with the new dictionary may fail (or, for a non-self-validating codec,
-        succeed by luck); treating any failure as a cache miss keeps the read
-        path correct without locking hits against retrains.
+        Every cached payload names the model epoch that wrote it, so a hit
+        decodes correctly even across retrains.  The one failure mode left is
+        *typed*: the referenced epoch was pruned (its last live backend
+        payload was overwritten or deleted after we cached this one), which
+        raises :class:`~repro.exceptions.ModelEpochError` — treated as a miss
+        so the read re-fetches from the shard.  Anything else propagates:
+        pre-epoch, this path silently swallowed every decompression error.
         """
         try:
             return shard.backend.decompress(payload)
-        except Exception:
+        except ModelEpochError:
             self.cache.invalidate(key)
             return None
 

@@ -128,11 +128,7 @@ class StreamFrameCodec(Codec):
 
 def _is_byte_oriented(codec: FrameCodec) -> bool:
     """Whether the codec implements the opaque-bytes interface."""
-    try:
-        codec.compress_bytes(b"")
-    except StreamError:
-        return False
-    return True
+    return not codec.record_oriented
 
 
 def _try_unpack(data: bytes) -> list[str] | None:

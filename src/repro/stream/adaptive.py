@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.codecs.lifecycle import DriftWindow
 from repro.core.compressor import PBCCompressor
 from repro.core.encoding_length import minimal_encoding_length
 from repro.core.pattern import WILDCARD, PatternDictionary
@@ -160,9 +161,12 @@ class AdaptiveCodecSelector:
         self._codecs: list[FrameCodec] = [
             frame_codec_by_name(name) for name in self.config.candidates
         ]
-        self.state = AdaptiveState(
-            recent_outlier_rates=deque(maxlen=max(1, self.config.drift_window))
+        # The shared windowed drift detector (repro.codecs.lifecycle); the
+        # state dataclass aliases its deque so inspection code keeps working.
+        self._drift = DriftWindow(
+            window=self.config.drift_window, threshold=self.config.drift_threshold
         )
+        self.state = AdaptiveState(recent_outlier_rates=self._drift.rates)
 
     # ------------------------------------------------------------- dictionaries
 
@@ -176,12 +180,6 @@ class AdaptiveCodecSelector:
                 trained = True
         return trained
 
-    def _drift_detected(self) -> bool:
-        window = self.state.recent_outlier_rates
-        if len(window) < window.maxlen:
-            return False
-        return sum(window) / len(window) >= self.config.drift_threshold
-
     # ------------------------------------------------------------------ select
 
     def plan_frame(self, records: Sequence[str]) -> FramePlan:
@@ -189,9 +187,9 @@ class AdaptiveCodecSelector:
         if not records:
             raise StreamError("cannot plan a frame for zero records")
         retrained = False
-        if self._drift_detected():
+        if self._drift.drifted:
             self.state.dictionaries.clear()
-            self.state.recent_outlier_rates.clear()
+            self._drift.reset()
             self.state.retrain_count += 1
             retrained = True
         self._ensure_trained(records)
@@ -232,7 +230,7 @@ class AdaptiveCodecSelector:
 
         winner = min(scores, key=lambda item: item.score)
         outlier_rate = pbc_estimate[1] if pbc_estimate is not None else 0.0
-        self.state.recent_outlier_rates.append(outlier_rate)
+        self._drift.observe(outlier_rate)
         self.state.frames_planned += 1
         return FramePlan(
             codec_id=winner.codec_id,
@@ -253,7 +251,4 @@ class AdaptiveCodecSelector:
     @property
     def windowed_outlier_rate(self) -> float:
         """Mean outlier rate over the drift window (0.0 while warming up)."""
-        window = self.state.recent_outlier_rates
-        if not window:
-            return 0.0
-        return sum(window) / len(window)
+        return self._drift.mean

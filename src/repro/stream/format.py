@@ -53,8 +53,22 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Sequence
 
+from repro.codecs.base import pack_records, unpack_records
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 from repro.exceptions import FrameCorruptionError, StreamFormatError
+
+__all__ = [
+    "FrameInfo",
+    "MAGIC",
+    "END_MAGIC",
+    "RawFrame",
+    "StreamContainerReader",
+    "StreamContainerWriter",
+    "decode_frame",
+    "encode_frame",
+    "pack_records",
+    "unpack_records",
+]
 
 #: Magic bytes opening every stream container file.
 MAGIC = b"RPSTRM01"
@@ -75,31 +89,8 @@ TRAILER_SIZE = 8 + 4 + len(END_MAGIC)
 # ------------------------------------------------------------- record blocks
 
 
-def pack_records(records: Sequence[str]) -> bytes:
-    """Serialise records into the shared uncompressed record-block layout."""
-    out = bytearray()
-    out += encode_uvarint(len(records))
-    for record in records:
-        payload = record.encode("utf-8")
-        out += encode_uvarint(len(payload))
-        out += payload
-    return bytes(out)
-
-
-def unpack_records(data: bytes) -> list[str]:
-    """Invert :func:`pack_records`; rejects trailing bytes."""
-    count, offset = decode_uvarint(data, 0)
-    records: list[str] = []
-    for _ in range(count):
-        length, offset = decode_uvarint(data, offset)
-        end = offset + length
-        if end > len(data):
-            raise StreamFormatError("truncated record block")
-        records.append(data[offset:end].decode("utf-8"))
-        offset = end
-    if offset != len(data):
-        raise StreamFormatError(f"{len(data) - offset} trailing bytes after record block")
-    return records
+# pack_records / unpack_records moved to repro.codecs.base (the registry owns
+# the shared record-block layout); re-exported above for existing importers.
 
 
 # -------------------------------------------------------------------- frames

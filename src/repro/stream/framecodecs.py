@@ -1,348 +1,55 @@
-"""Frame codecs: how a run of records becomes one compressed frame body.
+"""Frame codecs: the stream pipeline's view of the :mod:`repro.codecs` registry.
 
-Every frame in a stream container is compressed by exactly one *frame codec*,
-identified by a one-byte codec id stored in the frame header.  A frame codec
-owns three things:
+Every frame in a stream container is compressed by exactly one codec,
+identified by the one-byte registry id stored in the frame header.  The codec
+classes and the id/name tables that used to live here moved to
+:mod:`repro.codecs` (the process-wide single source of truth shared with
+TierBase, the LSM SSTables, the block stores and the service); this module
+keeps the frame-specific pieces:
 
-* ``train(records) -> bytes`` — build the codec's trained dictionary payload
-  (pattern dictionary for PBC, Zstd prefix dictionary, FSST symbol table; raw
-  and stdlib codecs return ``b""``) that is persisted inside the frame,
-* ``encode(records, dict_payload) -> (body, outliers)`` — compress the records
-  into the frame body (``outliers`` is the number of records a pattern-based
-  codec had to store raw; 0 for byte-oriented codecs),
-* ``decode(body, dict_payload) -> list[str]`` — the exact inverse.
+* the ``frame_codec_*`` lookups, thin aliases over the registry kept for the
+  stream pipeline's vocabulary (an unknown id still raises
+  ``StreamFormatError`` via :class:`~repro.exceptions.UnknownCodecError`),
+* :class:`CompressedFrame` and the :func:`compress_frame` /
+  :func:`decompress_frame` worker entry points of the parallel pipeline: plain
+  top-level functions taking only picklable arguments, so they run unchanged
+  in a thread pool or a process pool.
 
-Byte-oriented codecs additionally expose ``compress_bytes``/``decompress_bytes``
-over opaque payloads, which is what the :mod:`repro.stream.adapter` uses to
-serve as a block codec for :class:`repro.blockstore.BlockStore` and the LSM
-SSTables.  Pattern-based codecs are record-oriented and do not implement the
-byte-level interface.
-
-The module-level :func:`compress_frame` / :func:`decompress_frame` functions
-are the worker entry points of the parallel pipeline: they are plain top-level
-functions taking only picklable arguments, so they run unchanged in a thread
-pool or a process pool.  Trained compressors are memoised per process keyed by
-the dictionary payload digest, so a shared dictionary is deserialised once per
-worker rather than once per frame.
+Stream frames stay *self-contained*: the trained model payload travels inside
+the frame, so frames need no :class:`~repro.codecs.ModelStore` and any frame
+decodes in isolation — including in parallel workers.  (The versioned-epoch
+machinery is for stores whose payloads outlive the writer; see
+docs/FORMATS.md §6.)
 """
 
 from __future__ import annotations
 
-import gzip
-import hashlib
-import lzma
-import threading
 import time
-from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.compressors.fsst import FSSTCodec, SymbolTable, train_symbol_table
-from repro.compressors.zstdlike import ZstdLikeCodec, train_dictionary
-from repro.core.compressor import PBCCompressor, PBCFCompressor
-from repro.core.extraction import ExtractionConfig
-from repro.core.pattern import OUTLIER_PATTERN_ID, PatternDictionary
-from repro.entropy.varint import decode_uvarint, encode_uvarint
-from repro.exceptions import StreamError, StreamFormatError
-from repro.stream.format import pack_records, unpack_records
+from repro.codecs import Codec, codec_by_id, codec_by_name, codec_names
 
-#: Default extraction budget used when a PBC frame codec trains a dictionary.
-DEFAULT_EXTRACTION = ExtractionConfig(max_patterns=16, sample_size=256)
-
-
-class FrameCodec(ABC):
-    """One entry of the frame codec registry."""
-
-    #: one-byte id stored in every frame header.
-    codec_id: int = -1
-    #: name used by the CLI, the adaptive selector and reports.
-    name: str = "frame-codec"
-    #: whether :meth:`train` produces a non-empty dictionary payload.
-    trains: bool = False
-    #: whether the codec is CPU-bound pure Python (prefers a process pool).
-    cpu_bound: bool = False
-
-    def train(self, records: Sequence[str]) -> bytes:
-        """Train the codec's frame dictionary on sample records."""
-        del records
-        return b""
-
-    def train_bytes(self, payloads: Sequence[bytes]) -> bytes:
-        """Train the frame dictionary on opaque byte payloads (adapter path)."""
-        del payloads
-        return b""
-
-    def encode(self, records: Sequence[str], dict_payload: bytes = b"") -> tuple[bytes, int]:
-        """Compress records into a frame body; returns ``(body, outlier_count)``."""
-        return self.compress_bytes(pack_records(records), dict_payload), 0
-
-    def decode(self, body: bytes, dict_payload: bytes = b"") -> list[str]:
-        """Invert :meth:`encode`."""
-        return unpack_records(self.decompress_bytes(body, dict_payload))
-
-    # ------------------------------------------------------------ byte level
-
-    def compress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        """Compress an opaque byte payload (adapter path)."""
-        raise StreamError(f"frame codec {self.name!r} is record-oriented")
-
-    def decompress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        """Invert :meth:`compress_bytes`."""
-        raise StreamError(f"frame codec {self.name!r} is record-oriented")
-
-
-# ------------------------------------------------------- byte-oriented codecs
-
-
-class RawFrameCodec(FrameCodec):
-    """No compression; the baseline every candidate must beat."""
-
-    codec_id = 0
-    name = "raw"
-
-    def compress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        return bytes(data)
-
-    def decompress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        return bytes(data)
-
-
-class GzipFrameCodec(FrameCodec):
-    """stdlib gzip over the record block (fast, GIL-released C path)."""
-
-    codec_id = 1
-    name = "gzip"
-
-    def __init__(self, level: int = 6) -> None:
-        self.level = level
-
-    def compress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        return gzip.compress(data, compresslevel=self.level)
-
-    def decompress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        return gzip.decompress(data)
-
-
-class LZMAFrameCodec(FrameCodec):
-    """stdlib LZMA over the record block (slow, highest stdlib ratio)."""
-
-    codec_id = 2
-    name = "lzma"
-
-    def __init__(self, preset: int = 6) -> None:
-        self.preset = preset
-
-    def compress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        return lzma.compress(data, preset=self.preset)
-
-    def decompress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        return lzma.decompress(data)
-
-
-class ZstdFrameCodec(FrameCodec):
-    """Zstd-like codec with a per-stream trained prefix dictionary."""
-
-    codec_id = 3
-    name = "zstd"
-    trains = True
-    cpu_bound = True
-
-    def __init__(self, level: int = 3, dictionary_size: int = 4096) -> None:
-        self.level = level
-        self.dictionary_size = dictionary_size
-
-    def train(self, records: Sequence[str]) -> bytes:
-        return self.train_bytes([record.encode("utf-8") for record in records])
-
-    def train_bytes(self, payloads: Sequence[bytes]) -> bytes:
-        return train_dictionary(payloads, max_size=self.dictionary_size)
-
-    def _codec(self, dict_payload: bytes) -> ZstdLikeCodec:
-        return ZstdLikeCodec(level=self.level, dictionary=dict_payload)
-
-    def compress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        return self._codec(dict_payload).compress(data)
-
-    def decompress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        return self._codec(dict_payload).decompress(data)
-
-
-class FSSTFrameCodec(FrameCodec):
-    """FSST symbol table trained per stream, applied to the whole record block."""
-
-    codec_id = 4
-    name = "fsst"
-    trains = True
-    cpu_bound = True
-
-    def train(self, records: Sequence[str]) -> bytes:
-        return self.train_bytes([record.encode("utf-8") for record in records])
-
-    def train_bytes(self, payloads: Sequence[bytes]) -> bytes:
-        return train_symbol_table(payloads).to_bytes()
-
-    @staticmethod
-    def _table(dict_payload: bytes) -> SymbolTable:
-        if not dict_payload:
-            return SymbolTable()
-        table, _ = SymbolTable.from_bytes(dict_payload, 0)
-        return table
-
-    def compress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        return self._table(dict_payload).encode(data)
-
-    def decompress_bytes(self, data: bytes, dict_payload: bytes = b"") -> bytes:
-        return self._table(dict_payload).decode(data)
-
-
-# ---------------------------------------------------- pattern-oriented codecs
-
-
-class PBCFrameCodec(FrameCodec):
-    """Per-record PBC inside a frame; the dictionary payload is the pattern dict.
-
-    The frame body is ``uvarint(count)`` followed by length-prefixed per-record
-    PBC payloads, so a decoded frame still knows its record boundaries.
-    """
-
-    codec_id = 5
-    name = "pbc"
-    trains = True
-    cpu_bound = True
-
-    def __init__(self, config: ExtractionConfig | None = None) -> None:
-        self.config = config if config is not None else DEFAULT_EXTRACTION
-
-    def train(self, records: Sequence[str]) -> bytes:
-        compressor = PBCCompressor(config=self.config)
-        report = compressor.train(list(records))
-        return report.dictionary.to_bytes()
-
-    def _compressor(self, dict_payload: bytes) -> PBCCompressor:
-        if not dict_payload:
-            raise StreamFormatError("PBC frame is missing its pattern dictionary")
-        return PBCCompressor(dictionary=PatternDictionary.from_bytes(dict_payload))
-
-    def encode(self, records: Sequence[str], dict_payload: bytes = b"") -> tuple[bytes, int]:
-        compressor = _cached_compressor(self.codec_id, dict_payload, self._compressor)
-        stats = compressor.enable_stats(timed=False)
-        try:
-            payloads = [compressor.compress(record) for record in records]
-        finally:
-            compressor.disable_stats()
-        body = bytearray()
-        body += encode_uvarint(len(payloads))
-        for payload in payloads:
-            body += encode_uvarint(len(payload))
-            body += payload
-        return bytes(body), stats.outliers
-
-    def decode(self, body: bytes, dict_payload: bytes = b"") -> list[str]:
-        compressor = _cached_compressor(self.codec_id, dict_payload, self._compressor)
-        count, offset = decode_uvarint(body, 0)
-        records: list[str] = []
-        for _ in range(count):
-            length, offset = decode_uvarint(body, offset)
-            end = offset + length
-            if end > len(body):
-                raise StreamFormatError("truncated PBC frame body")
-            records.append(compressor.decompress(body[offset:end]))
-            offset = end
-        if offset != len(body):
-            raise StreamFormatError("trailing bytes after PBC frame body")
-        return records
-
-
-class PBCFFrameCodec(PBCFrameCodec):
-    """PBC_F frames: PBC plus a trained FSST pass over every record payload.
-
-    The dictionary payload concatenates the pattern dictionary and the FSST
-    symbol table: ``uvarint(len(pbc_dict)) + pbc_dict + fsst_table``.
-    """
-
-    codec_id = 6
-    name = "pbc_f"
-
-    def train(self, records: Sequence[str]) -> bytes:
-        compressor = PBCFCompressor(config=self.config)
-        report = compressor.train(list(records))
-        pbc_payload = report.dictionary.to_bytes()
-        residual = compressor._residual_codec
-        table_payload = residual.table.to_bytes() if isinstance(residual, FSSTCodec) else b""
-        return bytes(encode_uvarint(len(pbc_payload))) + pbc_payload + table_payload
-
-    def _compressor(self, dict_payload: bytes) -> PBCCompressor:
-        if not dict_payload:
-            raise StreamFormatError("PBC_F frame is missing its dictionary payload")
-        pbc_length, offset = decode_uvarint(dict_payload, 0)
-        end = offset + pbc_length
-        if end > len(dict_payload):
-            raise StreamFormatError("truncated PBC_F dictionary payload")
-        dictionary = PatternDictionary.from_bytes(dict_payload[offset:end])
-        table_payload = dict_payload[end:]
-        table, _ = SymbolTable.from_bytes(table_payload, 0) if table_payload else (SymbolTable(), 0)
-        return PBCFCompressor(dictionary=dictionary, residual_codec=FSSTCodec(table=table))
-
-
-# ------------------------------------------------------------------- registry
-
-FRAME_CODECS: tuple[FrameCodec, ...] = (
-    RawFrameCodec(),
-    GzipFrameCodec(),
-    LZMAFrameCodec(),
-    ZstdFrameCodec(),
-    FSSTFrameCodec(),
-    PBCFrameCodec(),
-    PBCFFrameCodec(),
-)
-
-FRAME_CODECS_BY_ID: dict[int, FrameCodec] = {codec.codec_id: codec for codec in FRAME_CODECS}
-FRAME_CODECS_BY_NAME: dict[str, FrameCodec] = {codec.name: codec for codec in FRAME_CODECS}
+#: Back-compat alias: stream code and tests spell the interface ``FrameCodec``.
+FrameCodec = Codec
 
 
 def frame_codec_by_id(codec_id: int) -> FrameCodec:
-    """Look up a frame codec by its one-byte id."""
-    try:
-        return FRAME_CODECS_BY_ID[codec_id]
-    except KeyError as error:
-        raise StreamFormatError(f"unknown frame codec id {codec_id}") from error
+    """Look up a frame codec by its one-byte registry id."""
+    return codec_by_id(codec_id)
 
 
 def frame_codec_by_name(name: str) -> FrameCodec:
     """Look up a frame codec by name (case-insensitive)."""
-    try:
-        return FRAME_CODECS_BY_NAME[name.lower()]
-    except KeyError as error:
-        raise StreamError(
-            f"unknown frame codec {name!r}; available: {sorted(FRAME_CODECS_BY_NAME)}"
-        ) from error
+    return codec_by_name(name)
 
 
 def frame_codec_names() -> list[str]:
-    """Names of all registered frame codecs."""
-    return sorted(FRAME_CODECS_BY_NAME)
+    """Names of all registered codecs (sorted)."""
+    return codec_names()
 
 
 # ------------------------------------------------- worker-process entry points
-
-
-#: Cache of deserialised compressors keyed by (thread id, codec id, dict digest).
-#: The thread id keeps each pool worker on its own instance: PBCCompressor
-#: carries mutable monitoring/stats state, so sharing one across threads would
-#: race (process-pool workers are isolated by construction).
-_COMPRESSOR_CACHE: dict[tuple[int, int, bytes], PBCCompressor] = {}
-_COMPRESSOR_CACHE_LIMIT = 32
-
-
-def _cached_compressor(codec_id: int, dict_payload: bytes, build) -> PBCCompressor:
-    key = (threading.get_ident(), codec_id, hashlib.sha1(dict_payload).digest())
-    compressor = _COMPRESSOR_CACHE.get(key)
-    if compressor is None:
-        compressor = build(dict_payload)
-        if len(_COMPRESSOR_CACHE) >= _COMPRESSOR_CACHE_LIMIT:
-            _COMPRESSOR_CACHE.pop(next(iter(_COMPRESSOR_CACHE)))
-        _COMPRESSOR_CACHE[key] = compressor
-    return compressor
 
 
 @dataclass(frozen=True)
@@ -374,11 +81,11 @@ class CompressedFrame:
 def compress_frame(codec_id: int, records: Sequence[str], dict_payload: bytes = b"") -> CompressedFrame:
     """Compress one frame; top-level and picklable, runs in pool workers.
 
-    When ``dict_payload`` is empty and the codec trains, the dictionary is
-    trained on the frame's own records inside the worker (self-contained
-    frames); otherwise the provided shared dictionary is reused.
+    When ``dict_payload`` is empty and the codec trains, the model is trained
+    on the frame's own records inside the worker (self-contained frames);
+    otherwise the provided shared model payload is reused.
     """
-    codec = frame_codec_by_id(codec_id)
+    codec = codec_by_id(codec_id)
     started = time.perf_counter()
     if codec.trains and not dict_payload:
         dict_payload = codec.train(records)
@@ -397,4 +104,4 @@ def compress_frame(codec_id: int, records: Sequence[str], dict_payload: bytes = 
 
 def decompress_frame(codec_id: int, dict_payload: bytes, body: bytes) -> list[str]:
     """Decode one frame body back into records (pool-worker safe)."""
-    return frame_codec_by_id(codec_id).decode(body, dict_payload)
+    return codec_by_id(codec_id).decode(body, dict_payload)

@@ -10,6 +10,7 @@ from repro.tierbase.compression import (
     NoopValueCompressor,
     PBCValueCompressor,
     ValueCompressor,
+    VersionedValueCompressor,
     ZstdDictValueCompressor,
 )
 from repro.tierbase.store import CompressionMonitor, StoreStats, TierBase
@@ -22,6 +23,7 @@ __all__ = [
     "StoreStats",
     "TierBase",
     "ValueCompressor",
+    "VersionedValueCompressor",
     "WorkloadResult",
     "WorkloadSpec",
     "ZstdDictValueCompressor",

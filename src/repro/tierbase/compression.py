@@ -7,6 +7,13 @@ way.  The store only sees this small plugin interface:
 
 * ``train(sample_values)`` — offline training on a sample of the workload,
 * ``compress`` / ``decompress`` — per-value transform applied on SET / GET.
+
+Since the :mod:`repro.codecs` refactor every trained compressor is a thin view
+over a :class:`~repro.codecs.VersionedCodec`: training installs a new model
+*epoch*, every compressed payload carries a ``codec_magic + uvarint(epoch)``
+header (docs/FORMATS.md §6), and decompression resolves the exact model that
+wrote the bytes.  Retraining therefore never rewrites stored values — old
+epochs stay decodable until no live payload references them.
 """
 
 from __future__ import annotations
@@ -14,9 +21,12 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Sequence
 
-from repro.compressors.zstdlike import ZstdLikeCodec, train_dictionary
-from repro.core.compressor import PBCCompressor, PBCFCompressor
+from repro.codecs import ModelStore, VersionedCodec, payload_epoch
+from repro.codecs.builtin import PBCCodec, PBCFCodec, ZstdCodec
+from repro.codecs.registry import codec_by_name
+from repro.core.compressor import PBCCompressor
 from repro.core.extraction import ExtractionConfig
+from repro.exceptions import CodecError
 
 
 class ValueCompressor(ABC):
@@ -37,6 +47,50 @@ class ValueCompressor(ABC):
     def decompress(self, data: bytes) -> str:
         """Invert :meth:`compress`."""
 
+    # --------------------------------------------------------- epoch surface
+    #
+    # Plain (un-versioned) compressors live entirely at epoch 0; the
+    # versioned subclasses override everything below.
+
+    @property
+    def current_epoch(self) -> int:
+        """The model epoch new payloads are written at (0 = untrained/plain)."""
+        return 0
+
+    @property
+    def outlier_rate(self) -> float:
+        """Outlier fraction since the current epoch (0.0 for non-pattern codecs)."""
+        return 0.0
+
+    def payload_epoch(self, data: bytes) -> int:
+        """The epoch stamped into a payload produced by :meth:`compress`."""
+        del data
+        return 0
+
+    def compress_at(self, value: str, epoch: int) -> bytes:
+        """Headerless value body at ``epoch`` (SSTable blocks stamp it once)."""
+        del epoch
+        return self.compress(value)
+
+    def decompress_at(self, data: bytes, epoch: int) -> str:
+        """Invert :meth:`compress_at` for a body written at ``epoch``."""
+        del epoch
+        return self.decompress(data)
+
+    def acquire_epoch(self, epoch: int) -> None:
+        """Record one live payload written at ``epoch`` (retention refcount)."""
+
+    def release_epoch(self, epoch: int) -> None:
+        """Drop one live-payload reference (may prune the epoch's model)."""
+
+    def dump_models(self) -> bytes | None:
+        """Serialised model store, for stores whose payloads outlive the
+        process (on-disk LSM shards); ``None`` for un-versioned compressors."""
+        return None
+
+    def load_models(self, data: bytes) -> None:
+        """Restore a model store produced by :meth:`dump_models` (no-op here)."""
+
 
 class NoopValueCompressor(ValueCompressor):
     """Stores values uncompressed (the "Uncompressed" Table 8 row)."""
@@ -53,50 +107,108 @@ class NoopValueCompressor(ValueCompressor):
         return data.decode("utf-8")
 
 
-class ZstdDictValueCompressor(ValueCompressor):
-    """Zstd with a workload-trained dictionary (TierBase's original solution)."""
+class VersionedValueCompressor(ValueCompressor):
+    """A :class:`ValueCompressor` over a registry codec with versioned models.
 
-    name = "Zstd"
+    ``compress`` stamps the current epoch into every payload; ``decompress``
+    reads it back and decodes with the exact model that wrote the bytes, so a
+    retrain (a new :meth:`train` call) never invalidates stored payloads.
+    """
 
-    def __init__(self, level: int = 3, dictionary_size: int = 4096) -> None:
-        self.level = level
-        self.dictionary_size = dictionary_size
-        self._codec = ZstdLikeCodec(level=level)
+    def __init__(self, codec, name: str | None = None) -> None:
+        if isinstance(codec, str):
+            codec = codec_by_name(codec)
+        self.versioned = VersionedCodec(codec)
+        self.name = name if name is not None else codec.name
+
+    @property
+    def codec(self):
+        """The underlying registry codec."""
+        return self.versioned.codec
+
+    @property
+    def models(self):
+        """The :class:`~repro.codecs.ModelStore` of retained epochs."""
+        return self.versioned.models
 
     def train(self, sample_values: Sequence[str]) -> None:
-        dictionary = train_dictionary(
-            (value.encode("utf-8") for value in sample_values), max_size=self.dictionary_size
-        )
-        self._codec = ZstdLikeCodec(level=self.level, dictionary=dictionary)
+        self.versioned.train(sample_values)
 
     def compress(self, value: str) -> bytes:
-        return self._codec.compress(value.encode("utf-8"))
+        return self.versioned.compress_record(value)
 
     def decompress(self, data: bytes) -> str:
-        return self._codec.decompress(data).decode("utf-8")
+        return self.versioned.decompress_record(data)
+
+    # --------------------------------------------------------- epoch surface
+
+    @property
+    def current_epoch(self) -> int:
+        return self.versioned.current_epoch
+
+    @property
+    def outlier_rate(self) -> float:
+        return self.versioned.outlier_rate
+
+    def payload_epoch(self, data: bytes) -> int:
+        return payload_epoch(data)
+
+    def compress_at(self, value: str, epoch: int) -> bytes:
+        return self.versioned.encode_body(value, self.versioned.models.get(epoch))
+
+    def decompress_at(self, data: bytes, epoch: int) -> str:
+        return self.versioned.decode_body(data, epoch)
+
+    def acquire_epoch(self, epoch: int) -> None:
+        self.versioned.models.acquire(epoch)
+
+    def release_epoch(self, epoch: int) -> None:
+        self.versioned.models.release(epoch)
+
+    def dump_models(self) -> bytes | None:
+        # Codec magic leads so a restore with a different compressor fails
+        # with a typed mismatch instead of feeding wrong models into decode.
+        return bytes([self.codec.codec_id]) + self.versioned.models.to_bytes()
+
+    def load_models(self, data: bytes) -> None:
+        if not data:
+            raise CodecError("empty persisted model store")
+        if data[0] != self.codec.codec_id:
+            raise CodecError(
+                f"persisted model store was written by codec id {data[0]}, but this "
+                f"compressor is {self.codec.name!r} (id {self.codec.codec_id}); "
+                "reopen the store with the codec that wrote it"
+            )
+        self.versioned.restore_models(ModelStore.from_bytes(data[1:]))
 
 
-class PBCValueCompressor(ValueCompressor):
+class ZstdDictValueCompressor(VersionedValueCompressor):
+    """Zstd with a workload-trained dictionary (TierBase's original solution)."""
+
+    def __init__(self, level: int = 3, dictionary_size: int = 4096) -> None:
+        super().__init__(ZstdCodec(level=level, dictionary_size=dictionary_size), name="Zstd")
+        self.level = level
+        self.dictionary_size = dictionary_size
+
+
+class PBCValueCompressor(VersionedValueCompressor):
     """PBC_F with workload-trained patterns (the paper's integration, Table 8)."""
-
-    name = "PBC_F"
 
     def __init__(self, config: ExtractionConfig | None = None, use_fsst: bool = True) -> None:
         self.config = config if config is not None else ExtractionConfig()
-        compressor_class = PBCFCompressor if use_fsst else PBCCompressor
-        self._pbc = compressor_class(config=self.config)
-        self.name = self._pbc.name  # "PBC_F" with FSST, plain "PBC" without
+        codec_class = PBCFCodec if use_fsst else PBCCodec
+        codec = codec_class(config=self.config)
+        # "PBC_F" with FSST, plain "PBC" without — the Table 8 row names.
+        super().__init__(codec, name="PBC_F" if use_fsst else "PBC")
 
     @property
     def pbc(self) -> PBCCompressor:
-        """The underlying PBC compressor (exposed for monitoring and tests)."""
-        return self._pbc
+        """A PBC compressor bound to the current model (monitoring and tests).
 
-    def train(self, sample_values: Sequence[str]) -> None:
-        self._pbc.train(list(sample_values))
-
-    def compress(self, value: str) -> bytes:
-        return self._pbc.compress(value)
-
-    def decompress(self, data: bytes) -> str:
-        return self._pbc.decompress(data)
+        Untrained (epoch 0) it is a fresh untrained compressor, matching the
+        pre-registry contract of this property.
+        """
+        payload = self.versioned.models.current.payload
+        if not payload:
+            return PBCCompressor(config=self.config)
+        return self.codec.record_coder(payload)

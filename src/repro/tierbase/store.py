@@ -8,66 +8,32 @@ same compression integration points (docs/ARCHITECTURE.md, substitution 4):
 * offline, per-workload training of the value compressor (Zstd dictionary or
   PBC_F patterns) on a sample of values;
 * SET compresses the value, GET decompresses it;
-* a monitoring component tracks the achieved compression ratio and — for PBC —
-  the unmatched-record rate, and flags the workload for re-training when either
-  deteriorates past its threshold.
+* a :class:`~repro.codecs.ModelLifecycle` (reservoir + drift monitor) flags
+  the workload for re-training when the compression ratio or the PBC
+  unmatched-record rate deteriorates past its threshold.
+
+Retraining is **epoch-based** (:mod:`repro.codecs.model`): it installs a new
+trained model and leaves every stored payload untouched — each payload header
+names the epoch that wrote it, and the store ref-counts live payloads per
+epoch so superseded models are pruned only once nothing references them.
+The pre-registry stop-the-world path (decompress everything, retrain,
+recompress) survives as ``retrain(..., rewrite=True)`` for the
+``benchmarks/bench_retrain.py`` before/after comparison.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from repro.core.compressor import PBCCompressor
+from repro.codecs.lifecycle import DriftMonitor, ModelLifecycle
 from repro.exceptions import StoreError
-from repro.tierbase.compression import NoopValueCompressor, PBCValueCompressor, ValueCompressor
+from repro.tierbase.compression import NoopValueCompressor, ValueCompressor
 
-
-@dataclass
-class CompressionMonitor:
-    """Tracks the live compression ratio and the unmatched-pattern rate.
-
-    ``ratio_threshold`` is the ratio above which the workload is considered to
-    have drifted (Zstd path); ``unmatched_threshold`` is the outlier-rate limit
-    of the PBC path (Section 7.5's counter of records that match no pattern).
-    """
-
-    ratio_threshold: float = 0.8
-    unmatched_threshold: float = 0.2
-    original_bytes: int = 0
-    stored_bytes: int = 0
-    values_seen: int = 0
-    retraining_events: int = 0
-
-    @property
-    def ratio(self) -> float:
-        """Observed compression ratio over all SET operations."""
-        if self.original_bytes == 0:
-            return 1.0
-        return self.stored_bytes / self.original_bytes
-
-    def observe(self, original_size: int, stored_size: int) -> None:
-        """Record one SET operation."""
-        self.original_bytes += original_size
-        self.stored_bytes += stored_size
-        self.values_seen += 1
-
-    def needs_retraining(self, pbc: PBCCompressor | None = None) -> bool:
-        """Whether the monitored signals crossed their thresholds."""
-        if self.values_seen < 64:
-            return False
-        if self.ratio > self.ratio_threshold:
-            return True
-        if pbc is not None and pbc.outlier_rate > self.unmatched_threshold:
-            return True
-        return False
-
-    def reset(self) -> None:
-        """Clear the counters after a re-training event."""
-        self.original_bytes = 0
-        self.stored_bytes = 0
-        self.values_seen = 0
-        self.retraining_events += 1
+#: Back-compat alias: the monitor moved to :mod:`repro.codecs.lifecycle`.
+#: Contract change with the move: ``needs_retraining`` takes the outlier
+#: *rate* (a float) rather than the PBC compressor object it used to inspect.
+CompressionMonitor = DriftMonitor
 
 
 @dataclass
@@ -99,13 +65,18 @@ class TierBase:
         compressor: ValueCompressor | None = None,
         ratio_threshold: float = 0.8,
         unmatched_threshold: float = 0.2,
+        train_size: int = 256,
     ) -> None:
         self.compressor = compressor if compressor is not None else NoopValueCompressor()
-        self.monitor = CompressionMonitor(
-            ratio_threshold=ratio_threshold, unmatched_threshold=unmatched_threshold
+        self.lifecycle = ModelLifecycle(
+            reservoir_size=train_size,
+            ratio_threshold=ratio_threshold,
+            unmatched_threshold=unmatched_threshold,
         )
+        self.monitor = self.lifecycle.monitor
         self._data: dict[str, bytes] = {}
         self._original_sizes: dict[str, int] = {}
+        self._epochs: dict[str, int] = {}
         self._sets = 0
         self._gets = 0
         self._hits = 0
@@ -119,17 +90,39 @@ class TierBase:
             raise StoreError("cannot train the value compressor on an empty sample")
         self.compressor.train(sample_values)
 
-    def retrain(self, sample_values: Sequence[str]) -> None:
-        """Re-train the compressor and recompress every stored value."""
-        # Decompress everything with the *current* dictionary before training
-        # replaces it — the stored payloads are undecodable afterwards.
-        existing = {key: self.get(key) for key in list(self._data)}
-        self.train(sample_values)
-        self.monitor.reset()
+    def retrain(self, sample_values: Sequence[str] | None = None, rewrite: bool = False) -> None:
+        """Re-train the compressor on ``sample_values`` (default: the reservoir
+        of recent values).
+
+        The epoch model makes this cheap: a new model is installed for future
+        SETs while stored payloads keep decoding against the epoch stamped in
+        their headers — nothing is rewritten and reads are never blocked.
+        ``rewrite=True`` restores the pre-epoch stop-the-world behaviour
+        (decompress everything, retrain, recompress) for benchmarking.
+        """
+        if rewrite:
+            # Decompress everything with the models that wrote it *before*
+            # re-compressing under the new epoch.
+            existing = {key: self.get(key) for key in list(self._data)}
+            self._retrain_model(sample_values)
+            self._clear_payloads()
+            for key, value in existing.items():
+                self.set(key, value)
+            return
+        self._retrain_model(sample_values)
+
+    def _retrain_model(self, sample_values: Sequence[str] | None) -> None:
+        if sample_values is not None and not sample_values:
+            raise StoreError("cannot train the value compressor on an empty sample")
+        if not self.lifecycle.retrain(self.compressor.train, sample_values):
+            raise StoreError("cannot retrain: no sample provided and the reservoir is empty")
+
+    def _clear_payloads(self) -> None:
+        for epoch in self._epochs.values():
+            self.compressor.release_epoch(epoch)
         self._data.clear()
         self._original_sizes.clear()
-        for key, value in existing.items():
-            self.set(key, value)
+        self._epochs.clear()
 
     # ------------------------------------------------------------- operations
 
@@ -137,10 +130,16 @@ class TierBase:
         """Store ``value`` under ``key`` (compressed)."""
         payload = self.compressor.compress(value)
         original_size = len(value.encode("utf-8"))
+        epoch = self.compressor.payload_epoch(payload)
+        previous = self._epochs.get(key)
+        self.compressor.acquire_epoch(epoch)
+        if previous is not None:
+            self.compressor.release_epoch(previous)
+        self._epochs[key] = epoch
         self._data[key] = payload
         self._original_sizes[key] = original_size
         self._sets += 1
-        self.monitor.observe(original_size, len(payload))
+        self.lifecycle.observe(value, original_size, len(payload))
 
     def get(self, key: str) -> str:
         """Fetch and decompress the value stored under ``key``."""
@@ -169,6 +168,9 @@ class TierBase:
         existed = key in self._data
         self._data.pop(key, None)
         self._original_sizes.pop(key, None)
+        epoch = self._epochs.pop(key, None)
+        if epoch is not None:
+            self.compressor.release_epoch(epoch)
         return existed
 
     def exists(self, key: str) -> bool:
@@ -194,8 +196,7 @@ class TierBase:
 
     def needs_retraining(self) -> bool:
         """Whether the compression monitor recommends a re-training pass."""
-        pbc = self.compressor.pbc if isinstance(self.compressor, PBCValueCompressor) else None
-        return self.monitor.needs_retraining(pbc)
+        return self.lifecycle.needs_retrain(self.compressor.outlier_rate)
 
     def stats(self) -> StoreStats:
         """Aggregate statistics snapshot."""

@@ -71,6 +71,16 @@ class TestListingCommands:
         for name in ("zstd", "lz4", "fsst", "repair", "sequitur"):
             assert name in output
 
+    def test_codecs_list_prints_the_registry(self, capsys):
+        from repro.codecs import codec_specs
+
+        assert main(["codecs", "list"]) == 0
+        output = capsys.readouterr().out
+        for spec in codec_specs():
+            assert spec.name in output
+            assert f"0x{spec.magic.hex().upper()}" in output
+        assert "trainable" in output
+
     def test_experiments_listing(self, capsys):
         assert main(["experiments"]) == 0
         output = capsys.readouterr().out

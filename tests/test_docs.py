@@ -30,10 +30,11 @@ def repro_packages() -> list[str]:
 
 
 def test_every_package_is_listed():
-    """Sanity: package discovery sees the expected layout (service included)."""
+    """Sanity: package discovery sees the expected layout (codecs included)."""
     packages = repro_packages()
     assert "core" in packages and "service" in packages and "stream" in packages
-    assert len(packages) >= 13
+    assert "codecs" in packages
+    assert len(packages) >= 14
 
 
 @pytest.mark.parametrize("document", ["docs/ARCHITECTURE.md", "README.md"])
@@ -66,17 +67,27 @@ class TestFormatsMatchCode:
 
         text = _read("docs/FORMATS.md")
         assert f"0x{sstable._MAGIC:08X}" in text
-        assert "STBL" in text
+        assert sstable._MAGIC.to_bytes(4, "big").decode("ascii") in text
 
-    def test_frame_codec_ids(self):
-        from repro.stream.framecodecs import frame_codec_by_name
+    def test_every_registered_codec_id_is_documented(self):
+        """FORMATS.md is pinned to the registry, not a hand-maintained list:
+        registering a codec without documenting it fails here."""
+        from repro.codecs import codec_specs
 
         text = _read("docs/FORMATS.md")
-        for name in ("raw", "gzip", "lzma", "zstd", "fsst", "pbc", "pbc_f"):
-            codec = frame_codec_by_name(name)
-            assert f"{codec.codec_id} `{codec.name}`" in text, (
-                f"FORMATS.md codec table is stale for {name!r} (id {codec.codec_id})"
+        specs = codec_specs()
+        assert specs, "codec registry is empty"
+        for spec in specs:
+            assert f"{spec.codec_id} `{spec.name}`" in text, (
+                f"FORMATS.md codec table is stale for {spec.name!r} (id {spec.codec_id})"
             )
+
+    def test_versioned_payload_header_documented(self):
+        text = _read("docs/FORMATS.md")
+        assert "Versioned value payload" in text
+        assert "uvarint(epoch)" in text
+        assert "ModelEpochError" in text
+        assert "uvarint(model_epoch)" in text  # SSTable record-policy block header
 
     def test_wal_and_outlier_constants(self):
         from repro.core.pattern import OUTLIER_PATTERN_ID
@@ -105,6 +116,26 @@ def test_documented_cli_commands_exist():
     for expected in ("train", "compress", "decompress", "inspect", "stream", "serve-bench",
                      "experiments", "experiment", "datasets", "codecs"):
         assert expected in commands, f"CLI command {expected!r} documented but not implemented"
+
+
+def test_serve_bench_compressor_choices_come_from_registry():
+    """The compressor menu is the registry's trainable codecs plus "none",
+    and the CLI (which derives it separately to stay import-light) agrees."""
+    from repro.cli import build_parser
+    from repro.codecs import trainable_codec_names
+    from repro.service.backends import COMPRESSOR_CHOICES
+
+    assert COMPRESSOR_CHOICES == ("none", *trainable_codec_names())
+    parser = build_parser()
+    serve_bench = next(
+        action.choices["serve-bench"]
+        for action in parser._actions
+        if hasattr(action, "choices") and action.choices and "serve-bench" in action.choices
+    )
+    compressor = next(
+        action for action in serve_bench._actions if "--compressor" in action.option_strings
+    )
+    assert tuple(compressor.choices) == COMPRESSOR_CHOICES
 
 
 def test_readme_mentions_service_quickstart():
