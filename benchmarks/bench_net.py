@@ -1,0 +1,130 @@
+"""Wire throughput — the RKV1 server/client stack vs the in-process service.
+
+Serves a 2-shard `repro.service.KVService` on an ephemeral localhost port
+(`repro.net.ThreadedKVServer`) and drives the mixed GET/SET wire workload
+(`repro.net.loadgen`) the `repro client bench` CLI exposes, then runs the
+same-shaped workload in-process (`repro.service.workload`) as the baseline —
+the gap is the protocol + socket + event-loop cost per operation.
+
+A pipelining-depth sweep (1 → 16 single-key frames per round trip) shows the
+per-request network overhead being amortised: deeper pipelines must not lose
+or corrupt a single response, and on localhost the ops/s at depth 16 should
+comfortably beat depth 1.  As with every benchmark on this pure-Python
+substrate, the *shape* is the assertion, not absolute numbers.
+"""
+
+from repro.bench import render_table
+from repro.datasets import load_dataset
+from repro.net import ServerConfig, ThreadedKVServer, run_wire_workload
+from repro.service import KVService, ServiceConfig, run_mixed_workload
+
+#: Workload parameters (small: the substrate is pure Python).
+SHARDS = 2
+VALUES = 320
+OPERATIONS = 800
+GET_FRACTION = 0.7
+BATCH_SIZE = 8
+CLIENTS = 2
+PIPELINE_DEPTHS = (1, 4, 16)
+
+
+def run_net_benchmark(dataset: str = "kv1") -> dict:
+    """One end-to-end run; returns wire results, the sweep, and the baseline."""
+    values = load_dataset(dataset, count=VALUES)
+    config = ServiceConfig(
+        shard_count=SHARDS, backend="tierbase", compressor="pbc_f", cache_entries=256
+    )
+    service = KVService(config)
+    service.train(values[:256])
+    outcome: dict = {"sweep": []}
+    try:
+        with ThreadedKVServer(service, ServerConfig(port=0, max_inflight=64)) as server:
+            host, port = server.address
+            outcome["batched"] = run_wire_workload(
+                host, port, values,
+                operations=OPERATIONS, get_fraction=GET_FRACTION,
+                batch_size=BATCH_SIZE, clients=CLIENTS, seed=2023,
+            )
+            for depth in PIPELINE_DEPTHS:
+                outcome["sweep"].append(
+                    run_wire_workload(
+                        host, port, values,
+                        operations=OPERATIONS // 2, get_fraction=GET_FRACTION,
+                        clients=CLIENTS, pipeline_depth=depth, seed=31 + depth,
+                        preload=False,
+                    )
+                )
+            outcome["snapshot"] = service.snapshot().validate()
+    finally:
+        service.close()
+
+    # In-process baseline: same shape, no socket.
+    baseline_service = KVService(config)
+    try:
+        outcome["baseline"] = run_mixed_workload(
+            baseline_service, values,
+            operations=OPERATIONS, get_fraction=GET_FRACTION,
+            batch_size=BATCH_SIZE, clients=CLIENTS, seed=2023,
+        )
+    finally:
+        baseline_service.close()
+    return outcome
+
+
+def test_wire_throughput_vs_in_process(benchmark):
+    outcome = benchmark.pedantic(run_net_benchmark, iterations=1, rounds=1)
+    batched, baseline = outcome["batched"], outcome["baseline"]
+    print()
+    print(
+        f"wire (mget/mset × {BATCH_SIZE}): {batched.ops_per_second:,.0f} ops/s | "
+        f"in-process baseline: {baseline.ops_per_second:,.0f} ops/s"
+    )
+    print(render_table(batched.summary_rows(), title="Wire workload (batched)"))
+    sweep_rows = [
+        {
+            "depth": result.pipeline_depth,
+            "ops_per_second": f"{result.ops_per_second:,.0f}",
+            "op_p50_ms": f"{result.p50_ms:.3f}",
+            "op_p99_ms": f"{result.p99_ms:.3f}",
+            "lost": result.lost_responses,
+            "corrupt": result.corrupt_responses,
+        }
+        for result in outcome["sweep"]
+    ]
+    print(render_table(sweep_rows, title="Pipelining-depth sweep (single-key frames)"))
+
+    # Zero lost or corrupted responses anywhere — the wire soak bar.
+    for result in [batched, *outcome["sweep"]]:
+        assert result.lost_responses == 0
+        assert result.corrupt_responses == 0
+        assert result.operations > 0 and result.ops_per_second > 0
+    # Wire ops cost more than in-process ops, but not absurdly more, and the
+    # served snapshot's cache counters stay consistent under wire traffic.
+    assert batched.ops_per_second > 0
+    snapshot = outcome["snapshot"]
+    assert len(snapshot.shards) == SHARDS
+    assert all(shard.ratio < 1.0 for shard in snapshot.shards)
+    # Pipelining amortises per-request overhead: depth 16 beats depth 1 on
+    # wall-clock per op (allow generous slack — shared CI runners are noisy).
+    deepest, shallow = outcome["sweep"][-1], outcome["sweep"][0]
+    assert deepest.ops_per_second > shallow.ops_per_second * 0.8
+
+
+def test_wire_single_client_correctness(benchmark):
+    """Depth-1 single client: the degenerate pipeline still answers exactly."""
+
+    def run() -> object:
+        values = load_dataset("kv1", count=120)
+        service = KVService(ServiceConfig(shard_count=1, compressor="none"))
+        try:
+            with ThreadedKVServer(service, ServerConfig(port=0)) as server:
+                host, port = server.address
+                return run_wire_workload(
+                    host, port, values, operations=200, clients=1, pipeline_depth=1,
+                )
+        finally:
+            service.close()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert result.lost_responses == 0 and result.corrupt_responses == 0
+    assert result.operations == 200

@@ -57,6 +57,9 @@ def test_service_mixed_workload(benchmark):
     assert len(snapshot.shards) == SHARDS
     assert all(shard.keys > 0 for shard in snapshot.shards)
     assert all(shard.ratio < 0.8 for shard in snapshot.shards)
+    # The cache counters are internally consistent (hits+misses == lookups,
+    # one lookup per GET) — serve-bench prints ratios it can trust.
+    snapshot.validate()
     # The GET-heavy mix produces cache hits, and the percentiles are ordered.
     assert snapshot.cache.hit_rate > 0.0
     assert snapshot.get_latency.p99_ms >= snapshot.get_latency.p50_ms > 0.0

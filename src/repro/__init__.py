@@ -12,7 +12,11 @@ The bigger subsystems are imported explicitly from their own packages:
 * :mod:`repro.blockstore`, :mod:`repro.lsm`, :mod:`repro.tierbase` — the
   storage substrates,
 * :mod:`repro.stream` — seekable containers and the parallel pipeline,
-* :mod:`repro.service` — the sharded concurrent KV service.
+* :mod:`repro.service` — the sharded concurrent KV service,
+* :mod:`repro.net` — the ``RKV1`` wire protocol, asyncio server, and
+  clients (``repro serve`` / ``repro client``); :class:`KVServer`,
+  :class:`KVClient` and :class:`AsyncKVClient` are also re-exported lazily
+  from this package.
 
 See ``docs/ARCHITECTURE.md`` for the full layer map and ``docs/FORMATS.md``
 for the on-disk byte layouts.
@@ -39,9 +43,22 @@ from repro.core.compressor import (
 from repro.core.extraction import ExtractionConfig, PatternExtractor
 from repro.core.pattern import Pattern, PatternDictionary
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
+
+#: Lazily re-exported from :mod:`repro.net` (keeps ``import repro`` light).
+_NET_EXPORTS = ("KVServer", "KVClient", "AsyncKVClient")
+
+
+def __getattr__(name: str):
+    if name in _NET_EXPORTS:
+        import repro.net as net
+
+        return getattr(net, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    *_NET_EXPORTS,
     "CompressionStats",
     "ExtractionConfig",
     "PBCBlockCompressor",

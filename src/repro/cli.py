@@ -21,6 +21,10 @@ file-based workflow:
   batched GET/SET workload against the sharded concurrent KV service and
   reports per-shard compression ratios, cache hit rate and latency
   percentiles.
+* ``pbc serve`` / ``pbc client get|set|del|ping|stats|bench`` — the
+  :mod:`repro.net` subsystem: the asyncio ``RKV1`` wire server over the KV
+  service, and the pooled client (including the mixed wire workload driver
+  with a pipelining-depth knob).
 
 Every command is a thin veneer over the library API, so anything the CLI does
 can also be done programmatically.
@@ -300,6 +304,161 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------- serve / client
+
+
+def _build_service(args: argparse.Namespace):
+    """Build (and optionally train) a KVService from serve-style arguments.
+
+    Returns ``(service, cleanup)`` where ``cleanup`` disposes any temp dir
+    auto-created for the lsm backend.
+    """
+    from repro.service import KVService, ServiceConfig
+
+    directory = args.directory
+    temporary = None
+    if args.backend == "lsm" and directory is None:
+        import tempfile
+
+        temporary = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        directory = temporary.name
+    config = ServiceConfig(
+        shard_count=args.shards,
+        backend=args.backend,
+        compressor=args.compressor,
+        directory=directory,
+        cache_entries=args.cache_entries,
+        train_size=args.train_size,
+    )
+    service = KVService(config)
+    if args.compressor != "none":
+        sample = load_dataset(args.train_dataset, count=args.train_count)
+        service.train(sample)
+    return service, (temporary.cleanup if temporary is not None else (lambda: None))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net import KVServer, ServerConfig
+
+    service, cleanup = _build_service(args)
+
+    async def main() -> None:
+        server = KVServer(
+            service,
+            ServerConfig(host=args.host, port=args.port, max_inflight=args.max_inflight),
+        )
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving {args.shards} {args.backend} shard(s) "
+            f"({args.compressor} compression) on {host}:{port}"
+        )
+        try:
+            if args.serve_seconds is None:
+                await server.serve_forever()
+            else:
+                await asyncio.sleep(args.serve_seconds)
+        finally:
+            await server.stop()
+            print(
+                f"drained: {server.connections_served} connection(s) served, "
+                f"{len(service)} key(s) stored"
+            )
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    finally:
+        service.close()
+        cleanup()
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from repro.net import KVClient
+
+    return KVClient(args.host, args.port, timeout=args.timeout)
+
+
+def _cmd_client_get(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        value = client.get(args.key)
+    if value is None:
+        print(f"(key {args.key!r} not found)", file=sys.stderr)
+        return 1
+    print(value)
+    return 0
+
+
+def _cmd_client_set(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        client.set(args.key, args.value)
+    print("OK")
+    return 0
+
+
+def _cmd_client_del(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        existed = client.delete(args.key)
+    print("deleted" if existed else "(key did not exist)")
+    return 0
+
+
+def _cmd_client_ping(args: argparse.Namespace) -> int:
+    import time
+
+    with _client(args) as client:
+        started = time.perf_counter()
+        client.ping()
+        elapsed = time.perf_counter() - started
+    print(f"PONG in {elapsed * 1e3:.2f} ms")
+    return 0
+
+
+def _cmd_client_stats(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        stats = client.stats()
+    shards = stats.pop("shards", [])
+    print(render_table([{"metric": key, "value": value} for key, value in stats.items()],
+                       title="Service stats"))
+    if shards:
+        print(render_table(shards, title="Per-shard"))
+    return 0
+
+
+def _cmd_client_bench(args: argparse.Namespace) -> int:
+    from repro.net import run_wire_workload
+
+    values = load_dataset(args.dataset, count=args.count)
+    result = run_wire_workload(
+        args.host,
+        args.port,
+        values,
+        operations=args.ops,
+        get_fraction=args.get_fraction,
+        batch_size=args.batch_size,
+        clients=args.clients,
+        pipeline_depth=args.depth,
+        seed=args.seed,
+        preload=not args.no_preload,
+        timeout=args.timeout,
+    )
+    mode = f"pipeline depth {args.depth}" if args.depth else "mget/mset batches"
+    print(
+        f"{result.operations} wire operations ({result.get_operations} GET / "
+        f"{result.set_operations} SET) from {args.clients} client(s), {mode}: "
+        f"{result.ops_per_second:,.0f} ops/s"
+    )
+    print(render_table(result.summary_rows(), title="Wire workload"))
+    if result.lost_responses or result.corrupt_responses:
+        print("error: lost or corrupted responses detected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiments(_: argparse.Namespace) -> int:
     rows = [
         {
@@ -485,6 +644,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument("--seed", type=int, default=2023, help="workload seed")
     serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve the sharded KV service over the RKV1 wire protocol (repro.net)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=9100, help="TCP port (default 9100; 0 = ephemeral)")
+    serve.add_argument("--shards", type=int, default=4, help="shard count (default 4)")
+    serve.add_argument(
+        "--backend", default="tierbase", choices=["tierbase", "lsm"],
+        help="shard backend (default tierbase)",
+    )
+    serve.add_argument(
+        "--compressor",
+        default="pbc_f",
+        choices=["none", *trainable_codec_names()],
+        help="per-shard value compressor (default pbc_f)",
+    )
+    serve.add_argument(
+        "--directory", default=None, help="base directory for the lsm backend (default: temp dir)"
+    )
+    serve.add_argument("--cache-entries", type=int, default=1024, help="compressed read-cache entries")
+    serve.add_argument("--train-size", type=int, default=256, help="retraining reservoir size")
+    serve.add_argument(
+        "--train-dataset",
+        default="kv1",
+        choices=sorted(DATASET_SPECS) + sorted(EXTRA_DATASET_SPECS),
+        help="dataset used to pre-train the shard compressors (default kv1)",
+    )
+    serve.add_argument("--train-count", type=int, default=256, help="pre-training sample size")
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="pipelined requests in flight per connection before backpressure",
+    )
+    serve.add_argument(
+        "--serve-seconds", type=float, default=None,
+        help="serve for N seconds then drain and exit (default: until interrupted)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = subparsers.add_parser("client", help="talk to a running 'repro serve' endpoint")
+    client.add_argument("--host", default="127.0.0.1", help="server host (default 127.0.0.1)")
+    client.add_argument("--port", type=int, default=9100, help="server port (default 9100)")
+    client.add_argument("--timeout", type=float, default=30.0, help="socket timeout seconds")
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+
+    client_get = client_sub.add_parser("get", help="fetch one key")
+    client_get.add_argument("key")
+    client_get.set_defaults(func=_cmd_client_get)
+
+    client_set = client_sub.add_parser("set", help="store one key")
+    client_set.add_argument("key")
+    client_set.add_argument("value")
+    client_set.set_defaults(func=_cmd_client_set)
+
+    client_del = client_sub.add_parser("del", help="delete one key")
+    client_del.add_argument("key")
+    client_del.set_defaults(func=_cmd_client_del)
+
+    client_ping = client_sub.add_parser("ping", help="round-trip latency check")
+    client_ping.set_defaults(func=_cmd_client_ping)
+
+    client_stats = client_sub.add_parser("stats", help="service-wide statistics tables")
+    client_stats.set_defaults(func=_cmd_client_stats)
+
+    client_bench = client_sub.add_parser(
+        "bench", help="mixed GET/SET wire workload (throughput, latency, pipelining)"
+    )
+    client_bench.add_argument(
+        "--dataset",
+        default="kv1",
+        choices=sorted(DATASET_SPECS) + sorted(EXTRA_DATASET_SPECS),
+        help="synthetic dataset providing the values (default kv1)",
+    )
+    client_bench.add_argument("--count", type=int, default=1000, help="values to preload")
+    client_bench.add_argument("--ops", type=int, default=2048, help="mixed operations")
+    client_bench.add_argument("--get-fraction", type=float, default=0.7, help="GET fraction")
+    client_bench.add_argument("--batch-size", type=int, default=8, help="mget/mset batch size")
+    client_bench.add_argument("--clients", type=int, default=2, help="client threads")
+    client_bench.add_argument(
+        "--depth", type=int, default=0,
+        help="pipeline depth for single-key frames (0 = use mget/mset batches)",
+    )
+    client_bench.add_argument("--seed", type=int, default=2023, help="workload seed")
+    client_bench.add_argument(
+        "--no-preload", action="store_true", help="skip the initial mset preload"
+    )
+    client_bench.set_defaults(func=_cmd_client_bench)
 
     experiments = subparsers.add_parser("experiments", help="list the registered paper experiments")
     experiments.set_defaults(func=_cmd_experiments)

@@ -87,6 +87,31 @@ class MissingModelError(CompressorError, StreamFormatError):
     """
 
 
+class NetError(ReproError):
+    """Base class for errors raised by the :mod:`repro.net` wire layer."""
+
+
+class ProtocolError(NetError):
+    """A wire frame is malformed: bad magic, unknown opcode, an oversized or
+    inconsistent declared length, or a stream that ends mid-frame."""
+
+
+class RemoteError(NetError):
+    """A server-side error relayed over the wire to a :mod:`repro.net` client.
+
+    ``kind`` names the exception class raised inside the server (for example
+    ``"ModelEpochError"`` or ``"ServiceError"``); ``remote_message`` carries
+    its message.  For kinds that name a known :mod:`repro.exceptions` class,
+    the client raises a subclass that *also* inherits the original type, so
+    ``except ModelEpochError`` keeps working across the wire.
+    """
+
+    def __init__(self, kind: str, remote_message: str) -> None:
+        super().__init__(f"{kind}: {remote_message}")
+        self.kind = kind
+        self.remote_message = remote_message
+
+
 class ModelEpochError(CodecError):
     """A payload references a trained-model epoch that is no longer retained.
 

@@ -1,0 +1,103 @@
+"""``repro.net`` — the ``RKV1`` wire protocol, server, and clients.
+
+Puts the sharded :class:`~repro.service.KVService` on a TCP socket — the wire
+the ROADMAP's "serve heavy traffic" north star needs, modelled on the paper's
+Section 7.5 production deployment of a compressed KV store behind network
+traffic:
+
+* :mod:`repro.net.protocol` — length-prefixed binary frames (magic ``RKV1``,
+  u8 opcode, uvarint lengths), typed request/response dataclasses, and an
+  incremental :class:`FrameDecoder` that tolerates partial reads and maps
+  every malformed input to a typed :class:`~repro.exceptions.ProtocolError`;
+* :mod:`repro.net.server` — the asyncio :class:`KVServer` (per-connection
+  reader task, request pipelining with a bounded in-flight queue for
+  backpressure, graceful drain on shutdown) and the thread-hosted
+  :class:`ThreadedKVServer` harness; service calls are bridged with
+  ``run_in_executor`` so the shard executors keep backend ownership;
+* :mod:`repro.net.client` — the pooled synchronous :class:`KVClient` (with
+  :class:`Pipeline` for N-requests-per-round-trip) and the asyncio
+  :class:`AsyncKVClient`; server errors come back as typed
+  :class:`~repro.exceptions.RemoteError` subclasses that also inherit the
+  original exception type (``ModelEpochError`` stays catchable);
+* :mod:`repro.net.loadgen` — the mixed GET/SET wire workload driver behind
+  ``repro client bench`` and ``benchmarks/bench_net.py``.
+
+Quick start::
+
+    from repro.service import KVService, ServiceConfig
+    from repro.net import KVClient, ServerConfig, ThreadedKVServer
+
+    service = KVService(ServiceConfig(shard_count=2, compressor="none"))
+    with ThreadedKVServer(service, ServerConfig(port=0)) as server:
+        host, port = server.address
+        with KVClient(host, port) as client:
+            client.set("k", "v")
+            assert client.get("k") == "v"
+    service.close()
+
+Or from the command line: ``repro serve --port 9100`` then
+``repro client --port 9100 get k``.
+"""
+
+from repro.net.client import AsyncKVClient, KVClient, Pipeline, remote_error
+from repro.net.loadgen import WireWorkloadResult, preload_over_wire, run_wire_workload
+from repro.net.protocol import (
+    DEFAULT_MAX_BODY,
+    MAGIC,
+    FRAME_TYPES,
+    CountResponse,
+    DeleteRequest,
+    ErrorResponse,
+    FrameDecoder,
+    GetRequest,
+    Message,
+    MGetRequest,
+    MSetRequest,
+    MultiValueResponse,
+    OkResponse,
+    PingRequest,
+    PongResponse,
+    SetRequest,
+    StatsRequest,
+    StatsResponse,
+    ValueResponse,
+    decode_frames,
+    encode_frame,
+    opcode_table,
+)
+from repro.net.server import KVServer, ServerConfig, ThreadedKVServer
+
+__all__ = [
+    "AsyncKVClient",
+    "CountResponse",
+    "DEFAULT_MAX_BODY",
+    "DeleteRequest",
+    "ErrorResponse",
+    "FRAME_TYPES",
+    "FrameDecoder",
+    "GetRequest",
+    "KVClient",
+    "KVServer",
+    "MAGIC",
+    "MGetRequest",
+    "MSetRequest",
+    "Message",
+    "MultiValueResponse",
+    "OkResponse",
+    "Pipeline",
+    "PingRequest",
+    "PongResponse",
+    "ServerConfig",
+    "SetRequest",
+    "StatsRequest",
+    "StatsResponse",
+    "ThreadedKVServer",
+    "ValueResponse",
+    "WireWorkloadResult",
+    "decode_frames",
+    "encode_frame",
+    "opcode_table",
+    "preload_over_wire",
+    "remote_error",
+    "run_wire_workload",
+]

@@ -1,0 +1,220 @@
+"""Wire-level workload driver: the network twin of :mod:`repro.service.workload`.
+
+Drives a running ``RKV1`` server from one or more client threads, each with
+its own :class:`~repro.net.client.KVClient`, and reports throughput plus
+per-round-trip latency percentiles.  Two issue modes cover the two ways the
+protocol batches work:
+
+* ``pipeline_depth == 0`` — **server-side batching**: each round trip is one
+  ``MGET``/``MSET`` frame of ``batch_size`` keys and the server fans out
+  across shards;
+* ``pipeline_depth >= 1`` — **client-side pipelining**: each round trip is
+  ``pipeline_depth`` single-key GET/SET frames written back-to-back (the
+  :class:`~repro.net.client.Pipeline` path), measuring how much of the
+  per-request network overhead pipelining amortises — the sweep
+  ``benchmarks/bench_net.py`` plots.
+
+Results returned by every round trip are checked against the expectation
+that preloaded keys exist, so a run doubles as a correctness soak:
+``lost_responses`` / ``corrupt_responses`` must be zero.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from threading import Thread
+from typing import Sequence
+
+from repro.exceptions import NetError
+from repro.net.client import KVClient
+from repro.service.stats import percentile
+
+
+@dataclass
+class WireWorkloadResult:
+    """Outcome of one mixed wire workload run."""
+
+    operations: int
+    get_operations: int
+    set_operations: int
+    elapsed_seconds: float
+    clients: int
+    pipeline_depth: int
+    #: GET results that were unexpectedly missing (preloaded key answered None).
+    lost_responses: int
+    #: GET results whose value did not match what the model says was written.
+    corrupt_responses: int
+    #: per-operation latencies (seconds), amortised over each round trip.
+    latencies: list[float]
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.operations / self.elapsed_seconds
+
+    @property
+    def p50_ms(self) -> float:
+        return percentile(sorted(self.latencies), 0.50) * 1e3
+
+    @property
+    def p99_ms(self) -> float:
+        return percentile(sorted(self.latencies), 0.99) * 1e3
+
+    def summary_rows(self) -> list[dict]:
+        """Rows for :func:`repro.bench.render_table`."""
+        return [
+            {"metric": "operations", "value": f"{self.operations:,}"},
+            {"metric": "clients", "value": self.clients},
+            {"metric": "pipeline_depth", "value": self.pipeline_depth or "mget/mset"},
+            {"metric": "ops_per_second", "value": f"{self.ops_per_second:,.0f}"},
+            {"metric": "op_p50_ms", "value": f"{self.p50_ms:.3f}"},
+            {"metric": "op_p99_ms", "value": f"{self.p99_ms:.3f}"},
+            {"metric": "lost_responses", "value": self.lost_responses},
+            {"metric": "corrupt_responses", "value": self.corrupt_responses},
+        ]
+
+
+def preload_over_wire(
+    client: KVClient, values: Sequence[str], key_prefix: str = "kv", batch: int = 64
+) -> list[str]:
+    """MSET every value over the wire; returns the key list."""
+    if not values:
+        raise NetError("cannot preload an empty value set")
+    keys = [f"{key_prefix}:{index}" for index in range(len(values))]
+    for start in range(0, len(keys), batch):
+        client.mset(list(zip(keys[start : start + batch], values[start : start + batch])))
+    return keys
+
+
+def run_wire_workload(
+    host: str,
+    port: int,
+    values: Sequence[str],
+    operations: int = 2048,
+    get_fraction: float = 0.7,
+    batch_size: int = 8,
+    clients: int = 2,
+    pipeline_depth: int = 0,
+    seed: int = 2023,
+    key_prefix: str = "kv",
+    preload: bool = True,
+    timeout: float = 30.0,
+) -> WireWorkloadResult:
+    """Preload (optionally) then drive a mixed GET/SET workload over TCP.
+
+    Writes rotate values across keys deterministically per client, and every
+    client tracks the values it wrote so GET responses can be checked: a
+    ``None`` for a preloaded key counts as lost, a value that matches neither
+    the preload nor any client's rotation for that key counts as corrupt.
+    """
+    if operations < 1:
+        raise NetError("workload needs at least one operation")
+    if not 0.0 <= get_fraction <= 1.0:
+        raise NetError("get fraction must be within [0, 1]")
+    if batch_size < 1 or pipeline_depth < 0:
+        raise NetError("batch size must be >= 1 and pipeline depth >= 0")
+    if clients < 1:
+        raise NetError("workload needs at least one client")
+
+    values = list(values)
+    if preload:
+        with KVClient(host, port, pool_size=1, timeout=timeout) as loader:
+            keys = preload_over_wire(loader, values, key_prefix=key_prefix)
+    else:
+        keys = [f"{key_prefix}:{index}" for index in range(len(values))]
+    # Any value from the rotation set is legal once overwrites race; the
+    # correctness bar for mixed concurrent clients is "a value some client
+    # actually wrote for a key with the same modulo class", which for the
+    # rotation scheme below collapses to membership of the value universe.
+    universe = set(values)
+
+    per_client = max(1, operations // clients)
+    stats = [[0, 0, 0, 0] for _ in range(clients)]  # gets, sets, lost, corrupt
+    latency_lists: list[list[float]] = [[] for _ in range(clients)]
+    failures: list[BaseException] = []
+
+    def check_gets(results: Sequence[str | None], client_id: int) -> None:
+        for result in results:
+            if result is None:
+                stats[client_id][2] += 1
+            elif result not in universe:
+                stats[client_id][3] += 1
+
+    def client_loop(client_id: int) -> None:
+        rng = random.Random(f"{seed}:{client_id}")
+        try:
+            with KVClient(host, port, pool_size=1, timeout=timeout) as client:
+                issued = 0
+                while issued < per_client:
+                    # Round-trip size: the mget/mset batch, or the pipeline
+                    # depth (batch_size has no effect in pipeline mode).
+                    size = min(
+                        pipeline_depth if pipeline_depth else batch_size,
+                        per_client - issued,
+                    )
+                    is_get = rng.random() < get_fraction
+                    started = time.perf_counter()
+                    if pipeline_depth == 0:
+                        if is_get:
+                            batch = [keys[rng.randrange(len(keys))] for _ in range(size)]
+                            check_gets(client.mget(batch), client_id)
+                        else:
+                            client.mset(
+                                [
+                                    (
+                                        keys[rng.randrange(len(keys))],
+                                        values[rng.randrange(len(values))],
+                                    )
+                                    for _ in range(size)
+                                ]
+                            )
+                    else:
+                        pipe = client.pipeline()
+                        for _ in range(size):
+                            if is_get:
+                                pipe.get(keys[rng.randrange(len(keys))])
+                            else:
+                                pipe.set(
+                                    keys[rng.randrange(len(keys))],
+                                    values[rng.randrange(len(values))],
+                                )
+                        results = pipe.execute()
+                        if is_get:
+                            check_gets(results, client_id)
+                    elapsed = time.perf_counter() - started
+                    latency_lists[client_id].extend([elapsed / size] * size)
+                    stats[client_id][0 if is_get else 1] += size
+                    issued += size
+        except BaseException as error:  # noqa: BLE001 — surfaced after join
+            failures.append(error)
+
+    started = time.perf_counter()
+    if clients == 1:
+        client_loop(0)
+    else:
+        threads = [
+            Thread(target=client_loop, args=(client_id,), name=f"kv-loadgen-{client_id}")
+            for client_id in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    elapsed = time.perf_counter() - started
+    if failures:
+        raise failures[0]
+
+    return WireWorkloadResult(
+        operations=sum(gets + sets for gets, sets, _, _ in stats),
+        get_operations=sum(gets for gets, _, _, _ in stats),
+        set_operations=sum(sets for _, sets, _, _ in stats),
+        elapsed_seconds=elapsed,
+        clients=clients,
+        pipeline_depth=pipeline_depth,
+        lost_responses=sum(lost for _, _, lost, _ in stats),
+        corrupt_responses=sum(corrupt for _, _, _, corrupt in stats),
+        latencies=[sample for samples in latency_lists for sample in samples],
+    )

@@ -1,0 +1,526 @@
+"""The ``RKV1`` wire protocol: length-prefixed binary frames over TCP.
+
+RESP-inspired, but length-prefixed instead of line-delimited so that frames
+can carry arbitrary binary keys and values (including empty ones and values
+far larger than a read buffer).  Every frame — request or response — has the
+same envelope (docs/FORMATS.md §7)::
+
+    magic   "RKV1"            4 bytes
+    opcode  u8                request 0x01–0x07 / response 0x80–0xBF
+    length  uvarint           body byte count (bounded by ``max_body``)
+    body    `length` bytes    per-opcode layout below
+
+Body layouts use the same LEB128 uvarints as every other on-disk format in
+the repository (:mod:`repro.entropy.varint`).  Responses arrive **in request
+order** on a connection — that is what makes client-side pipelining a pure
+framing concern with no request ids.
+
+The :class:`FrameDecoder` is incremental: it can be fed arbitrary chunks
+(one byte at a time, or many frames at once) and yields complete messages as
+they become available.  Malformed input — wrong magic, unknown opcode, a
+declared length above the limit, or a body whose internal lengths do not add
+up — raises the typed :class:`~repro.exceptions.ProtocolError` as soon as the
+offending bytes are seen; the decoder never waits for more input to reject a
+frame that is already provably bad, and never reads past the declared body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.entropy.varint import encode_uvarint
+from repro.exceptions import ProtocolError
+
+#: Frame envelope magic (every frame, both directions).
+MAGIC = b"RKV1"
+
+#: Default ceiling on a frame's declared body length (16 MiB).  A frame
+#: declaring more is rejected *before* any body byte is buffered.
+DEFAULT_MAX_BODY = 16 * 1024 * 1024
+
+#: A uvarint longer than this many bytes cannot fit in 64 bits.
+_MAX_UVARINT_BYTES = 10
+
+
+# ---------------------------------------------------------------- body cursor
+
+
+class _Cursor:
+    """Strict reader over a fully-buffered frame body.
+
+    Every overrun is a :class:`ProtocolError`: by the time a body is parsed
+    the decoder holds exactly ``length`` bytes, so running out means the
+    frame's internal lengths contradict its declared length.
+    """
+
+    def __init__(self, body: bytes) -> None:
+        self._body = body
+        self._offset = 0
+
+    def read_uvarint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            if self._offset >= len(self._body):
+                raise ProtocolError("frame body ends inside a uvarint")
+            byte = self._body[self._offset]
+            self._offset += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise ProtocolError("frame body uvarint does not fit in 64 bits")
+
+    def read_bytes(self, count: int) -> bytes:
+        end = self._offset + count
+        if end > len(self._body):
+            raise ProtocolError(
+                f"frame body declares {count} bytes where only "
+                f"{len(self._body) - self._offset} remain"
+            )
+        chunk = self._body[self._offset : end]
+        self._offset = end
+        return chunk
+
+    def read_u8(self) -> int:
+        return self.read_bytes(1)[0]
+
+    def read_blob(self) -> bytes:
+        return self.read_bytes(self.read_uvarint())
+
+    def finish(self) -> None:
+        if self._offset != len(self._body):
+            raise ProtocolError(
+                f"frame body has {len(self._body) - self._offset} trailing bytes"
+            )
+
+
+def _blob(data: bytes) -> bytes:
+    return encode_uvarint(len(data)) + data
+
+
+# ------------------------------------------------------------------- messages
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of every typed wire message (request or response)."""
+
+    #: opcode byte on the wire.
+    opcode: ClassVar[int]
+    #: opcode mnemonic used in docs and error messages.
+    wire_name: ClassVar[str]
+    #: "request" (client → server) or "response" (server → client).
+    direction: ClassVar[str]
+
+    def encode_body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "Message":
+        return cls()
+
+
+@dataclass(frozen=True)
+class PingRequest(Message):
+    opcode = 0x01
+    wire_name = "PING"
+    direction = "request"
+
+
+@dataclass(frozen=True)
+class GetRequest(Message):
+    opcode = 0x02
+    wire_name = "GET"
+    direction = "request"
+
+    key: bytes = b""
+
+    def encode_body(self) -> bytes:
+        return _blob(self.key)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "GetRequest":
+        return cls(key=cursor.read_blob())
+
+
+@dataclass(frozen=True)
+class SetRequest(Message):
+    opcode = 0x03
+    wire_name = "SET"
+    direction = "request"
+
+    key: bytes = b""
+    value: bytes = b""
+
+    def encode_body(self) -> bytes:
+        return _blob(self.key) + _blob(self.value)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "SetRequest":
+        return cls(key=cursor.read_blob(), value=cursor.read_blob())
+
+
+@dataclass(frozen=True)
+class DeleteRequest(Message):
+    opcode = 0x04
+    wire_name = "DEL"
+    direction = "request"
+
+    key: bytes = b""
+
+    def encode_body(self) -> bytes:
+        return _blob(self.key)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "DeleteRequest":
+        return cls(key=cursor.read_blob())
+
+
+@dataclass(frozen=True)
+class MGetRequest(Message):
+    opcode = 0x05
+    wire_name = "MGET"
+    direction = "request"
+
+    keys: tuple[bytes, ...] = ()
+
+    def encode_body(self) -> bytes:
+        parts = [encode_uvarint(len(self.keys))]
+        parts.extend(_blob(key) for key in self.keys)
+        return b"".join(parts)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "MGetRequest":
+        count = cursor.read_uvarint()
+        return cls(keys=tuple(cursor.read_blob() for _ in range(count)))
+
+
+@dataclass(frozen=True)
+class MSetRequest(Message):
+    opcode = 0x06
+    wire_name = "MSET"
+    direction = "request"
+
+    items: tuple[tuple[bytes, bytes], ...] = ()
+
+    def encode_body(self) -> bytes:
+        parts = [encode_uvarint(len(self.items))]
+        for key, value in self.items:
+            parts.append(_blob(key))
+            parts.append(_blob(value))
+        return b"".join(parts)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "MSetRequest":
+        count = cursor.read_uvarint()
+        return cls(
+            items=tuple((cursor.read_blob(), cursor.read_blob()) for _ in range(count))
+        )
+
+
+@dataclass(frozen=True)
+class StatsRequest(Message):
+    opcode = 0x07
+    wire_name = "STATS"
+    direction = "request"
+
+
+@dataclass(frozen=True)
+class OkResponse(Message):
+    """Acknowledges SET / MSET."""
+
+    opcode = 0x80
+    wire_name = "OK"
+    direction = "response"
+
+
+@dataclass(frozen=True)
+class PongResponse(Message):
+    opcode = 0x81
+    wire_name = "PONG"
+    direction = "response"
+
+
+@dataclass(frozen=True)
+class ValueResponse(Message):
+    """GET result: a one-byte presence flag, then the value blob if present."""
+
+    opcode = 0x82
+    wire_name = "VALUE"
+    direction = "response"
+
+    value: bytes | None = None
+
+    def encode_body(self) -> bytes:
+        if self.value is None:
+            return b"\x00"
+        return b"\x01" + _blob(self.value)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "ValueResponse":
+        flag = cursor.read_u8()
+        if flag == 0:
+            return cls(value=None)
+        if flag == 1:
+            return cls(value=cursor.read_blob())
+        raise ProtocolError(f"VALUE frame has invalid presence flag {flag}")
+
+
+@dataclass(frozen=True)
+class CountResponse(Message):
+    """DEL result (0/1 for existed) — a bare uvarint counter."""
+
+    opcode = 0x83
+    wire_name = "COUNT"
+    direction = "response"
+
+    count: int = 0
+
+    def encode_body(self) -> bytes:
+        return encode_uvarint(self.count)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "CountResponse":
+        return cls(count=cursor.read_uvarint())
+
+
+@dataclass(frozen=True)
+class MultiValueResponse(Message):
+    """MGET result: per-key presence flag + value blob, in request key order."""
+
+    opcode = 0x84
+    wire_name = "MVALUE"
+    direction = "response"
+
+    values: tuple[bytes | None, ...] = ()
+
+    def encode_body(self) -> bytes:
+        parts = [encode_uvarint(len(self.values))]
+        for value in self.values:
+            if value is None:
+                parts.append(b"\x00")
+            else:
+                parts.append(b"\x01" + _blob(value))
+        return b"".join(parts)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "MultiValueResponse":
+        count = cursor.read_uvarint()
+        values: list[bytes | None] = []
+        for _ in range(count):
+            flag = cursor.read_u8()
+            if flag == 0:
+                values.append(None)
+            elif flag == 1:
+                values.append(cursor.read_blob())
+            else:
+                raise ProtocolError(f"MVALUE frame has invalid presence flag {flag}")
+        return cls(values=tuple(values))
+
+
+@dataclass(frozen=True)
+class StatsResponse(Message):
+    """STATS result: a UTF-8 JSON document (see ``KVServer._handle_stats``)."""
+
+    opcode = 0x85
+    wire_name = "STATSV"
+    direction = "response"
+
+    payload: bytes = b"{}"
+
+    def encode_body(self) -> bytes:
+        return _blob(self.payload)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "StatsResponse":
+        return cls(payload=cursor.read_blob())
+
+
+@dataclass(frozen=True)
+class ErrorResponse(Message):
+    """A server-side failure: the exception class name and its message."""
+
+    opcode = 0xBF
+    wire_name = "ERR"
+    direction = "response"
+
+    kind: str = "ReproError"
+    message: str = ""
+
+    def encode_body(self) -> bytes:
+        return _blob(self.kind.encode("utf-8")) + _blob(self.message.encode("utf-8"))
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "ErrorResponse":
+        kind = cursor.read_blob().decode("utf-8", errors="replace")
+        message = cursor.read_blob().decode("utf-8", errors="replace")
+        return cls(kind=kind, message=message)
+
+
+#: Every frame type, in opcode order — the registry the decoder dispatches on
+#: and the table docs/FORMATS.md §7 is pinned to by ``tests/test_docs.py``.
+FRAME_TYPES: tuple[type[Message], ...] = (
+    PingRequest,
+    GetRequest,
+    SetRequest,
+    DeleteRequest,
+    MGetRequest,
+    MSetRequest,
+    StatsRequest,
+    OkResponse,
+    PongResponse,
+    ValueResponse,
+    CountResponse,
+    MultiValueResponse,
+    StatsResponse,
+    ErrorResponse,
+)
+
+_FRAME_BY_OPCODE: dict[int, type[Message]] = {cls.opcode: cls for cls in FRAME_TYPES}
+assert len(_FRAME_BY_OPCODE) == len(FRAME_TYPES), "duplicate opcode in FRAME_TYPES"
+
+
+def opcode_table() -> list[dict]:
+    """Rows describing every frame type (the ``repro serve`` docs table)."""
+    return [
+        {
+            "opcode": f"0x{cls.opcode:02X}",
+            "name": cls.wire_name,
+            "direction": cls.direction,
+            "type": cls.__name__,
+        }
+        for cls in FRAME_TYPES
+    ]
+
+
+# ------------------------------------------------------------------- encoding
+
+
+def encode_frame(message: Message) -> bytes:
+    """Serialise one message into a complete wire frame."""
+    body = message.encode_body()
+    return MAGIC + bytes([message.opcode]) + encode_uvarint(len(body)) + body
+
+
+# ------------------------------------------------------------------- decoding
+
+
+class FrameDecoder:
+    """Incremental frame parser tolerating arbitrary chunk boundaries.
+
+    Feed it whatever the socket produced; it returns every complete message
+    and buffers the rest.  All validation happens as early as the bytes
+    allow: a wrong magic byte fails on the first mismatching byte, an unknown
+    opcode fails as soon as the opcode byte arrives, and an oversized declared
+    length fails before a single body byte is read.
+    """
+
+    def __init__(self, max_body: int = DEFAULT_MAX_BODY) -> None:
+        if max_body < 1:
+            raise ProtocolError("max_body must be positive")
+        self.max_body = max_body
+        self._buffer = bytearray()
+        self._failure: ProtocolError | None = None
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently held waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    @property
+    def failure(self) -> ProtocolError | None:
+        """The error that poisoned this decoder, if any (see :meth:`feed`)."""
+        return self._failure
+
+    def feed(self, data: bytes) -> list[Message]:
+        """Consume ``data`` and return every message completed by it.
+
+        Frames decoded *before* malformed bytes in the same chunk are never
+        lost: when a chunk carries good frames followed by garbage, they are
+        returned and the error is held — readable via :attr:`failure`
+        immediately, and raised by the next :meth:`feed`/:meth:`eof` call —
+        so outcomes do not depend on how TCP happened to segment the stream.
+        A chunk whose *first* frame is malformed raises directly.
+        """
+        if self._failure is not None:
+            raise self._failure
+        self._buffer.extend(data)
+        messages: list[Message] = []
+        while True:
+            try:
+                parsed = self._try_parse()
+            except ProtocolError as error:
+                self._failure = error
+                if messages:
+                    return messages
+                raise
+            if parsed is None:
+                return messages
+            message, consumed = parsed
+            del self._buffer[:consumed]
+            messages.append(message)
+
+    def eof(self) -> None:
+        """Declare end-of-stream; held failures and partial frames error."""
+        if self._failure is not None:
+            raise self._failure
+        if self._buffer:
+            raise ProtocolError(
+                f"stream ended mid-frame with {len(self._buffer)} byte(s) buffered"
+            )
+
+    def _try_parse(self) -> tuple[Message, int] | None:
+        buffer = self._buffer
+        prefix = bytes(buffer[: len(MAGIC)])
+        if prefix != MAGIC[: len(prefix)]:
+            raise ProtocolError(f"bad frame magic {prefix!r} (expected {MAGIC!r})")
+        if len(buffer) < len(MAGIC) + 1:
+            return None
+        opcode = buffer[len(MAGIC)]
+        frame_type = _FRAME_BY_OPCODE.get(opcode)
+        if frame_type is None:
+            raise ProtocolError(f"unknown opcode 0x{opcode:02X}")
+        length = self._read_header_uvarint(len(MAGIC) + 1)
+        if length is None:
+            return None
+        body_length, body_start = length
+        if body_length > self.max_body:
+            raise ProtocolError(
+                f"declared body length {body_length} exceeds the "
+                f"{self.max_body}-byte limit"
+            )
+        end = body_start + body_length
+        if len(buffer) < end:
+            return None
+        cursor = _Cursor(bytes(buffer[body_start:end]))
+        message = frame_type.decode_body(cursor)
+        cursor.finish()
+        return message, end
+
+    def _read_header_uvarint(self, offset: int) -> tuple[int, int] | None:
+        """Parse the body-length uvarint; ``None`` while bytes are missing."""
+        result = 0
+        shift = 0
+        position = offset
+        while True:
+            if position - offset >= _MAX_UVARINT_BYTES:
+                raise ProtocolError("frame length uvarint does not fit in 64 bits")
+            if position >= len(self._buffer):
+                return None
+            byte = self._buffer[position]
+            position += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, position
+            shift += 7
+
+
+def decode_frames(data: bytes, max_body: int = DEFAULT_MAX_BODY) -> list[Message]:
+    """Decode a complete byte string into messages; partial trailing data errors."""
+    decoder = FrameDecoder(max_body=max_body)
+    messages = decoder.feed(data)
+    decoder.eof()
+    return messages

@@ -1,0 +1,435 @@
+"""Asyncio ``RKV1`` server fronting a :class:`~repro.service.KVService`.
+
+The event loop owns only framing and scheduling; every service call runs in a
+:class:`~concurrent.futures.ThreadPoolExecutor` via ``run_in_executor`` so the
+per-shard single-worker executors inside :class:`KVService` keep exclusive
+ownership of their backends (the bridge thread blocks on the shard future, the
+loop never does).
+
+Per connection:
+
+* a **reader task** feeds socket chunks into an incremental
+  :class:`~repro.net.protocol.FrameDecoder` and enqueues decoded requests —
+  requests pipeline because the reader never waits for a response before
+  decoding the next frame;
+* a bounded **in-flight queue** (``max_inflight``) sits between reader and
+  worker: when it fills, the reader stops reading the socket, which turns
+  into TCP backpressure on a client that pipelines faster than the service
+  can answer;
+* a **worker task** pops requests in order, executes each, and writes its
+  response before starting the next.  Execution is *sequential per
+  connection* (the RESP model): pipelining amortises network round trips,
+  it does not reorder effects — two pipelined SETs of one key land in
+  request order.  Cross-connection requests still run concurrently, and a
+  single ``MGET``/``MSET`` frame still fans out across shards in parallel
+  inside :class:`KVService`.
+
+Server-side exceptions never tear down a connection: they are relayed as
+:class:`~repro.net.protocol.ErrorResponse` frames carrying the exception class
+name (``ModelEpochError``, ``ServiceError``, …) and message.  The one
+exception is a :class:`~repro.exceptions.ProtocolError` from the decoder —
+after malformed bytes the stream cannot be re-synchronised, so the server
+sends a final ERR frame and closes that connection (others are unaffected).
+
+``stop(drain=True)`` is a graceful drain: stop accepting, wake every reader,
+let the writers flush every request already decoded, then close the sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.exceptions import NetError, ProtocolError
+from repro.net.protocol import (
+    DEFAULT_MAX_BODY,
+    CountResponse,
+    DeleteRequest,
+    ErrorResponse,
+    FrameDecoder,
+    GetRequest,
+    Message,
+    MGetRequest,
+    MSetRequest,
+    MultiValueResponse,
+    OkResponse,
+    PingRequest,
+    PongResponse,
+    SetRequest,
+    StatsRequest,
+    StatsResponse,
+    ValueResponse,
+    encode_frame,
+)
+from repro.service.service import KVService
+
+#: Socket read chunk size.
+_READ_CHUNK = 64 * 1024
+
+#: Queue sentinel telling a connection worker task to finish.
+_CLOSE = object()
+
+#: Queue item tags: a decoded request to execute, or a pre-built response
+#: (the final ERR frame after a protocol error) to write as-is.
+_REQUEST, _RESPONSE = "request", "response"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Configuration of a :class:`KVServer`."""
+
+    #: interface to bind ("127.0.0.1" keeps the bench/test server local).
+    host: str = "127.0.0.1"
+    #: TCP port; 0 picks an ephemeral port (read it back from ``address``).
+    port: int = 0
+    #: pipelined requests allowed in flight per connection before the reader
+    #: stops consuming the socket (backpressure).
+    max_inflight: int = 64
+    #: frame body size limit handed to the decoder.
+    max_body: int = DEFAULT_MAX_BODY
+    #: threads bridging blocking ``KVService`` calls off the event loop.
+    bridge_threads: int = 8
+    #: seconds ``stop(drain=True)`` waits before force-closing connections.
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise NetError("max_inflight must be at least 1")
+        if self.bridge_threads < 1:
+            raise NetError("bridge_threads must be at least 1")
+
+
+def _decode_text(data: bytes, what: str) -> str:
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProtocolError(f"{what} is not valid UTF-8: {error}") from None
+
+
+class KVServer:
+    """Serve a :class:`KVService` over the ``RKV1`` protocol.
+
+    >>> service = KVService(ServiceConfig(shard_count=2, compressor="none"))
+    >>> server = KVServer(service)          # port 0 = ephemeral
+    >>> await server.start()                # doctest: +SKIP
+    >>> host, port = server.address         # doctest: +SKIP
+    """
+
+    def __init__(self, service: KVService, config: ServerConfig | None = None) -> None:
+        self.service = service
+        self.config = config if config is not None else ServerConfig()
+        self._server: asyncio.base_events.Server | None = None
+        self._bridge = ThreadPoolExecutor(
+            max_workers=self.config.bridge_threads, thread_name_prefix="kv-net-bridge"
+        )
+        self._draining: asyncio.Event | None = None
+        self._connection_tasks: set[asyncio.Task] = set()
+        self._stopped = False
+        self.connections_served = 0
+        self.protocol_errors = 0
+
+    # ---------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind the listening socket and start accepting connections."""
+        if self._server is not None:
+            raise NetError("server is already started")
+        if self._stopped:
+            raise NetError("server was stopped and cannot be restarted")
+        self._draining = asyncio.Event()
+        try:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=self.config.host, port=self.config.port
+            )
+        except OSError as error:
+            raise NetError(
+                f"cannot bind {self.config.host}:{self.config.port}: {error}"
+            ) from error
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves an ephemeral port)."""
+        if self._server is None or not self._server.sockets:
+            raise NetError("server is not listening")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        """Block until the server is stopped."""
+        if self._server is None:
+            raise NetError("server is not started")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting and close every connection.
+
+        With ``drain`` (the default) every request already received is
+        answered before its connection closes, bounded by ``drain_timeout``;
+        without it, connections are torn down immediately.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._draining is not None:
+            self._draining.set()
+        tasks = list(self._connection_tasks)
+        if tasks:
+            if drain:
+                done, pending = await asyncio.wait(
+                    tasks, timeout=self.config.drain_timeout
+                )
+            else:
+                pending = set(tasks)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._bridge.shutdown(wait=True)
+
+    # -------------------------------------------------------------- connections
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None and self._draining is not None
+        self._connection_tasks.add(task)
+        self.connections_served += 1
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.max_inflight)
+        worker_task = asyncio.create_task(self._worker_loop(queue, writer))
+        decoder = FrameDecoder(max_body=self.config.max_body)
+        drain_wait = asyncio.create_task(self._draining.wait())
+        try:
+            while not self._draining.is_set():
+                read_task = asyncio.create_task(reader.read(_READ_CHUNK))
+                done, _ = await asyncio.wait(
+                    {read_task, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if read_task not in done:
+                    # Draining: stop reading; everything decoded so far is
+                    # already queued and will be answered by the worker.
+                    read_task.cancel()
+                    await asyncio.gather(read_task, return_exceptions=True)
+                    break
+                try:
+                    data = read_task.result()
+                except (ConnectionError, OSError):
+                    break
+                if not data:
+                    break
+                try:
+                    requests = decoder.feed(data)
+                except ProtocolError as error:
+                    requests, failure = [], error
+                else:
+                    # Good frames arriving in the same chunk as malformed
+                    # bytes are still returned (and answered below) — the
+                    # outcome cannot depend on TCP segmentation.
+                    failure = decoder.failure
+                for request in requests:
+                    # A full queue blocks here, pausing socket reads: TCP
+                    # backpressure against over-eager pipelining.
+                    await queue.put((_REQUEST, request))
+                if failure is not None:
+                    # The stream cannot be re-synchronised after bad bytes:
+                    # answer with a final ERR frame and close this connection.
+                    self.protocol_errors += 1
+                    await queue.put(
+                        (_RESPONSE, ErrorResponse(kind="ProtocolError", message=str(failure)))
+                    )
+                    break
+        finally:
+            drain_wait.cancel()
+            await asyncio.gather(drain_wait, return_exceptions=True)
+            await queue.put(_CLOSE)
+            await asyncio.gather(worker_task, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._connection_tasks.discard(task)
+
+    async def _worker_loop(self, queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
+        """Execute queued requests in order, writing each response.
+
+        Sequential execution keeps a connection's effects in request order
+        (two pipelined SETs of one key cannot swap); a client that vanishes
+        mid-batch stops the writes but the remaining requests still execute,
+        so graceful drain semantics stay uniform.
+        """
+        client_alive = True
+        while True:
+            item = await queue.get()
+            if item is _CLOSE:
+                return
+            tag, payload = item
+            response = await self._dispatch(payload) if tag == _REQUEST else payload
+            if not client_alive:
+                continue  # keep executing so stop() can drain the queue
+            try:
+                writer.write(encode_frame(response))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                client_alive = False
+
+    # ----------------------------------------------------------------- dispatch
+
+    async def _dispatch(self, request: Message) -> Message:
+        """Run one request; every failure becomes a typed ERR response."""
+        try:
+            if isinstance(request, PingRequest):
+                return PongResponse()
+            handler = self._HANDLERS.get(type(request))
+            if handler is None:
+                raise ProtocolError(
+                    f"frame {request.wire_name} is not a request"
+                )
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._bridge, handler, self, request)
+        except Exception as error:  # noqa: BLE001 — relayed, never fatal
+            return ErrorResponse(kind=type(error).__name__, message=str(error))
+
+    # The handlers below run on bridge threads, never on the event loop.
+
+    def _handle_get(self, request: GetRequest) -> Message:
+        value = self.service.get(_decode_text(request.key, "key"))
+        return ValueResponse(value=None if value is None else value.encode("utf-8"))
+
+    def _handle_set(self, request: SetRequest) -> Message:
+        self.service.set(
+            _decode_text(request.key, "key"), _decode_text(request.value, "value")
+        )
+        return OkResponse()
+
+    def _handle_delete(self, request: DeleteRequest) -> Message:
+        existed = self.service.delete(_decode_text(request.key, "key"))
+        return CountResponse(count=1 if existed else 0)
+
+    def _handle_mget(self, request: MGetRequest) -> Message:
+        keys = [_decode_text(key, "key") for key in request.keys]
+        values = self.service.mget(keys)
+        return MultiValueResponse(
+            values=tuple(
+                None if value is None else value.encode("utf-8") for value in values
+            )
+        )
+
+    def _handle_mset(self, request: MSetRequest) -> Message:
+        items = [
+            (_decode_text(key, "key"), _decode_text(value, "value"))
+            for key, value in request.items
+        ]
+        self.service.mset(items)
+        return OkResponse()
+
+    def _handle_stats(self, _: StatsRequest) -> Message:
+        snapshot = self.service.snapshot()
+        document = {
+            "keys": snapshot.keys,
+            "gets": snapshot.gets,
+            "sets": snapshot.sets,
+            "deletes": snapshot.deletes,
+            "cache_hits": snapshot.cache_hits,
+            "cache_hit_rate": snapshot.cache.hit_rate,
+            "cache_entries": snapshot.cache.entries,
+            "ratio": snapshot.ratio,
+            "retrain_events": snapshot.retrain_events,
+            "get_p50_ms": snapshot.get_latency.p50_ms,
+            "get_p99_ms": snapshot.get_latency.p99_ms,
+            "set_p50_ms": snapshot.set_latency.p50_ms,
+            "set_p99_ms": snapshot.set_latency.p99_ms,
+            "shards": [
+                {
+                    "shard_id": shard.shard_id,
+                    "backend": shard.backend,
+                    "compressor": shard.compressor,
+                    "keys": shard.keys,
+                    "ratio": shard.ratio,
+                    "outlier_rate": shard.outlier_rate,
+                    "retrain_events": shard.retrain_events,
+                }
+                for shard in snapshot.shards
+            ],
+        }
+        return StatsResponse(payload=json.dumps(document).encode("utf-8"))
+
+    _HANDLERS = {
+        GetRequest: _handle_get,
+        SetRequest: _handle_set,
+        DeleteRequest: _handle_delete,
+        MGetRequest: _handle_mget,
+        MSetRequest: _handle_mset,
+        StatsRequest: _handle_stats,
+    }
+
+
+class ThreadedKVServer:
+    """A :class:`KVServer` running its own event loop in a daemon thread.
+
+    The harness the sync tests, benchmarks, and ``repro client bench`` build
+    on: ``start()`` returns the bound ``(host, port)``; ``stop()`` drains
+    gracefully.  Usable as a context manager.
+    """
+
+    def __init__(self, service: KVService, config: ServerConfig | None = None) -> None:
+        self._server = KVServer(service, config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def server(self) -> KVServer:
+        return self._server
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.address
+
+    def start(self) -> tuple[str, int]:
+        if self._thread is not None:
+            raise NetError("threaded server is already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="kv-net-loop", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._server.start(), self._loop)
+        try:
+            future.result(timeout=30)
+        except BaseException:
+            # A failed bind must not leak a spinning loop thread or leave the
+            # object wedged in "already started".
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+            raise
+        return self._server.address
+
+    def stop(self, drain: bool = True) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self._server.stop(drain), self._loop)
+        future.result(timeout=self._server.config.drain_timeout + 30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ThreadedKVServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -51,7 +51,22 @@ from repro.service.stats import (
 )
 from repro.service.workload import MixedWorkloadResult, preload, run_mixed_workload
 
+#: Wire-layer classes re-exported lazily so ``from repro.service import
+#: KVServer`` works without importing asyncio machinery on every service use
+#: (and without a circular import: repro.net imports repro.service).
+_NET_EXPORTS = ("KVServer", "ServerConfig", "ThreadedKVServer", "KVClient", "AsyncKVClient")
+
+
+def __getattr__(name: str):
+    if name in _NET_EXPORTS:
+        import repro.net as net
+
+        return getattr(net, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    *_NET_EXPORTS,
     "BACKEND_CHOICES",
     "COMPRESSOR_CHOICES",
     "CacheStats",

@@ -36,14 +36,17 @@ class CacheStats:
     misses: int
     evictions: int
     invalidations: int
+    #: total :meth:`CompressedLRUCache.get` calls, counted independently of
+    #: the hit/miss classification so ``hits + misses == lookups`` is a real
+    #: invariant (checked by :meth:`ServiceSnapshot.validate`), not a tautology.
+    lookups: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Hits over all lookups (0.0 before the first lookup)."""
-        lookups = self.hits + self.misses
-        if lookups == 0:
+        if self.lookups == 0:
             return 0.0
-        return self.hits / lookups
+        return self.hits / self.lookups
 
 
 class CompressedLRUCache:
@@ -69,10 +72,12 @@ class CompressedLRUCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._lookups = 0
 
     def get(self, key: str) -> bytes | None:
         """Compressed payload for ``key`` or ``None``; a hit refreshes recency."""
         with self._lock:
+            self._lookups += 1
             payload = self._entries.get(key)
             if payload is None:
                 self._misses += 1
@@ -135,4 +140,5 @@ class CompressedLRUCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 invalidations=self._invalidations,
+                lookups=self._lookups,
             )

@@ -252,24 +252,32 @@ class KVService:
             self._sets += 1
 
     def get(self, key: str) -> str | None:
-        """Fetch ``key``; ``None`` when missing.  Cache hits skip the shard."""
+        """Fetch ``key``; ``None`` when missing.  Cache hits skip the shard.
+
+        The GET counter is committed in a ``finally`` once the cache has been
+        consulted: a raising decode or shard fetch still counted one cache
+        lookup, and leaving ``gets`` behind would permanently break the
+        lookups == gets invariant :meth:`ServiceSnapshot.validate` checks.
+        """
         self._require_open()
         started = time.perf_counter()
         shard = self._shards[self.router.shard_for(key)]
-        payload = self.cache.get(key)
-        if payload is not None:
-            value = self._decompress_cached(shard, key, payload)
-            if value is not None:
-                self._get_latency.record(time.perf_counter() - started)
-                with self._counter_lock:
-                    self._gets += 1
+        hit = False
+        try:
+            payload = self.cache.get(key)
+            value = None
+            if payload is not None:
+                value = self._decompress_cached(shard, key, payload)
+                hit = value is not None
+            if not hit:
+                value = shard.executor.submit(self._shard_get, shard, [key]).result()[0]
+            self._get_latency.record(time.perf_counter() - started)
+            return value
+        finally:
+            with self._counter_lock:
+                self._gets += 1
+                if hit:
                     self._cache_hits += 1
-                return value
-        value = shard.executor.submit(self._shard_get, shard, [key]).result()[0]
-        self._get_latency.record(time.perf_counter() - started)
-        with self._counter_lock:
-            self._gets += 1
-        return value
 
     def delete(self, key: str) -> bool:
         """Delete ``key``; returns whether it existed."""
@@ -301,47 +309,56 @@ class KVService:
             self._sets += len(items)
 
     def mget(self, keys: Sequence[str]) -> list[str | None]:
-        """Batched GET preserving key order; cache hits answered inline."""
+        """Batched GET preserving key order; cache hits answered inline.
+
+        As in :meth:`get`, the GET counter is committed in a ``finally`` with
+        exactly the number of cache lookups performed, so an exception
+        mid-batch cannot skew the lookups == gets invariant.
+        """
         self._require_open()
         if not keys:
             return []
         started = time.perf_counter()
         results: list[str | None] = [None] * len(keys)
         miss_positions: list[int] = []
+        looked_up = 0
         hits = 0
-        for position, key in enumerate(keys):
-            payload = self.cache.get(key)
-            value = None
-            if payload is not None:
-                shard = self._shards[self.router.shard_for(key)]
-                value = self._decompress_cached(shard, key, payload)
-            if value is None:
-                miss_positions.append(position)
-                continue
-            results[position] = value
-            hits += 1
-        if miss_positions:
-            miss_keys = [keys[position] for position in miss_positions]
-            groups = self.router.group_keys(miss_keys)
-            futures: list[tuple[list[int], Future]] = []
-            for shard_id, local_positions in groups.items():
-                shard = self._shards[shard_id]
-                shard_keys = [miss_keys[position] for position in local_positions]
-                futures.append(
-                    (
-                        [miss_positions[position] for position in local_positions],
-                        shard.executor.submit(self._shard_get, shard, shard_keys),
+        try:
+            for position, key in enumerate(keys):
+                payload = self.cache.get(key)
+                looked_up += 1
+                value = None
+                if payload is not None:
+                    shard = self._shards[self.router.shard_for(key)]
+                    value = self._decompress_cached(shard, key, payload)
+                if value is None:
+                    miss_positions.append(position)
+                    continue
+                results[position] = value
+                hits += 1
+            if miss_positions:
+                miss_keys = [keys[position] for position in miss_positions]
+                groups = self.router.group_keys(miss_keys)
+                futures: list[tuple[list[int], Future]] = []
+                for shard_id, local_positions in groups.items():
+                    shard = self._shards[shard_id]
+                    shard_keys = [miss_keys[position] for position in local_positions]
+                    futures.append(
+                        (
+                            [miss_positions[position] for position in local_positions],
+                            shard.executor.submit(self._shard_get, shard, shard_keys),
+                        )
                     )
-                )
-            self._raise_first_error([future for _, future in futures])
-            for original_positions, future in futures:
-                for original_position, value in zip(original_positions, future.result()):
-                    results[original_position] = value
-        self._get_latency.record(time.perf_counter() - started, operations=len(keys))
-        with self._counter_lock:
-            self._gets += len(keys)
-            self._cache_hits += hits
-        return results
+                self._raise_first_error([future for _, future in futures])
+                for original_positions, future in futures:
+                    for original_position, value in zip(original_positions, future.result()):
+                        results[original_position] = value
+            self._get_latency.record(time.perf_counter() - started, operations=len(keys))
+            return results
+        finally:
+            with self._counter_lock:
+                self._gets += looked_up
+                self._cache_hits += hits
 
     # ----------------------------------------------------------------- metrics
 

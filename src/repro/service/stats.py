@@ -128,3 +128,51 @@ class ServiceSnapshot:
         if original == 0:
             return 1.0
         return stored / original
+
+    def validate(self) -> "ServiceSnapshot":
+        """Check the cross-counter invariants; raises :class:`ServiceError`.
+
+        Meaningful on a *quiescent* service (no in-flight operations while
+        the snapshot was taken — e.g. after a workload's clients joined);
+        concurrent traffic can legitimately skew counters captured at
+        slightly different instants.
+
+        * every cache lookup is classified: ``hits + misses == lookups``;
+        * every logical GET consults the cache exactly once, so the cache's
+          lookup count equals the service's GET count;
+        * a service-level cache hit (payload found *and* decoded) implies a
+          raw cache hit, so ``cache_hits <= cache.hits``;
+        * counters never go negative.
+        """
+        from repro.exceptions import ServiceError
+
+        if self.cache.hits + self.cache.misses != self.cache.lookups:
+            raise ServiceError(
+                f"inconsistent cache stats: {self.cache.hits} hits + "
+                f"{self.cache.misses} misses != {self.cache.lookups} lookups"
+            )
+        if self.cache.lookups != self.gets:
+            raise ServiceError(
+                f"inconsistent cache stats: {self.cache.lookups} cache lookups "
+                f"for {self.gets} service GETs (every GET must consult the "
+                f"cache exactly once)"
+            )
+        if self.cache_hits > self.cache.hits:
+            raise ServiceError(
+                f"inconsistent cache stats: service decoded {self.cache_hits} "
+                f"cache hits but the cache only saw {self.cache.hits}"
+            )
+        counters = {
+            "gets": self.gets,
+            "sets": self.sets,
+            "deletes": self.deletes,
+            "cache_hits": self.cache_hits,
+            "retrain_events": self.retrain_events,
+            "cache.entries": self.cache.entries,
+            "cache.evictions": self.cache.evictions,
+            "cache.invalidations": self.cache.invalidations,
+        }
+        negative = {name: value for name, value in counters.items() if value < 0}
+        if negative:
+            raise ServiceError(f"negative counters in snapshot: {negative}")
+        return self

@@ -153,5 +153,8 @@ def run_mixed_workload(
         set_operations=total_sets,
         elapsed_seconds=elapsed,
         clients=clients,
-        snapshot=service.snapshot(),
+        # The clients have joined, so the service is quiescent: the snapshot's
+        # cross-counter invariants (hits + misses == lookups == GETs) must
+        # hold — serve-bench and bench_service report validated numbers only.
+        snapshot=service.snapshot().validate(),
     )

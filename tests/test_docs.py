@@ -103,6 +103,40 @@ class TestFormatsMatchCode:
 
         assert f'"{_FILE_MAGIC.decode("ascii")}"' in _read("docs/FORMATS.md")
 
+    def test_wire_frame_magic(self):
+        from repro.net.protocol import MAGIC
+
+        text = _read("docs/FORMATS.md")
+        assert f'magic "{MAGIC.decode("ascii")}"' in text
+
+    def test_every_wire_opcode_is_documented(self):
+        """FORMATS.md §7 is pinned to ``repro.net.protocol``: registering a
+        frame type without documenting its opcode row fails here."""
+        from repro.net.protocol import FRAME_TYPES
+
+        text = _read("docs/FORMATS.md")
+        assert FRAME_TYPES, "wire frame registry is empty"
+        for frame_type in FRAME_TYPES:
+            row = f"0x{frame_type.opcode:02X} `{frame_type.wire_name}`"
+            assert row in text, (
+                f"FORMATS.md opcode table is stale for {frame_type.wire_name!r} "
+                f"(opcode 0x{frame_type.opcode:02X})"
+            )
+            assert frame_type.__name__ in text, (
+                f"FORMATS.md does not name the {frame_type.__name__} dataclass"
+            )
+
+    def test_documented_opcode_count_matches_registry(self):
+        """No documented-but-unregistered ghosts: the table row count in
+        FORMATS.md §7 equals the registry size."""
+        import re
+
+        from repro.net.protocol import FRAME_TYPES
+
+        text = _read("docs/FORMATS.md")
+        rows = re.findall(r"^\| 0x[0-9A-F]{2} `\w+` \|", text, flags=re.MULTILINE)
+        assert len(rows) == len(FRAME_TYPES)
+
 
 def test_documented_cli_commands_exist():
     """Every CLI command named in the README/ARCHITECTURE actually parses."""
@@ -114,7 +148,7 @@ def test_documented_cli_commands_exist():
     )
     commands = set(subparsers.choices)
     for expected in ("train", "compress", "decompress", "inspect", "stream", "serve-bench",
-                     "experiments", "experiment", "datasets", "codecs"):
+                     "serve", "client", "experiments", "experiment", "datasets", "codecs"):
         assert expected in commands, f"CLI command {expected!r} documented but not implemented"
 
 
