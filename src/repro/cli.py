@@ -45,6 +45,7 @@ from repro.compressors import available_codecs
 from repro.datasets import DATASET_SPECS, EXTRA_DATASET_SPECS, dataset_statistics, load_dataset
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 from repro.exceptions import ReproError
+from repro.lsm.wal import SYNC_MODES
 from repro.stream import (
     AdaptiveConfig,
     StreamConfig,
@@ -310,8 +311,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 def _build_service(args: argparse.Namespace):
     """Build (and optionally train) a KVService from serve-style arguments.
 
-    Returns ``(service, cleanup)`` where ``cleanup`` disposes any temp dir
-    auto-created for the lsm backend.
+    Returns ``(service, reopened, cleanup)``: ``reopened`` is whether the
+    data directory already held shard state — the shards then come back with
+    their data and trained model epochs intact.  Pre-training is skipped only
+    when *trained* state (``models.bin`` / ``snapshot.tbs``) actually exists:
+    bare ``shard-*`` directories from a run killed before its first
+    flush/train must not leave a restarted server silently untrained.
+    ``cleanup`` disposes any temp dir auto-created for the lsm backend.
     """
     from repro.service import KVService, ServiceConfig
 
@@ -322,19 +328,27 @@ def _build_service(args: argparse.Namespace):
 
         temporary = tempfile.TemporaryDirectory(prefix="repro-serve-")
         directory = temporary.name
+    base = Path(directory) if directory is not None else None
+    trained_state = base is not None and (
+        any(base.glob("shard-*/models.bin")) or any(base.glob("shard-*/snapshot.tbs"))
+    )
+    reopened = trained_state or (
+        base is not None and any(base.glob("shard-*/sstable-*.sst"))
+    )
     config = ServiceConfig(
         shard_count=args.shards,
         backend=args.backend,
         compressor=args.compressor,
         directory=directory,
+        sync_mode=getattr(args, "sync_mode", "flush"),
         cache_entries=args.cache_entries,
         train_size=args.train_size,
     )
     service = KVService(config)
-    if args.compressor != "none":
+    if args.compressor != "none" and not trained_state:
         sample = load_dataset(args.train_dataset, count=args.train_count)
         service.train(sample)
-    return service, (temporary.cleanup if temporary is not None else (lambda: None))
+    return service, reopened, (temporary.cleanup if temporary is not None else (lambda: None))
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -342,7 +356,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.net import KVServer, ServerConfig
 
-    service, cleanup = _build_service(args)
+    service, reopened, cleanup = _build_service(args)
 
     async def main() -> None:
         server = KVServer(
@@ -351,9 +365,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         await server.start()
         host, port = server.address
+        state = f"reopened {len(service)} key(s) from {args.directory}" if reopened else "fresh"
         print(
             f"serving {args.shards} {args.backend} shard(s) "
-            f"({args.compressor} compression) on {host}:{port}"
+            f"({args.compressor} compression, {state}) on {host}:{port}"
         )
         try:
             if args.serve_seconds is None:
@@ -662,7 +677,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-shard value compressor (default pbc_f)",
     )
     serve.add_argument(
-        "--directory", default=None, help="base directory for the lsm backend (default: temp dir)"
+        "--data-dir", "--directory", dest="directory", default=None,
+        help="persistent data directory: shards (both backends) reopen from it on "
+             "restart with data, models and epochs intact (default: lsm uses a "
+             "temp dir, tierbase stays in-memory)",
+    )
+    serve.add_argument(
+        "--sync-mode", default="flush", choices=list(SYNC_MODES),
+        help="lsm WAL durability per acknowledged write: none (buffered), flush "
+             "(survives process kill; default), fsync (survives machine crash)",
     )
     serve.add_argument("--cache-entries", type=int, default=1024, help="compressed read-cache entries")
     serve.add_argument("--train-size", type=int, default=256, help="retraining reservoir size")

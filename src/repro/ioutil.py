@@ -1,0 +1,68 @@
+"""Durable file-system primitives shared by every persistence layer.
+
+Durability on a POSIX file system is a three-step contract, and every layer
+that persists state (the LSM write-ahead log, SSTable publication, the
+TierBase ``TBS1`` snapshot, the persisted model store) goes through the same
+helpers so none of them forgets a step:
+
+1. ``flush`` — drain Python's userspace buffer into the kernel.  After this a
+   **process** crash (SIGKILL) cannot lose the bytes; a machine crash can.
+2. ``fsync`` the file — ask the kernel to put the bytes on stable storage.
+   After this a machine crash cannot lose the bytes either.
+3. ``fsync`` the **directory** — a freshly created or renamed file is only
+   durably reachable once its directory entry is on disk too.
+
+:func:`atomic_write_bytes` composes the three with ``os.replace`` into the
+standard write-new/rename-over publication pattern: readers only ever observe
+the old complete file or the new complete file, never a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import BinaryIO
+
+
+def fsync_file(handle: BinaryIO) -> None:
+    """Flush ``handle`` and force its bytes to stable storage."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Force the directory entry updates under ``path`` to stable storage.
+
+    Best-effort: platforms where a directory cannot be opened for reading
+    (Windows) silently skip the sync — renames there are already as durable
+    as the platform allows.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, sync: bool = True) -> None:
+    """Atomically publish ``data`` at ``path`` via a ``*.tmp`` sibling.
+
+    The bytes are written to ``<name>.tmp``, optionally fsynced, then
+    ``os.replace``-d over ``path`` (atomic on POSIX and Windows), and with
+    ``sync`` the directory entry is fsynced as well.  A crash at any point
+    leaves either the previous complete file or the new complete file at
+    ``path`` — plus possibly a stale ``*.tmp`` sibling, which the next
+    successful write simply overwrites.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        if sync:
+            fsync_file(handle)
+    os.replace(tmp, path)
+    if sync:
+        fsync_directory(path.parent)

@@ -17,7 +17,7 @@ paper's Figure 5 / Table 8 story to a persistent storage engine.
 """
 
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.engine import EngineStats, LookupTiming, LSMEngine
+from repro.lsm.engine import QUARANTINE_DIR, EngineStats, LookupTiming, LSMEngine
 from repro.lsm.memtable import TOMBSTONE, MemTable
 from repro.lsm.sstable import (
     BlockCompressionPolicy,
@@ -28,7 +28,7 @@ from repro.lsm.sstable import (
     StoragePolicy,
     write_sstable,
 )
-from repro.lsm.wal import OP_DELETE, OP_PUT, WriteAheadLog
+from repro.lsm.wal import OP_DELETE, OP_PUT, SYNC_MODES, WriteAheadLog
 
 __all__ = [
     "BlockCompressionPolicy",
@@ -40,7 +40,9 @@ __all__ = [
     "OP_DELETE",
     "OP_PUT",
     "PlainPolicy",
+    "QUARANTINE_DIR",
     "RecordCompressionPolicy",
+    "SYNC_MODES",
     "SSTable",
     "SSTableInfo",
     "StoragePolicy",

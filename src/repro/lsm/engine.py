@@ -14,19 +14,35 @@ engine combines
 Reads consult the memtable first, then SSTables newest-first, so the engine has
 standard LSM read/write semantics.  The storage policy decides how values are
 compressed inside SSTables, which is what the LSM integration benchmark varies.
+
+Durability (docs/ARCHITECTURE.md, "Durability"): what an acknowledged write
+survives is the WAL ``sync_mode`` policy (``"none"`` / ``"flush"`` /
+``"fsync"``), and SSTables are **published atomically** — written to a
+``*.sst.tmp`` sibling, fsynced, ``os.replace``-d into place, directory
+fsynced — so recovery can never open a torn table.  A leftover ``*.tmp`` from
+a crashed flush or compaction is quarantined on reopen (its contents are
+still covered by the WAL or by the surviving old tables); a corrupted
+published ``*.sst`` raises a typed :class:`~repro.exceptions.StoreError`
+instead of garbage reads.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
 
 from repro.exceptions import StoreError
+from repro.ioutil import fsync_directory
 from repro.lsm.memtable import MemTable
 from repro.lsm.sstable import PlainPolicy, SSTable, StoragePolicy, write_sstable
-from repro.lsm.wal import OP_DELETE, OP_PUT, WriteAheadLog
+from repro.lsm.wal import OP_DELETE, OP_PUT, SYNC_MODES, WriteAheadLog
+
+#: Subdirectory where recovery parks leftover ``*.tmp`` files (never deleted:
+#: they are evidence of a crash, and deleting data is not recovery's call).
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass
@@ -44,10 +60,18 @@ class EngineStats:
 
     @property
     def space_ratio(self) -> float:
-        """On-disk bytes divided by logical (uncompressed) value bytes."""
+        """Physical bytes (SSTable files + memtable) over logical value bytes.
+
+        ``logical_value_bytes`` counts memtable values as well as SSTable
+        values (the PR-5 bugfix: counting only SSTable values made the ratio
+        report ~1.0 — 0/0 — while every byte sat uncompressed in the
+        memtable), so the numerator includes the memtable's footprint too.
+        After a flush the memtable terms are zero and this is exactly the
+        on-disk ratio it always was.
+        """
         if self.logical_value_bytes == 0:
             return 1.0
-        return self.sstable_file_bytes / self.logical_value_bytes
+        return (self.sstable_file_bytes + self.memtable_bytes) / self.logical_value_bytes
 
 
 @dataclass
@@ -76,19 +100,28 @@ class LSMEngine:
         memtable_bytes: int = 64 * 1024,
         block_bytes: int = 4096,
         compaction_trigger: int = 4,
+        sync_mode: str = "flush",
+        fsync_interval_bytes: int = 0,
     ) -> None:
         if memtable_bytes < 1:
             raise StoreError("memtable size threshold must be positive")
         if compaction_trigger < 2:
             raise StoreError("compaction trigger must be at least 2")
+        if sync_mode not in SYNC_MODES:
+            raise StoreError(f"unknown sync_mode {sync_mode!r}; choose from {SYNC_MODES}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.policy = policy if policy is not None else PlainPolicy()
         self.memtable_bytes = memtable_bytes
         self.block_bytes = block_bytes
         self.compaction_trigger = compaction_trigger
+        self.sync_mode = sync_mode
         self._memtable = MemTable()
-        self._wal = WriteAheadLog(self.directory / "wal.log")
+        self._wal = WriteAheadLog(
+            self.directory / "wal.log",
+            sync_mode=sync_mode,
+            fsync_interval_bytes=fsync_interval_bytes,
+        )
         self._tables: list[SSTable] = []  # oldest first
         self._next_table_id = 0
         self._flushes = 0
@@ -99,7 +132,17 @@ class LSMEngine:
     # --------------------------------------------------------------- recovery
 
     def _recover(self) -> None:
-        """Re-open existing SSTables and replay the write-ahead log."""
+        """Re-open existing SSTables and replay the write-ahead log.
+
+        Leftover ``*.tmp`` files are a crashed flush/compaction that never
+        reached its ``os.replace`` — their contents are still covered by the
+        WAL (flush) or by the surviving pre-compaction tables (compact), so
+        they are quarantined, not opened and not deleted.  A published
+        ``*.sst`` that fails to open is corruption from outside the engine's
+        crash model and raises the typed :class:`StoreError` from the reader.
+        """
+        for tmp_path in sorted(self.directory.glob("*.tmp")):
+            self._quarantine(tmp_path)
         for path in sorted(self.directory.glob("sstable-*.sst")):
             self._tables.append(SSTable(path, self.policy))
             table_id = int(path.stem.split("-")[1])
@@ -109,6 +152,16 @@ class LSMEngine:
                 self._memtable.put(key, value)
             elif op == OP_DELETE:
                 self._memtable.delete(key)
+
+    def _quarantine(self, path: Path) -> None:
+        quarantine = self.directory / QUARANTINE_DIR
+        quarantine.mkdir(exist_ok=True)
+        target = quarantine / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = quarantine / f"{path.name}.{suffix}"
+        os.replace(path, target)
 
     def _require_open(self) -> None:
         if self._closed:
@@ -139,16 +192,37 @@ class LSMEngine:
         if self._memtable.approximate_bytes >= self.memtable_bytes:
             self.flush()
 
+    def _publish_sstable(self, entries: Sequence[tuple[str, str | None]]) -> SSTable:
+        """Atomically publish ``entries`` as the next numbered SSTable.
+
+        Write to ``*.sst.tmp``, fsync the bytes, ``os.replace`` onto the final
+        name, fsync the directory: a crash at any point leaves either no table
+        (a quarantinable tmp) or a complete one — never a torn ``*.sst``.
+        The fsyncs are skipped in ``sync_mode="none"`` (the throughput
+        baseline); the atomic rename is not.
+        """
+        sync = self.sync_mode != "none"
+        path = self.directory / f"sstable-{self._next_table_id:06d}.sst"
+        tmp_path = path.with_name(path.name + ".tmp")
+        write_sstable(tmp_path, entries, self.policy, block_bytes=self.block_bytes, sync=sync)
+        os.replace(tmp_path, path)
+        if sync:
+            fsync_directory(self.directory)
+        self._next_table_id += 1
+        return SSTable(path, self.policy)
+
     def flush(self) -> None:
-        """Write the memtable to a new SSTable and reset the write-ahead log."""
+        """Write the memtable to a new SSTable and reset the write-ahead log.
+
+        Ordering is the recovery contract: the table is durably published
+        *before* the WAL is truncated, so a crash in between replays WAL
+        records whose effects the new table already holds — idempotent —
+        rather than losing records covered by neither.
+        """
         self._require_open()
         if len(self._memtable) == 0:
             return
-        entries = list(self._memtable.items())
-        path = self.directory / f"sstable-{self._next_table_id:06d}.sst"
-        write_sstable(path, entries, self.policy, block_bytes=self.block_bytes)
-        self._tables.append(SSTable(path, self.policy))
-        self._next_table_id += 1
+        self._tables.append(self._publish_sstable(list(self._memtable.items())))
         self._memtable.clear()
         self._wal.reset()
         self._flushes += 1
@@ -204,13 +278,15 @@ class LSMEngine:
         live_entries = [(key, value) for key, value in sorted(merged.items()) if value is not None]
         old_paths = [table.path for table in self._tables]
         self._tables = []
+        # Publish the merged table (it gets the highest id, so recovery after
+        # a crash mid-cleanup sees it as newest and the surviving old tables
+        # merge beneath it) before unlinking any input.
         if live_entries:
-            path = self.directory / f"sstable-{self._next_table_id:06d}.sst"
-            write_sstable(path, live_entries, self.policy, block_bytes=self.block_bytes)
-            self._tables.append(SSTable(path, self.policy))
-            self._next_table_id += 1
+            self._tables.append(self._publish_sstable(live_entries))
         for path in old_paths:
             path.unlink(missing_ok=True)
+        if self.sync_mode != "none":
+            fsync_directory(self.directory)
         self._compactions += 1
 
     # ------------------------------------------------------------ measurement
@@ -223,6 +299,9 @@ class LSMEngine:
             for _, value in table.scan():
                 if value is not None:
                     logical += len(value.encode("utf-8"))
+        for _, value in self._memtable.items():
+            if value is not None:
+                logical += len(value.encode("utf-8"))
         return EngineStats(
             policy=self.policy.name,
             memtable_entries=len(self._memtable),
@@ -246,6 +325,11 @@ class LSMEngine:
         return LookupTiming(lookups=len(keys), hits=hits, elapsed_seconds=elapsed)
 
     # ---------------------------------------------------------------- closing
+
+    def sync(self) -> None:
+        """Hard durability barrier: fsync the write-ahead log regardless of mode."""
+        self._require_open()
+        self._wal.sync()
 
     def close(self) -> None:
         """Flush pending writes and release the write-ahead log."""

@@ -30,7 +30,8 @@ from typing import Iterator, Sequence
 
 from repro.compressors.base import Codec
 from repro.entropy.varint import decode_uvarint, encode_uvarint
-from repro.exceptions import StoreError
+from repro.exceptions import DecodingError, StoreError
+from repro.ioutil import fsync_file
 from repro.lsm.bloom import BloomFilter
 from repro.tierbase.compression import ValueCompressor
 
@@ -227,8 +228,14 @@ def write_sstable(
     policy: StoragePolicy,
     block_bytes: int = 4096,
     bloom_false_positive_rate: float = 0.01,
+    sync: bool = False,
 ) -> SSTableInfo:
-    """Write ``entries`` (already sorted by key, newest version only) to ``path``."""
+    """Write ``entries`` (already sorted by key, newest version only) to ``path``.
+
+    With ``sync`` the file is fsynced before close, which the engine's atomic
+    tmp-then-rename publication requires: the rename must never become durable
+    before the bytes it points at.
+    """
     if not entries:
         raise StoreError("cannot write an empty SSTable")
     keys = [key for key, _ in entries]
@@ -293,6 +300,8 @@ def write_sstable(
             + _MAGIC.to_bytes(4, "big")
         )
         handle.write(footer)
+        if sync:
+            fsync_file(handle)
 
     return SSTableInfo(
         path=path,
@@ -334,7 +343,19 @@ class SSTable:
         self._index_offset = int.from_bytes(footer[0:8], "big")
         self._bloom_offset = int.from_bytes(footer[8:16], "big")
         self.entry_count = int.from_bytes(footer[16:24], "big")
-        self._load_metadata(file_size)
+        if not 0 <= self._index_offset <= self._bloom_offset <= file_size - _FOOTER_SIZE:
+            raise StoreError(
+                f"SSTable file {self.path} is corrupt: footer offsets do not fit the file"
+            )
+        # A torn or bit-flipped file that happens to keep a valid-looking
+        # footer must still fail *typed* — never feed garbage offsets into
+        # varint parsing and return misdecoded entries.
+        try:
+            self._load_metadata(file_size)
+        except StoreError:
+            raise
+        except (DecodingError, UnicodeDecodeError, IndexError, ValueError) as error:
+            raise StoreError(f"SSTable file {self.path} has a corrupt metadata section") from error
 
     def _load_metadata(self, file_size: int) -> None:
         with open(self.path, "rb") as handle:
@@ -350,6 +371,10 @@ class SSTable:
             offset += key_length
             block_offset, offset = decode_uvarint(index_payload, offset)
             block_length, offset = decode_uvarint(index_payload, offset)
+            if block_offset + block_length > self._index_offset:
+                raise StoreError(
+                    f"SSTable file {self.path} is corrupt: data block overruns the index"
+                )
             self._index.append((first_key, block_offset, block_length))
         self._first_keys = [first_key for first_key, _, _ in self._index]
         self._bloom, _ = BloomFilter.from_bytes(bloom_payload, 0)

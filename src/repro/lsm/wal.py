@@ -5,29 +5,64 @@ an engine that crashes before flushing can rebuild the memtable on restart.
 Each entry carries a CRC32 of its body; replay stops at the first corrupt or
 truncated entry, which models the standard "torn tail" recovery behaviour of
 LevelDB/RocksDB logs.
+
+What an *acknowledged* append guarantees is the log's ``sync_mode`` policy
+(docs/ARCHITECTURE.md, "Durability"):
+
+* ``"none"`` — records may sit in Python's userspace buffer; a process kill
+  (SIGKILL) can lose every buffered record.  The throughput baseline.
+* ``"flush"`` (default) — every append drains the userspace buffer into the
+  kernel, so a **process** crash loses nothing; a machine/power crash can
+  still lose the kernel's page cache.  This is the mode the original module
+  docstring promised and — the PR-5 bugfix — never actually delivered: records
+  stayed in the userspace buffer and an acknowledged ``put`` vanished on kill.
+* ``"fsync"`` — every append additionally ``os.fsync``-es the file, so even a
+  machine crash loses nothing acknowledged.  ``fsync_interval_bytes > 0``
+  relaxes this to group commit: at most that many appended bytes ride between
+  fsyncs (the unsynced tail a machine crash may lose).
+
+``sync()`` is always the hard barrier (flush + ``os.fsync``) regardless of
+mode.
 """
 
 from __future__ import annotations
 
+import os
 import zlib
 from pathlib import Path
 from typing import Iterator
 
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 from repro.exceptions import StoreError
+from repro.ioutil import fsync_directory
 
 #: Operation tags used in log entries.
 OP_PUT = 1
 OP_DELETE = 2
 
+#: Accepted per-append durability policies, weakest to strongest.
+SYNC_MODES = ("none", "flush", "fsync")
+
 
 class WriteAheadLog:
     """Append-only log of ``put`` / ``delete`` operations."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        sync_mode: str = "flush",
+        fsync_interval_bytes: int = 0,
+    ) -> None:
+        if sync_mode not in SYNC_MODES:
+            raise StoreError(f"unknown sync_mode {sync_mode!r}; choose from {SYNC_MODES}")
+        if fsync_interval_bytes < 0:
+            raise StoreError("fsync_interval_bytes must be >= 0")
         self.path = Path(path)
+        self.sync_mode = sync_mode
+        self.fsync_interval_bytes = fsync_interval_bytes
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "ab")
+        self._unsynced_bytes = 0
 
     # ------------------------------------------------------------------ write
 
@@ -53,11 +88,26 @@ class WriteAheadLog:
         checksum = zlib.crc32(bytes(body))
         record = encode_uvarint(len(body)) + checksum.to_bytes(4, "big") + bytes(body)
         self._file.write(record)
+        if self.sync_mode == "none":
+            return
+        self._file.flush()
+        if self.sync_mode == "fsync":
+            self._unsynced_bytes += len(record)
+            if self.fsync_interval_bytes == 0 or self._unsynced_bytes >= self.fsync_interval_bytes:
+                os.fsync(self._file.fileno())
+                self._unsynced_bytes = 0
 
-    def sync(self) -> None:
-        """Flush buffered writes to the operating system."""
+    def flush(self) -> None:
+        """Drain the userspace buffer into the kernel (survives a process kill)."""
         if not self._file.closed:
             self._file.flush()
+
+    def sync(self) -> None:
+        """Hard durability barrier: flush and ``os.fsync`` regardless of mode."""
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._unsynced_bytes = 0
 
     # ------------------------------------------------------------------- read
 
@@ -68,7 +118,7 @@ class WriteAheadLog:
         of a log written during a crash is expected to be damaged and everything
         before it is still valid.
         """
-        self.sync()
+        self.flush()
         try:
             data = self.path.read_bytes()
         except FileNotFoundError:
@@ -100,21 +150,33 @@ class WriteAheadLog:
     # ------------------------------------------------------------ maintenance
 
     def reset(self) -> None:
-        """Truncate the log (after the memtable it protects has been flushed)."""
+        """Truncate the log (after the memtable it protects has been flushed).
+
+        In ``"fsync"`` mode the truncation itself is fsynced (file and
+        directory): a machine crash right after a flush must not resurrect the
+        pre-flush log over the already-published SSTable's directory state.
+        """
         if not self._file.closed:
             self._file.close()
         self._file = open(self.path, "wb")
+        if self.sync_mode == "fsync":
+            os.fsync(self._file.fileno())
         self._file.close()
         self._file = open(self.path, "ab")
+        self._unsynced_bytes = 0
+        if self.sync_mode == "fsync":
+            fsync_directory(self.path.parent)
 
     def close(self) -> None:
-        """Close the underlying file."""
+        """Close the underlying file (fsyncing first in ``"fsync"`` mode)."""
         if not self._file.closed:
             self._file.flush()
+            if self.sync_mode == "fsync":
+                os.fsync(self._file.fileno())
             self._file.close()
 
     @property
     def size_bytes(self) -> int:
         """Current size of the log file."""
-        self.sync()
+        self.flush()
         return self.path.stat().st_size if self.path.exists() else 0

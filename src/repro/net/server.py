@@ -32,7 +32,9 @@ after malformed bytes the stream cannot be re-synchronised, so the server
 sends a final ERR frame and closes that connection (others are unaffected).
 
 ``stop(drain=True)`` is a graceful drain: stop accepting, wake every reader,
-let the writers flush every request already decoded, then close the sockets.
+let the writers flush every request already decoded, close the sockets, and
+finally ``KVService.flush()`` the shards so every answered write is durable
+before the process exits (the ``repro serve --data-dir`` restart contract).
 """
 
 from __future__ import annotations
@@ -43,7 +45,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.exceptions import NetError, ProtocolError
+from repro.exceptions import NetError, ProtocolError, ServiceError
 from repro.net.protocol import (
     DEFAULT_MAX_BODY,
     CountResponse,
@@ -193,7 +195,23 @@ class KVServer:
                 task.cancel()
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
-        self._bridge.shutdown(wait=True)
+        try:
+            if drain and not self.service.closed:
+                # Every answered request is now durable: persistent shards
+                # write their WAL barrier / TBS1 snapshot before the server
+                # exits, so a restart on the same data directory serves every
+                # acknowledged key.  Bridged off the loop like any other
+                # blocking service call.
+                loop = asyncio.get_running_loop()
+                try:
+                    await loop.run_in_executor(self._bridge, self.service.flush)
+                except ServiceError:
+                    # The owner closed the service between the check and the
+                    # flush; close() flushes itself, so nothing was lost.
+                    if not self.service.closed:
+                        raise
+        finally:
+            self._bridge.shutdown(wait=True)
 
     # -------------------------------------------------------------- connections
 

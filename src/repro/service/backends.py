@@ -34,6 +34,7 @@ from typing import Sequence
 from repro.codecs import ModelLifecycle
 from repro.codecs.registry import trainable_codec_names
 from repro.exceptions import CodecError, ServiceError
+from repro.ioutil import atomic_write_bytes
 from repro.lsm.engine import LSMEngine
 from repro.lsm.sstable import RecordCompressionPolicy
 from repro.service.stats import ShardSnapshot
@@ -145,12 +146,24 @@ class ShardBackend(ABC):
             return None, None
         return self.decompress(payload), payload
 
+    def flush(self) -> None:
+        """Persist durable state (snapshot / WAL barrier); no-op when ephemeral."""
+
     def close(self) -> None:
         """Release any resources (files, logs)."""
 
 
 class TierBaseShard(ShardBackend):
-    """In-memory shard over a :class:`TierBase` store (compression built in)."""
+    """In-memory shard over a :class:`TierBase` store (compression built in).
+
+    With a ``directory`` the shard is persistent, RDB-style: :meth:`flush`
+    publishes an atomic ``TBS1`` snapshot (``snapshot.tbs``) of the whole
+    store — payloads and trained model epochs — and construction reloads an
+    existing snapshot, so a reopened shard serves every key that was
+    acknowledged before the last flush (the service flushes on close/drain).
+    Writes after the last snapshot are lost on a hard kill; that is the
+    in-memory store's contract, unlike the LSM shard's WAL.
+    """
 
     name = "tierbase"
 
@@ -160,21 +173,41 @@ class TierBaseShard(ShardBackend):
         ratio_threshold: float = 0.8,
         unmatched_threshold: float = 0.2,
         train_size: int = 256,
+        directory: str | Path | None = None,
     ) -> None:
-        self.store = TierBase(
-            compressor=compressor,
-            ratio_threshold=ratio_threshold,
-            unmatched_threshold=unmatched_threshold,
-            train_size=train_size,
+        self.directory = Path(directory) if directory is not None else None
+        self._snapshot_path = (
+            self.directory / "snapshot.tbs" if self.directory is not None else None
         )
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        if self._snapshot_path is not None and self._snapshot_path.exists():
+            self.store = TierBase.load(
+                self._snapshot_path,
+                compressor=compressor,
+                ratio_threshold=ratio_threshold,
+                unmatched_threshold=unmatched_threshold,
+                train_size=train_size,
+            )
+            self._dirty = False
+        else:
+            self.store = TierBase(
+                compressor=compressor,
+                ratio_threshold=ratio_threshold,
+                unmatched_threshold=unmatched_threshold,
+                train_size=train_size,
+            )
+            self._dirty = True  # first flush publishes the baseline snapshot
         self.lifecycle = self.store.lifecycle
         self._retrain_events = 0
 
     def train(self, sample_values: Sequence[str]) -> None:
         self.store.train(sample_values)
+        self._dirty = True
 
     def set(self, key: str, value: str) -> None:
         self.store.set(key, value)
+        self._dirty = True
 
     def get_compressed(self, key: str) -> bytes | None:
         return self.store.get_compressed(key)
@@ -183,7 +216,9 @@ class TierBaseShard(ShardBackend):
         return self.store.compressor.decompress(payload)
 
     def delete(self, key: str) -> bool:
-        return self.store.delete(key)
+        existed = self.store.delete(key)
+        self._dirty = self._dirty or existed
+        return existed
 
     @property
     def outlier_rate(self) -> float:
@@ -193,6 +228,7 @@ class TierBaseShard(ShardBackend):
         # Epoch-based: installs a new model, rewrites nothing, blocks no reads.
         self.store.retrain(sample_values)
         self._retrain_events += 1
+        self._dirty = True
 
     def snapshot(self, shard_id: int) -> ShardSnapshot:
         stats = self.store.stats()
@@ -208,6 +244,17 @@ class TierBaseShard(ShardBackend):
             retrain_events=self._retrain_events,
             outlier_rate=self.outlier_rate,
         )
+
+    def flush(self) -> None:
+        # Dirty-tracked: the close path flushes up to three times (server
+        # drain → KVService.close → backend.close); only the first with
+        # changes pays the snapshot serialisation + fsyncs.
+        if self._snapshot_path is not None and self._dirty:
+            self.store.save(self._snapshot_path)
+            self._dirty = False
+
+    def close(self) -> None:
+        self.flush()
 
 
 class LSMShard(ShardBackend):
@@ -230,6 +277,7 @@ class LSMShard(ShardBackend):
         unmatched_threshold: float = 0.2,
         memtable_bytes: int = 64 * 1024,
         train_size: int = 256,
+        sync_mode: str = "flush",
     ) -> None:
         self.directory = Path(directory)
         self.compressor = compressor
@@ -259,6 +307,7 @@ class LSMShard(ShardBackend):
             self.directory,
             policy=RecordCompressionPolicy(compressor),
             memtable_bytes=memtable_bytes,
+            sync_mode=sync_mode,
         )
         self._retrain_events = 0
         self._sets = 0
@@ -267,7 +316,9 @@ class LSMShard(ShardBackend):
     def _save_models(self) -> None:
         payload = self.compressor.dump_models()
         if payload is not None:
-            self._models_path.write_bytes(payload)
+            # Atomic publication: a crash mid-write must leave the previous
+            # complete model store, not a torn models.bin that fails reopen.
+            atomic_write_bytes(self._models_path, payload)
 
     def train(self, sample_values: Sequence[str]) -> None:
         self.compressor.train(sample_values)
@@ -331,6 +382,11 @@ class LSMShard(ShardBackend):
             outlier_rate=self.outlier_rate,
         )
 
+    def flush(self) -> None:
+        # The WAL already covers the memtable; a hard fsync barrier is all a
+        # mid-run flush needs to make every acknowledged write crash-proof.
+        self.engine.sync()
+
     def close(self) -> None:
         self.engine.close()
 
@@ -341,15 +397,24 @@ def make_shard_backend(
     shard_id: int,
     directory: str | Path | None = None,
     train_size: int = 256,
+    sync_mode: str = "flush",
 ) -> ShardBackend:
-    """Build one shard backend of ``kind`` with a fresh compressor."""
+    """Build one shard backend of ``kind`` with a fresh compressor.
+
+    With a base ``directory`` both backends are persistent under
+    ``shard-NNN/`` subdirectories: lsm shards always (WAL + SSTables +
+    models.bin), tierbase shards via ``TBS1`` snapshots written on flush.
+    """
     compressor = make_value_compressor(compressor_name)
+    shard_directory = (
+        Path(directory) / f"shard-{shard_id:03d}" if directory is not None else None
+    )
     if kind == "tierbase":
-        return TierBaseShard(compressor, train_size=train_size)
+        return TierBaseShard(compressor, train_size=train_size, directory=shard_directory)
     if kind == "lsm":
-        if directory is None:
+        if shard_directory is None:
             raise ServiceError("the lsm backend needs a base directory")
         return LSMShard(
-            Path(directory) / f"shard-{shard_id:03d}", compressor, train_size=train_size
+            shard_directory, compressor, train_size=train_size, sync_mode=sync_mode
         )
     raise ServiceError(f"unknown shard backend {kind!r}; choose from {BACKEND_CHOICES}")

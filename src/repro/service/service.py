@@ -57,8 +57,12 @@ class ServiceConfig:
     backend: str = "tierbase"
     #: per-shard value compressor: "none", "zstd", "pbc" or "pbc_f".
     compressor: str = "pbc_f"
-    #: base directory for on-disk backends (required for "lsm").
+    #: base directory for on-disk backends (required for "lsm"; optional for
+    #: "tierbase", which then persists TBS1 snapshots on flush/close).
     directory: str | Path | None = None
+    #: WAL durability policy of lsm shards: "none", "flush" or "fsync"
+    #: (see repro.lsm.wal.SYNC_MODES; ignored by the tierbase backend).
+    sync_mode: str = "flush"
     #: entry capacity of the compressed read cache.
     cache_entries: int = 1024
     #: optional byte capacity of the compressed read cache.
@@ -78,6 +82,12 @@ class ServiceConfig:
         if self.compressor not in COMPRESSOR_CHOICES:
             raise ServiceError(
                 f"unknown compressor {self.compressor!r}; choose from {COMPRESSOR_CHOICES}"
+            )
+        from repro.lsm.wal import SYNC_MODES
+
+        if self.sync_mode not in SYNC_MODES:
+            raise ServiceError(
+                f"unknown sync_mode {self.sync_mode!r}; choose from {SYNC_MODES}"
             )
 
 
@@ -123,6 +133,7 @@ class KVService:
                     shard_id,
                     directory=self.config.directory,
                     train_size=self.config.train_size,
+                    sync_mode=self.config.sync_mode,
                 ),
             )
             for shard_id in range(self.config.shard_count)
@@ -142,15 +153,41 @@ class KVService:
         if self._closed:
             raise ServiceError("service is closed")
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed service rejects every op)."""
+        return self._closed
+
+    def flush(self) -> None:
+        """Persist every shard's durable state (in parallel across shards).
+
+        Runs on the shard executors, serialised with writes: lsm shards take
+        a WAL fsync barrier, directory-backed tierbase shards publish a fresh
+        ``TBS1`` snapshot.  After it returns, every previously acknowledged
+        write survives a process kill (and, for fsynced backends, a machine
+        crash).  A no-op for purely in-memory shards.
+        """
+        self._require_open()
+        futures = [
+            shard.executor.submit(shard.backend.flush) for shard in self._shards
+        ]
+        self._raise_first_error(futures)
+
     def close(self) -> None:
-        """Drain every shard executor and close the backends."""
+        """Flush every shard, drain the executors, and close the backends."""
         if self._closed:
             return
         self._closed = True
-        for shard in self._shards:
-            shard.executor.shutdown(wait=True)
-        for shard in self._shards:
-            shard.backend.close()
+        flush_futures = [
+            shard.executor.submit(shard.backend.flush) for shard in self._shards
+        ]
+        try:
+            self._raise_first_error(flush_futures)
+        finally:
+            for shard in self._shards:
+                shard.executor.shutdown(wait=True)
+            for shard in self._shards:
+                shard.backend.close()
 
     def __enter__(self) -> "KVService":
         return self

@@ -13,12 +13,22 @@ from repro.tierbase.compression import (
     VersionedValueCompressor,
     ZstdDictValueCompressor,
 )
+from repro.tierbase.snapshot import (
+    SNAPSHOT_MAGIC,
+    SnapshotContent,
+    read_snapshot,
+    write_snapshot,
+)
 from repro.tierbase.store import CompressionMonitor, StoreStats, TierBase
 from repro.tierbase.workload import WorkloadResult, WorkloadSpec, run_workload
 
 __all__ = [
     "CompressionMonitor",
     "NoopValueCompressor",
+    "SNAPSHOT_MAGIC",
+    "SnapshotContent",
+    "read_snapshot",
+    "write_snapshot",
     "PBCValueCompressor",
     "StoreStats",
     "TierBase",

@@ -1,0 +1,133 @@
+"""``TBS1`` snapshot format: persistence for the in-memory TierBase store.
+
+TierBase is Redis-shaped, and this is its RDB analogue: a point-in-time dump
+of every stored (still-compressed) payload plus the compressor's persisted
+:class:`~repro.codecs.ModelStore`, so a reopened store decodes every payload
+with the exact model epoch that wrote it.  Byte layout (docs/FORMATS.md §8)::
+
+    snapshot := magic "TBS1" (4)
+                flags u8                      (bit 0: model store present)
+                uvarint(len(name)) name       (compressor name, mismatch check)
+                [flag] uvarint(len(models)) models
+                                              (ValueCompressor.dump_models():
+                                               codec magic + ModelStore bytes)
+                uvarint(key_count)
+                per key: uvarint(len(key)) key
+                         uvarint(original_size)
+                         uvarint(len(payload)) payload   (epoch-stamped)
+                crc32 u32-be                  (over everything above)
+
+Snapshots are published with the atomic tmp-then-rename pattern
+(:func:`repro.ioutil.atomic_write_bytes`), so a crash mid-save leaves the
+previous complete snapshot in place; a torn or bit-flipped file fails the
+CRC with a typed :class:`~repro.exceptions.StoreError`, never a partial load.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.exceptions import DecodingError, StoreError
+from repro.ioutil import atomic_write_bytes
+
+#: Magic prefix of every TierBase snapshot file.
+SNAPSHOT_MAGIC = b"TBS1"
+
+#: Flag bit: the snapshot carries a persisted model store.
+_FLAG_MODELS = 0x01
+
+
+@dataclass(frozen=True)
+class SnapshotContent:
+    """Parsed contents of a ``TBS1`` file, before being applied to a store."""
+
+    #: name of the compressor that wrote the snapshot (e.g. ``"PBC_F"``).
+    compressor_name: str
+    #: persisted model store (``ValueCompressor.dump_models`` output), or
+    #: ``None`` when the writer was an un-versioned compressor.
+    models: bytes | None
+    #: ``(key, original_size, compressed_payload)`` per stored key.
+    entries: tuple[tuple[str, int, bytes], ...]
+
+
+def dump_snapshot(store) -> bytes:
+    """Serialise a :class:`~repro.tierbase.store.TierBase` into ``TBS1`` bytes."""
+    models = store.compressor.dump_models()
+    name_bytes = store.compressor.name.encode("utf-8")
+    out = bytearray()
+    out += SNAPSHOT_MAGIC
+    out.append(_FLAG_MODELS if models is not None else 0)
+    out += encode_uvarint(len(name_bytes))
+    out += name_bytes
+    if models is not None:
+        out += encode_uvarint(len(models))
+        out += models
+    out += encode_uvarint(len(store._data))
+    for key, payload in store._data.items():
+        key_bytes = key.encode("utf-8")
+        out += encode_uvarint(len(key_bytes))
+        out += key_bytes
+        out += encode_uvarint(store._original_sizes.get(key, len(payload)))
+        out += encode_uvarint(len(payload))
+        out += payload
+    out += zlib.crc32(bytes(out)).to_bytes(4, "big")
+    return bytes(out)
+
+
+def write_snapshot(store, path: str | Path, sync: bool = True) -> None:
+    """Atomically publish ``store`` as a ``TBS1`` snapshot at ``path``."""
+    atomic_write_bytes(path, dump_snapshot(store), sync=sync)
+
+
+def read_snapshot(path: str | Path) -> SnapshotContent:
+    """Parse a ``TBS1`` file; any damage is a typed :class:`StoreError`."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < len(SNAPSHOT_MAGIC) + 4 + 1:
+        raise StoreError(f"{path} is too small to be a TBS1 snapshot")
+    if data[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        raise StoreError(f"{path} is not a TBS1 snapshot (bad magic)")
+    body, footer = data[:-4], data[-4:]
+    if zlib.crc32(body) != int.from_bytes(footer, "big"):
+        raise StoreError(f"{path} failed its CRC32 check (torn or corrupted snapshot)")
+    try:
+        return _parse_body(body, path)
+    except (DecodingError, UnicodeDecodeError, IndexError) as error:
+        raise StoreError(f"{path} has a malformed snapshot body") from error
+
+
+def _parse_body(body: bytes, path: Path) -> SnapshotContent:
+    offset = len(SNAPSHOT_MAGIC)
+    flags = body[offset]
+    offset += 1
+    name_length, offset = decode_uvarint(body, offset)
+    compressor_name = body[offset : offset + name_length].decode("utf-8")
+    offset += name_length
+    models: bytes | None = None
+    if flags & _FLAG_MODELS:
+        models_length, offset = decode_uvarint(body, offset)
+        models = body[offset : offset + models_length]
+        if len(models) != models_length:
+            raise StoreError(f"{path} has a truncated model store section")
+        offset += models_length
+    key_count, offset = decode_uvarint(body, offset)
+    entries: list[tuple[str, int, bytes]] = []
+    for _ in range(key_count):
+        key_length, offset = decode_uvarint(body, offset)
+        key = body[offset : offset + key_length].decode("utf-8")
+        offset += key_length
+        original_size, offset = decode_uvarint(body, offset)
+        payload_length, offset = decode_uvarint(body, offset)
+        payload = body[offset : offset + payload_length]
+        if len(payload) != payload_length:
+            raise StoreError(f"{path} has a truncated payload for key {key!r}")
+        offset += payload_length
+        entries.append((key, original_size, payload))
+    if offset != len(body):
+        raise StoreError(f"{path} has trailing bytes after the last snapshot entry")
+    return SnapshotContent(
+        compressor_name=compressor_name, models=models, entries=tuple(entries)
+    )

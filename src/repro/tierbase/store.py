@@ -24,10 +24,12 @@ recompress) survives as ``retrain(..., rewrite=True)`` for the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator, Sequence
 
 from repro.codecs.lifecycle import DriftMonitor, ModelLifecycle
 from repro.exceptions import StoreError
+from repro.tierbase import snapshot as tbs
 from repro.tierbase.compression import NoopValueCompressor, ValueCompressor
 
 #: Back-compat alias: the monitor moved to :mod:`repro.codecs.lifecycle`.
@@ -186,6 +188,66 @@ class TierBase:
 
     def __contains__(self, key: str) -> bool:
         return key in self._data
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: str | Path, sync: bool = True) -> None:
+        """Atomically publish a ``TBS1`` snapshot of this store at ``path``.
+
+        The snapshot carries the still-compressed payloads plus the
+        compressor's persisted model store (docs/FORMATS.md §8), so
+        :meth:`load` decodes every payload with the exact epoch that wrote
+        it.  A crash mid-save leaves the previous complete snapshot in place.
+        """
+        tbs.write_snapshot(self, path, sync=sync)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        compressor: ValueCompressor | None = None,
+        ratio_threshold: float = 0.8,
+        unmatched_threshold: float = 0.2,
+        train_size: int = 256,
+    ) -> "TierBase":
+        """Rebuild a store from a ``TBS1`` snapshot written by :meth:`save`.
+
+        ``compressor`` must be a fresh instance of the same compressor kind
+        that wrote the snapshot — its trained model epochs are restored from
+        the snapshot itself.  Mismatches fail typed: a versioned snapshot
+        opened with an un-versioned compressor (or vice versa) is a
+        :class:`StoreError`, and a different codec is the
+        :class:`~repro.exceptions.CodecError` from ``load_models``.
+        """
+        content = tbs.read_snapshot(path)
+        store = cls(
+            compressor=compressor,
+            ratio_threshold=ratio_threshold,
+            unmatched_threshold=unmatched_threshold,
+            train_size=train_size,
+        )
+        versioned = store.compressor.dump_models() is not None
+        if content.models is not None and not versioned:
+            raise StoreError(
+                f"snapshot {path} was written by the versioned compressor "
+                f"{content.compressor_name!r}; reopen it with that compressor, "
+                f"not {store.compressor.name!r}"
+            )
+        if content.models is None and versioned:
+            raise StoreError(
+                f"snapshot {path} was written by the un-versioned compressor "
+                f"{content.compressor_name!r}; reopen it with that compressor, "
+                f"not {store.compressor.name!r}"
+            )
+        if content.models is not None:
+            store.compressor.load_models(content.models)
+        for key, original_size, payload in content.entries:
+            epoch = store.compressor.payload_epoch(payload)
+            store.compressor.acquire_epoch(epoch)
+            store._epochs[key] = epoch
+            store._data[key] = payload
+            store._original_sizes[key] = original_size
+        return store
 
     # --------------------------------------------------------------- metrics
 

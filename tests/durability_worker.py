@@ -1,0 +1,185 @@
+"""Crash-injection worker for ``tests/test_durability.py``.
+
+Runs as a subprocess that applies a **deterministic** workload (every op is a
+pure function of the seed) against an LSM engine or a TierBase store, and
+prints the op index to stdout — flushed — *after* each op returns.  The
+parent SIGKILLs it at a random point; because the op stream is deterministic,
+the parent can regenerate it from the seed and knows that
+
+* every op whose index it read from the pipe had **returned** (the ack is
+  written only after the op), and
+* at most **one** further op can have completed without its ack reaching the
+  pipe (the worker strictly alternates op → ack-write → ack-flush).
+
+So if the parent drained ``m`` acks, the true completed-op count is ``m`` or
+``m + 1`` — which turns "did the store lose an acknowledged write?" into an
+exact state comparison instead of a heuristic.
+
+This module is imported by the test (for the op generators and the pure
+``apply_*`` state functions) and executed as a script by the subprocess:
+
+    python durability_worker.py lsm <dir> <sync_mode> <seed>
+    python durability_worker.py tierbase <dir> <seed>
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+#: ops per run — effectively unbounded; the parent kills long before this.
+MAX_OPS = 200_000
+
+#: every Nth tierbase op publishes a TBS1 snapshot.
+SAVE_EVERY = 25
+
+#: tierbase op indices where the compressor retrains (a new model epoch).
+RETRAIN_AT = frozenset({40, 120})
+
+
+# ----------------------------------------------------------- deterministic ops
+
+
+def lsm_ops(seed: int):
+    """Infinite deterministic stream of LSM ops: put/delete/flush/compact."""
+    rng = random.Random(seed)
+    index = 0
+    while True:
+        roll = rng.random()
+        key = f"k{rng.randrange(48):03d}"
+        if roll < 0.72:
+            filler = "x" * rng.randrange(4, 60)
+            yield ("put", key, f"v{index}:{key}:{filler}")
+        elif roll < 0.86:
+            yield ("del", key)
+        elif roll < 0.95:
+            yield ("flush",)
+        else:
+            yield ("compact",)
+        index += 1
+
+
+def apply_lsm(ops) -> dict[str, str]:
+    """Live key→value state after applying ``ops`` in order."""
+    state: dict[str, str] = {}
+    for op in ops:
+        if op[0] == "put":
+            state[op[1]] = op[2]
+        elif op[0] == "del":
+            state.pop(op[1], None)
+    return state
+
+
+def tierbase_ops(seed: int):
+    """Infinite deterministic stream of TierBase ops: set/del/save/retrain."""
+    rng = random.Random(seed)
+    index = 0
+    while True:
+        if index > 0 and index % SAVE_EVERY == 0:
+            yield ("save",)
+        elif index in RETRAIN_AT:
+            yield ("retrain",)
+        else:
+            key = f"k{rng.randrange(32):03d}"
+            if rng.random() < 0.85:
+                filler = "y" * rng.randrange(4, 40)
+                yield ("set", key, f"user={index} key={key} pad={filler}")
+            else:
+                yield ("del", key)
+        index += 1
+
+
+def apply_tierbase(ops) -> dict[str, str]:
+    """Key→value state after applying ``ops`` (save/retrain don't mutate)."""
+    state: dict[str, str] = {}
+    for op in ops:
+        if op[0] == "set":
+            state[op[1]] = op[2]
+        elif op[0] == "del":
+            state.pop(op[1], None)
+    return state
+
+
+def train_sample(seed: int) -> list[str]:
+    """Deterministic training sample matching the tierbase value shape."""
+    rng = random.Random(seed ^ 0x5EED)
+    return [
+        f"user={index} key=k{rng.randrange(32):03d} pad=" + "y" * rng.randrange(4, 40)
+        for index in range(64)
+    ]
+
+
+def retrain_sample(seed: int, index: int) -> list[str]:
+    """Deterministic retraining sample for the retrain op at ``index``."""
+    rng = random.Random((seed << 8) ^ index)
+    return [
+        f"user={n} key=k{rng.randrange(32):03d} pad=" + "z" * rng.randrange(4, 40)
+        for n in range(48)
+    ]
+
+
+# -------------------------------------------------------------------- workers
+
+
+def _ack(index: int) -> None:
+    sys.stdout.write(f"{index}\n")
+    sys.stdout.flush()
+
+
+def run_lsm(directory: str, sync_mode: str, seed: int) -> None:
+    from repro.lsm.engine import LSMEngine
+
+    engine = LSMEngine(
+        directory,
+        memtable_bytes=1024,
+        compaction_trigger=3,
+        sync_mode=sync_mode,
+    )
+    for index, op in enumerate(lsm_ops(seed)):
+        if index >= MAX_OPS:
+            break
+        if op[0] == "put":
+            engine.put(op[1], op[2])
+        elif op[0] == "del":
+            engine.delete(op[1])
+        elif op[0] == "flush":
+            engine.flush()
+        else:
+            engine.compact()
+        _ack(index)
+
+
+def run_tierbase(directory: str, seed: int) -> None:
+    from repro.tierbase import TierBase, ZstdDictValueCompressor
+
+    store = TierBase(compressor=ZstdDictValueCompressor())
+    store.train(train_sample(seed))
+    snapshot_path = Path(directory) / "snapshot.tbs"
+    for index, op in enumerate(tierbase_ops(seed)):
+        if index >= MAX_OPS:
+            break
+        if op[0] == "set":
+            store.set(op[1], op[2])
+        elif op[0] == "del":
+            store.delete(op[1])
+        elif op[0] == "save":
+            store.save(snapshot_path)
+        else:
+            store.retrain(retrain_sample(seed, index))
+        _ack(index)
+
+
+def main(argv: list[str]) -> int:
+    mode = argv[0]
+    if mode == "lsm":
+        run_lsm(argv[1], argv[2], int(argv[3]))
+    elif mode == "tierbase":
+        run_tierbase(argv[1], int(argv[2]))
+    else:
+        raise SystemExit(f"unknown worker mode {mode!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -98,6 +98,30 @@ class TestFormatsMatchCode:
         assert f"{OP_DELETE} = DELETE" in text
         assert OUTLIER_PATTERN_ID == 0 and "pattern_id == 0" in text
 
+    def test_wal_sync_modes_documented(self):
+        """FORMATS.md §4 documents every WAL sync_mode the code accepts."""
+        from repro.lsm.wal import SYNC_MODES
+
+        text = _read("docs/FORMATS.md")
+        assert "`sync_mode`" in text and "fsync_interval_bytes" in text
+        for mode in SYNC_MODES:
+            assert f"| `{mode}`" in text, f"FORMATS.md sync_mode table misses {mode!r}"
+
+    def test_tierbase_snapshot_magic(self):
+        from repro.tierbase.snapshot import SNAPSHOT_MAGIC
+
+        text = _read("docs/FORMATS.md")
+        assert SNAPSHOT_MAGIC == b"TBS1"
+        assert f'magic "{SNAPSHOT_MAGIC.decode("ascii")}"' in text
+        assert "TierBase snapshot" in text
+
+    def test_sstable_quarantine_documented(self):
+        from repro.lsm.engine import QUARANTINE_DIR
+
+        text = _read("docs/FORMATS.md")
+        assert f"`{QUARANTINE_DIR}/`" in text
+        assert "Atomic publication" in text
+
     def test_pbc_file_magic(self):
         from repro.cli import _FILE_MAGIC
 
@@ -177,3 +201,37 @@ def test_readme_mentions_service_quickstart():
     assert "KVService" in text and "ServiceConfig" in text
     assert "serve-bench" in text
     assert "Which compressor when" in text
+
+
+def test_durability_contract_documented():
+    """The restart/durability story is discoverable from both entry docs."""
+    readme = _read("README.md")
+    assert "--data-dir" in readme and "--sync-mode" in readme
+    assert "TBS1" in readme
+    architecture = _read("docs/ARCHITECTURE.md")
+    assert "## Durability" in architecture
+    for mode in ("none", "flush", "fsync"):
+        assert f"`{mode}`" in architecture
+    assert "test_durability.py" in architecture
+
+
+def test_serve_has_data_dir_and_sync_mode_flags():
+    """The flags the README quickstart uses actually parse."""
+    from repro.cli import build_parser
+    from repro.lsm.wal import SYNC_MODES
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--data-dir", "/tmp/x", "--sync-mode", "fsync", "--backend", "lsm"]
+    )
+    assert args.directory == "/tmp/x"
+    assert args.sync_mode == "fsync"
+    serve = next(
+        action.choices["serve"]
+        for action in parser._actions
+        if hasattr(action, "choices") and action.choices and "serve" in action.choices
+    )
+    sync_mode = next(
+        action for action in serve._actions if "--sync-mode" in action.option_strings
+    )
+    assert tuple(sync_mode.choices) == SYNC_MODES

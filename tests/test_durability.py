@@ -1,0 +1,525 @@
+"""Crash-injection durability suite: SIGKILL workers, reopen, prove the invariant.
+
+The contract under test (docs/ARCHITECTURE.md, "Durability"):
+
+* ``sync_mode="fsync"`` — **no acknowledged write is ever lost**, at any kill
+  point (and ``"flush"`` gives the same guarantee against a *process* kill,
+  which is the strongest crash a test can actually inject — SIGKILL cannot
+  drop the kernel's page cache).
+* ``sync_mode="none"`` — an acknowledged write may be lost, but recovery is
+  always **prefix-consistent**: the store reopens to the state after some
+  prefix of the acknowledged op sequence, never garbage, never a torn file.
+* TierBase ``TBS1`` snapshots are atomic: a kill mid-save leaves the previous
+  complete snapshot; the store always reloads to an exact save-point state.
+
+The harness (see ``durability_worker.py``) makes this an *exact* check: the
+worker's op stream is a pure function of its seed and it acks each op index
+after the op returns, so a parent that drained ``m`` acks knows the worker
+completed exactly ``m`` or ``m + 1`` ops — the recovered state must equal the
+state after one of those prefixes (any prefix, for ``"none"``).
+
+Also here: the satellite regression tests — the WAL-tail fsync bug, torn
+SSTable rejection, ``*.tmp`` quarantine, the memtable-blind ``space_ratio``,
+TBS1 corruption handling, and kill-and-reopen through ``KVService`` and the
+wire server.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))  # for durability_worker
+import durability_worker as worker
+
+from repro.exceptions import StoreError
+from repro.lsm import QUARANTINE_DIR, SYNC_MODES, LSMEngine, WriteAheadLog
+from repro.tierbase import TierBase, ZstdDictValueCompressor
+from repro.tierbase.snapshot import SNAPSHOT_MAGIC
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+WORKER = Path(worker.__file__)
+
+#: randomized kill points per configuration (acceptance: >= 20 for fsync).
+FSYNC_SEEDS = range(20)
+FLUSH_SEEDS = range(6)
+NONE_SEEDS = range(6)
+TIERBASE_SEEDS = range(5)
+
+
+# ------------------------------------------------------------------- harness
+
+
+def _worker_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    return env
+
+
+def run_and_kill(worker_args: list[str], kill_after: int) -> int:
+    """Run the worker, SIGKILL it once ``kill_after`` acks arrive, drain the pipe.
+
+    Returns ``m_drained``: the number of ops whose ack reached the pipe — the
+    worker completed exactly ``m_drained`` or ``m_drained + 1`` ops.
+    """
+    proc = subprocess.Popen(
+        [sys.executable, str(WORKER), *worker_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=_worker_env(),
+    )
+    acks: list[bytes] = []
+    killed = threading.Event()
+
+    def read_and_kill() -> None:
+        assert proc.stdout is not None
+        for line in proc.stdout:
+            if not line.endswith(b"\n"):
+                break  # partial final line: its op may have completed, acked it was not
+            acks.append(line)
+            if len(acks) >= kill_after and not killed.is_set():
+                killed.set()
+                os.kill(proc.pid, signal.SIGKILL)
+        # after the kill the loop keeps draining buffered complete lines to EOF
+
+    reader = threading.Thread(target=read_and_kill)
+    reader.start()
+    try:
+        proc.wait(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    reader.join(timeout=60)
+    stderr = proc.stderr.read().decode("utf-8", "replace") if proc.stderr else ""
+    assert killed.is_set(), f"worker died before reaching {kill_after} acks:\n{stderr}"
+    indices = [int(line) for line in acks]
+    assert indices == list(range(len(indices))), "ack stream is not a contiguous prefix"
+    return len(indices)
+
+
+def matching_prefix(recovered: dict[str, str], states: list[dict[str, str]]) -> int | None:
+    """Index of the first candidate prefix state equal to ``recovered``."""
+    for index, state in enumerate(states):
+        if recovered == state:
+            return index
+    return None
+
+
+def check_lsm_recovery(directory: Path, sync_mode: str, seed: int, m_drained: int) -> None:
+    ops = list(itertools.islice(worker.lsm_ops(seed), m_drained + 2))
+    engine = LSMEngine(
+        directory, memtable_bytes=1024, compaction_trigger=3, sync_mode=sync_mode
+    )
+    try:
+        recovered = dict(engine.scan())
+    finally:
+        engine.close()
+    if sync_mode == "none":
+        lower = 0  # buffered records may be lost; any acked prefix is legal
+    else:
+        lower = m_drained  # nothing acknowledged may be lost
+    candidates = [worker.apply_lsm(ops[:m]) for m in range(lower, m_drained + 2)]
+    match = matching_prefix(recovered, candidates)
+    assert match is not None, (
+        f"sync_mode={sync_mode} seed={seed}: recovered state matches no legal "
+        f"prefix in [{lower}, {m_drained + 1}] ({len(recovered)} live keys)"
+    )
+
+
+# ------------------------------------------ tentpole: LSM kill-and-recover
+
+
+@pytest.mark.parametrize("seed", FSYNC_SEEDS)
+def test_lsm_sigkill_fsync_loses_nothing(tmp_path, seed):
+    """>= 20 randomized kill points: every acknowledged write survives."""
+    kill_after = 8 + (seed * 37) % 150
+    m = run_and_kill(["lsm", str(tmp_path), "fsync", str(seed)], kill_after)
+    check_lsm_recovery(tmp_path, "fsync", seed, m)
+
+
+@pytest.mark.parametrize("seed", FLUSH_SEEDS)
+def test_lsm_sigkill_flush_survives_process_kill(tmp_path, seed):
+    """"flush" drains to the kernel per append, so SIGKILL loses nothing
+    either — what it cannot survive (untestably here) is a machine crash."""
+    kill_after = 12 + (seed * 53) % 160
+    m = run_and_kill(["lsm", str(tmp_path), "flush", str(seed)], kill_after)
+    check_lsm_recovery(tmp_path, "flush", seed, m)
+
+
+@pytest.mark.parametrize("seed", NONE_SEEDS)
+def test_lsm_sigkill_none_is_prefix_consistent(tmp_path, seed):
+    """"none" may lose the buffered tail but must reopen to a clean prefix —
+    no torn tables, no garbage values, no failure to reopen."""
+    kill_after = 20 + (seed * 61) % 160
+    m = run_and_kill(["lsm", str(tmp_path), "none", str(seed)], kill_after)
+    check_lsm_recovery(tmp_path, "none", seed, m)
+
+
+# --------------------------------------- tentpole: TierBase snapshot kills
+
+
+@pytest.mark.parametrize("seed", TIERBASE_SEEDS)
+def test_tierbase_sigkill_recovers_exact_save_point(tmp_path, seed):
+    kill_after = worker.SAVE_EVERY + 2 + (seed * 43) % 120
+    m = run_and_kill(["tierbase", str(tmp_path), str(seed)], kill_after)
+    snapshot_path = tmp_path / "snapshot.tbs"
+    ops = list(itertools.islice(worker.tierbase_ops(seed), m + 2))
+    save_points = [index for index, op in enumerate(ops) if op[0] == "save"]
+    acked_saves = [index for index in save_points if index < m]
+    if not snapshot_path.exists():
+        assert not acked_saves, "an acknowledged save left no snapshot file"
+        return
+    loaded = TierBase.load(snapshot_path, compressor=ZstdDictValueCompressor())
+    recovered = {key: loaded.get(key) for key in loaded.keys()}
+    # The snapshot at op `index` captured the state after ops[:index]; it must
+    # be one of the save points the worker can have reached.
+    candidates = [worker.apply_tierbase(ops[:index]) for index in save_points]
+    match = matching_prefix(recovered, candidates)
+    assert match is not None, (
+        f"seed={seed}: loaded snapshot matches no save-point state "
+        f"(saves at {save_points}, drained {m} acks)"
+    )
+    assert not acked_saves or save_points[match] >= acked_saves[-1], (
+        "snapshot is older than an acknowledged save"
+    )
+
+
+def test_tierbase_snapshot_roundtrip_across_epochs(tmp_path):
+    """Satellite: snapshot/load roundtrip across >= 2 retrain epochs."""
+    store = TierBase(compressor=ZstdDictValueCompressor())
+    store.train([f"user={n} name=alpha{n}" for n in range(40)])
+    for n in range(30):
+        store.set(f"a{n}", f"user={n} name=alpha{n}")
+    store.retrain([f"user={n} city=beta{n}" for n in range(40)])
+    for n in range(30):
+        store.set(f"b{n}", f"user={n} city=beta{n}")
+    store.retrain([f"user={n} zone=gamma{n}" for n in range(40)])
+    for n in range(30):
+        store.set(f"c{n}", f"user={n} zone=gamma{n}")
+    assert len(set(store._epochs.values())) >= 2  # payloads span epochs
+    path = tmp_path / "epochs.tbs"
+    store.save(path)
+    loaded = TierBase.load(path, compressor=ZstdDictValueCompressor())
+    assert len(loaded) == 90
+    for key in store.keys():
+        assert loaded.get(key) == store.get(key)
+    # the restored store keeps every epoch decodable and writes at the newest
+    assert loaded.compressor.current_epoch == store.compressor.current_epoch
+
+
+# ------------------------------------------------- satellite: WAL tail bug
+
+
+def test_acknowledged_put_survives_sigkill_immediately_after_ack(tmp_path):
+    """The PR-5 headline bug: pre-fix, the record sat in the userspace buffer
+    and this exact kill lost an acknowledged put."""
+    m = run_and_kill(["lsm", str(tmp_path), "fsync", "1234"], 1)
+    assert m >= 1
+    first_op = next(iter(worker.lsm_ops(1234)))
+    engine = LSMEngine(tmp_path, memtable_bytes=1024, sync_mode="fsync")
+    try:
+        if first_op[0] == "put":
+            assert engine.get(first_op[1]) == first_op[2]
+    finally:
+        engine.close()
+
+
+class TestWalSyncModes:
+    def test_invalid_sync_mode_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            WriteAheadLog(tmp_path / "wal.log", sync_mode="everything")
+        with pytest.raises(StoreError):
+            LSMEngine(tmp_path, sync_mode="everything")
+        with pytest.raises(StoreError):
+            WriteAheadLog(tmp_path / "wal.log", fsync_interval_bytes=-1)
+
+    def test_flush_mode_leaves_no_userspace_buffer(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", sync_mode="flush")
+        wal.append_put("key", "value")
+        # read through the filesystem *without* flushing the writer: the
+        # record must already be out of the userspace buffer.
+        assert (tmp_path / "wal.log").stat().st_size > 0
+        wal.close()
+
+    def test_none_mode_may_buffer(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", sync_mode="none")
+        wal.append_put("key", "value")
+        assert (tmp_path / "wal.log").stat().st_size == 0  # still buffered
+        wal.sync()
+        assert (tmp_path / "wal.log").stat().st_size > 0
+        wal.close()
+
+    def test_fsync_every_append_by_default(self, tmp_path, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd)))
+        wal = WriteAheadLog(tmp_path / "wal.log", sync_mode="fsync")
+        for n in range(5):
+            wal.append_put(f"k{n}", "v")
+        assert len(calls) == 5
+        wal.close()
+
+    def test_fsync_interval_batches_syncs(self, tmp_path, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd)))
+        wal = WriteAheadLog(
+            tmp_path / "wal.log", sync_mode="fsync", fsync_interval_bytes=1 << 20
+        )
+        for n in range(50):
+            wal.append_put(f"k{n}", "v" * 20)
+        assert calls == []  # group commit: nothing reached the interval yet
+        wal.sync()
+        assert len(calls) == 1
+        wal.close()
+
+    def test_sync_modes_constant(self):
+        assert SYNC_MODES == ("none", "flush", "fsync")
+
+
+# --------------------------------------- satellite: torn-table publication
+
+
+class TestAtomicSSTablePublication:
+    def _filled_engine_dir(self, directory: Path) -> Path:
+        with LSMEngine(directory, memtable_bytes=1 << 20) as engine:
+            for n in range(120):
+                engine.put(f"key:{n:04d}", f"value-{n}-" + "z" * 30)
+            engine.flush()
+        return directory
+
+    def test_truncated_sstable_raises_typed_error_not_garbage(self, tmp_path):
+        self._filled_engine_dir(tmp_path)
+        (table_path,) = sorted(tmp_path.glob("sstable-*.sst"))
+        data = table_path.read_bytes()
+        for fraction in (0.25, 0.6, 0.95):
+            table_path.write_bytes(data[: int(len(data) * fraction)])
+            with pytest.raises(StoreError):
+                LSMEngine(tmp_path, memtable_bytes=1 << 20)
+        table_path.write_bytes(data)
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20) as engine:  # intact again
+            assert engine.get("key:0000") is not None
+
+    def test_leftover_tmp_is_quarantined_not_opened(self, tmp_path):
+        self._filled_engine_dir(tmp_path)
+        torn = tmp_path / "sstable-000099.sst.tmp"
+        torn.write_bytes(b"half-written sstable bytes from a crashed flush")
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20) as engine:
+            assert engine.get("key:0001") is not None
+            assert engine.stats().sstable_count == 1
+        assert not torn.exists()
+        quarantined = list((tmp_path / QUARANTINE_DIR).iterdir())
+        assert [path.name for path in quarantined] == ["sstable-000099.sst.tmp"]
+
+    def test_flush_and_compact_leave_no_tmp_files(self, tmp_path):
+        with LSMEngine(tmp_path, memtable_bytes=1 << 20, compaction_trigger=2) as engine:
+            for n in range(40):
+                engine.put(f"k{n:03d}", "v" * 40)
+            engine.flush()
+            for n in range(40):
+                engine.put(f"k{n:03d}", "w" * 40)
+            engine.flush()  # triggers compaction too
+            assert engine.stats().compactions >= 1
+            assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ------------------------------------------- satellite: space_ratio fix
+
+
+def test_space_ratio_counts_memtable_before_flush(tmp_path):
+    with LSMEngine(tmp_path, memtable_bytes=1 << 20) as engine:
+        for n in range(50):
+            engine.put(f"key:{n:04d}", "v" * 100)
+        before = engine.stats()
+        # pre-fix: logical_value_bytes was 0 here and the ratio pinned to 1.0
+        # while 5000 bytes of values sat uncompressed in the memtable.
+        assert before.logical_value_bytes == 50 * 100
+        assert before.sstable_file_bytes == 0
+        assert 1.0 <= before.space_ratio < 1.2  # memtable stores values raw + keys
+        engine.flush()
+        after = engine.stats()
+        assert after.logical_value_bytes == 50 * 100
+        assert after.memtable_bytes == 0
+        assert after.space_ratio == after.sstable_file_bytes / after.logical_value_bytes
+
+
+# --------------------------------------------- satellite: TBS1 robustness
+
+
+class TestSnapshotFormat:
+    def _saved(self, tmp_path: Path) -> tuple[Path, TierBase]:
+        store = TierBase(compressor=ZstdDictValueCompressor())
+        store.train([f"row={n} data=abcdef{n}" for n in range(32)])
+        for n in range(40):
+            store.set(f"key{n}", f"row={n} data=abcdef{n}")
+        path = tmp_path / "store.tbs"
+        store.save(path)
+        return path, store
+
+    def test_snapshot_starts_with_magic(self, tmp_path):
+        path, _ = self._saved(tmp_path)
+        assert path.read_bytes()[:4] == SNAPSHOT_MAGIC == b"TBS1"
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path, _ = self._saved(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(b"NOPE" + data[4:])
+        with pytest.raises(StoreError, match="magic"):
+            TierBase.load(path, compressor=ZstdDictValueCompressor())
+
+    def test_bit_flip_fails_crc(self, tmp_path):
+        path, _ = self._saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="CRC32"):
+            TierBase.load(path, compressor=ZstdDictValueCompressor())
+
+    def test_truncation_fails_typed(self, tmp_path):
+        path, _ = self._saved(tmp_path)
+        data = path.read_bytes()
+        for keep in (3, 10, len(data) // 2, len(data) - 1):
+            path.write_bytes(data[:keep])
+            with pytest.raises(StoreError):
+                TierBase.load(path, compressor=ZstdDictValueCompressor())
+
+    def test_compressor_kind_mismatch_is_typed(self, tmp_path):
+        path, _ = self._saved(tmp_path)
+        with pytest.raises(StoreError, match="versioned"):
+            TierBase.load(path)  # noop compressor cannot read versioned payloads
+        plain = TierBase()
+        plain.set("k", "v")
+        plain_path = tmp_path / "plain.tbs"
+        plain.save(plain_path)
+        with pytest.raises(StoreError, match="un-versioned"):
+            TierBase.load(plain_path, compressor=ZstdDictValueCompressor())
+
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        path, store = self._saved(tmp_path)
+        store.save(path)  # overwrite in place
+        assert not path.with_name(path.name + ".tmp").exists()
+        loaded = TierBase.load(path, compressor=ZstdDictValueCompressor())
+        assert len(loaded) == len(store)
+
+
+# ----------------------------------- lifecycle: service + wire kill/reopen
+
+
+class TestServiceLifecycle:
+    @pytest.mark.parametrize("backend", ["tierbase", "lsm"])
+    def test_close_then_reopen_serves_every_key(self, tmp_path, backend):
+        from repro.service import KVService, ServiceConfig
+
+        config = ServiceConfig(
+            shard_count=3,
+            backend=backend,
+            compressor="zstd",
+            directory=tmp_path,
+            sync_mode="fsync",
+        )
+        expected = {f"key:{n}": f"user={n} payload={'p' * (n % 17)}" for n in range(150)}
+        service = KVService(config)
+        service.train(list(expected.values())[:64])
+        for key, value in expected.items():
+            service.set(key, value)
+        service.delete("key:0")
+        del expected["key:0"]
+        service.close()
+
+        reopened = KVService(config)
+        try:
+            for key, value in expected.items():
+                assert reopened.get(key) == value
+            assert reopened.get("key:0") is None
+        finally:
+            reopened.close()
+
+    def test_flush_is_callable_midrun_and_idempotent(self, tmp_path):
+        from repro.service import KVService, ServiceConfig
+
+        service = KVService(
+            ServiceConfig(shard_count=2, backend="tierbase", compressor="none",
+                          directory=tmp_path)
+        )
+        service.set("a", "1")
+        service.flush()
+        snapshots = sorted(tmp_path.glob("shard-*/snapshot.tbs"))
+        assert len(snapshots) == 2
+        stamps = [path.stat().st_mtime_ns for path in snapshots]
+        service.flush()  # nothing changed: dirty-tracking skips the rewrite
+        assert [path.stat().st_mtime_ns for path in snapshots] == stamps
+        service.set("b", "2")
+        service.close()  # dirty again: the close path publishes exactly once
+        assert [path.stat().st_mtime_ns for path in snapshots] != stamps
+
+    def test_restart_after_pretrain_kill_still_trains(self, tmp_path):
+        """Bare shard-* directories (a run killed before its first train/flush)
+        must not make a restarted server skip pre-training."""
+        from repro.cli import _build_service, build_parser
+
+        for shard in range(2):
+            (tmp_path / f"shard-{shard:03d}").mkdir()  # state a pre-train kill leaves
+        args = build_parser().parse_args(
+            ["serve", "--backend", "tierbase", "--compressor", "zstd",
+             "--data-dir", str(tmp_path), "--shards", "2", "--train-count", "64"]
+        )
+        service, reopened, cleanup = _build_service(args)
+        try:
+            assert not reopened
+            for shard in service._shards:
+                assert shard.backend.store.compressor.current_epoch > 0  # trained
+        finally:
+            service.close()
+            cleanup()
+
+    def test_restart_with_trained_state_skips_pretraining(self, tmp_path):
+        from repro.cli import _build_service, build_parser
+
+        argv = ["serve", "--backend", "tierbase", "--compressor", "zstd",
+                "--data-dir", str(tmp_path), "--shards", "2", "--train-count", "64"]
+        service, reopened, cleanup = _build_service(build_parser().parse_args(argv))
+        assert not reopened
+        epochs = [s.backend.store.compressor.current_epoch for s in service._shards]
+        service.close()
+        cleanup()
+        service, reopened, cleanup = _build_service(build_parser().parse_args(argv))
+        try:
+            assert reopened  # snapshots exist now; no second training pass
+            assert [s.backend.store.compressor.current_epoch for s in service._shards] == epochs
+        finally:
+            service.close()
+            cleanup()
+
+    @pytest.mark.parametrize("backend", ["tierbase", "lsm"])
+    def test_server_drain_flushes_then_restart_serves(self, tmp_path, backend):
+        from repro.net import KVClient, ThreadedKVServer
+        from repro.service import KVService, ServiceConfig
+
+        config = ServiceConfig(
+            shard_count=2, backend=backend, compressor="none", directory=tmp_path
+        )
+        expected = {f"wire:{n}": f"value-{n}" for n in range(40)}
+
+        service = KVService(config)
+        with ThreadedKVServer(service) as server:
+            host, port = server.address
+            with KVClient(host, port) as client:
+                client.mset(sorted(expected.items()))
+        # ThreadedKVServer.stop() drained: shards flushed before exit.
+        service.close()
+
+        service = KVService(config)
+        with ThreadedKVServer(service) as server:
+            host, port = server.address
+            with KVClient(host, port) as client:
+                for key, value in expected.items():
+                    assert client.get(key) == value
+        service.close()
