@@ -21,10 +21,11 @@ file-based workflow:
   batched GET/SET workload against the sharded concurrent KV service and
   reports per-shard compression ratios, cache hit rate and latency
   percentiles.
-* ``pbc serve`` / ``pbc client get|set|del|ping|stats|bench`` — the
+* ``pbc serve`` / ``pbc client get|set|del|ping|stats|metrics|bench`` — the
   :mod:`repro.net` subsystem: the asyncio ``RKV1`` wire server over the KV
-  service, and the pooled client (including the mixed wire workload driver
-  with a pipelining-depth knob).
+  service (with a ``--metrics-port`` Prometheus sidecar and overload limits),
+  and the pooled client (including the mixed wire workload driver with a
+  pipelining-depth knob and an open-loop ``--rate`` mode).
 
 Every command is a thin veneer over the library API, so anything the CLI does
 can also be done programmatically.
@@ -361,7 +362,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def main() -> None:
         server = KVServer(
             service,
-            ServerConfig(host=args.host, port=args.port, max_inflight=args.max_inflight),
+            ServerConfig(
+                host=args.host,
+                port=args.port,
+                max_inflight=args.max_inflight,
+                metrics_port=args.metrics_port,
+                max_value_bytes=args.max_value_bytes,
+                max_batch_items=args.max_batch_items,
+                rate_limit=args.rate_limit,
+                rate_burst=args.rate_burst,
+                slow_request_seconds=args.slow_ms / 1e3,
+            ),
         )
         await server.start()
         host, port = server.address
@@ -370,6 +381,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving {args.shards} {args.backend} shard(s) "
             f"({args.compressor} compression, {state}) on {host}:{port}"
         )
+        if server.metrics_sidecar is not None:
+            metrics_host, metrics_port = server.metrics_address
+            print(f"metrics on http://{metrics_host}:{metrics_port}/metrics")
         try:
             if args.serve_seconds is None:
                 await server.serve_forever()
@@ -436,6 +450,11 @@ def _cmd_client_ping(args: argparse.Namespace) -> int:
 def _cmd_client_stats(args: argparse.Namespace) -> int:
     with _client(args) as client:
         stats = client.stats()
+    if args.raw:
+        import json
+
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
     shards = stats.pop("shards", [])
     print(render_table([{"metric": key, "value": value} for key, value in stats.items()],
                        title="Service stats"))
@@ -444,10 +463,54 @@ def _cmd_client_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_client_metrics(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        text = client.metrics()
+    if args.raw:
+        # The exposition text exactly as the HTTP sidecar would serve it.
+        sys.stdout.write(text)
+        return 0
+    from repro.obs import parse_text
+
+    rows = [
+        {
+            "name": name,
+            "labels": ",".join(f"{label}={value}" for label, value in labels) or "-",
+            "value": f"{value:g}",
+        }
+        for (name, labels), value in sorted(parse_text(text).items())
+    ]
+    if not rows:
+        print("(metrics disabled on this server)")
+        return 0
+    print(render_table(rows, title="Server metrics"))
+    return 0
+
+
 def _cmd_client_bench(args: argparse.Namespace) -> int:
-    from repro.net import run_wire_workload
+    from repro.net import run_open_loop_workload, run_wire_workload
 
     values = load_dataset(args.dataset, count=args.count)
+    if args.rate:
+        result = run_open_loop_workload(
+            args.host,
+            args.port,
+            values,
+            rate=args.rate,
+            operations=args.ops,
+            get_fraction=args.get_fraction,
+            workers=args.clients,
+            seed=args.seed,
+            preload=not args.no_preload,
+            timeout=args.timeout,
+        )
+        print(
+            f"open loop: offered {result.offered_rate:,.0f} ops/s, achieved "
+            f"{result.achieved_rate:,.0f} ops/s ({result.completed}/{result.offered_operations} "
+            f"completed, {result.errors} error(s))"
+        )
+        print(render_table(result.summary_rows(), title="Open-loop wire workload"))
+        return 0
     result = run_wire_workload(
         args.host,
         args.port,
@@ -704,6 +767,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--serve-seconds", type=float, default=None,
         help="serve for N seconds then drain and exit (default: until interrupted)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve Prometheus text on http://HOST:PORT/metrics (0 = ephemeral; "
+             "default: no HTTP sidecar — the METRICS opcode always works)",
+    )
+    serve.add_argument(
+        "--max-value-bytes", type=int, default=0,
+        help="reject SET/MSET values larger than this (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--max-batch-items", type=int, default=0,
+        help="reject MGET/MSET batches larger than this (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help="per-connection request budget in req/s (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst", type=int, default=0,
+        help="token-bucket burst capacity (0 = max(1, rate))",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=0.0,
+        help="log requests slower than this many milliseconds (0 = off)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     client = subparsers.add_parser("client", help="talk to a running 'repro serve' endpoint")
@@ -729,7 +817,19 @@ def build_parser() -> argparse.ArgumentParser:
     client_ping.set_defaults(func=_cmd_client_ping)
 
     client_stats = client_sub.add_parser("stats", help="service-wide statistics tables")
+    client_stats.add_argument(
+        "--raw", action="store_true", help="print the raw JSON document instead of tables"
+    )
     client_stats.set_defaults(func=_cmd_client_stats)
+
+    client_metrics = client_sub.add_parser(
+        "metrics", help="server metrics over the METRICS opcode (no HTTP needed)"
+    )
+    client_metrics.add_argument(
+        "--raw", action="store_true",
+        help="print the Prometheus exposition text instead of a table",
+    )
+    client_metrics.set_defaults(func=_cmd_client_metrics)
 
     client_bench = client_sub.add_parser(
         "bench", help="mixed GET/SET wire workload (throughput, latency, pipelining)"
@@ -752,6 +852,11 @@ def build_parser() -> argparse.ArgumentParser:
     client_bench.add_argument("--seed", type=int, default=2023, help="workload seed")
     client_bench.add_argument(
         "--no-preload", action="store_true", help="skip the initial mset preload"
+    )
+    client_bench.add_argument(
+        "--rate", type=float, default=0.0,
+        help="open-loop mode: offer this many single-key ops/s on a fixed "
+             "timetable and report offered vs achieved rate (0 = closed loop)",
     )
     client_bench.set_defaults(func=_cmd_client_bench)
 

@@ -21,6 +21,7 @@ payloads written under old epochs.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -133,6 +134,9 @@ class ModelLifecycle:
             min_observations=min_observations,
         )
         self.reservoir: deque[str] = deque(maxlen=max(1, reservoir_size))
+        #: monotonic instant the current model epoch was installed (None =
+        #: never trained); feeds the ``model_epoch_age_seconds`` shard gauge.
+        self.trained_at: float | None = None
 
     def observe(self, value: str, original_size: int, stored_size: int) -> None:
         """Record one write: monitor counters plus the retraining reservoir."""
@@ -163,7 +167,24 @@ class ModelLifecycle:
             return False
         train(sample)
         self.monitor.reset()
+        self.mark_trained()
         return True
+
+    def mark_trained(self) -> None:
+        """Stamp the current instant as the active model epoch's install time.
+
+        Owners call this from their *initial* ``train`` path too (which does
+        not go through :meth:`retrain`), so epoch age is meaningful from the
+        first model onward.
+        """
+        self.trained_at = time.monotonic()
+
+    @property
+    def model_age_seconds(self) -> float:
+        """Seconds since the current model epoch was installed (0.0 untrained)."""
+        if self.trained_at is None:
+            return 0.0
+        return max(0.0, time.monotonic() - self.trained_at)
 
     @property
     def retrain_events(self) -> int:

@@ -87,8 +87,33 @@ class MissingModelError(CompressorError, StreamFormatError):
     """
 
 
+class ObsError(ReproError):
+    """A :mod:`repro.obs` metrics operation failed (bad metric name, kind or
+    label mismatch on re-registration, negative counter increment)."""
+
+
 class NetError(ReproError):
     """Base class for errors raised by the :mod:`repro.net` wire layer."""
+
+
+class LimitExceededError(NetError):
+    """A request exceeded a server-enforced size limit.
+
+    Raised by the server when a SET/MSET value is larger than
+    ``max_value_bytes`` or an MGET/MSET batch has more than
+    ``max_batch_items`` entries; relayed to clients as a typed ERR frame,
+    so ``except LimitExceededError`` works across the wire.  The offending
+    request is rejected but the connection stays open.
+    """
+
+
+class RateLimitedError(NetError):
+    """A connection exceeded its per-connection token-bucket rate limit.
+
+    Relayed to clients as a typed ERR frame (``except RateLimitedError``
+    works across the wire).  Only the over-budget request is rejected; the
+    connection stays open and recovers as the bucket refills.
+    """
 
 
 class ProtocolError(NetError):

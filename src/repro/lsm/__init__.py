@@ -17,7 +17,7 @@ paper's Figure 5 / Table 8 story to a persistent storage engine.
 """
 
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.engine import QUARANTINE_DIR, EngineStats, LookupTiming, LSMEngine
+from repro.lsm.engine import QUARANTINE_DIR, DiskStats, EngineStats, LookupTiming, LSMEngine
 from repro.lsm.memtable import TOMBSTONE, MemTable
 from repro.lsm.sstable import (
     BlockCompressionPolicy,
@@ -33,6 +33,7 @@ from repro.lsm.wal import OP_DELETE, OP_PUT, SYNC_MODES, WriteAheadLog
 __all__ = [
     "BlockCompressionPolicy",
     "BloomFilter",
+    "DiskStats",
     "EngineStats",
     "LSMEngine",
     "LookupTiming",

@@ -74,6 +74,22 @@ class EngineStats:
         return (self.sstable_file_bytes + self.memtable_bytes) / self.logical_value_bytes
 
 
+@dataclass(frozen=True)
+class DiskStats:
+    """Cheap durable-footprint counters (no table scan; see ``disk_stats``)."""
+
+    sstable_count: int
+    sstable_file_bytes: int
+    wal_bytes: int
+    wal_fsyncs: int
+    wal_fsync_seconds: float
+
+    @property
+    def bytes_on_disk(self) -> int:
+        """Total durable footprint: SSTable files plus the live WAL."""
+        return self.sstable_file_bytes + self.wal_bytes
+
+
 @dataclass
 class LookupTiming:
     """Outcome of a point-lookup throughput measurement."""
@@ -311,6 +327,22 @@ class LSMEngine:
             logical_value_bytes=logical,
             flushes=self._flushes,
             compactions=self._compactions,
+        )
+
+    def disk_stats(self) -> "DiskStats":
+        """Cheap durable-footprint stats for metric scrapes.
+
+        Unlike :meth:`stats` this never scans table contents — it is sized for
+        a per-scrape call on the serving path (file-size sums plus the WAL's
+        in-memory fsync counters).
+        """
+        self._require_open()
+        return DiskStats(
+            sstable_count=len(self._tables),
+            sstable_file_bytes=sum(table.file_bytes for table in self._tables),
+            wal_bytes=self._wal.size_bytes,
+            wal_fsyncs=self._wal.fsyncs,
+            wal_fsync_seconds=self._wal.fsync_seconds,
         )
 
     def measure_lookups(self, keys: Sequence[str]) -> LookupTiming:

@@ -28,6 +28,7 @@ mode.
 from __future__ import annotations
 
 import os
+import time
 import zlib
 from pathlib import Path
 from typing import Iterator
@@ -63,6 +64,17 @@ class WriteAheadLog:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "ab")
         self._unsynced_bytes = 0
+        #: fsync barriers taken and their cumulative wall time, for the
+        #: ``repro_shard_wal_fsync*`` metrics (process-lifetime, not replayed).
+        self.fsyncs = 0
+        self.fsync_seconds = 0.0
+
+    def _fsync(self) -> None:
+        started = time.perf_counter()
+        os.fsync(self._file.fileno())
+        self.fsync_seconds += time.perf_counter() - started
+        self.fsyncs += 1
+        self._unsynced_bytes = 0
 
     # ------------------------------------------------------------------ write
 
@@ -94,8 +106,7 @@ class WriteAheadLog:
         if self.sync_mode == "fsync":
             self._unsynced_bytes += len(record)
             if self.fsync_interval_bytes == 0 or self._unsynced_bytes >= self.fsync_interval_bytes:
-                os.fsync(self._file.fileno())
-                self._unsynced_bytes = 0
+                self._fsync()
 
     def flush(self) -> None:
         """Drain the userspace buffer into the kernel (survives a process kill)."""
@@ -106,8 +117,7 @@ class WriteAheadLog:
         """Hard durability barrier: flush and ``os.fsync`` regardless of mode."""
         if not self._file.closed:
             self._file.flush()
-            os.fsync(self._file.fileno())
-            self._unsynced_bytes = 0
+            self._fsync()
 
     # ------------------------------------------------------------------- read
 
@@ -160,7 +170,7 @@ class WriteAheadLog:
             self._file.close()
         self._file = open(self.path, "wb")
         if self.sync_mode == "fsync":
-            os.fsync(self._file.fileno())
+            self._fsync()
         self._file.close()
         self._file = open(self.path, "ab")
         self._unsynced_bytes = 0
@@ -172,7 +182,7 @@ class WriteAheadLog:
         if not self._file.closed:
             self._file.flush()
             if self.sync_mode == "fsync":
-                os.fsync(self._file.fileno())
+                self._fsync()
             self._file.close()
 
     @property

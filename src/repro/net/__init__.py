@@ -19,8 +19,18 @@ traffic:
   :class:`AsyncKVClient`; server errors come back as typed
   :class:`~repro.exceptions.RemoteError` subclasses that also inherit the
   original exception type (``ModelEpochError`` stays catchable);
-* :mod:`repro.net.loadgen` — the mixed GET/SET wire workload driver behind
-  ``repro client bench`` and ``benchmarks/bench_net.py``.
+* :mod:`repro.net.loadgen` — the mixed GET/SET wire workload drivers behind
+  ``repro client bench`` and ``benchmarks/bench_net.py``: closed-loop
+  (:func:`run_wire_workload`) and open-loop arrival-rate
+  (:func:`run_open_loop_workload`, offered vs achieved rate).
+
+The server is instrumented end to end with :mod:`repro.obs`: per-opcode
+counters and latency histograms, a ``METRICS`` opcode answering the same
+Prometheus exposition text as the optional ``--metrics-port`` HTTP sidecar,
+and per-connection overload protection (token-bucket rate limiting plus
+value/batch size caps) whose rejections reach clients as typed
+:class:`~repro.exceptions.RateLimitedError` /
+:class:`~repro.exceptions.LimitExceededError`.
 
 Quick start::
 
@@ -40,7 +50,13 @@ Or from the command line: ``repro serve --port 9100`` then
 """
 
 from repro.net.client import AsyncKVClient, KVClient, Pipeline, remote_error
-from repro.net.loadgen import WireWorkloadResult, preload_over_wire, run_wire_workload
+from repro.net.loadgen import (
+    OpenLoopResult,
+    WireWorkloadResult,
+    preload_over_wire,
+    run_open_loop_workload,
+    run_wire_workload,
+)
 from repro.net.protocol import (
     DEFAULT_MAX_BODY,
     MAGIC,
@@ -51,6 +67,8 @@ from repro.net.protocol import (
     FrameDecoder,
     GetRequest,
     Message,
+    MetricsRequest,
+    MetricsResponse,
     MGetRequest,
     MSetRequest,
     MultiValueResponse,
@@ -82,8 +100,11 @@ __all__ = [
     "MGetRequest",
     "MSetRequest",
     "Message",
+    "MetricsRequest",
+    "MetricsResponse",
     "MultiValueResponse",
     "OkResponse",
+    "OpenLoopResult",
     "Pipeline",
     "PingRequest",
     "PongResponse",
@@ -99,5 +120,6 @@ __all__ = [
     "opcode_table",
     "preload_over_wire",
     "remote_error",
+    "run_open_loop_workload",
     "run_wire_workload",
 ]

@@ -41,6 +41,8 @@ from repro.net.protocol import (
     FrameDecoder,
     GetRequest,
     Message,
+    MetricsRequest,
+    MetricsResponse,
     MGetRequest,
     MSetRequest,
     MultiValueResponse,
@@ -278,6 +280,11 @@ class KVClient:
         response = self._request(StatsRequest(), StatsResponse)
         return json.loads(response.payload.decode("utf-8"))
 
+    def metrics(self) -> str:
+        """Prometheus exposition text over the wire (no HTTP sidecar needed)."""
+        response = self._request(MetricsRequest(), MetricsResponse)
+        return response.payload.decode("utf-8")
+
     def pipeline(self) -> "Pipeline":
         """Queue many operations locally, then :meth:`Pipeline.execute` them
         in a single round trip."""
@@ -473,6 +480,11 @@ class AsyncKVClient:
     async def stats(self) -> dict:
         response = await self._request(StatsRequest(), StatsResponse)
         return json.loads(response.payload.decode("utf-8"))
+
+    async def metrics(self) -> str:
+        """Prometheus exposition text over the wire (no HTTP sidecar needed)."""
+        response = await self._request(MetricsRequest(), MetricsResponse)
+        return response.payload.decode("utf-8")
 
     async def pipelined_get(self, keys: Sequence[str], depth: int = 8) -> list[str | None]:
         """Fetch ``keys`` as pipelined single-GET frames, ``depth`` per round trip."""

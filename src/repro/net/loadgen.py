@@ -17,13 +17,25 @@ protocol batches work:
 Results returned by every round trip are checked against the expectation
 that preloaded keys exist, so a run doubles as a correctness soak:
 ``lost_responses`` / ``corrupt_responses`` must be zero.
+
+:func:`run_wire_workload` is **closed-loop**: each client issues its next
+round trip the moment the previous one answers, so a slow server slows the
+*offered* load down with it — latency under closed-loop load is flattered
+by exactly the queueing it hides (the coordinated-omission problem).
+:func:`run_open_loop_workload` is the antidote: operations are released on a
+fixed **arrival-rate** timetable (op ``i`` at ``start + i/rate``) regardless
+of how fast responses come back, and the result reports *offered* vs
+*achieved* rate, per-opcode client-side latency, and the per-opcode tally
+that metrics reconciliation tests compare with the server's
+``repro_requests_total`` counters.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from threading import Thread
 from typing import Sequence
 
@@ -217,4 +229,199 @@ def run_wire_workload(
         lost_responses=sum(lost for _, _, lost, _ in stats),
         corrupt_responses=sum(corrupt for _, _, _, corrupt in stats),
         latencies=[sample for samples in latency_lists for sample in samples],
+    )
+
+
+# ------------------------------------------------------------------- open loop
+
+
+@dataclass
+class OpenLoopResult:
+    """Outcome of one open-loop (arrival-rate) wire workload run."""
+
+    #: operations the timetable released (== the requested operation count).
+    offered_operations: int
+    #: operations that completed with a response (errors excluded).
+    completed: int
+    #: operations that raised (typed rejections, transport failures).
+    errors: int
+    elapsed_seconds: float
+    #: the arrival rate the timetable targeted (operations/second).
+    offered_rate: float
+    workers: int
+    #: client-side completions per opcode wire name ("GET" / "SET"); the tally
+    #: server counters must reconcile against, so errors are *not* counted
+    #: here — but rejected requests were still dispatched server-side, which
+    #: is why reconciliation runs must be error-free.
+    opcode_counts: dict[str, int] = field(default_factory=dict)
+    #: MSET frames the preload issued (reconciles ``repro_requests_total{opcode="MSET"}``).
+    preload_msets: int = 0
+    #: per-opcode client-observed latencies in seconds (queueing included:
+    #: an operation released late still measures from its *scheduled* time).
+    latencies: dict[str, list[float]] = field(default_factory=dict)
+    #: error tallies by exception type name ("RateLimitedError", ...).
+    error_kinds: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def achieved_rate(self) -> float:
+        """Completions per second actually sustained."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.completed / self.elapsed_seconds
+
+    def latency_ms(self, opcode: str, fraction: float) -> float:
+        """Client-observed latency percentile for ``opcode`` in milliseconds."""
+        return percentile(sorted(self.latencies.get(opcode, [])), fraction) * 1e3
+
+    def summary_rows(self) -> list[dict]:
+        """Rows for :func:`repro.bench.render_table`."""
+        rows = [
+            {"metric": "offered_operations", "value": f"{self.offered_operations:,}"},
+            {"metric": "completed", "value": f"{self.completed:,}"},
+            {"metric": "errors", "value": self.errors},
+            {"metric": "workers", "value": self.workers},
+            {"metric": "offered_rate", "value": f"{self.offered_rate:,.0f}/s"},
+            {"metric": "achieved_rate", "value": f"{self.achieved_rate:,.0f}/s"},
+        ]
+        for opcode in sorted(self.latencies):
+            rows.append(
+                {
+                    "metric": f"{opcode.lower()}_p50_ms",
+                    "value": f"{self.latency_ms(opcode, 0.50):.3f}",
+                }
+            )
+            rows.append(
+                {
+                    "metric": f"{opcode.lower()}_p99_ms",
+                    "value": f"{self.latency_ms(opcode, 0.99):.3f}",
+                }
+            )
+        for kind in sorted(self.error_kinds):
+            rows.append({"metric": f"errors[{kind}]", "value": self.error_kinds[kind]})
+        return rows
+
+
+def run_open_loop_workload(
+    host: str,
+    port: int,
+    values: Sequence[str],
+    rate: float,
+    operations: int = 1024,
+    get_fraction: float = 0.7,
+    workers: int = 4,
+    seed: int = 2023,
+    key_prefix: str = "kv",
+    preload: bool = True,
+    timeout: float = 30.0,
+) -> OpenLoopResult:
+    """Drive single-key GET/SETs on a fixed arrival-rate timetable.
+
+    Operation ``i`` is released at ``start + i / rate`` whether or not earlier
+    operations have answered; a worker that falls behind issues late
+    operations immediately (and the lateness shows up as latency, measured
+    from the *scheduled* instant — the open-loop discipline that makes
+    overload visible instead of silently slowing the offered load).  Workers
+    pull the next operation index from a shared counter, so the timetable is
+    global, not per-worker.  Each operation's kind, key, and value derive from
+    a :class:`random.Random` seeded by its index — deterministic regardless of
+    which worker runs it.
+    """
+    if rate <= 0:
+        raise NetError("open-loop rate must be positive")
+    if operations < 1:
+        raise NetError("workload needs at least one operation")
+    if not 0.0 <= get_fraction <= 1.0:
+        raise NetError("get fraction must be within [0, 1]")
+    if workers < 1:
+        raise NetError("workload needs at least one worker")
+
+    values = list(values)
+    preload_msets = 0
+    if preload:
+        with KVClient(host, port, pool_size=1, timeout=timeout) as loader:
+            keys = preload_over_wire(loader, values, key_prefix=key_prefix)
+            preload_msets = (len(values) + 63) // 64
+    else:
+        keys = [f"{key_prefix}:{index}" for index in range(len(values))]
+
+    next_index = [0]
+    index_lock = threading.Lock()
+    counts = [{"GET": 0, "SET": 0} for _ in range(workers)]
+    latencies: list[dict[str, list[float]]] = [
+        {"GET": [], "SET": []} for _ in range(workers)
+    ]
+    errors: list[dict[str, int]] = [{} for _ in range(workers)]
+    failures: list[BaseException] = []
+    start_time = time.perf_counter()
+
+    def worker_loop(worker_id: int) -> None:
+        try:
+            with KVClient(host, port, pool_size=1, timeout=timeout) as client:
+                while True:
+                    with index_lock:
+                        index = next_index[0]
+                        if index >= operations:
+                            return
+                        next_index[0] += 1
+                    scheduled = start_time + index / rate
+                    delay = scheduled - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    rng = random.Random(f"{seed}:{index}")
+                    is_get = rng.random() < get_fraction
+                    opcode = "GET" if is_get else "SET"
+                    key = keys[rng.randrange(len(keys))]
+                    try:
+                        if is_get:
+                            client.get(key)
+                        else:
+                            client.set(key, values[rng.randrange(len(values))])
+                    except Exception as error:  # noqa: BLE001 — tallied
+                        # Server-relayed errors tally under the server-side
+                        # exception name ("RateLimitedError"), not the
+                        # dynamic Remote* wrapper class.
+                        kind = getattr(error, "kind", type(error).__name__)
+                        errors[worker_id][kind] = errors[worker_id].get(kind, 0) + 1
+                        continue
+                    # Latency from the *scheduled* release, not the actual
+                    # send: queueing delay is part of what open loop measures.
+                    latencies[worker_id][opcode].append(time.perf_counter() - scheduled)
+                    counts[worker_id][opcode] += 1
+        except BaseException as error:  # noqa: BLE001 — surfaced after join
+            failures.append(error)
+
+    threads = [
+        Thread(target=worker_loop, args=(worker_id,), name=f"kv-openloop-{worker_id}")
+        for worker_id in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start_time
+    if failures:
+        raise failures[0]
+
+    opcode_counts: dict[str, int] = {}
+    merged_latencies: dict[str, list[float]] = {}
+    error_kinds: dict[str, int] = {}
+    for worker_id in range(workers):
+        for opcode, count in counts[worker_id].items():
+            opcode_counts[opcode] = opcode_counts.get(opcode, 0) + count
+        for opcode, samples in latencies[worker_id].items():
+            merged_latencies.setdefault(opcode, []).extend(samples)
+        for kind, count in errors[worker_id].items():
+            error_kinds[kind] = error_kinds.get(kind, 0) + count
+    completed = sum(opcode_counts.values())
+    return OpenLoopResult(
+        offered_operations=operations,
+        completed=completed,
+        errors=sum(error_kinds.values()),
+        elapsed_seconds=elapsed,
+        offered_rate=rate,
+        workers=workers,
+        opcode_counts=opcode_counts,
+        preload_msets=preload_msets,
+        latencies=merged_latencies,
+        error_kinds=error_kinds,
     )

@@ -6,7 +6,7 @@ far larger than a read buffer).  Every frame — request or response — has the
 same envelope (docs/FORMATS.md §7)::
 
     magic   "RKV1"            4 bytes
-    opcode  u8                request 0x01–0x07 / response 0x80–0xBF
+    opcode  u8                request 0x01–0x08 / response 0x80–0xBF
     length  uvarint           body byte count (bounded by ``max_body``)
     body    `length` bytes    per-opcode layout below
 
@@ -229,6 +229,15 @@ class StatsRequest(Message):
 
 
 @dataclass(frozen=True)
+class MetricsRequest(Message):
+    """Ask for the Prometheus exposition text (see docs/FORMATS.md §9)."""
+
+    opcode = 0x08
+    wire_name = "METRICS"
+    direction = "request"
+
+
+@dataclass(frozen=True)
 class OkResponse(Message):
     """Acknowledges SET / MSET."""
 
@@ -340,6 +349,29 @@ class StatsResponse(Message):
 
 
 @dataclass(frozen=True)
+class MetricsResponse(Message):
+    """METRICS result: UTF-8 Prometheus text format 0.0.4.
+
+    Byte-identical to what the HTTP sidecar's ``GET /metrics`` serves for
+    the same registry state — both render through
+    :func:`repro.obs.exposition.render_text`.
+    """
+
+    opcode = 0x86
+    wire_name = "METRICSV"
+    direction = "response"
+
+    payload: bytes = b""
+
+    def encode_body(self) -> bytes:
+        return _blob(self.payload)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "MetricsResponse":
+        return cls(payload=cursor.read_blob())
+
+
+@dataclass(frozen=True)
 class ErrorResponse(Message):
     """A server-side failure: the exception class name and its message."""
 
@@ -370,12 +402,14 @@ FRAME_TYPES: tuple[type[Message], ...] = (
     MGetRequest,
     MSetRequest,
     StatsRequest,
+    MetricsRequest,
     OkResponse,
     PongResponse,
     ValueResponse,
     CountResponse,
     MultiValueResponse,
     StatsResponse,
+    MetricsResponse,
     ErrorResponse,
 )
 

@@ -31,6 +31,17 @@ exception is a :class:`~repro.exceptions.ProtocolError` from the decoder —
 after malformed bytes the stream cannot be re-synchronised, so the server
 sends a final ERR frame and closes that connection (others are unaffected).
 
+Observability and overload protection (:mod:`repro.obs`): every dispatch is
+counted and timed into the server's :class:`~repro.obs.MetricsRegistry`
+(``repro_requests_total`` / ``repro_request_latency_seconds`` by opcode), the
+registry is scrapeable over both the ``METRICS`` opcode and the optional
+``GET /metrics`` HTTP sidecar (``ServerConfig.metrics_port``), and
+:meth:`KVServer._enforce_limits` refuses over-budget or oversized requests
+with typed :class:`~repro.exceptions.RateLimitedError` /
+:class:`~repro.exceptions.LimitExceededError` ERR frames — rejections refuse
+one request, never the connection, and each increments a labelled
+``repro_rejections_total`` sample (docs/ARCHITECTURE.md, "Observability").
+
 ``stop(drain=True)`` is a graceful drain: stop accepting, wake every reader,
 let the writers flush every request already decoded, close the sockets, and
 finally ``KVService.flush()`` the shards so every answered write is durable
@@ -42,10 +53,17 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.exceptions import NetError, ProtocolError, ServiceError
+from repro.exceptions import (
+    LimitExceededError,
+    NetError,
+    ProtocolError,
+    RateLimitedError,
+    ServiceError,
+)
 from repro.net.protocol import (
     DEFAULT_MAX_BODY,
     CountResponse,
@@ -54,6 +72,8 @@ from repro.net.protocol import (
     FrameDecoder,
     GetRequest,
     Message,
+    MetricsRequest,
+    MetricsResponse,
     MGetRequest,
     MSetRequest,
     MultiValueResponse,
@@ -66,6 +86,9 @@ from repro.net.protocol import (
     ValueResponse,
     encode_frame,
 )
+from repro.obs.exposition import MetricsHTTPServer, render_text
+from repro.obs.limits import RequestLimits, SlowRequestLog, TokenBucket
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from repro.service.service import KVService
 
 #: Socket read chunk size.
@@ -96,12 +119,46 @@ class ServerConfig:
     bridge_threads: int = 8
     #: seconds ``stop(drain=True)`` waits before force-closing connections.
     drain_timeout: float = 10.0
+    #: whether the server records metrics at all (``False`` swaps the whole
+    #: registry for no-op instruments — the bench-comparison baseline).
+    metrics_enabled: bool = True
+    #: port for the ``GET /metrics`` HTTP sidecar (``None`` = no sidecar,
+    #: 0 = ephemeral; the ``METRICS`` opcode works either way).
+    metrics_port: int | None = None
+    #: largest accepted SET / MSET value in bytes (0 = unlimited).
+    max_value_bytes: int = 0
+    #: largest accepted MGET / MSET batch item count (0 = unlimited).
+    max_batch_items: int = 0
+    #: per-connection request budget in requests/second (0 = unlimited).
+    rate_limit: float = 0.0
+    #: token-bucket burst capacity (0 = ``max(1, rate_limit)``).
+    rate_burst: int = 0
+    #: slow-request log threshold in seconds (0 disables the slow log).
+    slow_request_seconds: float = 0.0
+    #: cap on emitted slow-request log lines per second.
+    slow_log_per_second: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
             raise NetError("max_inflight must be at least 1")
         if self.bridge_threads < 1:
             raise NetError("bridge_threads must be at least 1")
+        if self.metrics_port is not None and self.metrics_port < 0:
+            raise NetError("metrics_port must be >= 0 (or None to disable)")
+        if self.slow_request_seconds < 0 or self.slow_log_per_second < 0:
+            raise NetError("slow-request settings must be >= 0 (0 disables)")
+        # RequestLimits re-validates the size/rate fields; building it here
+        # surfaces a bad value at config time, not at first connection.
+        self.limits()
+
+    def limits(self) -> RequestLimits:
+        """The per-connection protection policy this config describes."""
+        return RequestLimits(
+            max_value_bytes=self.max_value_bytes,
+            max_batch_items=self.max_batch_items,
+            rate_limit=self.rate_limit,
+            rate_burst=self.rate_burst,
+        )
 
 
 def _decode_text(data: bytes, what: str) -> str:
@@ -120,7 +177,12 @@ class KVServer:
     >>> host, port = server.address         # doctest: +SKIP
     """
 
-    def __init__(self, service: KVService, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self,
+        service: KVService,
+        config: ServerConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.service = service
         self.config = config if config is not None else ServerConfig()
         self._server: asyncio.base_events.Server | None = None
@@ -132,6 +194,150 @@ class KVServer:
         self._stopped = False
         self.connections_served = 0
         self.protocol_errors = 0
+        self._limits = self.config.limits()
+        self._slow_log = (
+            SlowRequestLog(
+                self.config.slow_request_seconds,
+                per_second=self.config.slow_log_per_second,
+            )
+            if self.config.slow_request_seconds > 0
+            else None
+        )
+        #: the server's metric registry; pass one in to share it, or rely on
+        #: ``config.metrics_enabled=False`` to make every instrument a no-op.
+        self.registry = (
+            registry
+            if registry is not None
+            else MetricsRegistry(enabled=self.config.metrics_enabled)
+        )
+        self.metrics_sidecar: MetricsHTTPServer | None = None
+        # Per-opcode (counter, histogram) children, resolved once per opcode
+        # and held — the dispatch hot path skips the labels() lookups.
+        self._opcode_cells: dict[str, tuple] = {}
+        self._register_instruments()
+
+    def _register_instruments(self) -> None:
+        """Create every metric family eagerly (docs pin the full inventory)."""
+        registry = self.registry
+        self._requests = registry.counter(
+            "repro_requests_total",
+            "Requests dispatched, by opcode (rejected and errored included).",
+            ("opcode",),
+        )
+        self._latency = registry.histogram(
+            "repro_request_latency_seconds",
+            "Server-side request latency, by opcode.",
+            ("opcode",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._rejections = registry.counter(
+            "repro_rejections_total",
+            "Requests refused by overload protection, by opcode and reason.",
+            ("opcode", "reason"),
+        )
+        self._slow_requests = registry.counter(
+            "repro_slow_requests_total",
+            "Requests slower than the slow-request threshold, by opcode.",
+            ("opcode",),
+        )
+        self._inflight = registry.gauge(
+            "repro_inflight_requests",
+            "Decoded requests queued or executing, summed over connections.",
+        )
+        self._connections_active = registry.gauge(
+            "repro_connections_active", "Currently open client connections."
+        )
+        self._connections_total = registry.counter(
+            "repro_connections_total", "Client connections accepted since start."
+        )
+        self._protocol_errors = registry.counter(
+            "repro_protocol_errors_total",
+            "Connections dropped after undecodable bytes.",
+        )
+        shard_labels = ("shard", "backend", "codec")
+        self._shard_keys = registry.gauge(
+            "repro_shard_keys", "Live keys per shard.", shard_labels
+        )
+        self._shard_ratio = registry.gauge(
+            "repro_shard_compression_ratio",
+            "Stored/original bytes per shard (lower is better).",
+            shard_labels,
+        )
+        self._shard_outliers = registry.gauge(
+            "repro_shard_outlier_rate",
+            "Fraction of values that matched no trained pattern, per shard.",
+            shard_labels,
+        )
+        self._shard_disk = registry.gauge(
+            "repro_shard_bytes_on_disk",
+            "Durable footprint per shard (SSTables + WAL, or TBS1 snapshot).",
+            shard_labels,
+        )
+        self._shard_sstables = registry.gauge(
+            "repro_shard_sstables", "SSTable file count per shard.", shard_labels
+        )
+        self._shard_epoch = registry.gauge(
+            "repro_shard_model_epoch",
+            "Model epoch new writes are stamped with, per shard.",
+            shard_labels,
+        )
+        self._shard_epoch_age = registry.gauge(
+            "repro_shard_model_epoch_age_seconds",
+            "Seconds since the current model epoch was installed, per shard.",
+            shard_labels,
+        )
+        self._shard_retrains = registry.gauge(
+            "repro_shard_retrain_events", "Retraining events per shard.", shard_labels
+        )
+        self._shard_wal_fsyncs = registry.gauge(
+            "repro_shard_wal_fsyncs", "WAL fsync barriers taken, per shard.", shard_labels
+        )
+        self._shard_wal_fsync_seconds = registry.gauge(
+            "repro_shard_wal_fsync_seconds",
+            "Cumulative WAL fsync wall time, per shard.",
+            shard_labels,
+        )
+        self._cache_hit_rate = registry.gauge(
+            "repro_cache_hit_rate", "Service cache hit rate over its lifetime."
+        )
+        self._cache_entries = registry.gauge(
+            "repro_cache_entries", "Entries resident in the service cache."
+        )
+        self._service_keys = registry.gauge(
+            "repro_service_keys", "Live keys across all shards."
+        )
+        registry.register_collector(self._collect_service_gauges)
+
+    def _collect_service_gauges(self) -> None:
+        """Scrape-time bridge: mirror the service snapshot into gauges.
+
+        Runs on the scraping thread (bridge thread for the ``METRICS`` opcode,
+        the default executor for the HTTP sidecar).  A service that is closed
+        or mid-shutdown simply keeps the previous gauge values — a scrape must
+        never take a server down.
+        """
+        if self.service.closed:
+            return
+        snapshot = self.service.snapshot()
+        for shard in snapshot.shards:
+            labels = (str(shard.shard_id), shard.backend, shard.compressor)
+            self._shard_keys.labels(*labels).set(shard.keys)
+            self._shard_ratio.labels(*labels).set(shard.ratio)
+            self._shard_outliers.labels(*labels).set(shard.outlier_rate)
+            self._shard_disk.labels(*labels).set(shard.bytes_on_disk)
+            self._shard_sstables.labels(*labels).set(shard.sstables)
+            self._shard_epoch.labels(*labels).set(shard.model_epoch)
+            self._shard_epoch_age.labels(*labels).set(shard.model_epoch_age_seconds)
+            self._shard_retrains.labels(*labels).set(shard.retrain_events)
+            self._shard_wal_fsyncs.labels(*labels).set(shard.wal_fsyncs)
+            self._shard_wal_fsync_seconds.labels(*labels).set(shard.wal_fsync_seconds)
+        self._cache_hit_rate.set(snapshot.cache.hit_rate)
+        self._cache_entries.set(snapshot.cache.entries)
+        self._service_keys.set(snapshot.keys)
+
+    def render_metrics(self) -> str:
+        """The Prometheus exposition text — one renderer for both transports."""
+        return render_text(self.registry)
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -150,6 +356,18 @@ class KVServer:
             raise NetError(
                 f"cannot bind {self.config.host}:{self.config.port}: {error}"
             ) from error
+        if self.config.metrics_port is not None:
+            sidecar = MetricsHTTPServer(
+                self.render_metrics, host=self.config.host, port=self.config.metrics_port
+            )
+            try:
+                await sidecar.start()
+            except NetError:
+                self._server.close()
+                await self._server.wait_closed()
+                self._server = None
+                raise
+            self.metrics_sidecar = sidecar
 
     @property
     def address(self) -> tuple[str, int]:
@@ -158,6 +376,13 @@ class KVServer:
             raise NetError("server is not listening")
         host, port = self._server.sockets[0].getsockname()[:2]
         return host, port
+
+    @property
+    def metrics_address(self) -> tuple[str, int]:
+        """``(host, port)`` of the metrics sidecar (raises without one)."""
+        if self.metrics_sidecar is None:
+            raise NetError("server has no metrics sidecar (set metrics_port)")
+        return self.metrics_sidecar.address
 
     async def serve_forever(self) -> None:
         """Block until the server is stopped."""
@@ -178,6 +403,8 @@ class KVServer:
         if self._stopped:
             return
         self._stopped = True
+        if self.metrics_sidecar is not None:
+            await self.metrics_sidecar.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -222,8 +449,13 @@ class KVServer:
         assert task is not None and self._draining is not None
         self._connection_tasks.add(task)
         self.connections_served += 1
+        self._connections_total.inc()
+        self._connections_active.inc()
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.max_inflight)
-        worker_task = asyncio.create_task(self._worker_loop(queue, writer))
+        # Each connection gets its own token bucket: one greedy client being
+        # throttled must not starve its peers' budgets.
+        limiter = self._limits.bucket()
+        worker_task = asyncio.create_task(self._worker_loop(queue, writer, limiter))
         decoder = FrameDecoder(max_body=self.config.max_body)
         drain_wait = asyncio.create_task(self._draining.wait())
         try:
@@ -255,12 +487,17 @@ class KVServer:
                     failure = decoder.failure
                 for request in requests:
                     # A full queue blocks here, pausing socket reads: TCP
-                    # backpressure against over-eager pipelining.
+                    # backpressure against over-eager pipelining.  The gauge
+                    # counts queued + executing, so its bound per connection
+                    # is max_inflight + 2 (a full queue, one executing, one
+                    # blocked in put here).
+                    self._inflight.inc()
                     await queue.put((_REQUEST, request))
                 if failure is not None:
                     # The stream cannot be re-synchronised after bad bytes:
                     # answer with a final ERR frame and close this connection.
                     self.protocol_errors += 1
+                    self._protocol_errors.inc()
                     await queue.put(
                         (_RESPONSE, ErrorResponse(kind="ProtocolError", message=str(failure)))
                     )
@@ -276,8 +513,14 @@ class KVServer:
             except (ConnectionError, OSError):
                 pass
             self._connection_tasks.discard(task)
+            self._connections_active.dec()
 
-    async def _worker_loop(self, queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
+    async def _worker_loop(
+        self,
+        queue: asyncio.Queue,
+        writer: asyncio.StreamWriter,
+        limiter: TokenBucket | None,
+    ) -> None:
         """Execute queued requests in order, writing each response.
 
         Sequential execution keeps a connection's effects in request order
@@ -291,7 +534,13 @@ class KVServer:
             if item is _CLOSE:
                 return
             tag, payload = item
-            response = await self._dispatch(payload) if tag == _REQUEST else payload
+            if tag == _REQUEST:
+                try:
+                    response = await self._dispatch(payload, limiter)
+                finally:
+                    self._inflight.dec()
+            else:
+                response = payload
             if not client_alive:
                 continue  # keep executing so stop() can drain the queue
             try:
@@ -302,9 +551,63 @@ class KVServer:
 
     # ----------------------------------------------------------------- dispatch
 
-    async def _dispatch(self, request: Message) -> Message:
+    @staticmethod
+    def _key_count(request: Message) -> int:
+        """Logical keys a request touches (the slow log's batch-size column)."""
+        if isinstance(request, MGetRequest):
+            return len(request.keys)
+        if isinstance(request, MSetRequest):
+            return len(request.items)
+        if isinstance(request, (GetRequest, SetRequest, DeleteRequest)):
+            return 1
+        return 0
+
+    def _enforce_limits(self, request: Message, limiter: TokenBucket | None) -> None:
+        """Refuse over-budget or oversized requests with typed errors.
+
+        The rate check runs first — a flooded server must shed load before it
+        spends any time inspecting payloads.  Each refusal increments exactly
+        one labelled ``repro_rejections_total`` sample and refuses only the
+        offending request; the connection stays usable.
+        """
+        if limiter is not None and not limiter.try_acquire():
+            self._rejections.labels(request.wire_name, "rate").inc()
+            raise RateLimitedError(
+                f"connection exceeded its {self._limits.rate_limit:g} req/s budget"
+            )
+        max_value = self._limits.max_value_bytes
+        if max_value:
+            values: tuple[bytes, ...] = ()
+            if isinstance(request, SetRequest):
+                values = (request.value,)
+            elif isinstance(request, MSetRequest):
+                values = tuple(value for _, value in request.items)
+            for value in values:
+                if len(value) > max_value:
+                    self._rejections.labels(request.wire_name, "value_bytes").inc()
+                    raise LimitExceededError(
+                        f"value of {len(value)} bytes exceeds the server's "
+                        f"max_value_bytes={max_value}"
+                    )
+        max_items = self._limits.max_batch_items
+        if max_items:
+            count = 0
+            if isinstance(request, MGetRequest):
+                count = len(request.keys)
+            elif isinstance(request, MSetRequest):
+                count = len(request.items)
+            if count > max_items:
+                self._rejections.labels(request.wire_name, "batch_items").inc()
+                raise LimitExceededError(
+                    f"batch of {count} items exceeds the server's "
+                    f"max_batch_items={max_items}"
+                )
+
+    async def _dispatch(self, request: Message, limiter: TokenBucket | None = None) -> Message:
         """Run one request; every failure becomes a typed ERR response."""
+        started = time.perf_counter()
         try:
+            self._enforce_limits(request, limiter)
             if isinstance(request, PingRequest):
                 return PongResponse()
             handler = self._HANDLERS.get(type(request))
@@ -316,6 +619,24 @@ class KVServer:
             return await loop.run_in_executor(self._bridge, handler, self, request)
         except Exception as error:  # noqa: BLE001 — relayed, never fatal
             return ErrorResponse(kind=type(error).__name__, message=str(error))
+        finally:
+            # Count after execution, so a scrape via the METRICS opcode does
+            # not see itself: both transports render identical text when the
+            # registry is otherwise quiet.
+            elapsed = time.perf_counter() - started
+            opcode = request.wire_name
+            cells = self._opcode_cells.get(opcode)
+            if cells is None:
+                # Resolve the per-opcode children once and hold them: the
+                # steady-state path is then two bound-method calls.
+                cells = (self._requests.labels(opcode), self._latency.labels(opcode))
+                self._opcode_cells[opcode] = cells
+            cells[0].inc()
+            cells[1].observe(elapsed)
+            if self._slow_log is not None and self._slow_log.record(
+                opcode, self._key_count(request), elapsed
+            ):
+                self._slow_requests.labels(opcode).inc()
 
     # The handlers below run on bridge threads, never on the event loop.
 
@@ -381,6 +702,11 @@ class KVServer:
         }
         return StatsResponse(payload=json.dumps(document).encode("utf-8"))
 
+    def _handle_metrics(self, _: MetricsRequest) -> Message:
+        # Same render_text call the HTTP sidecar makes, so both transports
+        # return byte-identical exposition text for the same registry state.
+        return MetricsResponse(payload=self.render_metrics().encode("utf-8"))
+
     _HANDLERS = {
         GetRequest: _handle_get,
         SetRequest: _handle_set,
@@ -388,6 +714,7 @@ class KVServer:
         MGetRequest: _handle_mget,
         MSetRequest: _handle_mset,
         StatsRequest: _handle_stats,
+        MetricsRequest: _handle_metrics,
     }
 
 
@@ -411,6 +738,10 @@ class ThreadedKVServer:
     @property
     def address(self) -> tuple[str, int]:
         return self._server.address
+
+    @property
+    def metrics_address(self) -> tuple[str, int]:
+        return self._server.metrics_address
 
     def start(self) -> tuple[str, int]:
         if self._thread is not None:

@@ -232,6 +232,9 @@ class TierBaseShard(ShardBackend):
 
     def snapshot(self, shard_id: int) -> ShardSnapshot:
         stats = self.store.stats()
+        bytes_on_disk = 0
+        if self._snapshot_path is not None and self._snapshot_path.exists():
+            bytes_on_disk = self._snapshot_path.stat().st_size
         return ShardSnapshot(
             shard_id=shard_id,
             backend=self.name,
@@ -243,6 +246,9 @@ class TierBaseShard(ShardBackend):
             gets=stats.gets,
             retrain_events=self._retrain_events,
             outlier_rate=self.outlier_rate,
+            bytes_on_disk=bytes_on_disk,
+            model_epoch=self.store.compressor.current_epoch,
+            model_epoch_age_seconds=self.lifecycle.model_age_seconds,
         )
 
     def flush(self) -> None:
@@ -322,6 +328,7 @@ class LSMShard(ShardBackend):
 
     def train(self, sample_values: Sequence[str]) -> None:
         self.compressor.train(sample_values)
+        self.lifecycle.mark_trained()
         self._save_models()
 
     def set(self, key: str, value: str) -> None:
@@ -363,12 +370,14 @@ class LSMShard(ShardBackend):
         epochs, so a retrain is just an offline training pass.
         """
         self.compressor.train(sample_values)
+        self.lifecycle.mark_trained()
         self._save_models()
         self.lifecycle.monitor.reset()
         self._retrain_events += 1
 
     def snapshot(self, shard_id: int) -> ShardSnapshot:
         monitor = self.lifecycle.monitor
+        disk = self.engine.disk_stats()
         return ShardSnapshot(
             shard_id=shard_id,
             backend=self.name,
@@ -380,6 +389,12 @@ class LSMShard(ShardBackend):
             gets=self._gets,
             retrain_events=self._retrain_events,
             outlier_rate=self.outlier_rate,
+            bytes_on_disk=disk.bytes_on_disk,
+            model_epoch=self.compressor.current_epoch,
+            model_epoch_age_seconds=self.lifecycle.model_age_seconds,
+            sstables=disk.sstable_count,
+            wal_fsyncs=disk.wal_fsyncs,
+            wal_fsync_seconds=disk.wal_fsync_seconds,
         )
 
     def flush(self) -> None:

@@ -410,7 +410,14 @@ class KVService:
         return [future.result() for future in futures]
 
     def snapshot(self) -> ServiceSnapshot:
-        """Service-wide statistics: shards, cache counters, latency percentiles."""
+        """Service-wide statistics: shards, cache counters, latency percentiles.
+
+        Capture order matters for concurrent scrapes: the service counters
+        are read *before* the cache stats, and every GET bumps its cache
+        lookup *before* its GET counter — together that guarantees
+        ``cache.lookups >= gets`` in any snapshot taken mid-traffic, which is
+        the invariant ``ServiceSnapshot.validate(concurrent=True)`` checks.
+        """
         shards = tuple(self.shard_snapshots())
         with self._counter_lock:
             gets, sets, deletes, cache_hits = (
@@ -419,9 +426,10 @@ class KVService:
                 self._deletes,
                 self._cache_hits,
             )
+        cache_stats = self.cache.stats()
         return ServiceSnapshot(
             shards=shards,
-            cache=self.cache.stats(),
+            cache=cache_stats,
             get_latency=self._get_latency.summary(),
             set_latency=self._set_latency.summary(),
             gets=gets,

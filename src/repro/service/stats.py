@@ -92,6 +92,18 @@ class ShardSnapshot:
     gets: int
     retrain_events: int
     outlier_rate: float
+    #: durable footprint: SSTables + WAL (lsm) or the TBS1 snapshot file
+    #: (directory-backed tierbase); 0 for purely in-memory shards.
+    bytes_on_disk: int = 0
+    #: model epoch new writes are stamped with (0 = untrained / plain codec).
+    model_epoch: int = 0
+    #: seconds since the current model epoch was installed (0.0 = untrained).
+    model_epoch_age_seconds: float = 0.0
+    #: SSTable file count (lsm shards; 0 elsewhere).
+    sstables: int = 0
+    #: WAL fsync barriers taken and their cumulative duration (lsm shards).
+    wal_fsyncs: int = 0
+    wal_fsync_seconds: float = 0.0
 
     @property
     def ratio(self) -> float:
@@ -129,19 +141,34 @@ class ServiceSnapshot:
             return 1.0
         return stored / original
 
-    def validate(self) -> "ServiceSnapshot":
+    @property
+    def bytes_on_disk(self) -> int:
+        """Total durable footprint across every shard."""
+        return sum(shard.bytes_on_disk for shard in self.shards)
+
+    def validate(self, concurrent: bool = False) -> "ServiceSnapshot":
         """Check the cross-counter invariants; raises :class:`ServiceError`.
 
-        Meaningful on a *quiescent* service (no in-flight operations while
-        the snapshot was taken — e.g. after a workload's clients joined);
-        concurrent traffic can legitimately skew counters captured at
-        slightly different instants.
+        The default (``concurrent=False``) is the strict quiescent contract
+        (no in-flight operations while the snapshot was taken — e.g. after a
+        workload's clients joined).  With ``concurrent=True`` the check is
+        safe while traffic is running — the mode metrics scrapes use:
 
-        * every cache lookup is classified: ``hits + misses == lookups``;
+        * every cache lookup is classified: ``hits + misses == lookups``.
+          This holds in **both** modes: the cache updates all three counters
+          under one lock and :meth:`CompressedLRUCache.stats` copies them
+          under the same lock, so a scrape can never observe a torn state;
         * every logical GET consults the cache exactly once, so the cache's
-          lookup count equals the service's GET count;
+          lookup count equals the service's GET count.  Under concurrent
+          traffic the two counters live behind different locks, but
+          :meth:`KVService.snapshot` captures the GET counter *before* the
+          cache stats and every GET bumps its cache lookup *before* its GET
+          counter — so ``lookups >= gets`` is guaranteed even mid-traffic,
+          and that is what ``concurrent=True`` checks (equality would flag
+          requests that were simply in flight during the scrape);
         * a service-level cache hit (payload found *and* decoded) implies a
-          raw cache hit, so ``cache_hits <= cache.hits``;
+          raw cache hit, so ``cache_hits <= cache.hits`` (same capture-order
+          argument; valid in both modes);
         * counters never go negative.
         """
         from repro.exceptions import ServiceError
@@ -151,7 +178,9 @@ class ServiceSnapshot:
                 f"inconsistent cache stats: {self.cache.hits} hits + "
                 f"{self.cache.misses} misses != {self.cache.lookups} lookups"
             )
-        if self.cache.lookups != self.gets:
+        if self.cache.lookups < self.gets or (
+            not concurrent and self.cache.lookups != self.gets
+        ):
             raise ServiceError(
                 f"inconsistent cache stats: {self.cache.lookups} cache lookups "
                 f"for {self.gets} service GETs (every GET must consult the "

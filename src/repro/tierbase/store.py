@@ -91,6 +91,7 @@ class TierBase:
         if not sample_values:
             raise StoreError("cannot train the value compressor on an empty sample")
         self.compressor.train(sample_values)
+        self.lifecycle.mark_trained()
 
     def retrain(self, sample_values: Sequence[str] | None = None, rewrite: bool = False) -> None:
         """Re-train the compressor on ``sample_values`` (default: the reservoir

@@ -162,6 +162,75 @@ class TestFormatsMatchCode:
         assert len(rows) == len(FRAME_TYPES)
 
 
+class TestObservabilityDocs:
+    @staticmethod
+    def _registry_families():
+        """The families a default KVServer registers (no sockets opened)."""
+        from repro.net.server import KVServer
+        from repro.service import KVService, ServiceConfig
+
+        service = KVService(ServiceConfig(shard_count=1, compressor="none"))
+        try:
+            return list(KVServer(service).registry.families())
+        finally:
+            service.close()
+
+    def test_metric_inventory_matches_registry(self):
+        """Anti-ghost in both directions: every registered metric family has
+        a row in the ARCHITECTURE.md inventory table, and every
+        ``repro_*`` metric name the docs mention is actually registered."""
+        import re
+
+        text = _read("docs/ARCHITECTURE.md")
+        families = self._registry_families()
+        assert len(families) >= 20
+        registered = {family.name for family in families}
+        for family in families:
+            assert f"| `{family.name}` | {family.kind} |" in text, (
+                f"ARCHITECTURE.md metric inventory misses {family.name!r}"
+            )
+        documented = set(re.findall(r"`(repro_[a-z0-9_]+)`", text))
+        documented |= set(re.findall(r"\b(repro_[a-z0-9_]+)\b", _read("docs/FORMATS.md")))
+        documented |= set(re.findall(r"\b(repro_[a-z0-9_]+)\b", _read("README.md")))
+        ghosts = documented - registered
+        assert ghosts == set(), f"docs mention unregistered metrics: {sorted(ghosts)}"
+
+    def test_rejection_reasons_documented(self):
+        text = _read("docs/ARCHITECTURE.md")
+        for reason in ("rate", "value_bytes", "batch_items"):
+            assert f"`{reason}`" in text or f'"{reason}"' in text, (
+                f"ARCHITECTURE.md does not document rejection reason {reason!r}"
+            )
+
+    def test_exposition_content_type_documented(self):
+        from repro.obs import CONTENT_TYPE
+
+        assert CONTENT_TYPE in _read("docs/FORMATS.md")
+
+    def test_readme_metrics_quickstart(self):
+        text = _read("README.md")
+        assert "--metrics-port" in text
+        assert "/healthz" in text
+        assert "client --port 9100 metrics" in text
+
+    def test_serve_metrics_and_limit_flags_parse(self):
+        """Every observability flag the docs name actually parses."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--metrics-port", "9101", "--rate-limit", "100",
+             "--rate-burst", "10", "--max-value-bytes", "1024",
+             "--max-batch-items", "64", "--slow-ms", "50"]
+        )
+        assert args.metrics_port == 9101
+        assert args.rate_limit == 100.0
+        args = parser.parse_args(["client", "metrics", "--raw"])
+        assert args.raw
+        args = parser.parse_args(["client", "bench", "--rate", "500"])
+        assert args.rate == 500.0
+
+
 def test_documented_cli_commands_exist():
     """Every CLI command named in the README/ARCHITECTURE actually parses."""
     from repro.cli import build_parser

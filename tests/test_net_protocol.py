@@ -29,6 +29,8 @@ from repro.net.protocol import (
     ErrorResponse,
     FrameDecoder,
     GetRequest,
+    MetricsRequest,
+    MetricsResponse,
     MGetRequest,
     MSetRequest,
     MultiValueResponse,
@@ -116,6 +118,11 @@ class TestRoundtrip:
 
     @FUZZ
     @given(st.just(None))
+    def test_metrics_request(self, _):
+        roundtrip(MetricsRequest())
+
+    @FUZZ
+    @given(st.just(None))
     def test_ok(self, _):
         roundtrip(OkResponse())
 
@@ -150,6 +157,13 @@ class TestRoundtrip:
         roundtrip(StatsResponse(payload=payload))
 
     @FUZZ
+    @given(payload=binary)
+    @example(payload=BIG)
+    @example(payload=b"")
+    def test_metrics_response(self, payload):
+        roundtrip(MetricsResponse(payload=payload))
+
+    @FUZZ
     @given(kind=text, message=text)
     @example(kind="ModelEpochError", message="epoch 3 pruned")
     def test_error(self, kind, message):
@@ -159,8 +173,9 @@ class TestRoundtrip:
         """Adding a frame type without extending this suite fails here."""
         tested = {
             PingRequest, GetRequest, SetRequest, DeleteRequest, MGetRequest,
-            MSetRequest, StatsRequest, OkResponse, PongResponse, ValueResponse,
-            CountResponse, MultiValueResponse, StatsResponse, ErrorResponse,
+            MSetRequest, StatsRequest, MetricsRequest, OkResponse, PongResponse,
+            ValueResponse, CountResponse, MultiValueResponse, StatsResponse,
+            MetricsResponse, ErrorResponse,
         }
         assert tested == set(FRAME_TYPES)
 

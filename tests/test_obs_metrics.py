@@ -1,0 +1,275 @@
+"""Unit tests of the :mod:`repro.obs` metrics fabric, exposition and limits.
+
+Covers the registry semantics downstream layers rely on: labelled children,
+no-op mode, histogram bucket monotonicity, render/parse round-tripping,
+collector error containment, token buckets under a fake clock, and the
+rate-limited slow-request log.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+import pytest
+
+from repro.exceptions import NetError, ObsError
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    NOOP,
+    MetricsRegistry,
+    RequestLimits,
+    SlowRequestLog,
+    TokenBucket,
+    format_value,
+    log_spaced_buckets,
+    parse_text,
+    render_text,
+)
+from repro.obs.metrics import INF
+
+
+# ------------------------------------------------------------------- registry
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "A counter.")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    gauge = registry.gauge("g", "A gauge.")
+    gauge.set(7)
+    gauge.inc()
+    gauge.dec(3)
+    assert gauge.value == 5
+
+
+def test_counter_rejects_negative_increment():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "A counter.")
+    with pytest.raises(ObsError):
+        counter.inc(-1)
+
+
+def test_counter_set_total_restates_absolute_value():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "Bridged counter.")
+    counter.set_total(10)
+    counter.set_total(15)
+    assert counter.value == 15
+
+
+def test_labelled_children_are_cached_and_independent():
+    registry = MetricsRegistry()
+    family = registry.counter("req_total", "Requests.", ("opcode",))
+    family.labels("GET").inc()
+    family.labels("GET").inc()
+    family.labels("SET").inc()
+    assert family.labels("GET").value == 2
+    assert family.labels("SET").value == 1
+    assert family.labels("GET") is family.labels("GET")
+
+
+def test_wrong_label_count_raises():
+    registry = MetricsRegistry()
+    family = registry.counter("req_total", "Requests.", ("opcode", "reason"))
+    with pytest.raises(ObsError):
+        family.labels("GET")
+
+
+def test_duplicate_name_same_shape_returns_same_family():
+    registry = MetricsRegistry()
+    first = registry.counter("x_total", "X.", ("a",))
+    second = registry.counter("x_total", "X.", ("a",))
+    assert first is second
+    with pytest.raises(ObsError):
+        registry.gauge("x_total", "Different kind.")
+    with pytest.raises(ObsError):
+        registry.counter("x_total", "Different labels.", ("b",))
+
+
+def test_invalid_metric_and_label_names_raise():
+    registry = MetricsRegistry()
+    with pytest.raises(ObsError):
+        registry.counter("bad-name", "Dashes are illegal.")
+    with pytest.raises(ObsError):
+        registry.counter("ok_total", "Bad label.", ("0bad",))
+
+
+def test_disabled_registry_hands_out_noop_instruments():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("c_total", "A counter.", ("opcode",))
+    assert counter is NOOP
+    # Every operation is accepted and does nothing.
+    counter.labels("GET").inc()
+    counter.observe(1.0)
+    counter.set(5)
+    assert counter.value == 0.0
+    assert render_text(registry) == ""
+    assert registry.family_names() == []
+
+
+# ------------------------------------------------------------------ histograms
+
+
+def test_default_latency_buckets_are_log_spaced_and_increasing():
+    bounds = DEFAULT_LATENCY_BUCKETS
+    assert bounds[0] == pytest.approx(100e-6)
+    assert bounds[-1] == pytest.approx(10.0)
+    assert all(a < b for a, b in zip(bounds, bounds[1:]))
+    # 4 per decade over 100µs..10s inclusive.
+    assert len(bounds) == 21
+    assert log_spaced_buckets(1.0, 100.0, per_decade=1) == (1.0, 10.0, 100.0)
+
+
+def test_histogram_observation_lands_in_inclusive_bucket():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h_seconds", "H.", buckets=(0.1, 1.0))
+    histogram.observe(0.1)   # le="0.1" is inclusive
+    histogram.observe(0.5)
+    histogram.observe(5.0)   # only +Inf
+    cumulative, total, count = histogram.snapshot()
+    assert cumulative == [1, 2, 3]
+    assert count == 3
+    assert total == pytest.approx(5.6)
+
+
+def test_histogram_buckets_must_increase():
+    registry = MetricsRegistry()
+    with pytest.raises(ObsError):
+        registry.histogram("h_seconds", "H.", buckets=(1.0, 1.0))
+    # A trailing +Inf is tolerated (stripped), matching Prometheus clients.
+    histogram = registry.histogram("h2_seconds", "H.", buckets=(1.0, INF))
+    assert histogram.buckets == (1.0,)
+
+
+def test_histogram_rendered_buckets_are_cumulative_and_monotone():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "lat_seconds", "Latency.", ("op",), buckets=(0.01, 0.1, 1.0)
+    )
+    for value in (0.005, 0.005, 0.05, 0.5, 2.0):
+        histogram.labels("GET").observe(value)
+    samples = parse_text(render_text(registry))
+    buckets = [
+        (labels, value)
+        for (name, labels), value in samples.items()
+        if name == "lat_seconds_bucket"
+    ]
+    by_le = {dict(labels)["le"]: value for labels, value in buckets}
+    assert by_le == {"0.01": 2, "0.1": 3, "1": 4, "+Inf": 5}
+    assert samples[("lat_seconds_count", (("op", "GET"),))] == 5
+    assert samples[("lat_seconds_sum", (("op", "GET"),))] == pytest.approx(2.56)
+
+
+# ------------------------------------------------------------------ exposition
+
+
+def test_render_parse_round_trip_with_label_escaping():
+    registry = MetricsRegistry()
+    family = registry.gauge("g", "Help with \\ and\nnewline.", ("path",))
+    tricky = 'a\\b"c\nd'
+    family.labels(tricky).set(4.25)
+    text = render_text(registry)
+    assert "# HELP g" in text and "# TYPE g gauge" in text
+    samples = parse_text(text)
+    assert samples[("g", (("path", tricky),))] == 4.25
+
+
+def test_format_value_canonical_forms():
+    assert format_value(3.0) == "3"
+    assert format_value(3.5) == "3.5"
+    assert format_value(INF) == "+Inf"
+    assert format_value(-INF) == "-Inf"
+    assert format_value(float("nan")) == "NaN"
+
+
+def test_parse_text_rejects_malformed_lines():
+    with pytest.raises(ObsError):
+        parse_text("no_value_here")
+    with pytest.raises(ObsError):
+        parse_text('metric{l="x" 1')
+    with pytest.raises(ObsError):
+        parse_text("metric not_a_number")
+
+
+def test_collector_errors_are_contained_and_counted():
+    registry = MetricsRegistry()
+
+    def broken() -> None:
+        raise RuntimeError("collector exploded")
+
+    registry.register_collector(broken)
+    text = render_text(registry)  # must not raise
+    samples = parse_text(text)
+    assert samples[("repro_collector_errors_total", ())] == 1
+
+
+def test_registry_is_thread_safe_under_contention():
+    registry = MetricsRegistry()
+    family = registry.counter("c_total", "C.", ("worker",))
+    plain = registry.counter("plain_total", "P.")
+
+    def spin(worker_id: int) -> None:
+        child = family.labels(str(worker_id % 4))
+        for _ in range(1000):
+            child.inc()
+            plain.inc()
+
+    threads = [threading.Thread(target=spin, args=(n,)) for n in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert plain.value == 8000
+    assert sum(family.labels(str(n)).value for n in range(4)) == 8000
+
+
+# ---------------------------------------------------------------------- limits
+
+
+def test_token_bucket_enforces_rate_with_fake_clock():
+    now = [0.0]
+    bucket = TokenBucket(rate=10.0, burst=2, clock=lambda: now[0])
+    assert bucket.try_acquire()
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()  # burst exhausted
+    now[0] += 0.1  # refills one token at 10/s
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+    assert bucket.available == 0.0
+
+
+def test_token_bucket_rejects_bad_parameters():
+    with pytest.raises(NetError):
+        TokenBucket(rate=0.0)
+    with pytest.raises(NetError):
+        TokenBucket(rate=1.0, burst=0)
+
+
+def test_request_limits_validation_and_bucket_factory():
+    limits = RequestLimits()
+    assert not limits.enforced
+    assert limits.bucket() is None
+    limits = RequestLimits(rate_limit=5.0, rate_burst=3)
+    assert limits.enforced
+    bucket = limits.bucket()
+    assert bucket is not None and bucket.capacity == 3.0
+    with pytest.raises(NetError):
+        RequestLimits(max_value_bytes=-1)
+    with pytest.raises(NetError):
+        RequestLimits(rate_limit=-0.5)
+
+
+def test_slow_request_log_thresholds_and_rate_limiting():
+    logger = logging.getLogger("repro.test.slowlog")
+    log = SlowRequestLog(threshold_seconds=0.01, per_second=1.0, logger=logger)
+    assert not log.record("GET", 1, 0.005)
+    # First slow request emits; the burst-of-one bucket suppresses the rest.
+    assert log.record("GET", 1, 0.02)
+    assert log.record("MGET", 8, 0.02)
+    assert log.emitted == 1
+    assert log.suppressed == 1
+    with pytest.raises(NetError):
+        SlowRequestLog(threshold_seconds=0.0)

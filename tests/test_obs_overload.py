@@ -1,0 +1,198 @@
+"""Overload-protection tests: bounded queues, rate limits, and size limits.
+
+The ISSUE's protection bar: pushing an open-loop workload past
+``max_inflight`` keeps the in-flight gauge bounded (backpressure, not
+collapse); a rate-limited connection gets typed
+:class:`~repro.exceptions.RateLimitedError` while an unlimited peer on the
+same server is still served; an oversized SET is refused with
+:class:`~repro.exceptions.LimitExceededError` *without* killing the
+connection — and every rejection shows up as a labelled
+``repro_rejections_total`` counter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import LimitExceededError, RateLimitedError, RemoteError
+from repro.net import KVClient, ServerConfig, ThreadedKVServer, run_open_loop_workload
+from repro.obs import parse_text
+from repro.service import KVService, ServiceConfig
+
+from tests.conftest import make_template_records
+
+#: Bound on every blocking wait in this file.
+WAIT = 30.0
+
+
+def _serve(config: ServerConfig):
+    service = KVService(ServiceConfig(shard_count=2, compressor="none"))
+    threaded = ThreadedKVServer(service, config)
+    threaded.start()
+    return service, threaded
+
+
+def _rejections(host: str, port: int) -> dict[tuple[str, str], float]:
+    """``{(opcode, reason): count}`` from a wire scrape."""
+    with KVClient(host, port, pool_size=1) as client:
+        samples = parse_text(client.metrics())
+    return {
+        (dict(labels)["opcode"], dict(labels)["reason"]): value
+        for (name, labels), value in samples.items()
+        if name == "repro_rejections_total"
+    }
+
+
+# ------------------------------------------------------------------ queue depth
+
+
+class TestBoundedQueue:
+    def test_inflight_gauge_stays_bounded_past_max_inflight(self):
+        """An open-loop workload offered far past a tiny ``max_inflight``
+        must keep the in-flight gauge within the documented bound
+        (``max_inflight + 2`` per connection) — backpressure holds the
+        backlog in the sockets, not in server memory."""
+        max_inflight = 4
+        workers = 4
+        service, server = _serve(ServerConfig(port=0, max_inflight=max_inflight))
+        try:
+            host, port = server.address
+            gauge = server.server.registry.get("repro_inflight_requests")
+            assert gauge is not None
+            observed: list[float] = []
+            stop = threading.Event()
+
+            def sample() -> None:
+                while not stop.is_set():
+                    observed.append(gauge.value)
+
+            sampler = threading.Thread(target=sample, name="gauge-sampler")
+            sampler.start()
+            try:
+                result = run_open_loop_workload(
+                    host, port, make_template_records(64), rate=20_000.0,
+                    operations=4000, workers=workers, timeout=WAIT,
+                )
+            finally:
+                stop.set()
+                sampler.join(timeout=WAIT)
+            assert result.errors == 0
+            assert result.completed == 4000
+            # One loadgen connection per worker, plus the preload connection.
+            bound = (workers + 1) * (max_inflight + 2)
+            assert max(observed) <= bound
+            assert max(observed) >= 1, "sampler never saw a request in flight"
+            assert gauge.value == 0, "in-flight gauge must drain back to zero"
+        finally:
+            server.stop()
+            service.close()
+
+
+# ------------------------------------------------------------------- rate limit
+
+
+class TestRateLimit:
+    def test_limited_connection_rejected_while_peer_is_served(self):
+        """Connection A blasting past its per-connection budget gets a typed
+        RateLimitedError; connection B (its own fresh bucket) keeps being
+        served; the rejection is counted with reason="rate"."""
+        service, server = _serve(
+            ServerConfig(port=0, rate_limit=25.0, rate_burst=10)
+        )
+        try:
+            host, port = server.address
+            with KVClient(host, port, pool_size=1) as blaster:
+                blaster.set("k", "v")
+                with pytest.raises(RateLimitedError) as excinfo:
+                    for _ in range(200):
+                        blaster.get("k")
+                assert isinstance(excinfo.value, RemoteError)
+                assert "req/s" in str(excinfo.value)
+
+                # The offending connection survives its own rejection: after
+                # a refill interval it is served again.
+                time.sleep(0.2)
+                assert blaster.get("k") == "v"
+
+                # An independent connection draws from its own bucket.
+                with KVClient(host, port, pool_size=1) as peer:
+                    for index in range(5):
+                        peer.set(f"peer-{index}", "ok")
+                        assert peer.get(f"peer-{index}") == "ok"
+
+            rejections = _rejections(host, port)
+            assert rejections.get(("GET", "rate"), 0) >= 1
+        finally:
+            server.stop()
+            service.close()
+
+    def test_open_loop_reports_typed_rejections(self):
+        """Open-loop load far past the rate budget: rejections surface in the
+        result's error tally under the typed exception name, and completions
+        plus errors still account for every offered operation."""
+        service, server = _serve(ServerConfig(port=0, rate_limit=20.0, rate_burst=5))
+        try:
+            host, port = server.address
+            result = run_open_loop_workload(
+                host, port, ["v"], rate=2000.0, operations=400,
+                workers=2, preload=False, timeout=WAIT,
+            )
+            assert result.errors > 0
+            assert result.error_kinds.get("RateLimitedError", 0) == result.errors
+            assert result.completed + result.errors == 400
+        finally:
+            server.stop()
+            service.close()
+
+
+# ------------------------------------------------------------------ size limits
+
+
+class TestSizeLimits:
+    def test_oversized_set_is_rejected_without_killing_connection(self):
+        service, server = _serve(
+            ServerConfig(port=0, max_value_bytes=64, max_batch_items=4)
+        )
+        try:
+            host, port = server.address
+            with KVClient(host, port, pool_size=1) as client:
+                with pytest.raises(LimitExceededError) as excinfo:
+                    client.set("big", "x" * 1000)
+                assert "64" in str(excinfo.value)
+                # pool_size=1: this MUST be the same TCP connection — the
+                # rejection refused one request, not the session.
+                client.set("small", "ok")
+                assert client.get("small") == "ok"
+
+                with pytest.raises(LimitExceededError):
+                    client.mget([f"k{index}" for index in range(16)])
+                with pytest.raises(LimitExceededError):
+                    client.mset([(f"k{index}", "v") for index in range(16)])
+                assert client.get("small") == "ok"
+
+            rejections = _rejections(host, port)
+            assert rejections.get(("SET", "value_bytes")) == 1
+            assert rejections.get(("MGET", "batch_items")) == 1
+            assert rejections.get(("MSET", "batch_items")) == 1
+        finally:
+            server.stop()
+            service.close()
+
+    def test_unlimited_server_accepts_the_same_payloads(self):
+        """The default config is byte-for-byte the pre-observability
+        behaviour: no limit objects engage, nothing is rejected."""
+        service, server = _serve(ServerConfig(port=0))
+        try:
+            host, port = server.address
+            with KVClient(host, port, pool_size=1) as client:
+                client.set("big", "x" * 100_000)
+                assert client.get("big") == "x" * 100_000
+                client.mset([(f"k{index}", "v") for index in range(64)])
+                assert client.mget([f"k{index}" for index in range(64)]) == ["v"] * 64
+            assert _rejections(host, port) == {}
+        finally:
+            server.stop()
+            service.close()
