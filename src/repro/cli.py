@@ -436,6 +436,16 @@ def _cmd_client_del(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_client_scan(args: argparse.Namespace) -> int:
+    count = 0
+    with _client(args) as client:
+        for key, value in client.scan(args.start, args.end, limit=args.limit):
+            print(f"{key}\t{value}")
+            count += 1
+    print(f"({count} result(s))", file=sys.stderr)
+    return 0
+
+
 def _cmd_client_ping(args: argparse.Namespace) -> int:
     import time
 
@@ -533,6 +543,63 @@ def _cmd_client_bench(args: argparse.Namespace) -> int:
     print(render_table(result.summary_rows(), title="Wire workload"))
     if result.lost_responses or result.corrupt_responses:
         print("error: lost or corrupted responses detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import run_suite, scenario_names
+
+    names = args.mixes or scenario_names()
+    results = run_suite(
+        names,
+        backends=tuple(args.backends),
+        operations=args.ops,
+        rate=args.rate,
+        workers=args.clients,
+        records=args.records,
+        value_count=args.values,
+        seed=args.seed,
+        shard_count=args.shards,
+        compressor=args.compressor,
+    )
+    rows = [result.row() for result in results]
+    if args.output:
+        Path(args.output).write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {len(rows)} row(s) to {args.output}", file=sys.stderr)
+    if args.raw:
+        for row in rows:
+            print(json.dumps(row))
+    else:
+        table_rows = [
+            {
+                "scenario": row["scenario"],
+                "backend": row["backend"],
+                "ops": row["operations"],
+                "errors": row["errors"],
+                "achieved/s": f"{row['achieved_rate']:,.0f}",
+                "p50 ms": f"{row['p50_ms']:.3f}",
+                "p95 ms": f"{row['p95_ms']:.3f}",
+                "p99 ms": f"{row['p99_ms']:.3f}",
+                "scans": row["scan_count"],
+                "avg len": row["avg_scan_len"],
+                "lost": row["lost"],
+                "corrupt": row["corrupt"],
+            }
+            for row in rows
+        ]
+        print(render_table(table_rows, title="Scenario suite"))
+    dirty = [result for result in results if not result.clean]
+    if dirty:
+        for result in dirty:
+            print(
+                f"error: scenario {result.scenario!r} on {result.backend}: "
+                f"{result.lost} lost, {result.corrupt} corrupt, "
+                f"{result.unordered} unordered",
+                file=sys.stderr,
+            )
         return 1
     return 0
 
@@ -813,6 +880,14 @@ def build_parser() -> argparse.ArgumentParser:
     client_del.add_argument("key")
     client_del.set_defaults(func=_cmd_client_del)
 
+    client_scan = client_sub.add_parser(
+        "scan", help="range scan: ordered key/value pairs in [START, END)"
+    )
+    client_scan.add_argument("start", nargs="?", default=None, help="inclusive start bound (omit for open)")
+    client_scan.add_argument("end", nargs="?", default=None, help="exclusive end bound (omit for open)")
+    client_scan.add_argument("--limit", type=int, default=0, help="max pairs to return (0 = unlimited)")
+    client_scan.set_defaults(func=_cmd_client_scan)
+
     client_ping = client_sub.add_parser("ping", help="round-trip latency check")
     client_ping.set_defaults(func=_cmd_client_ping)
 
@@ -859,6 +934,34 @@ def build_parser() -> argparse.ArgumentParser:
              "timetable and report offered vs achieved rate (0 = closed loop)",
     )
     client_bench.set_defaults(func=_cmd_client_bench)
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="run the YCSB-style scenario suite against in-process servers",
+    )
+    scenarios.add_argument(
+        "--mixes", nargs="*", default=None,
+        help="scenario names to run (default: the whole registry)",
+    )
+    scenarios.add_argument(
+        "--backends", nargs="*", default=["tierbase", "lsm"],
+        choices=["tierbase", "lsm"], help="backends to run the matrix against",
+    )
+    scenarios.add_argument("--ops", type=int, default=512, help="operations per mix")
+    scenarios.add_argument("--rate", type=float, default=2000.0, help="offered arrival rate (ops/s)")
+    scenarios.add_argument("--clients", type=int, default=4, help="load-generator worker threads")
+    scenarios.add_argument("--records", type=int, default=256, help="records preloaded per mix")
+    scenarios.add_argument("--values", type=int, default=256, help="dataset values generated per mix")
+    scenarios.add_argument("--shards", type=int, default=2, help="service shard count")
+    scenarios.add_argument(
+        "--compressor", default="pbc_f",
+        choices=["none", *trainable_codec_names()],
+        help="per-shard value compressor (default pbc_f)",
+    )
+    scenarios.add_argument("--seed", type=int, default=2023, help="workload seed")
+    scenarios.add_argument("--raw", action="store_true", help="print one JSON row per mix instead of a table")
+    scenarios.add_argument("--output", default=None, help="write the per-mix rows to this JSON file")
+    scenarios.set_defaults(func=_cmd_scenarios)
 
     experiments = subparsers.add_parser("experiments", help="list the registered paper experiments")
     experiments.set_defaults(func=_cmd_experiments)

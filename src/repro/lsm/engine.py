@@ -28,6 +28,7 @@ instead of garbage reads.
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
 from dataclasses import dataclass
@@ -262,23 +263,49 @@ class LSMEngine:
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
 
-    def scan(self, start: str | None = None, end: str | None = None) -> Iterator[tuple[str, str]]:
-        """All live entries with ``start <= key < end`` in key order (newest version wins)."""
+    def scan(
+        self,
+        start: str | None = None,
+        end: str | None = None,
+        limit: int | None = None,
+    ) -> Iterator[tuple[str, str]]:
+        """Live entries with ``start <= key < end`` in key order, newest version wins.
+
+        A true k-way merge over per-table range iterators (which seek via the
+        block index) and the memtable — nothing is materialised, so a small
+        ``limit`` over a large store reads only the blocks it touches before
+        short-circuiting.  Tombstones shadow older versions and are never
+        yielded; ``limit`` counts live results.  ``start`` is inclusive,
+        ``end`` exclusive, so a reversed range (``start >= end``) is empty.
+        """
         self._require_open()
-        merged: dict[str, str | None] = {}
-        for table in self._tables:  # oldest first; later tables overwrite
-            for key, value in table.scan():
-                merged[key] = value
-        for key, value in self._memtable.items():
-            merged[key] = value
-        for key in sorted(merged):
-            if start is not None and key < start:
+        if limit is not None and limit <= 0:
+            return
+        # Tag every source with a rank (higher = newer) and merge on
+        # (key, -rank): for a duplicated key the newest version surfaces
+        # first and the older ones are skipped.  Ranks are distinct, so the
+        # merge never compares values.
+        def tagged(source, rank: int):
+            for key, value in source:
+                yield key, -rank, value
+
+        sources = [
+            tagged(table.range(start, end), rank)
+            for rank, table in enumerate(self._tables)  # oldest first
+        ]
+        sources.append(tagged(self._memtable.range(start, end), len(self._tables)))
+        yielded = 0
+        previous: str | None = None
+        for key, _, value in heapq.merge(*sources):
+            if key == previous:
                 continue
-            if end is not None and key >= end:
-                break
-            value = merged[key]
-            if value is not None:
-                yield key, value
+            previous = key
+            if value is None:
+                continue
+            yield key, value
+            yielded += 1
+            if limit is not None and yielded >= limit:
+                return
 
     # ------------------------------------------------------------- compaction
 

@@ -76,6 +76,17 @@ class MemTable:
         for key in sorted(self._entries):
             yield key, self._entries[key]
 
+    def range(
+        self, start: str | None = None, end: str | None = None
+    ) -> Iterator[tuple[str, str | None]]:
+        """Entries with ``start <= key < end`` in key order (tombstones included)."""
+        for key in sorted(self._entries):
+            if start is not None and key < start:
+                continue
+            if end is not None and key >= end:
+                return
+            yield key, self._entries[key]
+
     def clear(self) -> None:
         """Drop all entries (after a successful flush)."""
         self._entries.clear()

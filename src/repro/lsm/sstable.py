@@ -414,10 +414,20 @@ class SSTable:
             yield from self.policy.iter_block(self._read_block(position))
 
     def range(self, start: str | None = None, end: str | None = None) -> Iterator[tuple[str, str | None]]:
-        """Entries with ``start <= key < end`` in key order."""
-        for key, value in self.scan():
-            if start is not None and key < start:
-                continue
-            if end is not None and key >= end:
-                break
-            yield key, value
+        """Entries with ``start <= key < end`` in key order (tombstones included).
+
+        Seeks: the block index places the first candidate block, so a narrow
+        range over a large table reads only the blocks it overlaps.
+        """
+        first = 0
+        if start is not None:
+            first = max(bisect_right(self._first_keys, start) - 1, 0)
+        for position in range(first, len(self._index)):
+            if end is not None and self._first_keys[position] >= end:
+                return
+            for key, value in self.policy.iter_block(self._read_block(position)):
+                if start is not None and key < start:
+                    continue
+                if end is not None and key >= end:
+                    return
+                yield key, value

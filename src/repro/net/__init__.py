@@ -71,10 +71,12 @@ from repro.net.protocol import (
     MetricsResponse,
     MGetRequest,
     MSetRequest,
+    MultiKeyValueResponse,
     MultiValueResponse,
     OkResponse,
     PingRequest,
     PongResponse,
+    ScanRequest,
     SetRequest,
     StatsRequest,
     StatsResponse,
@@ -102,12 +104,14 @@ __all__ = [
     "Message",
     "MetricsRequest",
     "MetricsResponse",
+    "MultiKeyValueResponse",
     "MultiValueResponse",
     "OkResponse",
     "OpenLoopResult",
     "Pipeline",
     "PingRequest",
     "PongResponse",
+    "ScanRequest",
     "ServerConfig",
     "SetRequest",
     "StatsRequest",

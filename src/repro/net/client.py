@@ -29,7 +29,7 @@ import asyncio
 import json
 import socket
 import threading
-from typing import Callable, Sequence
+from typing import AsyncIterator, Callable, Iterator, Sequence
 
 from repro import exceptions as _exceptions
 from repro.exceptions import NetError, ProtocolError, RemoteError, ReproError
@@ -45,10 +45,12 @@ from repro.net.protocol import (
     MetricsResponse,
     MGetRequest,
     MSetRequest,
+    MultiKeyValueResponse,
     MultiValueResponse,
     OkResponse,
     PingRequest,
     PongResponse,
+    ScanRequest,
     SetRequest,
     StatsRequest,
     StatsResponse,
@@ -285,6 +287,37 @@ class KVClient:
         response = self._request(MetricsRequest(), MetricsResponse)
         return response.payload.decode("utf-8")
 
+    def scan(
+        self, start: str | None = None, end: str | None = None, limit: int = 0
+    ) -> Iterator[tuple[str, str]]:
+        """Range scan: ``(key, value)`` pairs with ``start <= key < end`` in key order.
+
+        Streams the server's chunked MKVALUE response: pairs are yielded as
+        each chunk arrives, so a large range never needs to fit in client
+        memory at once.  ``limit == 0`` means unlimited (the server may still
+        refuse that under its batch-item cap).  The scan owns one pooled
+        connection until the final chunk; abandoning the iterator early
+        discards that connection rather than resynchronising the stream.
+        """
+        request = ScanRequest(
+            start=None if start is None else _encode_text(start, "start bound"),
+            end=None if end is None else _encode_text(end, "end bound"),
+            limit=limit,
+        )
+        connection = self._acquire()
+        completed = False
+        try:
+            connection.send(encode_frame(request))
+            while True:
+                response = _expect(connection.receive(), MultiKeyValueResponse)
+                for key, value in response.pairs:
+                    yield key.decode("utf-8"), value.decode("utf-8")
+                if response.final:
+                    completed = True
+                    return
+        finally:
+            self._release(connection, healthy=completed)
+
     def pipeline(self) -> "Pipeline":
         """Queue many operations locally, then :meth:`Pipeline.execute` them
         in a single round trip."""
@@ -485,6 +518,36 @@ class AsyncKVClient:
         """Prometheus exposition text over the wire (no HTTP sidecar needed)."""
         response = await self._request(MetricsRequest(), MetricsResponse)
         return response.payload.decode("utf-8")
+
+    async def scan(
+        self, start: str | None = None, end: str | None = None, limit: int = 0
+    ) -> AsyncIterator[tuple[str, str]]:
+        """Range scan: ``(key, value)`` pairs in key order (async iterator).
+
+        The chunked MKVALUE stream is drained while the connection lock is
+        held (this client serialises all traffic over one connection), then
+        the pairs are yielded — so a slow consumer cannot stall other
+        coroutines' requests behind a half-read scan.
+        """
+        request = ScanRequest(
+            start=None if start is None else _encode_text(start, "start bound"),
+            end=None if end is None else _encode_text(end, "end bound"),
+            limit=limit,
+        )
+        pairs: list[tuple[bytes, bytes]] = []
+        async with self._lock:
+            try:
+                self._writer.write(encode_frame(request))
+                await self._writer.drain()
+            except OSError as error:
+                raise NetError(f"send failed: {error}") from error
+            while True:
+                response = _expect(await self._receive(), MultiKeyValueResponse)
+                pairs.extend(response.pairs)
+                if response.final:
+                    break
+        for key, value in pairs:
+            yield key.decode("utf-8"), value.decode("utf-8")
 
     async def pipelined_get(self, keys: Sequence[str], depth: int = 8) -> list[str | None]:
         """Fetch ``keys`` as pipelined single-GET frames, ``depth`` per round trip."""

@@ -37,7 +37,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from threading import Thread
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.exceptions import NetError
 from repro.net.client import KVClient
@@ -313,6 +313,7 @@ def run_open_loop_workload(
     key_prefix: str = "kv",
     preload: bool = True,
     timeout: float = 30.0,
+    operation: Callable[[KVClient, random.Random, int], str] | None = None,
 ) -> OpenLoopResult:
     """Drive single-key GET/SETs on a fixed arrival-rate timetable.
 
@@ -325,6 +326,13 @@ def run_open_loop_workload(
     global, not per-worker.  Each operation's kind, key, and value derive from
     a :class:`random.Random` seeded by its index — deterministic regardless of
     which worker runs it.
+
+    ``operation`` swaps the built-in GET/SET mix for a caller-supplied op:
+    it receives ``(client, rng, index)``, performs one logical operation, and
+    returns the opcode label to tally it under ("GET", "SCAN", "RMW", ...).
+    The arrival timetable, per-index determinism, latency-from-scheduled
+    accounting, and error tallies all stay identical — this is how the
+    :mod:`repro.scenarios` YCSB-style mixes ride the open-loop discipline.
     """
     if rate <= 0:
         raise NetError("open-loop rate must be positive")
@@ -346,9 +354,13 @@ def run_open_loop_workload(
 
     next_index = [0]
     index_lock = threading.Lock()
-    counts = [{"GET": 0, "SET": 0} for _ in range(workers)]
+    # With a custom operation the opcode labels are the callback's to
+    # define; the built-in mix pre-seeds GET/SET so zero-count opcodes
+    # still show up in the result.
+    seed_opcodes = () if operation is not None else ("GET", "SET")
+    counts = [{opcode: 0 for opcode in seed_opcodes} for _ in range(workers)]
     latencies: list[dict[str, list[float]]] = [
-        {"GET": [], "SET": []} for _ in range(workers)
+        {opcode: [] for opcode in seed_opcodes} for _ in range(workers)
     ]
     errors: list[dict[str, int]] = [{} for _ in range(workers)]
     failures: list[BaseException] = []
@@ -368,14 +380,17 @@ def run_open_loop_workload(
                     if delay > 0:
                         time.sleep(delay)
                     rng = random.Random(f"{seed}:{index}")
-                    is_get = rng.random() < get_fraction
-                    opcode = "GET" if is_get else "SET"
-                    key = keys[rng.randrange(len(keys))]
                     try:
-                        if is_get:
-                            client.get(key)
+                        if operation is not None:
+                            opcode = operation(client, rng, index)
                         else:
-                            client.set(key, values[rng.randrange(len(values))])
+                            is_get = rng.random() < get_fraction
+                            opcode = "GET" if is_get else "SET"
+                            key = keys[rng.randrange(len(keys))]
+                            if is_get:
+                                client.get(key)
+                            else:
+                                client.set(key, values[rng.randrange(len(values))])
                     except Exception as error:  # noqa: BLE001 — tallied
                         # Server-relayed errors tally under the server-side
                         # exception name ("RateLimitedError"), not the
@@ -385,8 +400,10 @@ def run_open_loop_workload(
                         continue
                     # Latency from the *scheduled* release, not the actual
                     # send: queueing delay is part of what open loop measures.
-                    latencies[worker_id][opcode].append(time.perf_counter() - scheduled)
-                    counts[worker_id][opcode] += 1
+                    latencies[worker_id].setdefault(opcode, []).append(
+                        time.perf_counter() - scheduled
+                    )
+                    counts[worker_id][opcode] = counts[worker_id].get(opcode, 0) + 1
         except BaseException as error:  # noqa: BLE001 — surfaced after join
             failures.append(error)
 

@@ -6,7 +6,7 @@ far larger than a read buffer).  Every frame — request or response — has the
 same envelope (docs/FORMATS.md §7)::
 
     magic   "RKV1"            4 bytes
-    opcode  u8                request 0x01–0x08 / response 0x80–0xBF
+    opcode  u8                request 0x01–0x09 / response 0x80–0xBF
     length  uvarint           body byte count (bounded by ``max_body``)
     body    `length` bytes    per-opcode layout below
 
@@ -238,6 +238,47 @@ class MetricsRequest(Message):
 
 
 @dataclass(frozen=True)
+class ScanRequest(Message):
+    """Ordered range scan: optional ``start``/``end`` bounds plus a limit.
+
+    ``start`` is inclusive, ``end`` exclusive; an absent bound is open.
+    ``limit == 0`` means unlimited (subject to the server's batch-item cap).
+    The response is a *stream* of MKVALUE chunks, the last one flagged final.
+    """
+
+    opcode = 0x09
+    wire_name = "SCAN"
+    direction = "request"
+
+    start: bytes | None = None
+    end: bytes | None = None
+    limit: int = 0
+
+    def encode_body(self) -> bytes:
+        parts = []
+        for bound in (self.start, self.end):
+            if bound is None:
+                parts.append(b"\x00")
+            else:
+                parts.append(b"\x01" + _blob(bound))
+        parts.append(encode_uvarint(self.limit))
+        return b"".join(parts)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "ScanRequest":
+        bounds: list[bytes | None] = []
+        for _ in range(2):
+            flag = cursor.read_u8()
+            if flag == 0:
+                bounds.append(None)
+            elif flag == 1:
+                bounds.append(cursor.read_blob())
+            else:
+                raise ProtocolError(f"SCAN frame has invalid presence flag {flag}")
+        return cls(start=bounds[0], end=bounds[1], limit=cursor.read_uvarint())
+
+
+@dataclass(frozen=True)
 class OkResponse(Message):
     """Acknowledges SET / MSET."""
 
@@ -372,6 +413,41 @@ class MetricsResponse(Message):
 
 
 @dataclass(frozen=True)
+class MultiKeyValueResponse(Message):
+    """One SCAN result chunk: ``(key, value)`` pairs plus a final-chunk flag.
+
+    A scan's response is one or more MKVALUE frames on the wire, in key
+    order, with ``final`` set only on the last — the chunking keeps any
+    single frame small so a huge range cannot head-of-line-block the other
+    responses pipelined behind it.  An empty result is a single final frame
+    with zero pairs.
+    """
+
+    opcode = 0x87
+    wire_name = "MKVALUE"
+    direction = "response"
+
+    pairs: tuple[tuple[bytes, bytes], ...] = ()
+    final: bool = True
+
+    def encode_body(self) -> bytes:
+        parts = [b"\x01" if self.final else b"\x00", encode_uvarint(len(self.pairs))]
+        for key, value in self.pairs:
+            parts.append(_blob(key))
+            parts.append(_blob(value))
+        return b"".join(parts)
+
+    @classmethod
+    def decode_body(cls, cursor: _Cursor) -> "MultiKeyValueResponse":
+        flag = cursor.read_u8()
+        if flag > 1:
+            raise ProtocolError(f"MKVALUE frame has invalid final flag {flag}")
+        count = cursor.read_uvarint()
+        pairs = tuple((cursor.read_blob(), cursor.read_blob()) for _ in range(count))
+        return cls(pairs=pairs, final=bool(flag))
+
+
+@dataclass(frozen=True)
 class ErrorResponse(Message):
     """A server-side failure: the exception class name and its message."""
 
@@ -403,6 +479,7 @@ FRAME_TYPES: tuple[type[Message], ...] = (
     MSetRequest,
     StatsRequest,
     MetricsRequest,
+    ScanRequest,
     OkResponse,
     PongResponse,
     ValueResponse,
@@ -410,6 +487,7 @@ FRAME_TYPES: tuple[type[Message], ...] = (
     MultiValueResponse,
     StatsResponse,
     MetricsResponse,
+    MultiKeyValueResponse,
     ErrorResponse,
 )
 

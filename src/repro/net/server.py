@@ -76,10 +76,12 @@ from repro.net.protocol import (
     MetricsResponse,
     MGetRequest,
     MSetRequest,
+    MultiKeyValueResponse,
     MultiValueResponse,
     OkResponse,
     PingRequest,
     PongResponse,
+    ScanRequest,
     SetRequest,
     StatsRequest,
     StatsResponse,
@@ -100,6 +102,29 @@ _CLOSE = object()
 #: Queue item tags: a decoded request to execute, or a pre-built response
 #: (the final ERR frame after a protocol error) to write as-is.
 _REQUEST, _RESPONSE = "request", "response"
+
+#: SCAN response chunking: a chunk closes at this many pairs or this many
+#: payload bytes, whichever comes first.  Bounded chunks keep any single
+#: frame small, so a huge range cannot head-of-line-block the responses
+#: pipelined behind it on the same connection.
+SCAN_CHUNK_PAIRS = 256
+SCAN_CHUNK_BYTES = 64 * 1024
+
+
+def _chunk_scan_results(results: list[tuple[str, str]]) -> list[MultiKeyValueResponse]:
+    """Split scan results into bounded MKVALUE frames, the last one final."""
+    frames: list[MultiKeyValueResponse] = []
+    pairs: list[tuple[bytes, bytes]] = []
+    chunk_bytes = 0
+    for key, value in results:
+        pair = (key.encode("utf-8"), value.encode("utf-8"))
+        pairs.append(pair)
+        chunk_bytes += len(pair[0]) + len(pair[1])
+        if len(pairs) >= SCAN_CHUNK_PAIRS or chunk_bytes >= SCAN_CHUNK_BYTES:
+            frames.append(MultiKeyValueResponse(pairs=tuple(pairs), final=False))
+            pairs, chunk_bytes = [], 0
+    frames.append(MultiKeyValueResponse(pairs=tuple(pairs), final=True))
+    return frames
 
 
 @dataclass(frozen=True)
@@ -527,6 +552,11 @@ class KVServer:
         (two pipelined SETs of one key cannot swap); a client that vanishes
         mid-batch stops the writes but the remaining requests still execute,
         so graceful drain semantics stay uniform.
+
+        A dispatch may return a *sequence* of frames (a chunked SCAN result):
+        they are written back-to-back before the next request's response, so
+        the per-connection response-order contract is untouched — a scan is
+        one request with a multi-frame answer, not an interleaving.
         """
         client_alive = True
         while True:
@@ -543,9 +573,11 @@ class KVServer:
                 response = payload
             if not client_alive:
                 continue  # keep executing so stop() can drain the queue
+            frames = response if isinstance(response, list) else [response]
             try:
-                writer.write(encode_frame(response))
-                await writer.drain()
+                for frame in frames:
+                    writer.write(encode_frame(frame))
+                    await writer.drain()
             except (ConnectionError, OSError):
                 client_alive = False
 
@@ -560,6 +592,8 @@ class KVServer:
             return len(request.items)
         if isinstance(request, (GetRequest, SetRequest, DeleteRequest)):
             return 1
+        if isinstance(request, ScanRequest):
+            return request.limit
         return 0
 
     def _enforce_limits(self, request: Message, limiter: TokenBucket | None) -> None:
@@ -602,9 +636,26 @@ class KVServer:
                     f"batch of {count} items exceeds the server's "
                     f"max_batch_items={max_items}"
                 )
+            # A scan is a batch read: its result budget falls under the same
+            # cap, and an unbounded scan (limit 0) is over any finite cap.
+            if isinstance(request, ScanRequest) and (
+                request.limit == 0 or request.limit > max_items
+            ):
+                self._rejections.labels(request.wire_name, "batch_items").inc()
+                limit = request.limit if request.limit else "unlimited"
+                raise LimitExceededError(
+                    f"scan limit {limit} exceeds the server's "
+                    f"max_batch_items={max_items}"
+                )
 
-    async def _dispatch(self, request: Message, limiter: TokenBucket | None = None) -> Message:
-        """Run one request; every failure becomes a typed ERR response."""
+    async def _dispatch(
+        self, request: Message, limiter: TokenBucket | None = None
+    ) -> Message | list[Message]:
+        """Run one request; every failure becomes a typed ERR response.
+
+        Most handlers return one frame; the SCAN handler returns the chunked
+        frame list its worker writes in order.
+        """
         started = time.perf_counter()
         try:
             self._enforce_limits(request, limiter)
@@ -707,6 +758,20 @@ class KVServer:
         # return byte-identical exposition text for the same registry state.
         return MetricsResponse(payload=self.render_metrics().encode("utf-8"))
 
+    def _handle_scan(self, request: ScanRequest) -> list[Message]:
+        start = (
+            _decode_text(request.start, "scan start bound")
+            if request.start is not None
+            else None
+        )
+        end = (
+            _decode_text(request.end, "scan end bound")
+            if request.end is not None
+            else None
+        )
+        limit = request.limit if request.limit > 0 else None
+        return list(_chunk_scan_results(self.service.scan(start, end, limit)))
+
     _HANDLERS = {
         GetRequest: _handle_get,
         SetRequest: _handle_set,
@@ -715,6 +780,7 @@ class KVServer:
         MSetRequest: _handle_mset,
         StatsRequest: _handle_stats,
         MetricsRequest: _handle_metrics,
+        ScanRequest: _handle_scan,
     }
 
 

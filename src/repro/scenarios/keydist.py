@@ -1,0 +1,153 @@
+"""Key-distribution choosers for the YCSB-style scenario mixes.
+
+Each chooser maps ``(rng, record_count)`` to a record index in
+``[0, record_count)``.  The ``rng`` is the per-operation
+:class:`random.Random` the open-loop load generator seeds from the
+operation index, so a chooser's picks are deterministic for a given
+workload seed no matter which worker thread runs the operation.
+
+:class:`ZipfianKeyChooser` implements the Gray et al. "Quickly generating
+billion-record synthetic databases" algorithm that YCSB's core workloads
+use (theta = 0.99), with an incrementally extended zeta cache so the
+record space can grow mid-run as inserts land.  The raw zipfian favours
+*low* indexes; the chooser scrambles the pick with a multiplicative hash
+(YCSB's ``ScrambledZipfian``) so the hot set spreads across the key space
+instead of clustering at the front.  :class:`LatestKeyChooser` skips the
+scramble and mirrors the pick so the *newest* records are the hot set —
+YCSB workload D's "read latest" behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "KeyChooser",
+    "LatestKeyChooser",
+    "UniformKeyChooser",
+    "ZipfianKeyChooser",
+    "make_chooser",
+    "DISTRIBUTIONS",
+]
+
+#: YCSB's default zipfian constant.
+ZIPFIAN_THETA = 0.99
+
+#: Knuth's multiplicative hash constant (2^32 / phi), used to scramble
+#: zipfian picks across the key space deterministically.
+_SCRAMBLE = 2654435761
+
+
+class KeyChooser(ABC):
+    """Maps a per-operation RNG to a record index in ``[0, record_count)``."""
+
+    @abstractmethod
+    def choose(self, rng: random.Random, record_count: int) -> int:
+        """Return a record index in ``[0, record_count)``."""
+
+    def _check(self, record_count: int) -> None:
+        if record_count < 1:
+            raise ValueError("record_count must be at least 1")
+
+
+class UniformKeyChooser(KeyChooser):
+    """Every record equally likely."""
+
+    def choose(self, rng: random.Random, record_count: int) -> int:
+        self._check(record_count)
+        return rng.randrange(record_count)
+
+
+class ZipfianKeyChooser(KeyChooser):
+    """Scrambled zipfian over the record space (Gray et al., theta=0.99).
+
+    The zeta partial sums are cached and extended incrementally under a
+    lock, so concurrent workers can share one chooser while inserts grow
+    the record space; extending from ``n`` to ``n + k`` costs ``O(k)``,
+    not ``O(n + k)``.
+    """
+
+    def __init__(self, theta: float = ZIPFIAN_THETA, scrambled: bool = True) -> None:
+        if not 0.0 < theta < 1.0:
+            raise ValueError("zipfian theta must be in (0, 1)")
+        self.theta = theta
+        self.scrambled = scrambled
+        self._alpha = 1.0 / (1.0 - theta)
+        self._lock = threading.Lock()
+        # zeta(n) = sum_{i=1..n} 1/i^theta, extended incrementally.
+        self._zeta_n = 2
+        self._zeta = 1.0 + 0.5**theta
+        self._zeta2 = self._zeta
+
+    def _zeta_for(self, n: int) -> float:
+        with self._lock:
+            while self._zeta_n < n:
+                self._zeta_n += 1
+                self._zeta += 1.0 / self._zeta_n**self.theta
+            return self._zeta if self._zeta_n == n else self._partial(n)
+
+    def _partial(self, n: int) -> float:
+        # The cache only ever grows; a *smaller* n (record space can't
+        # shrink mid-run, but be safe) falls back to a direct sum.
+        return sum(1.0 / i**self.theta for i in range(1, n + 1))
+
+    def rank(self, rng: random.Random, record_count: int) -> int:
+        """Zipfian *rank*: 0 is the most popular record (no scramble)."""
+        self._check(record_count)
+        if record_count == 1:
+            return 0
+        if record_count == 2:
+            # Gray's eta is 0/0 at n=2; fall back to the exact two-point law.
+            return 0 if rng.random() < 1.0 / self._zeta2 else 1
+        zetan = self._zeta_for(record_count)
+        eta = (1.0 - (2.0 / record_count) ** (1.0 - self.theta)) / (1.0 - self._zeta2 / zetan)
+        u = rng.random()
+        uz = u * zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return min(int(record_count * (eta * u - eta + 1.0) ** self._alpha), record_count - 1)
+
+    def choose(self, rng: random.Random, record_count: int) -> int:
+        rank = self.rank(rng, record_count)
+        if not self.scrambled:
+            return rank
+        return (rank * _SCRAMBLE) % record_count
+
+
+class LatestKeyChooser(KeyChooser):
+    """Zipfian over recency: the newest record is the most popular.
+
+    YCSB workload D's distribution — the zipfian rank counts *backwards*
+    from the end of the record space, so freshly inserted records
+    immediately become the hot set.
+    """
+
+    def __init__(self, theta: float = ZIPFIAN_THETA) -> None:
+        self._zipfian = ZipfianKeyChooser(theta, scrambled=False)
+
+    def choose(self, rng: random.Random, record_count: int) -> int:
+        self._check(record_count)
+        return record_count - 1 - self._zipfian.rank(rng, record_count)
+
+
+#: Distribution name -> chooser factory, the registry the mixes refer to.
+DISTRIBUTIONS: dict[str, type[KeyChooser]] = {
+    "uniform": UniformKeyChooser,
+    "zipfian": ZipfianKeyChooser,
+    "latest": LatestKeyChooser,
+}
+
+
+def make_chooser(name: str) -> KeyChooser:
+    """Instantiate the chooser registered under ``name``."""
+    try:
+        factory = DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown key distribution {name!r}; choose from {sorted(DISTRIBUTIONS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,116 @@
+"""The scenario registry: YCSB core workloads A–F plus three paper-native mixes.
+
+A :class:`ScenarioSpec` is a frozen description of one workload mix — which
+dataset supplies the values, how keys are chosen, and what fraction of
+operations are reads, updates, inserts, scans, and read-modify-writes.  The
+six ``ycsb_*`` entries follow the published YCSB core-workload definitions;
+the three ``paper_*`` entries drive the same machinery with the paper's own
+record families (HDFS log lines, GitHub JSON documents, financial trade
+ticks) so the scenario suite exercises the compressors on the data the
+paper evaluated them on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.scenarios.keydist import DISTRIBUTIONS
+
+__all__ = ["ScenarioSpec", "SCENARIOS", "get_scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One workload mix: dataset + key distribution + operation fractions."""
+
+    name: str
+    description: str
+    #: dataset (``repro.datasets`` registry name) supplying the values.
+    dataset: str
+    #: key distribution ("uniform", "zipfian" or "latest").
+    distribution: str
+    #: operation fractions; must sum to 1.0.
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    #: upper bound on requested scan length (records per scan); required
+    #: whenever ``scan > 0``.
+    max_scan_length: int = 0
+
+    def __post_init__(self) -> None:
+        fractions = (self.read, self.update, self.insert, self.scan, self.rmw)
+        if any(fraction < 0.0 for fraction in fractions):
+            raise ValueError(f"scenario {self.name!r} has a negative operation fraction")
+        if not math.isclose(sum(fractions), 1.0, abs_tol=1e-9):
+            raise ValueError(
+                f"scenario {self.name!r} fractions sum to {sum(fractions)}, expected 1.0"
+            )
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"scenario {self.name!r} has unknown distribution {self.distribution!r}"
+            )
+        if self.scan > 0.0 and self.max_scan_length < 1:
+            raise ValueError(f"scenario {self.name!r} scans but has no max_scan_length")
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            "ycsb_a", "update heavy: 50/50 read/update, zipfian",
+            dataset="kv1", distribution="zipfian", read=0.50, update=0.50,
+        ),
+        ScenarioSpec(
+            "ycsb_b", "read mostly: 95/5 read/update, zipfian",
+            dataset="kv1", distribution="zipfian", read=0.95, update=0.05,
+        ),
+        ScenarioSpec(
+            "ycsb_c", "read only, zipfian",
+            dataset="kv1", distribution="zipfian", read=1.0,
+        ),
+        ScenarioSpec(
+            "ycsb_d", "read latest: 95/5 read/insert, newest records hot",
+            dataset="kv3", distribution="latest", read=0.95, insert=0.05,
+        ),
+        ScenarioSpec(
+            "ycsb_e", "short ranges: 95/5 scan/insert, zipfian starts",
+            dataset="kv1", distribution="zipfian", scan=0.95, insert=0.05,
+            max_scan_length=64,
+        ),
+        ScenarioSpec(
+            "ycsb_f", "read-modify-write: 50/50 read/RMW, zipfian",
+            dataset="kv1", distribution="zipfian", read=0.50, rmw=0.50,
+        ),
+        ScenarioSpec(
+            "paper_logs", "append-heavy HDFS log ingest with tail scans",
+            dataset="hdfs", distribution="latest",
+            read=0.25, insert=0.60, scan=0.15, max_scan_length=32,
+        ),
+        ScenarioSpec(
+            "paper_json", "GitHub JSON document store: read-mostly with RMW edits",
+            dataset="github", distribution="zipfian",
+            read=0.55, update=0.25, rmw=0.10, scan=0.10, max_scan_length=16,
+        ),
+        ScenarioSpec(
+            "paper_trades", "financial trade ticks: update-heavy on recent symbols",
+            dataset="trades", distribution="latest",
+            read=0.30, update=0.45, insert=0.15, scan=0.10, max_scan_length=32,
+        ),
+    )
+}
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, YCSB first then the paper-native mixes."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Return the registry entry for ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; available: {scenario_names()}")
+    return SCENARIOS[key]

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.codecs import ModelLifecycle
 from repro.codecs.registry import trainable_codec_names
@@ -102,6 +102,17 @@ class ShardBackend(ABC):
     @abstractmethod
     def delete(self, key: str) -> bool:
         """Remove ``key``; returns whether it existed."""
+
+    @abstractmethod
+    def scan(
+        self, start: str | None = None, end: str | None = None, limit: int | None = None
+    ) -> Iterator[tuple[str, str]]:
+        """Live ``(key, value)`` entries with ``start <= key < end`` in key order.
+
+        ``limit`` bounds the result count; values are decoded as the iterator
+        advances.  The service runs the whole scan on the shard's worker, so
+        implementations see a quiesced store.
+        """
 
     @abstractmethod
     def retrain(self, sample_values: Sequence[str]) -> None:
@@ -219,6 +230,11 @@ class TierBaseShard(ShardBackend):
         existed = self.store.delete(key)
         self._dirty = self._dirty or existed
         return existed
+
+    def scan(
+        self, start: str | None = None, end: str | None = None, limit: int | None = None
+    ) -> Iterator[tuple[str, str]]:
+        return self.store.scan(start, end, limit)
 
     @property
     def outlier_rate(self) -> float:
@@ -356,6 +372,11 @@ class LSMShard(ShardBackend):
         existed = self.engine.get(key) is not None
         self.engine.delete(key)
         return existed
+
+    def scan(
+        self, start: str | None = None, end: str | None = None, limit: int | None = None
+    ) -> Iterator[tuple[str, str]]:
+        return self.engine.scan(start, end, limit)
 
     @property
     def outlier_rate(self) -> float:

@@ -28,6 +28,8 @@ worker pools, inverted to the server side:
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor, wait
@@ -396,6 +398,45 @@ class KVService:
             with self._counter_lock:
                 self._gets += looked_up
                 self._cache_hits += hits
+
+    # ------------------------------------------------------------------- scans
+
+    @staticmethod
+    def _shard_scan(
+        shard: _Shard, start: str | None, end: str | None, limit: int | None
+    ) -> list[tuple[str, str]]:
+        # Materialised on the shard worker: the whole scan is serialised with
+        # that shard's writes, so each per-shard slice is a consistent view.
+        return list(shard.backend.scan(start, end, limit))
+
+    def scan(
+        self,
+        start: str | None = None,
+        end: str | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[str, str]]:
+        """Range scan across every shard, merged in key order.
+
+        Fans one bounded scan out per shard (each runs on its shard's worker,
+        serialised with that shard's writes) and k-way-merges the sorted
+        per-shard slices.  Shards partition the key space, so the merge never
+        sees duplicate keys.  ``start`` is inclusive, ``end`` exclusive;
+        ``limit`` bounds both each per-shard scan and the merged result.
+        Works on every backend — unlike :meth:`keys`, which is a
+        tierbase-only diagnostic.
+        """
+        self._require_open()
+        if limit is not None and limit <= 0:
+            return []
+        futures = [
+            shard.executor.submit(self._shard_scan, shard, start, end, limit)
+            for shard in self._shards
+        ]
+        self._raise_first_error(futures)
+        merged = heapq.merge(*(future.result() for future in futures))
+        if limit is not None:
+            return list(itertools.islice(merged, limit))
+        return list(merged)
 
     # ----------------------------------------------------------------- metrics
 

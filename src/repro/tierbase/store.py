@@ -181,8 +181,38 @@ class TierBase:
         return key in self._data
 
     def keys(self) -> Iterator[str]:
-        """Iterate over all stored keys."""
-        return iter(self._data)
+        """Iterate over all stored keys in sorted order.
+
+        Sorted iteration is a contract, not an accident: the service layer's
+        range scans merge per-shard streams in key order, so every backend
+        must produce ordered keys.  (Before range scans existed this leaked
+        dict insertion order.)
+        """
+        return iter(sorted(self._data))
+
+    def scan(
+        self, start: str | None = None, end: str | None = None, limit: int | None = None
+    ) -> Iterator[tuple[str, str]]:
+        """Entries with ``start <= key < end`` in key order, decompressed on yield.
+
+        ``limit`` bounds the number of results; values are decompressed one at
+        a time as the iterator advances, so an abandoned scan never pays for
+        entries it did not reach.  Scanned entries count as GET hits.
+        """
+        if limit is not None and limit <= 0:
+            return
+        yielded = 0
+        for key in sorted(self._data):
+            if start is not None and key < start:
+                continue
+            if end is not None and key >= end:
+                return
+            self._gets += 1
+            self._hits += 1
+            yield key, self.compressor.decompress(self._data[key])
+            yielded += 1
+            if limit is not None and yielded >= limit:
+                return
 
     def __len__(self) -> int:
         return len(self._data)

@@ -230,6 +230,24 @@ class TestObservabilityDocs:
         args = parser.parse_args(["client", "bench", "--rate", "500"])
         assert args.rate == 500.0
 
+    def test_scan_and_scenarios_flags_parse(self):
+        """The scan/scenario invocations the docs show actually parse."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["client", "scan", "a", "z", "--limit", "100"])
+        assert (args.start, args.end, args.limit) == ("a", "z", 100)
+        args = parser.parse_args(["client", "scan"])  # fully-open range
+        assert args.start is None and args.end is None and args.limit == 0
+        args = parser.parse_args(
+            ["scenarios", "--mixes", "ycsb_e", "paper_trades", "--raw",
+             "--backends", "lsm", "--output", "rows.json", "--ops", "512",
+             "--rate", "2000"]
+        )
+        assert args.mixes == ["ycsb_e", "paper_trades"]
+        assert args.backends == ["lsm"]
+        assert args.raw and args.output == "rows.json"
+
 
 def test_documented_cli_commands_exist():
     """Every CLI command named in the README/ARCHITECTURE actually parses."""
@@ -241,7 +259,8 @@ def test_documented_cli_commands_exist():
     )
     commands = set(subparsers.choices)
     for expected in ("train", "compress", "decompress", "inspect", "stream", "serve-bench",
-                     "serve", "client", "experiments", "experiment", "datasets", "codecs"):
+                     "serve", "client", "scenarios", "experiments", "experiment",
+                     "datasets", "codecs"):
         assert expected in commands, f"CLI command {expected!r} documented but not implemented"
 
 

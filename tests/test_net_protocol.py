@@ -33,10 +33,12 @@ from repro.net.protocol import (
     MetricsResponse,
     MGetRequest,
     MSetRequest,
+    MultiKeyValueResponse,
     MultiValueResponse,
     OkResponse,
     PingRequest,
     PongResponse,
+    ScanRequest,
     SetRequest,
     StatsRequest,
     StatsResponse,
@@ -169,13 +171,38 @@ class TestRoundtrip:
     def test_error(self, kind, message):
         roundtrip(ErrorResponse(kind=kind, message=message))
 
+    @FUZZ
+    @given(
+        start=opt_binary,
+        end=opt_binary,
+        limit=st.integers(min_value=0, max_value=2**63 - 1),
+    )
+    @example(start=None, end=None, limit=0)  # the fully-open unlimited scan
+    @example(start=b"", end=b"", limit=0)  # empty bounds ≠ absent bounds
+    @example(start=b"z", end=b"a", limit=1)  # reversed range still a valid frame
+    @example(start=BIG, end=BIG, limit=2**63 - 1)  # huge bounds, max limit
+    def test_scan(self, start, end, limit):
+        roundtrip(ScanRequest(start=start, end=end, limit=limit))
+
+    @FUZZ
+    @given(
+        pairs=st.lists(st.tuples(binary, binary), max_size=16),
+        final=st.booleans(),
+    )
+    @example(pairs=[], final=True)  # empty-range result: one final, zero pairs
+    @example(pairs=[], final=False)  # degenerate non-final chunk
+    @example(pairs=[(b"", b""), (b"k", BIG)], final=False)  # >64 KiB value mid-stream
+    @example(pairs=[(BIG, b"")], final=True)  # >64 KiB key
+    def test_multi_key_value(self, pairs, final):
+        roundtrip(MultiKeyValueResponse(pairs=tuple(pairs), final=final))
+
     def test_every_frame_type_has_a_roundtrip_test(self):
         """Adding a frame type without extending this suite fails here."""
         tested = {
             PingRequest, GetRequest, SetRequest, DeleteRequest, MGetRequest,
-            MSetRequest, StatsRequest, MetricsRequest, OkResponse, PongResponse,
-            ValueResponse, CountResponse, MultiValueResponse, StatsResponse,
-            MetricsResponse, ErrorResponse,
+            MSetRequest, StatsRequest, MetricsRequest, ScanRequest, OkResponse,
+            PongResponse, ValueResponse, CountResponse, MultiValueResponse,
+            MultiKeyValueResponse, StatsResponse, MetricsResponse, ErrorResponse,
         }
         assert tested == set(FRAME_TYPES)
 
@@ -192,6 +219,14 @@ class TestRoundtrip:
             st.builds(ValueResponse, value=opt_binary),
             st.just(PingRequest()),
             st.builds(CountResponse, count=st.integers(0, 1000)),
+            st.builds(
+                ScanRequest, start=opt_binary, end=opt_binary, limit=st.integers(0, 1000)
+            ),
+            st.builds(
+                MultiKeyValueResponse,
+                pairs=st.lists(st.tuples(binary, binary), max_size=4).map(tuple),
+                final=st.booleans(),
+            ),
         ),
         min_size=1,
         max_size=8,
@@ -300,6 +335,39 @@ class TestAdversarialDecode:
         body = b"\x02"
         frame = MAGIC + bytes([ValueResponse.opcode]) + bytes([len(body)]) + body
         with pytest.raises(ProtocolError, match="presence flag"):
+            decode_frames(frame)
+
+    @FUZZ
+    @given(flag=st.integers(min_value=2, max_value=255))
+    def test_scan_invalid_presence_flag(self, flag):
+        """A SCAN bound's presence byte must be 0 or 1 — anything else is typed."""
+        body = bytes([flag]) + b"\x00" + b"\x00"
+        frame = MAGIC + bytes([ScanRequest.opcode]) + bytes([len(body)]) + body
+        with pytest.raises(ProtocolError, match="presence flag"):
+            decode_frames(frame)
+
+    @FUZZ
+    @given(flag=st.integers(min_value=2, max_value=255))
+    def test_mkvalue_invalid_final_flag(self, flag):
+        """MKVALUE's final byte must be 0 or 1 — anything else is typed."""
+        body = bytes([flag]) + b"\x00"
+        frame = MAGIC + bytes([MultiKeyValueResponse.opcode]) + bytes([len(body)]) + body
+        with pytest.raises(ProtocolError, match="final flag"):
+            decode_frames(frame)
+
+    def test_mkvalue_truncated_pair_list(self):
+        """Pair count claims more pairs than the body holds → typed error."""
+        # final=1, count=2, but only one (empty, empty) pair present.
+        body = b"\x01" + b"\x02" + b"\x00\x00"
+        frame = MAGIC + bytes([MultiKeyValueResponse.opcode]) + bytes([len(body)]) + body
+        with pytest.raises(ProtocolError):
+            decode_frames(frame)
+
+    def test_scan_truncated_after_first_bound(self):
+        """A SCAN body that stops after one bound is typed, not a hang."""
+        body = b"\x01" + b"\x01a"  # start present ("a"), end + limit missing
+        frame = MAGIC + bytes([ScanRequest.opcode]) + bytes([len(body)]) + body
+        with pytest.raises(ProtocolError):
             decode_frames(frame)
 
     def test_good_frames_before_garbage_are_never_lost(self):

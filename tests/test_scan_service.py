@@ -1,0 +1,135 @@
+"""Scan contracts above the engines: TierBase ordering and service-level merge.
+
+Pins the two contracts the wire scan path depends on:
+
+* `TierBase.keys()` iterates in sorted key order (the documented contract
+  `TierBase.scan` and the service merge build on), and `TierBase.scan`
+  honours bounds/limits with decode-on-yield;
+* `KVService.scan` returns an identical, globally key-ordered, merged
+  stream no matter which shard backend serves it — the lsm/tierbase
+  order-equality regression.
+"""
+
+import random
+
+import pytest
+
+from repro.service import KVService, ServiceConfig
+from repro.tierbase import TierBase
+
+
+def make_tierbase() -> TierBase:
+    return TierBase()  # NoopValueCompressor by default
+
+
+class TestTierBaseOrdering:
+    def test_keys_are_sorted(self):
+        store = make_tierbase()
+        rng = random.Random(7)
+        keys = [f"k{rng.randrange(10_000):05d}" for _ in range(200)]
+        for key in keys:
+            store.set(key, f"value-{key}")
+        listed = list(store.keys())
+        assert listed == sorted(set(keys))
+
+    def test_keys_sorted_after_deletes_and_overwrites(self):
+        store = make_tierbase()
+        for index in range(50):
+            store.set(f"k{index:03d}", "v")
+        for index in range(0, 50, 3):
+            store.delete(f"k{index:03d}")
+        for index in range(0, 50, 7):
+            store.set(f"k{index:03d}", "back")
+        listed = list(store.keys())
+        assert listed == sorted(listed)
+        assert len(listed) == len(set(listed))
+
+    def test_scan_is_ordered_and_bounded(self):
+        store = make_tierbase()
+        for index in (5, 1, 9, 3, 7):
+            store.set(f"k{index}", f"v{index}")
+        assert list(store.scan("k3", "k8")) == [("k3", "v3"), ("k5", "v5"), ("k7", "v7")]
+        assert list(store.scan(limit=2)) == [("k1", "v1"), ("k3", "v3")]
+        assert list(store.scan("k9", "k1")) == []
+        assert list(store.scan(limit=0)) == []
+
+    def test_scan_decodes_through_the_compressor(self):
+        store = make_tierbase()  # the noop compressor still roundtrips bytes<->str
+        store.set("a", "alpha")
+        store.set("b", "beta")
+        assert list(store.scan()) == [("a", "alpha"), ("b", "beta")]
+
+
+def populate(service: KVService, rng_seed: int = 2023) -> dict[str, str]:
+    rng = random.Random(rng_seed)
+    expected: dict[str, str] = {}
+    for index in range(300):
+        key = f"key:{rng.randrange(500):04d}"
+        value = f"value-{index}"
+        service.set(key, value)
+        expected[key] = value
+    for key in list(expected)[::5]:
+        service.delete(key)
+        del expected[key]
+    return expected
+
+
+@pytest.fixture(params=["tierbase", "lsm"])
+def backend(request):
+    return request.param
+
+
+class TestServiceScan:
+    def test_scan_is_globally_ordered(self, backend, tmp_path):
+        config = ServiceConfig(
+            shard_count=3,
+            backend=backend,
+            compressor="none",
+            directory=tmp_path if backend == "lsm" else None,
+        )
+        with KVService(config) as service:
+            expected = populate(service)
+            results = service.scan()
+            assert results == sorted(expected.items())
+            bounded = service.scan("key:0100", "key:0300")
+            assert bounded == [
+                (key, value)
+                for key, value in sorted(expected.items())
+                if "key:0100" <= key < "key:0300"
+            ]
+            assert service.scan(limit=10) == sorted(expected.items())[:10]
+            assert service.scan("z", "a") == []
+            assert service.scan(limit=0) == []
+
+    def test_backends_return_identical_scans(self, tmp_path):
+        """The order-equality regression: lsm and tierbase must agree."""
+        outputs = {}
+        for backend in ("tierbase", "lsm"):
+            config = ServiceConfig(
+                shard_count=2,
+                backend=backend,
+                compressor="none",
+                directory=tmp_path / backend if backend == "lsm" else None,
+            )
+            with KVService(config) as service:
+                populate(service)
+                outputs[backend] = {
+                    "full": service.scan(),
+                    "bounded": service.scan("key:0050", "key:0400"),
+                    "limited": service.scan(limit=25),
+                }
+        assert outputs["tierbase"] == outputs["lsm"]
+        assert outputs["tierbase"]["full"] == sorted(outputs["tierbase"]["full"])
+
+    def test_scan_with_per_shard_limit_still_globally_correct(self, tmp_path):
+        """Each shard truncates at `limit`, but the merged prefix is exact.
+
+        With limit=N, every shard returns its first N entries; since the
+        global first N live in the union of those prefixes, the merged
+        islice is the true global prefix.
+        """
+        config = ServiceConfig(shard_count=4, backend="tierbase", compressor="none")
+        with KVService(config) as service:
+            for index in range(200):
+                service.set(f"k{index:04d}", str(index))
+            assert service.scan(limit=7) == [(f"k{i:04d}", str(i)) for i in range(7)]
