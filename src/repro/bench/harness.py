@@ -1,0 +1,611 @@
+"""Evidence-grade perf harness: experiment grids → committed ``BENCH_*.json``.
+
+ROADMAP item 3's shape (after the run-table exemplars in SNIPPETS.md): a
+**declared** experiment grid fills a flat run table — one row per
+(cell, repetition) with throughput, latency percentiles and correctness
+tallies — plus an environment fingerprint, so any analysis can be rebuilt
+from the JSON alone and any two JSONs can be diffed by machine.
+
+Two areas are registered:
+
+* ``wire`` — closed-loop :func:`repro.net.loadgen.run_wire_workload` cells
+  over a live :class:`~repro.net.server.ThreadedKVServer`, spanning value
+  codec × pipeline depth (0 = server-side MGET/MSET batching).  Latency
+  percentiles are amortised round-trip times (``clock: "round-trip"``).
+* ``service`` — open-loop YCSB scenario cells
+  (:func:`repro.scenarios.runner.run_suite`), spanning backend × workload
+  mix.  Latency percentiles are measured from each operation's *scheduled*
+  release (``clock: "scheduled-release"``), so queueing under overload is
+  visible, and the scenario oracle's lost/corrupt tallies ride along.
+
+Every document also carries the speed campaign's **before/after
+optimization pairs** (:mod:`repro.bench.hotpaths`), re-measured live at
+write time — the "no row, no merge" evidence for each attacked hot path.
+
+:func:`compare_documents` is the regression gate: cells are matched by
+their dimension values, repetitions are averaged, and any cell whose
+throughput drops by more than the threshold (or that disappeared) fails
+the comparison.  CI runs a smoke grid and compares against the committed
+baseline with a generous threshold (shared runners are noisy); local runs
+can use a tight one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import platform
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "AREAS",
+    "BenchHarnessError",
+    "ExperimentGrid",
+    "PROFILE_TARGETS",
+    "SCHEMA",
+    "area_names",
+    "compare_documents",
+    "default_output_path",
+    "env_fingerprint",
+    "get_area",
+    "load_document",
+    "profile_target",
+    "run_area",
+    "validate_document",
+]
+
+#: schema marker stamped into (and required from) every benchmark document.
+SCHEMA = "repro-bench/1"
+
+#: metric keys present in every run-table row (beyond the cell dimensions).
+ROW_METRIC_KEYS = (
+    "repetition",
+    "ops_per_second",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "lost",
+    "corrupt",
+    "clock",
+)
+
+#: required keys of the document envelope.
+DOCUMENT_KEYS = ("schema", "area", "created_unix", "env", "config", "rows", "optimizations")
+
+#: required keys of the environment fingerprint.
+ENV_KEYS = ("python", "platform", "cpu_count", "git_sha")
+
+#: required keys of one optimization before/after pair.
+PAIR_KEYS = ("name", "metric", "before", "after", "improvement")
+
+
+class BenchHarnessError(ReproError):
+    """A malformed benchmark document or an impossible comparison."""
+
+
+# ----------------------------------------------------------------------- grid
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """A declared experiment area: dimensions × fixed base knobs.
+
+    ``dimensions`` maps dimension name → the tuple of values it sweeps; the
+    run table contains one row per element of the cartesian product per
+    repetition.  ``base`` holds the fixed workload knobs (operation count,
+    offered rate, …) that :func:`run_area` may override — scaling the
+    workload down for a CI smoke run changes the *load*, never the cells,
+    so a smoke table stays comparable against a committed baseline.
+    """
+
+    name: str
+    description: str
+    kind: str  # "closed_wire" | "open_scenario"
+    dimensions: Mapping[str, tuple]
+    base: Mapping[str, object] = field(default_factory=dict)
+
+    def cells(self) -> list[dict]:
+        """The cartesian product of :attr:`dimensions`, in declared order."""
+        names = list(self.dimensions)
+        return [
+            dict(zip(names, values))
+            for values in itertools.product(*(self.dimensions[name] for name in names))
+        ]
+
+    def summary_row(self) -> dict:
+        """One row for ``repro bench list``."""
+        return {
+            "area": self.name,
+            "kind": self.kind,
+            "cells": len(self.cells()),
+            "dimensions": ", ".join(
+                f"{name}={'/'.join(str(value) for value in values)}"
+                for name, values in self.dimensions.items()
+            ),
+            "description": self.description,
+        }
+
+
+AREAS: dict[str, ExperimentGrid] = {
+    grid.name: grid
+    for grid in (
+        ExperimentGrid(
+            name="wire",
+            description="RKV1 wire throughput: codec × pipeline depth, closed loop",
+            kind="closed_wire",
+            dimensions={"codec": ("none", "pbc_f"), "pipeline_depth": (0, 8)},
+            base={
+                "backend": "tierbase",
+                "shards": 2,
+                "sync_mode": "flush",
+                "operations": 600,
+                "values": 256,
+                "clients": 2,
+                "batch_size": 8,
+                "get_fraction": 0.7,
+                "dataset": "kv1",
+                "seed": 2023,
+            },
+        ),
+        ExperimentGrid(
+            name="service",
+            description="YCSB mixes over the full stack: backend × mix, open loop",
+            kind="open_scenario",
+            dimensions={"backend": ("tierbase", "lsm"), "mix": ("ycsb_a", "ycsb_b")},
+            base={
+                "codec": "pbc_f",
+                "sync_mode": "flush",
+                "shards": 2,
+                "operations": 512,
+                "rate": 2000.0,
+                "workers": 4,
+                "records": 256,
+                "values": 256,
+                "seed": 2023,
+            },
+        ),
+    )
+}
+
+#: the before/after pair runners re-measured into each area's document.
+_AREA_PAIRS: dict[str, tuple[str, ...]] = {
+    "wire": ("pair_frame_decode", "pair_mvalue_decode"),
+    "service": ("pair_matcher_index", "pair_service_dispatch"),
+}
+
+
+def area_names() -> list[str]:
+    """Registered area names, in registration order."""
+    return list(AREAS)
+
+
+def get_area(name: str) -> ExperimentGrid:
+    """Return the grid registered under ``name``."""
+    if name not in AREAS:
+        raise BenchHarnessError(
+            f"unknown bench area {name!r}; available: {area_names()}"
+        )
+    return AREAS[name]
+
+
+def default_output_path(area: str, directory: str | Path = ".") -> Path:
+    """The committed location of an area's document: ``BENCH_<area>.json``."""
+    return Path(directory) / f"BENCH_{area}.json"
+
+
+# ---------------------------------------------------------------- fingerprint
+
+
+def env_fingerprint() -> dict:
+    """Where this table was measured: interpreter, machine shape, commit."""
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        git_sha = "unknown"
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": git_sha or "unknown",
+    }
+
+
+# ---------------------------------------------------------------- cell runners
+
+
+def _percentile_ms(latencies: Sequence[float], fraction: float) -> float:
+    from repro.service.stats import percentile
+
+    return round(percentile(sorted(latencies), fraction) * 1e3, 3)
+
+
+def _run_wire_cell(cell: Mapping, base: Mapping) -> dict:
+    """One closed-loop wire run against a fresh in-process server."""
+    from repro.datasets import load_dataset
+    from repro.net.loadgen import run_wire_workload
+    from repro.net.server import ServerConfig, ThreadedKVServer
+    from repro.service.service import KVService, ServiceConfig
+
+    backend = str(cell.get("backend", base["backend"]))
+    codec = str(cell.get("codec", base.get("codec", "pbc_f")))
+    values = load_dataset(str(base["dataset"]), count=int(base["values"]), seed=int(base["seed"]))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as directory:
+        config = ServiceConfig(
+            shard_count=int(cell.get("shards", base["shards"])),
+            backend=backend,
+            compressor=codec,
+            sync_mode=str(cell.get("sync_mode", base["sync_mode"])),
+            directory=directory if backend == "lsm" else None,
+        )
+        service = KVService(config)
+        try:
+            if codec != "none":
+                service.train(values)
+            with ThreadedKVServer(service, ServerConfig(port=0)) as server:
+                host, port = server.address
+                result = run_wire_workload(
+                    host,
+                    port,
+                    values,
+                    operations=int(base["operations"]),
+                    get_fraction=float(base["get_fraction"]),
+                    batch_size=int(base["batch_size"]),
+                    clients=int(base["clients"]),
+                    pipeline_depth=int(cell["pipeline_depth"]),
+                    seed=int(base["seed"]),
+                )
+        finally:
+            service.close()
+    return {
+        "ops_per_second": round(result.ops_per_second, 1),
+        "p50_ms": _percentile_ms(result.latencies, 0.50),
+        "p95_ms": _percentile_ms(result.latencies, 0.95),
+        "p99_ms": _percentile_ms(result.latencies, 0.99),
+        "lost": result.lost_responses,
+        "corrupt": result.corrupt_responses,
+        "clock": "round-trip",
+    }
+
+
+def _run_scenario_cell(cell: Mapping, base: Mapping) -> dict:
+    """One open-loop YCSB scenario run through the scenario suite."""
+    from repro.scenarios.runner import run_suite
+
+    results = run_suite(
+        [str(cell["mix"])],
+        backends=(str(cell.get("backend", base.get("backend", "tierbase"))),),
+        operations=int(base["operations"]),
+        rate=float(base["rate"]),
+        workers=int(base["workers"]),
+        records=int(base["records"]),
+        value_count=int(base["values"]),
+        seed=int(base["seed"]),
+        shard_count=int(cell.get("shards", base["shards"])),
+        compressor=str(cell.get("codec", base["codec"])),
+    )
+    row = results[0].row()
+    return {
+        "ops_per_second": row["achieved_rate"],
+        "p50_ms": row["p50_ms"],
+        "p95_ms": row["p95_ms"],
+        "p99_ms": row["p99_ms"],
+        "lost": row["lost"],
+        "corrupt": row["corrupt"],
+        "clock": "scheduled-release",
+    }
+
+
+_CELL_RUNNERS: dict[str, Callable[[Mapping, Mapping], dict]] = {
+    "closed_wire": _run_wire_cell,
+    "open_scenario": _run_scenario_cell,
+}
+
+
+# ------------------------------------------------------------------- run_area
+
+
+def run_area(
+    area: str,
+    repetitions: int = 2,
+    warmup: int = 1,
+    overrides: Mapping[str, object] | None = None,
+    pairs: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Execute one area's grid and return its benchmark document.
+
+    Every cell runs ``warmup`` throwaway repetitions followed by
+    ``repetitions`` recorded ones (repetition ids count from 0 and are
+    strictly increasing within a cell).  ``overrides`` replaces base
+    workload knobs — e.g. ``{"operations": 128}`` for a CI smoke run —
+    without changing the cell dimensions.  With ``pairs`` the area's
+    hot-path before/after rows are re-measured and embedded.
+    """
+    if repetitions < 1:
+        raise BenchHarnessError("benchmark needs at least one repetition")
+    if warmup < 0:
+        raise BenchHarnessError("warmup repetitions cannot be negative")
+    grid = get_area(area)
+    runner = _CELL_RUNNERS[grid.kind]
+    base = dict(grid.base)
+    if overrides:
+        unknown = set(overrides) - set(base)
+        if unknown:
+            raise BenchHarnessError(
+                f"unknown base knob(s) {sorted(unknown)} for area {area!r}; "
+                f"available: {sorted(base)}"
+            )
+        base.update(overrides)
+    say = progress if progress is not None else (lambda _message: None)
+    rows: list[dict] = []
+    cells = grid.cells()
+    for position, cell in enumerate(cells):
+        label = ", ".join(f"{name}={value}" for name, value in cell.items())
+        for _ in range(warmup):
+            say(f"[{position + 1}/{len(cells)}] warmup   {label}")
+            runner(cell, base)
+        for repetition in range(repetitions):
+            say(f"[{position + 1}/{len(cells)}] rep {repetition}    {label}")
+            metrics = runner(cell, base)
+            rows.append({**cell, "repetition": repetition, **metrics})
+    optimizations: list[dict] = []
+    if pairs:
+        from repro.bench import hotpaths
+
+        for pair_name in _AREA_PAIRS.get(area, ()):
+            say(f"pair {pair_name}")
+            optimizations.append(getattr(hotpaths, pair_name)())
+    document = {
+        "schema": SCHEMA,
+        "area": area,
+        "created_unix": int(time.time()),
+        "env": env_fingerprint(),
+        "config": {
+            "kind": grid.kind,
+            "dimensions": {name: list(values) for name, values in grid.dimensions.items()},
+            "base": base,
+            "repetitions": repetitions,
+            "warmup": warmup,
+        },
+        "rows": rows,
+        "optimizations": optimizations,
+    }
+    validate_document(document)
+    return document
+
+
+# ----------------------------------------------------------------- validation
+
+
+def validate_document(document: Mapping) -> None:
+    """Check the document envelope, row schema and repetition monotonicity."""
+    for key in DOCUMENT_KEYS:
+        if key not in document:
+            raise BenchHarnessError(f"benchmark document is missing key {key!r}")
+    if document["schema"] != SCHEMA:
+        raise BenchHarnessError(
+            f"unsupported schema {document['schema']!r} (expected {SCHEMA!r})"
+        )
+    for key in ENV_KEYS:
+        if key not in document["env"]:
+            raise BenchHarnessError(f"env fingerprint is missing key {key!r}")
+    dimension_names = list(document["config"]["dimensions"])
+    last_repetition: dict[tuple, int] = {}
+    for row in document["rows"]:
+        for key in ROW_METRIC_KEYS:
+            if key not in row:
+                raise BenchHarnessError(f"run-table row is missing key {key!r}: {row}")
+        for name in dimension_names:
+            if name not in row:
+                raise BenchHarnessError(f"run-table row is missing dimension {name!r}: {row}")
+        cell_key = _cell_key(row, dimension_names)
+        previous = last_repetition.get(cell_key, -1)
+        if row["repetition"] != previous + 1:
+            raise BenchHarnessError(
+                f"repetition ids of cell {dict(zip(dimension_names, cell_key))} are not "
+                f"monotone: {row['repetition']} after {previous}"
+            )
+        last_repetition[cell_key] = row["repetition"]
+    for pair in document["optimizations"]:
+        for key in PAIR_KEYS:
+            if key not in pair:
+                raise BenchHarnessError(f"optimization pair is missing key {key!r}: {pair}")
+
+
+def load_document(path: str | Path) -> dict:
+    """Read and validate one ``BENCH_*.json`` document."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BenchHarnessError(f"{path} is not valid JSON: {error}") from error
+    validate_document(document)
+    return document
+
+
+# ------------------------------------------------------------------ profiling
+
+
+def _profile_frame_decode() -> Callable[[], None]:
+    from repro.net.protocol import FrameDecoder, ValueResponse, encode_frame
+
+    stream = encode_frame(ValueResponse(value=b"x" * 1024)) * 4000
+    chunks = [stream[start : start + 65536] for start in range(0, len(stream), 65536)]
+
+    def run() -> None:
+        decoder = FrameDecoder()
+        for chunk in chunks:
+            decoder.feed(chunk)
+
+    return run
+
+
+def _profile_mvalue_decode() -> Callable[[], None]:
+    from repro.net.protocol import FrameDecoder, MultiValueResponse, encode_frame
+
+    frame = encode_frame(MultiValueResponse(values=tuple(b"y" * 256 for _ in range(64))))
+    stream = frame * 800
+    chunks = [stream[start : start + 65536] for start in range(0, len(stream), 65536)]
+
+    def run() -> None:
+        decoder = FrameDecoder()
+        for chunk in chunks:
+            decoder.feed(chunk)
+
+    return run
+
+
+def _profile_matcher() -> Callable[[], None]:
+    from repro import PBCCompressor
+    from repro.core.matcher import MultiPatternMatcher
+    from repro.datasets import load_dataset
+
+    dictionary = PBCCompressor().train(load_dataset("hdfs", count=512, seed=7)).dictionary
+    population = load_dataset("hdfs", count=256, seed=11)
+    workload = [population[index % len(population)] for index in range(8000)]
+    # memo off, so the profile shows the real prefilter/regex work rather
+    # than 99% memo hits.
+    matcher = MultiPatternMatcher(dictionary, memo_entries=0)
+
+    def run() -> None:
+        for record in workload:
+            matcher.match(record)
+
+    return run
+
+
+def _profile_service_dispatch() -> Callable[[], None]:
+    from repro.service.service import KVService, ServiceConfig
+
+    def run() -> None:
+        config = ServiceConfig(shard_count=2, compressor="none", cache_entries=1)
+        with KVService(config) as service:
+            keys = [f"prof:{index:05d}" for index in range(256)]
+            for key in keys:
+                service.set(key, key)
+            for index in range(4000):
+                key = keys[index % len(keys)]
+                if index & 1:
+                    service.get(key)
+                else:
+                    service.set(key, key)
+
+    return run
+
+
+#: named workloads for ``repro bench profile``: setup → zero-arg thunk.
+PROFILE_TARGETS: dict[str, Callable[[], Callable[[], None]]] = {
+    "frame-decode": _profile_frame_decode,
+    "mvalue-decode": _profile_mvalue_decode,
+    "matcher": _profile_matcher,
+    "service-dispatch": _profile_service_dispatch,
+}
+
+
+def profile_target(target: str, top: int = 25, sort: str = "cumulative") -> str:
+    """cProfile one named hot-path workload; returns the pstats report text."""
+    import cProfile
+    import io
+    import pstats
+
+    if target not in PROFILE_TARGETS:
+        raise BenchHarnessError(
+            f"unknown profile target {target!r}; available: {sorted(PROFILE_TARGETS)}"
+        )
+    workload = PROFILE_TARGETS[target]()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        workload()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats(sort).print_stats(top)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------- comparison
+
+
+def _cell_key(row: Mapping, dimension_names: Sequence[str]) -> tuple:
+    return tuple(row[name] for name in dimension_names)
+
+
+def _mean_by_cell(document: Mapping) -> dict[tuple, float]:
+    dimension_names = list(document["config"]["dimensions"])
+    totals: dict[tuple, list[float]] = {}
+    for row in document["rows"]:
+        totals.setdefault(_cell_key(row, dimension_names), []).append(
+            float(row["ops_per_second"])
+        )
+    return {key: sum(values) / len(values) for key, values in totals.items()}
+
+
+def compare_documents(old: Mapping, new: Mapping, threshold: float = 0.15) -> tuple[list[dict], int]:
+    """Diff two benchmark documents; returns ``(report_rows, regressions)``.
+
+    Cells are matched on their dimension values; repetitions are averaged.
+    A cell regresses when its new mean throughput drops below
+    ``old * (1 - threshold)``, or when it disappeared from the new table.
+    Cells only present in the new table are reported but never fail.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise BenchHarnessError("comparison threshold must be within [0, 1)")
+    if old["area"] != new["area"]:
+        raise BenchHarnessError(
+            f"cannot compare area {old['area']!r} against {new['area']!r}"
+        )
+    dimension_names = list(old["config"]["dimensions"])
+    old_means = _mean_by_cell(old)
+    new_means = _mean_by_cell(new)
+    report: list[dict] = []
+    regressions = 0
+    for cell_key, old_ops in old_means.items():
+        label = ", ".join(
+            f"{name}={value}" for name, value in zip(dimension_names, cell_key)
+        )
+        new_ops = new_means.get(cell_key)
+        if new_ops is None:
+            regressions += 1
+            report.append(
+                {"cell": label, "old_ops": round(old_ops, 1), "new_ops": None,
+                 "delta": None, "status": "missing"}
+            )
+            continue
+        delta = new_ops / old_ops - 1.0 if old_ops else 0.0
+        regressed = new_ops < old_ops * (1.0 - threshold)
+        if regressed:
+            regressions += 1
+        report.append(
+            {
+                "cell": label,
+                "old_ops": round(old_ops, 1),
+                "new_ops": round(new_ops, 1),
+                "delta": round(delta, 4),
+                "status": "regressed" if regressed else "ok",
+            }
+        )
+    for cell_key, new_ops in new_means.items():
+        if cell_key in old_means:
+            continue
+        label = ", ".join(
+            f"{name}={value}" for name, value in zip(dimension_names, cell_key)
+        )
+        report.append(
+            {"cell": label, "old_ops": None, "new_ops": round(new_ops, 1),
+             "delta": None, "status": "new"}
+        )
+    return report, regressions

@@ -1,0 +1,399 @@
+"""Reference ("before") implementations of the optimized hot paths.
+
+The speed campaign's rule is *no row, no merge*: every optimization in the
+committed ``BENCH_*.json`` trajectory ships with a measured before/after
+pair.  Stale numbers rot, so the pairs are not copied out of an old CI log —
+this module preserves the pre-optimization implementations verbatim and the
+harness re-measures both sides live on the machine that writes the JSON:
+
+* :class:`LegacyFrameDecoder` / :class:`LegacyCursor` — the ``RKV1`` frame
+  parser as it stood before the zero-copy rework: ``bytes(buffer[...])``
+  copies for the magic check and for every frame body, a ``del buffer[:n]``
+  compaction per frame, and one ``read_blob`` method call per batched item.
+* :class:`LegacyMatcher` — the multi-pattern matcher's original linear scan
+  over every compiled pattern (no first-character candidate index, no memo).
+* :func:`legacy_service_set` / :func:`legacy_service_get` — the service's
+  original single-op dispatch: one executor submit + ``Future.result()``
+  handoff per operation, instead of running inline under the shard lock.
+
+Each ``pair_*`` function times before vs after on the same workload and
+returns one optimization row for the harness
+(:func:`repro.bench.harness.run_area`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from repro.exceptions import ProtocolError
+from repro.net.protocol import (
+    DEFAULT_MAX_BODY,
+    MAGIC,
+    _FRAME_BY_OPCODE,
+    _MAX_UVARINT_BYTES,
+    Message,
+)
+
+__all__ = [
+    "LegacyCursor",
+    "LegacyFrameDecoder",
+    "LegacyMatcher",
+    "legacy_service_get",
+    "legacy_service_set",
+    "pair_frame_decode",
+    "pair_mvalue_decode",
+    "pair_matcher_index",
+    "pair_service_dispatch",
+]
+
+
+# ------------------------------------------------------- legacy frame decoding
+
+
+class LegacyCursor:
+    """The pre-optimization body cursor: a ``bytes`` body, one call per read.
+
+    Batched reads are loops over :meth:`read_blob`, which is exactly how the
+    pre-batching ``decode_body`` implementations consumed multi-item bodies.
+    """
+
+    def __init__(self, body: bytes) -> None:
+        self._body = body
+        self._offset = 0
+
+    def read_uvarint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            if self._offset >= len(self._body):
+                raise ProtocolError("frame body ends inside a uvarint")
+            byte = self._body[self._offset]
+            self._offset += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise ProtocolError("frame body uvarint does not fit in 64 bits")
+
+    def read_bytes(self, count: int) -> bytes:
+        end = self._offset + count
+        if end > len(self._body):
+            raise ProtocolError(
+                f"frame body declares {count} bytes where only "
+                f"{len(self._body) - self._offset} remain"
+            )
+        chunk = self._body[self._offset : end]
+        self._offset = end
+        return chunk
+
+    def read_u8(self) -> int:
+        return self.read_bytes(1)[0]
+
+    def read_blob(self) -> bytes:
+        return self.read_bytes(self.read_uvarint())
+
+    def read_blobs(self, count: int) -> tuple[bytes, ...]:
+        return tuple(self.read_blob() for _ in range(count))
+
+    def read_flagged_blobs(self, count: int, wire_name: str) -> tuple[bytes | None, ...]:
+        values: list[bytes | None] = []
+        for _ in range(count):
+            flag = self.read_u8()
+            if flag == 0:
+                values.append(None)
+            elif flag == 1:
+                values.append(self.read_blob())
+            else:
+                raise ProtocolError(
+                    f"{wire_name} frame has invalid presence flag {flag}"
+                )
+        return tuple(values)
+
+    def read_pairs(self, count: int) -> tuple[tuple[bytes, bytes], ...]:
+        return tuple((self.read_blob(), self.read_blob()) for _ in range(count))
+
+    def finish(self) -> None:
+        if self._offset != len(self._body):
+            raise ProtocolError(
+                f"frame body has {len(self._body) - self._offset} trailing bytes"
+            )
+
+
+class LegacyFrameDecoder:
+    """The pre-zero-copy incremental parser, preserved for before/after rows.
+
+    Same contract as :class:`repro.net.protocol.FrameDecoder` (it passes the
+    same adversarial fuzz suite), but with the original allocation pattern:
+    a ``bytes`` copy of the magic prefix and of every frame body, plus one
+    in-place buffer compaction per decoded frame.
+    """
+
+    def __init__(self, max_body: int = DEFAULT_MAX_BODY) -> None:
+        if max_body < 1:
+            raise ProtocolError("max_body must be positive")
+        self.max_body = max_body
+        self._buffer = bytearray()
+        self._failure: ProtocolError | None = None
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def failure(self) -> ProtocolError | None:
+        return self._failure
+
+    def feed(self, data) -> list[Message]:
+        if self._failure is not None:
+            raise self._failure
+        self._buffer.extend(data)
+        messages: list[Message] = []
+        while True:
+            try:
+                parsed = self._try_parse()
+            except ProtocolError as error:
+                self._failure = error
+                if messages:
+                    return messages
+                raise
+            if parsed is None:
+                return messages
+            message, consumed = parsed
+            del self._buffer[:consumed]
+            messages.append(message)
+
+    def eof(self) -> None:
+        if self._failure is not None:
+            raise self._failure
+        if self._buffer:
+            raise ProtocolError(
+                f"stream ended mid-frame with {len(self._buffer)} byte(s) buffered"
+            )
+
+    def _try_parse(self) -> tuple[Message, int] | None:
+        buffer = self._buffer
+        prefix = bytes(buffer[: len(MAGIC)])
+        if prefix != MAGIC[: len(prefix)]:
+            raise ProtocolError(f"bad frame magic {prefix!r} (expected {MAGIC!r})")
+        if len(buffer) < len(MAGIC) + 1:
+            return None
+        opcode = buffer[len(MAGIC)]
+        frame_type = _FRAME_BY_OPCODE.get(opcode)
+        if frame_type is None:
+            raise ProtocolError(f"unknown opcode 0x{opcode:02X}")
+        length = self._read_header_uvarint(len(MAGIC) + 1)
+        if length is None:
+            return None
+        body_length, body_start = length
+        if body_length > self.max_body:
+            raise ProtocolError(
+                f"declared body length {body_length} exceeds the "
+                f"{self.max_body}-byte limit"
+            )
+        end = body_start + body_length
+        if len(buffer) < end:
+            return None
+        cursor = LegacyCursor(bytes(buffer[body_start:end]))
+        message = frame_type.decode_body(cursor)
+        cursor.finish()
+        return message, end
+
+    def _read_header_uvarint(self, offset: int) -> tuple[int, int] | None:
+        result = 0
+        shift = 0
+        position = offset
+        while True:
+            if position - offset >= _MAX_UVARINT_BYTES:
+                raise ProtocolError("frame length uvarint does not fit in 64 bits")
+            if position >= len(self._buffer):
+                return None
+            byte = self._buffer[position]
+            position += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, position
+            shift += 7
+
+
+# ------------------------------------------------------------- legacy matcher
+
+
+class LegacyMatcher:
+    """The original matcher loop: every compiled pattern prefiltered per record.
+
+    Shares :class:`repro.core.matcher._CompiledPattern` with the live matcher
+    so the regex/prefilter cost per candidate is identical — the pair isolates
+    exactly what the optimization changed (candidate selection + memoization).
+    """
+
+    def __init__(self, dictionary) -> None:
+        from repro.core.matcher import _CompiledPattern
+
+        self._compiled = sorted(
+            (_CompiledPattern(pattern) for pattern in dictionary),
+            key=lambda compiled: compiled.literal_size,
+            reverse=True,
+        )
+
+    def __len__(self) -> int:
+        return len(self._compiled)
+
+    def match(self, record: str):
+        for compiled in self._compiled:
+            if not compiled.prefilter(record):
+                continue
+            result = compiled.match(record)
+            if result is not None:
+                return result
+        return None
+
+
+# ---------------------------------------------------- legacy service dispatch
+
+
+def legacy_service_set(service, key: str, value: str) -> None:
+    """One SET through the pre-inline dispatch: executor submit + result().
+
+    Replays the original single-op path — every operation paid a full
+    cross-thread handoff to the shard's single worker even when the calling
+    thread could have run it directly.
+    """
+    shard = service._shards[service.router.shard_for(key)]
+    shard.defer(service._shard_set, shard, [(key, value)]).result()
+
+
+def legacy_service_get(service, key: str):
+    """One cache-missing GET through the pre-inline executor dispatch."""
+    shard = service._shards[service.router.shard_for(key)]
+    return shard.defer(service._shard_get, shard, [key]).result()[0]
+
+
+# ------------------------------------------------------------- pair machinery
+
+
+def _best_rate(run: Callable[[], int], repeats: int = 3) -> float:
+    """Best-of-``repeats`` rate (units/second) of ``run``, which returns units."""
+    best = 0.0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        units = run()
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            best = max(best, units / elapsed)
+    return best
+
+
+def _pair_row(name: str, metric: str, before: float, after: float) -> dict:
+    return {
+        "name": name,
+        "metric": metric,
+        "before": round(before, 1),
+        "after": round(after, 1),
+        "improvement": round(after / before - 1.0, 4) if before else 0.0,
+    }
+
+
+def _decode_rate(decoder_factory: Callable[[], object], chunks: Sequence[bytes], repeats: int) -> float:
+    def run() -> int:
+        decoder = decoder_factory()
+        frames = 0
+        for chunk in chunks:
+            frames += len(decoder.feed(chunk))
+        return frames
+
+    return _best_rate(run, repeats=repeats)
+
+
+def pair_frame_decode(frames: int = 2000, value_bytes: int = 1024, repeats: int = 3) -> dict:
+    """Zero-copy frame decode: pipelined 1-KiB VALUE responses, 64-KiB chunks."""
+    from repro.net.protocol import FrameDecoder, ValueResponse, encode_frame
+
+    stream = encode_frame(ValueResponse(value=b"x" * value_bytes)) * frames
+    chunks = [stream[start : start + 65536] for start in range(0, len(stream), 65536)]
+    before = _decode_rate(LegacyFrameDecoder, chunks, repeats)
+    after = _decode_rate(FrameDecoder, chunks, repeats)
+    return _pair_row("frame_decode_zero_copy", "frames_per_second", before, after)
+
+
+def pair_mvalue_decode(frames: int = 400, values: int = 64, value_bytes: int = 256, repeats: int = 3) -> dict:
+    """Batched MVALUE body decode: 64-value MGET responses."""
+    from repro.net.protocol import FrameDecoder, MultiValueResponse, encode_frame
+
+    frame = encode_frame(
+        MultiValueResponse(values=tuple(b"y" * value_bytes for _ in range(values)))
+    )
+    stream = frame * frames
+    chunks = [stream[start : start + 65536] for start in range(0, len(stream), 65536)]
+    before = _decode_rate(LegacyFrameDecoder, chunks, repeats)
+    after = _decode_rate(FrameDecoder, chunks, repeats)
+    return _pair_row("mvalue_batch_decode", "frames_per_second", before, after)
+
+
+def pair_matcher_index(records_per_run: int = 6000, repeats: int = 3) -> dict:
+    """Candidate index + memo vs the linear scan, on the paper's log records.
+
+    The workload re-matches a machine-generated record population (heavy
+    natural repetition, as in any log/telemetry stream), which is the shape
+    both the bucket index and the match memo are built for.
+    """
+    from repro import PBCCompressor
+    from repro.core.matcher import MultiPatternMatcher
+    from repro.datasets import load_dataset
+
+    sample = load_dataset("hdfs", count=512, seed=7)
+    dictionary = PBCCompressor().train(sample).dictionary
+    population = load_dataset("hdfs", count=256, seed=11)
+    workload = [population[index % len(population)] for index in range(records_per_run)]
+
+    def run_with(matcher) -> int:
+        matched = 0
+        for record in workload:
+            if matcher.match(record) is not None:
+                matched += 1
+        return len(workload)
+
+    legacy = LegacyMatcher(dictionary)
+    current = MultiPatternMatcher(dictionary)
+    before = _best_rate(lambda: run_with(legacy), repeats=repeats)
+    after = _best_rate(lambda: run_with(current), repeats=repeats)
+    return _pair_row("matcher_candidate_index", "records_per_second", before, after)
+
+
+def pair_service_dispatch(operations: int = 2000, repeats: int = 3) -> dict:
+    """Inline single-op dispatch vs the executor submit+result handoff.
+
+    Runs an uncompressed two-shard in-memory service so the measured work is
+    the dispatch itself, not codec time; the workload alternates SET and
+    cache-missing GET like an unpipelined wire client does.
+    """
+    from repro.service.service import KVService, ServiceConfig
+
+    config = ServiceConfig(shard_count=2, compressor="none", cache_entries=1)
+    with KVService(config) as service:
+        keys = [f"bench:{index:05d}" for index in range(256)]
+        for key in keys:
+            service.set(key, key)
+
+        def run_legacy() -> int:
+            for index in range(operations):
+                key = keys[index % len(keys)]
+                if index & 1:
+                    legacy_service_get(service, key)
+                else:
+                    legacy_service_set(service, key, key)
+            return operations
+
+        def run_inline() -> int:
+            for index in range(operations):
+                key = keys[index % len(keys)]
+                if index & 1:
+                    service.get(key)
+                else:
+                    service.set(key, key)
+            return operations
+
+        before = _best_rate(run_legacy, repeats=repeats)
+        after = _best_rate(run_inline, repeats=repeats)
+    return _pair_row("service_inline_dispatch", "ops_per_second", before, after)

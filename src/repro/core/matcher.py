@@ -68,27 +68,83 @@ class _CompiledPattern:
 
 
 class MultiPatternMatcher:
-    """Matches records against a pattern dictionary, longest pattern first."""
+    """Matches records against a pattern dictionary, longest pattern first.
 
-    def __init__(self, dictionary: PatternDictionary) -> None:
+    Two optimizations on top of the straight prefilter-every-pattern loop
+    (both preserved behaviourally — the committed ``matcher_candidate_index``
+    benchmark row pairs this class against the original loop, kept in
+    :class:`repro.bench.hotpaths.LegacyMatcher`):
+
+    * **candidate index** — patterns are bucketed by the first character of
+      their literal prefix.  A record can only match a pattern whose prefix
+      starts with the record's first character (or whose prefix is empty),
+      so one dict lookup replaces most of the per-pattern ``startswith``
+      prefilters.  Bucket lists are built from the globally sorted pattern
+      list, so longest-pattern-wins order is preserved exactly.
+    * **match memo** — machine-generated streams repeat records heavily
+      (Section 2's observation that log/telemetry data is template-shaped),
+      so up to ``memo_entries`` distinct records memoize their
+      :class:`MatchResult`.  The memo is cleared wholesale when full, which
+      bounds memory without LRU bookkeeping.  ``memo_entries=0`` disables
+      memoization (the dictionary is immutable after construction, so a
+      memoized result can never go stale).
+    """
+
+    #: default bound on distinct records memoized per matcher.
+    DEFAULT_MEMO_ENTRIES = 4096
+
+    def __init__(
+        self, dictionary: PatternDictionary, memo_entries: int = DEFAULT_MEMO_ENTRIES
+    ) -> None:
         self._compiled = sorted(
             (_CompiledPattern(pattern) for pattern in dictionary),
             key=lambda compiled: compiled.literal_size,
             reverse=True,
         )
+        # Patterns with no prefix literal can match any first character, so
+        # they appear in every bucket and form the empty-record fallback.
+        unprefixed = tuple(
+            compiled for compiled in self._compiled if not compiled.prefix
+        )
+        self._candidates: dict[str, tuple[_CompiledPattern, ...]] = {}
+        for first in {compiled.prefix[0] for compiled in self._compiled if compiled.prefix}:
+            self._candidates[first] = tuple(
+                compiled
+                for compiled in self._compiled
+                if not compiled.prefix or compiled.prefix[0] == first
+            )
+        self._unprefixed = unprefixed
+        self._memo_entries = max(0, memo_entries)
+        self._memo: dict[str, MatchResult | None] = {}
 
     def __len__(self) -> int:
         return len(self._compiled)
 
     def match(self, record: str) -> MatchResult | None:
         """Return the longest-pattern match for ``record``, or ``None`` (outlier)."""
-        for compiled in self._compiled:
+        memo = self._memo
+        if self._memo_entries:
+            try:
+                return memo[record]
+            except KeyError:
+                pass
+        candidates = (
+            self._candidates.get(record[0], self._unprefixed)
+            if record
+            else self._unprefixed
+        )
+        result = None
+        for compiled in candidates:
             if not compiled.prefilter(record):
                 continue
             result = compiled.match(record)
             if result is not None:
-                return result
-        return None
+                break
+        if self._memo_entries:
+            if len(memo) >= self._memo_entries:
+                memo.clear()
+            memo[record] = result
+        return result
 
     def match_all(self, record: str) -> list[MatchResult]:
         """All pattern matches for ``record`` (used by tests and diagnostics)."""

@@ -3,17 +3,25 @@
 The concurrency model mirrors what the related crawler repos do with batched
 worker pools, inverted to the server side:
 
-* every shard owns a **single-worker executor**: all mutations and backend
-  reads of that shard are serialised through it, so the backends themselves
-  need no locks and two operations on the same key cannot interleave;
+* every shard owns a **lock** that serialises all mutations and backend reads
+  of that shard, so the backends themselves need no internal locks and two
+  operations on the same key cannot interleave.  Single-key operations (and
+  batches that land on one shard) take the lock **inline on the calling
+  thread** — the committed ``service_inline_dispatch`` benchmark row measures
+  what that saves over the earlier submit-plus-``Future.result()`` handoff to
+  a per-shard worker thread;
+* every shard also keeps a **single-worker executor** for work that should
+  not run on the calling thread (background retraining) or that fans out
+  across shards (flush, train, snapshots, scans, multi-shard batches); its
+  tasks take the same shard lock, so queued and inline work stay serialised;
 * batched operations (``mget`` / ``mset``) group their keys by shard with the
   :class:`~repro.service.router.ShardRouter` and run one task per shard
-  **in parallel across shards**;
+  **in parallel across shards** (inline when only one shard is touched);
 * the :class:`~repro.service.cache.CompressedLRUCache` is checked on the
   *calling* thread: a hit decompresses the cached payload without touching
-  the shard's executor at all, which is where the per-record random-access
-  advantage of PBC turns into read concurrency.  Cache fills happen inside
-  the shard task (serialised with writes), so a stale payload can never be
+  the shard's lock at all, which is where the per-record random-access
+  advantage of PBC turns into read concurrency.  Cache fills happen under
+  the shard lock (serialised with writes), so a stale payload can never be
   cached over a newer write;
 * after every write batch the shard checks its
   :class:`~repro.codecs.ModelLifecycle`; when the ratio or the PBC outlier
@@ -94,20 +102,32 @@ class ServiceConfig:
 
 
 class _Shard:
-    """One shard: backend + single-worker executor.
+    """One shard: backend + serialising lock + single-worker executor.
 
-    The retraining reservoir lives in the backend's
-    :class:`~repro.codecs.ModelLifecycle` (only the shard worker touches it,
-    so it needs no lock).
+    Every backend access goes through :meth:`run` (inline, calling thread)
+    or :meth:`defer` (queued on the worker); both hold :attr:`lock`, which
+    is what serialises operations on the shard.  The retraining reservoir
+    lives in the backend's :class:`~repro.codecs.ModelLifecycle` and is only
+    ever touched under the lock.
     """
 
     def __init__(self, shard_id: int, backend: ShardBackend) -> None:
         self.shard_id = shard_id
         self.backend = backend
+        self.lock = threading.Lock()
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"kv-shard-{shard_id}"
         )
         self.retrain_pending = False
+
+    def run(self, fn, *args):
+        """Run ``fn`` inline under the shard lock (single-op fast path)."""
+        with self.lock:
+            return fn(*args)
+
+    def defer(self, fn, *args) -> Future:
+        """Queue ``fn`` on the shard worker; it takes the same lock."""
+        return self.executor.submit(self.run, fn, *args)
 
 
 class KVService:
@@ -170,9 +190,7 @@ class KVService:
         crash).  A no-op for purely in-memory shards.
         """
         self._require_open()
-        futures = [
-            shard.executor.submit(shard.backend.flush) for shard in self._shards
-        ]
+        futures = [shard.defer(shard.backend.flush) for shard in self._shards]
         self._raise_first_error(futures)
 
     def close(self) -> None:
@@ -180,16 +198,17 @@ class KVService:
         if self._closed:
             return
         self._closed = True
-        flush_futures = [
-            shard.executor.submit(shard.backend.flush) for shard in self._shards
-        ]
+        flush_futures = [shard.defer(shard.backend.flush) for shard in self._shards]
         try:
             self._raise_first_error(flush_futures)
         finally:
             for shard in self._shards:
                 shard.executor.shutdown(wait=True)
             for shard in self._shards:
-                shard.backend.close()
+                # Under the shard lock: an inline op that slipped past the
+                # closed check must not interleave with the backend teardown.
+                with shard.lock:
+                    shard.backend.close()
 
     def __enter__(self) -> "KVService":
         return self
@@ -208,13 +227,16 @@ class KVService:
         if not sample_values:
             raise ServiceError("cannot train the service on an empty sample")
         futures = [
-            shard.executor.submit(shard.backend.train, list(sample_values))
+            shard.defer(shard.backend.train, list(sample_values))
             for shard in self._shards
         ]
         self._raise_first_error(futures)
 
     @staticmethod
     def _raise_first_error(futures: Sequence[Future]) -> None:
+        if len(futures) == 1:
+            futures[0].result()
+            return
         wait(futures)
         for future in futures:
             future.result()
@@ -259,7 +281,7 @@ class KVService:
             and shard.backend.needs_retraining()
         ):
             shard.retrain_pending = True
-            shard.executor.submit(self._shard_retrain, shard)
+            shard.defer(self._shard_retrain, shard)
 
     def _decompress_cached(self, shard: _Shard, key: str, payload: bytes) -> str | None:
         """Decode a cached payload; ``None`` if its model epoch is gone.
@@ -285,7 +307,7 @@ class KVService:
         self._require_open()
         started = time.perf_counter()
         shard = self._shards[self.router.shard_for(key)]
-        shard.executor.submit(self._shard_set, shard, [(key, value)]).result()
+        shard.run(self._shard_set, shard, [(key, value)])
         self._set_latency.record(time.perf_counter() - started)
         with self._counter_lock:
             self._sets += 1
@@ -309,7 +331,7 @@ class KVService:
                 value = self._decompress_cached(shard, key, payload)
                 hit = value is not None
             if not hit:
-                value = shard.executor.submit(self._shard_get, shard, [key]).result()[0]
+                value = shard.run(self._shard_get, shard, [key])[0]
             self._get_latency.record(time.perf_counter() - started)
             return value
         finally:
@@ -322,7 +344,7 @@ class KVService:
         """Delete ``key``; returns whether it existed."""
         self._require_open()
         shard = self._shards[self.router.shard_for(key)]
-        existed = shard.executor.submit(self._shard_delete, shard, key).result()
+        existed = shard.run(self._shard_delete, shard, key)
         with self._counter_lock:
             self._deletes += 1
         return existed
@@ -336,13 +358,19 @@ class KVService:
             return
         started = time.perf_counter()
         groups = self.router.group_items(items)
-        futures = [
-            self._shards[shard_id].executor.submit(
-                self._shard_set, self._shards[shard_id], shard_items
-            )
-            for shard_id, shard_items in groups.items()
-        ]
-        self._raise_first_error(futures)
+        if len(groups) == 1:
+            # One shard touched: run inline, skip the executor handoff.
+            ((shard_id, shard_items),) = groups.items()
+            shard = self._shards[shard_id]
+            shard.run(self._shard_set, shard, shard_items)
+        else:
+            futures = [
+                self._shards[shard_id].defer(
+                    self._shard_set, self._shards[shard_id], shard_items
+                )
+                for shard_id, shard_items in groups.items()
+            ]
+            self._raise_first_error(futures)
         self._set_latency.record(time.perf_counter() - started, operations=len(items))
         with self._counter_lock:
             self._sets += len(items)
@@ -378,20 +406,29 @@ class KVService:
             if miss_positions:
                 miss_keys = [keys[position] for position in miss_positions]
                 groups = self.router.group_keys(miss_keys)
-                futures: list[tuple[list[int], Future]] = []
-                for shard_id, local_positions in groups.items():
+                if len(groups) == 1:
+                    # One shard touched: fetch inline, skip the executor.
+                    ((shard_id, local_positions),) = groups.items()
                     shard = self._shards[shard_id]
                     shard_keys = [miss_keys[position] for position in local_positions]
-                    futures.append(
-                        (
-                            [miss_positions[position] for position in local_positions],
-                            shard.executor.submit(self._shard_get, shard, shard_keys),
+                    fetched = shard.run(self._shard_get, shard, shard_keys)
+                    for local_position, value in zip(local_positions, fetched):
+                        results[miss_positions[local_position]] = value
+                else:
+                    futures: list[tuple[list[int], Future]] = []
+                    for shard_id, local_positions in groups.items():
+                        shard = self._shards[shard_id]
+                        shard_keys = [miss_keys[position] for position in local_positions]
+                        futures.append(
+                            (
+                                [miss_positions[position] for position in local_positions],
+                                shard.defer(self._shard_get, shard, shard_keys),
+                            )
                         )
-                    )
-                self._raise_first_error([future for _, future in futures])
-                for original_positions, future in futures:
-                    for original_position, value in zip(original_positions, future.result()):
-                        results[original_position] = value
+                    self._raise_first_error([future for _, future in futures])
+                    for original_positions, future in futures:
+                        for original_position, value in zip(original_positions, future.result()):
+                            results[original_position] = value
             self._get_latency.record(time.perf_counter() - started, operations=len(keys))
             return results
         finally:
@@ -429,7 +466,7 @@ class KVService:
         if limit is not None and limit <= 0:
             return []
         futures = [
-            shard.executor.submit(self._shard_scan, shard, start, end, limit)
+            shard.defer(self._shard_scan, shard, start, end, limit)
             for shard in self._shards
         ]
         self._raise_first_error(futures)
@@ -444,7 +481,7 @@ class KVService:
         """Per-shard statistics, gathered on each shard's executor."""
         self._require_open()
         futures = [
-            shard.executor.submit(shard.backend.snapshot, shard.shard_id)
+            shard.defer(shard.backend.snapshot, shard.shard_id)
             for shard in self._shards
         ]
         self._raise_first_error(futures)

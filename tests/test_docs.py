@@ -260,7 +260,7 @@ def test_documented_cli_commands_exist():
     commands = set(subparsers.choices)
     for expected in ("train", "compress", "decompress", "inspect", "stream", "serve-bench",
                      "serve", "client", "scenarios", "experiments", "experiment",
-                     "datasets", "codecs"):
+                     "datasets", "codecs", "bench"):
         assert expected in commands, f"CLI command {expected!r} documented but not implemented"
 
 
@@ -323,3 +323,73 @@ def test_serve_has_data_dir_and_sync_mode_flags():
         action for action in serve._actions if "--sync-mode" in action.option_strings
     )
     assert tuple(sync_mode.choices) == SYNC_MODES
+
+
+class TestBenchHarnessDocs:
+    """docs/BENCHMARKS.md, the committed BENCH_*.json artifacts, and the
+    ``repro bench`` CLI surface stay mutually consistent."""
+
+    def test_benchmarks_doc_pins_the_schema(self):
+        from repro.bench.harness import ENV_KEYS, PAIR_KEYS, ROW_METRIC_KEYS, SCHEMA
+
+        text = _read("docs/BENCHMARKS.md")
+        assert SCHEMA in text
+        for key in (*ENV_KEYS, *PAIR_KEYS, *ROW_METRIC_KEYS):
+            assert f'"{key}"' in text, f"docs/BENCHMARKS.md does not document key {key!r}"
+
+    def test_benchmarks_doc_names_the_areas_and_exit_codes(self):
+        from repro.bench.harness import area_names
+
+        text = _read("docs/BENCHMARKS.md")
+        for area in area_names():
+            assert f"`{area}`" in text
+            assert f"BENCH_{area}.json" in text
+        assert "--require-baseline" in text and "--threshold" in text
+
+    def test_readme_links_benchmarks_doc(self):
+        text = _read("README.md")
+        assert "docs/BENCHMARKS.md" in text
+        assert "repro bench run" in text and "repro bench compare" in text
+
+    def test_bench_cli_flags_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["bench", "run", "wire", "--operations", "96", "--values", "64",
+             "--repetitions", "2", "--warmup", "0", "--no-pairs", "--quiet"]
+        )
+        assert args.area == "wire" and args.repetitions == 2 and args.no_pairs
+        args = parser.parse_args(
+            ["bench", "compare", "a.json", "b.json", "--threshold", "0.75",
+             "--require-baseline", "--raw"]
+        )
+        assert args.threshold == 0.75 and args.require_baseline
+        assert parser.parse_args(["bench", "list", "--raw"]).raw
+        args = parser.parse_args(["bench", "profile", "matcher", "--top", "10", "--sort", "tottime"])
+        assert args.target == "matcher" and args.top == 10
+
+    def test_documented_profile_targets_exist(self):
+        from repro.bench.harness import PROFILE_TARGETS
+
+        text = _read("docs/BENCHMARKS.md")
+        for target in PROFILE_TARGETS:
+            assert target in text, f"docs/BENCHMARKS.md does not mention profile target {target!r}"
+
+    @pytest.mark.parametrize("area", ["wire", "service"])
+    def test_committed_bench_artifacts_are_valid(self, area):
+        """The repo-root run tables validate, carry >= 2 repetitions per cell,
+        and embed at least one >= 10% measured optimization pair."""
+        from repro.bench.harness import load_document
+
+        document = load_document(REPO_ROOT / f"BENCH_{area}.json")
+        assert document["area"] == area
+        assert document["config"]["repetitions"] >= 2
+        cells: dict[tuple, int] = {}
+        dimension_names = list(document["config"]["dimensions"])
+        for row in document["rows"]:
+            key = tuple(row[name] for name in dimension_names)
+            cells[key] = cells.get(key, 0) + 1
+        assert cells and all(count >= 2 for count in cells.values())
+        assert document["optimizations"], f"BENCH_{area}.json has no optimization pairs"
+        assert any(pair["improvement"] >= 0.10 for pair in document["optimizations"])

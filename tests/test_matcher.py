@@ -61,3 +61,74 @@ class TestMatching:
         matcher = MultiPatternMatcher(build_dictionary())
         match = matcher.match("num=0042")
         assert match.field_values == ("0042",)
+
+
+class TestCandidateIndexAndMemo:
+    """The PR-8 fast paths (first-char candidate buckets + match memo) must be
+    behaviourally invisible: same winner, same field values, bounded memory."""
+
+    RECORDS = [
+        "foobar", "fooba", "ob", "num=0042", "num=abcd", "zzz",
+        "", "foobarfoobar", "num=0042extra",
+    ]
+
+    def test_memo_on_and_off_agree(self):
+        dictionary = build_dictionary()
+        memoized = MultiPatternMatcher(dictionary)
+        unmemoized = MultiPatternMatcher(dictionary, memo_entries=0)
+        for _ in range(3):  # repeats exercise the memo-hit path
+            for record in self.RECORDS:
+                expected = unmemoized.match(record)
+                actual = memoized.match(record)
+                if expected is None:
+                    assert actual is None, record
+                else:
+                    assert actual is not None, record
+                    assert actual.pattern.pattern_id == expected.pattern.pattern_id
+                    assert actual.field_values == expected.field_values
+
+    def test_memo_is_cleared_at_capacity_not_grown(self):
+        matcher = MultiPatternMatcher(build_dictionary(), memo_entries=4)
+        for index in range(100):
+            matcher.match(f"num={index:04d}")
+        assert len(matcher._memo) <= 4
+
+    def test_memo_disabled_stores_nothing(self):
+        matcher = MultiPatternMatcher(build_dictionary(), memo_entries=0)
+        for record in self.RECORDS:
+            matcher.match(record)
+        assert matcher._memo == {}
+
+    def test_candidate_index_agrees_with_linear_scan(self):
+        """The bucket index must select the same longest pattern as the
+        original prefilter-every-pattern loop (kept in bench.hotpaths)."""
+        from repro import PBCCompressor
+        from repro.bench.hotpaths import LegacyMatcher
+        from repro.datasets import load_dataset
+
+        sample = load_dataset("hdfs", count=128, seed=7)
+        dictionary = PBCCompressor().train(sample).dictionary
+        legacy = LegacyMatcher(dictionary)
+        current = MultiPatternMatcher(dictionary, memo_entries=0)
+        probes = load_dataset("hdfs", count=64, seed=11) + ["", "zzz no match", sample[0] * 2]
+        for record in probes:
+            expected = legacy.match(record)
+            actual = current.match(record)
+            if expected is None:
+                assert actual is None, record
+            else:
+                assert actual is not None, record
+                assert actual.pattern.pattern_id == expected.pattern.pattern_id
+                assert actual.field_values == expected.field_values
+
+    def test_unprefixed_patterns_reach_every_first_character(self):
+        dictionary = PatternDictionary()
+        dictionary.add(
+            Pattern(pattern_id=1, literals=("", "mid", ""), encoders=(VarcharEncoder(), VarcharEncoder()))
+        )
+        dictionary.add(Pattern(pattern_id=2, literals=("pre", ""), encoders=(VarcharEncoder(),)))
+        matcher = MultiPatternMatcher(dictionary)
+        # 'q' has no bucket of its own: the unprefixed fallback must serve it.
+        assert matcher.match("q-mid-q").pattern.pattern_id == 1
+        assert matcher.match("pretail").pattern.pattern_id == 2
+        assert matcher.match("") is None

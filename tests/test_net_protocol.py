@@ -418,3 +418,87 @@ def test_opcode_table_matches_registry():
     rows = protocol.opcode_table()
     assert len(rows) == len(FRAME_TYPES)
     assert {row["name"] for row in rows} == {cls.wire_name for cls in FRAME_TYPES}
+
+
+# ------------------------------------------- zero-copy inputs (memoryview etc.)
+
+
+#: a frame mix that exercises every batched body decoder: single blobs,
+#: MGET/MSET lists, MVALUE presence flags, MKVALUE pairs.
+MIXED_FRAMES = (
+    PingRequest(),
+    SetRequest(key=b"k\x00", value=b"v" * 300),
+    MGetRequest(keys=(b"", b"a", b"b" * 200)),
+    MSetRequest(items=((b"x", b""), (b"y", b"\xff" * 129))),
+    MultiValueResponse(values=(b"one", None, b"", b"\x00" * 130)),
+    MultiKeyValueResponse(pairs=((b"p", b"q"), (b"", b"")), final=True),
+    ValueResponse(value=BIG),
+    GetRequest(key=b"tail"),
+)
+MIXED_STREAM = b"".join(encode_frame(message) for message in MIXED_FRAMES)
+
+
+class TestZeroCopyInputs:
+    """The decoder accepts ``bytes``, ``bytearray`` and ``memoryview`` chunks.
+
+    The zero-copy parse slices a ``memoryview`` over its receive buffer, so
+    these tests pin the two hazards that design introduces: decode results
+    must not alias the (mutable) receive buffer, and a held failure whose
+    traceback pins a buffer export must not break later compaction."""
+
+    @FUZZ
+    @given(cuts=st.lists(st.integers(0, len(MIXED_STREAM)), max_size=12))
+    @example(cuts=[])
+    @example(cuts=[1, 2, 3, 4, 5, 6])
+    def test_memoryview_chunks_at_arbitrary_boundaries(self, cuts):
+        bounds = sorted({0, len(MIXED_STREAM), *cuts})
+        decoder = FrameDecoder()
+        decoded: list[protocol.Message] = []
+        for start, end in zip(bounds, bounds[1:]):
+            decoded.extend(decoder.feed(memoryview(MIXED_STREAM[start:end])))
+        decoder.eof()
+        assert decoded == list(MIXED_FRAMES)
+
+    @FUZZ
+    @given(chunk_size=st.integers(1, 97))
+    def test_bytearray_chunks(self, chunk_size):
+        decoder = FrameDecoder()
+        decoded: list[protocol.Message] = []
+        for start in range(0, len(MIXED_STREAM), chunk_size):
+            decoded.extend(decoder.feed(bytearray(MIXED_STREAM[start : start + chunk_size])))
+        decoder.eof()
+        assert decoded == list(MIXED_FRAMES)
+
+    def test_decoded_values_do_not_alias_the_receive_buffer(self):
+        """Mutating a fed-in buffer after decode must not corrupt results."""
+        chunk = bytearray(encode_frame(SetRequest(key=b"key", value=b"value")))
+        decoder = FrameDecoder()
+        (message,) = decoder.feed(chunk)
+        chunk[:] = b"\x00" * len(chunk)
+        assert message == SetRequest(key=b"key", value=b"value")
+        assert type(message.key) is bytes and type(message.value) is bytes
+
+    def test_held_failure_does_not_break_buffer_compaction(self):
+        """A held ProtocolError's traceback can pin a memoryview export of
+        the receive buffer; compaction must survive that (no BufferError)."""
+        decoder = FrameDecoder()
+        good = encode_frame(ValueResponse(value=b"v" * 100))
+        held = None
+        messages = decoder.feed(good + b"BAD!")
+        assert messages == [ValueResponse(value=b"v" * 100)]
+        try:
+            decoder.feed(b"")
+        except ProtocolError as error:
+            held = error  # traceback alive while the decoder is poisoned
+        assert held is not None
+        with pytest.raises(ProtocolError, match="magic"):
+            decoder.feed(memoryview(good))
+
+    def test_partial_frames_across_memoryview_feeds_leave_no_residue(self):
+        frame = encode_frame(MultiValueResponse(values=(b"a", None, b"c")))
+        decoder = FrameDecoder()
+        assert decoder.feed(memoryview(frame[:5])) == []
+        assert decoder.buffered == 5
+        (message,) = decoder.feed(memoryview(frame[5:]))
+        assert message == MultiValueResponse(values=(b"a", None, b"c"))
+        assert decoder.buffered == 0
