@@ -172,13 +172,40 @@ AREAS: dict[str, ExperimentGrid] = {
                 "seed": 2023,
             },
         ),
+        ExperimentGrid(
+            name="sustained",
+            description="sustained-write flatness: compaction mode, open-loop paced puts",
+            kind="sustained_write",
+            dimensions={"compaction": ("legacy", "inline", "background")},
+            base={
+                "seconds": 20.0,
+                "window_seconds": 5.0,
+                "warmup_seconds": 10.0,
+                # modest offered rate: the claim is that background merges
+                # run in the pacing *headroom*, so the grid offers a rate the
+                # engine can absorb while a merge holds the GIL on one CPU —
+                # the legacy mode still fails because its synchronous merge
+                # blocks the writer entirely, at any offered rate.
+                "rate": 1200.0,
+                "value_bytes": 256,
+                # effectively-unique keys: the store grows over the run, so
+                # the legacy write-path merge's O(store) pauses lengthen —
+                # the behavior the flatness score exists to expose.
+                "keyspace": 1 << 30,
+                "memtable_bytes": 512 * 1024,
+                "compaction_trigger": 4,
+                "sync_mode": "none",
+                "seed": 2023,
+            },
+        ),
     )
 }
 
 #: the before/after pair runners re-measured into each area's document.
 _AREA_PAIRS: dict[str, tuple[str, ...]] = {
     "wire": ("pair_frame_decode", "pair_mvalue_decode"),
-    "service": ("pair_matcher_index", "pair_service_dispatch"),
+    "service": ("pair_matcher_index", "pair_service_dispatch", "pair_background_compaction"),
+    "sustained": (),
 }
 
 
@@ -309,9 +336,47 @@ def _run_scenario_cell(cell: Mapping, base: Mapping) -> dict:
     }
 
 
+def _run_sustained_cell(cell: Mapping, base: Mapping) -> dict:
+    """One sustained-write flatness run against a fresh bare LSM engine."""
+    from repro.bench.sustained import run_sustained_write
+
+    if float(base["seconds"]) <= 0:
+        raise BenchHarnessError("sustained run needs a positive --seconds")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as directory:
+        result = run_sustained_write(
+            directory,
+            mode=str(cell.get("compaction", "background")),
+            seconds=float(base["seconds"]),
+            window_seconds=float(base["window_seconds"]),
+            warmup_seconds=float(base["warmup_seconds"]),
+            rate=float(base["rate"]),
+            value_bytes=int(base["value_bytes"]),
+            keyspace=int(base["keyspace"]),
+            memtable_bytes=int(base["memtable_bytes"]),
+            compaction_trigger=int(base["compaction_trigger"]),
+            sync_mode=str(base["sync_mode"]),
+            seed=int(base["seed"]),
+        )
+    return {
+        "ops_per_second": round(result.ops_per_second, 1),
+        "p50_ms": round(result.p50_ms, 3),
+        "p95_ms": round(result.p95_ms, 3),
+        "p99_ms": round(result.p99_ms, 3),
+        "lost": 0,
+        "corrupt": 0,
+        "clock": "scheduled-release",
+        "offered_rate": result.offered_rate,
+        "windows": [round(rate, 1) for rate in result.windows],
+        "flatness": round(result.flatness, 4),
+        "stall_seconds": round(result.stall_seconds, 3),
+        "compactions": result.compactions,
+    }
+
+
 _CELL_RUNNERS: dict[str, Callable[[Mapping, Mapping], dict]] = {
     "closed_wire": _run_wire_cell,
     "open_scenario": _run_scenario_cell,
+    "sustained_write": _run_sustained_cell,
 }
 
 
@@ -544,26 +609,37 @@ def _cell_key(row: Mapping, dimension_names: Sequence[str]) -> tuple:
     return tuple(row[name] for name in dimension_names)
 
 
-def _mean_by_cell(document: Mapping) -> dict[tuple, float]:
+def _mean_by_cell(document: Mapping, metric: str = "ops_per_second") -> dict[tuple, float]:
     dimension_names = list(document["config"]["dimensions"])
     totals: dict[tuple, list[float]] = {}
     for row in document["rows"]:
         totals.setdefault(_cell_key(row, dimension_names), []).append(
-            float(row["ops_per_second"])
+            float(row[metric])
         )
     return {key: sum(values) / len(values) for key, values in totals.items()}
 
 
-def compare_documents(old: Mapping, new: Mapping, threshold: float = 0.15) -> tuple[list[dict], int]:
+def compare_documents(
+    old: Mapping,
+    new: Mapping,
+    threshold: float = 0.15,
+    latency_threshold: float | None = None,
+) -> tuple[list[dict], int]:
     """Diff two benchmark documents; returns ``(report_rows, regressions)``.
 
     Cells are matched on their dimension values; repetitions are averaged.
     A cell regresses when its new mean throughput drops below
     ``old * (1 - threshold)``, or when it disappeared from the new table.
-    Cells only present in the new table are reported but never fail.
+    With ``latency_threshold`` set, a cell also regresses when its new mean
+    p99 latency grows past ``old * (1 + latency_threshold)`` — throughput
+    that survives by queueing everything into the tail is still a
+    regression.  Cells only present in the new table are reported but never
+    fail.
     """
     if not 0.0 <= threshold < 1.0:
         raise BenchHarnessError("comparison threshold must be within [0, 1)")
+    if latency_threshold is not None and latency_threshold < 0.0:
+        raise BenchHarnessError("latency threshold cannot be negative")
     if old["area"] != new["area"]:
         raise BenchHarnessError(
             f"cannot compare area {old['area']!r} against {new['area']!r}"
@@ -571,6 +647,8 @@ def compare_documents(old: Mapping, new: Mapping, threshold: float = 0.15) -> tu
     dimension_names = list(old["config"]["dimensions"])
     old_means = _mean_by_cell(old)
     new_means = _mean_by_cell(new)
+    old_p99 = _mean_by_cell(old, metric="p99_ms")
+    new_p99 = _mean_by_cell(new, metric="p99_ms")
     report: list[dict] = []
     regressions = 0
     for cell_key, old_ops in old_means.items():
@@ -587,7 +665,14 @@ def compare_documents(old: Mapping, new: Mapping, threshold: float = 0.15) -> tu
             continue
         delta = new_ops / old_ops - 1.0 if old_ops else 0.0
         regressed = new_ops < old_ops * (1.0 - threshold)
-        if regressed:
+        cell_old_p99 = old_p99.get(cell_key, 0.0)
+        cell_new_p99 = new_p99.get(cell_key, 0.0)
+        slower = (
+            latency_threshold is not None
+            and cell_old_p99 > 0.0
+            and cell_new_p99 > cell_old_p99 * (1.0 + latency_threshold)
+        )
+        if regressed or slower:
             regressions += 1
         report.append(
             {
@@ -595,7 +680,13 @@ def compare_documents(old: Mapping, new: Mapping, threshold: float = 0.15) -> tu
                 "old_ops": round(old_ops, 1),
                 "new_ops": round(new_ops, 1),
                 "delta": round(delta, 4),
-                "status": "regressed" if regressed else "ok",
+                "old_p99_ms": round(cell_old_p99, 3),
+                "new_p99_ms": round(cell_new_p99, 3),
+                "status": (
+                    "regressed" if regressed
+                    else "slower" if slower
+                    else "ok"
+                ),
             }
         )
     for cell_key, new_ops in new_means.items():

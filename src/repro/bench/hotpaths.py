@@ -41,6 +41,7 @@ __all__ = [
     "LegacyMatcher",
     "legacy_service_get",
     "legacy_service_set",
+    "pair_background_compaction",
     "pair_frame_decode",
     "pair_mvalue_decode",
     "pair_matcher_index",
@@ -397,3 +398,55 @@ def pair_service_dispatch(operations: int = 2000, repeats: int = 3) -> dict:
         before = _best_rate(run_legacy, repeats=repeats)
         after = _best_rate(run_inline, repeats=repeats)
     return _pair_row("service_inline_dispatch", "ops_per_second", before, after)
+
+
+def pair_background_compaction(seconds: float | None = None) -> dict:
+    """Synchronous write-path compaction vs the background scheduler.
+
+    Unlike the other pairs this one is not about the mean — it is about the
+    *shape* of the throughput trace.  Both sides run the same open-loop
+    sustained write workload (:func:`repro.bench.sustained.run_sustained_write`);
+    the "before" engine runs the pre-scheduler write path (a synchronous
+    whole-store merge every time the trigger is reached), the "after"
+    engine compacts tiered runs on the background thread under L0
+    admission control.  The row therefore carries, beyond the usual
+    before/after puts/s, each side's per-window throughput histogram,
+    flatness score (worst window deviation from the mean — the tentpole's
+    ±20% bound), scheduled-release p99 and cumulative stall seconds.
+
+    ``seconds`` is the per-side duration; it defaults to the
+    ``REPRO_BENCH_SUSTAINED_SECONDS`` environment variable (CI smoke runs
+    set a small value) or 75 s, so the committed document's evidence is a
+    multi-minute run.
+    """
+    import os
+    import tempfile
+
+    from repro.bench.sustained import run_sustained_write
+
+    if seconds is None:
+        seconds = float(os.environ.get("REPRO_BENCH_SUSTAINED_SECONDS", "75"))
+    results = {}
+    for mode in ("legacy", "background"):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as directory:
+            results[mode] = run_sustained_write(directory, mode=mode, seconds=seconds)
+    before, after = results["legacy"], results["background"]
+    row = _pair_row(
+        "background_compaction", "puts_per_second",
+        before.ops_per_second, after.ops_per_second,
+    )
+    row.update(
+        {
+            "offered_rate": before.offered_rate,
+            "window_seconds": before.window_seconds,
+            "before_windows": [round(rate, 1) for rate in before.windows],
+            "after_windows": [round(rate, 1) for rate in after.windows],
+            "before_flatness": round(before.flatness, 4),
+            "after_flatness": round(after.flatness, 4),
+            "before_stall_seconds": round(before.stall_seconds, 3),
+            "after_stall_seconds": round(after.stall_seconds, 3),
+            "before_p99_ms": round(before.p99_ms, 3),
+            "after_p99_ms": round(after.p99_ms, 3),
+        }
+    )
+    return row

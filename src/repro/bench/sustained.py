@@ -1,0 +1,226 @@
+"""Sustained-write driver: is put() throughput flat, or a compaction sawtooth?
+
+The tentpole claim of the background-compaction work is not "faster on
+average" — it is *no synchronous merge on the write path*.  The one metric
+that exposes the difference is windowed throughput over a sustained run: an
+open-loop writer offers a fixed put rate (the pacing discipline the service
+scenarios use), and every completion is bucketed into fixed windows.
+
+* ``legacy`` — the pre-scheduler write path: whenever the table count
+  reaches the trigger, the whole store is merged **synchronously** before
+  the next ``put()`` proceeds (the seed's merge-everything ``compact()``).
+  The merge takes O(store) seconds, the writer can do nothing meanwhile,
+  and the achieved-rate trace is a sawtooth: offered rate, a stall window,
+  a catch-up burst, repeat.
+* ``inline`` — tiered merges, still on the write path: small merges are
+  cheap, but the occasional bottom-level rewrite still freezes the writer.
+* ``background`` — tiered merges on the scheduler thread under L0
+  admission control: merges run in the pacing headroom, ``put()`` never
+  waits for one, and every window sits at the offered rate.
+
+:func:`run_sustained_write` drives a bare :class:`~repro.lsm.engine.LSMEngine`
+with a cycling key space (so the store footprint — and therefore the merge
+cost — stabilises instead of growing without bound) and reports per-window
+rates, a single *flatness* score (worst relative deviation of any complete
+window from the mean), scheduled-release latency percentiles and the
+engine's stall counters.  The harness exposes it twice: as the
+``sustained`` experiment grid (one cell per compaction mode) and as the
+``background_compaction`` before/after pair embedded in
+``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+import time
+from dataclasses import dataclass
+
+from repro.lsm.engine import LSMEngine
+
+__all__ = ["MODES", "SustainedResult", "run_sustained_write"]
+
+#: compaction modes the driver can run, in before → after order.
+MODES = ("legacy", "inline", "background")
+
+
+@dataclass(frozen=True)
+class SustainedResult:
+    """One sustained-write run: throughput trace, tail latency, stall audit."""
+
+    mode: str
+    offered_rate: float
+    operations: int
+    elapsed_seconds: float
+    ops_per_second: float
+    window_seconds: float
+    #: puts/s of every *complete* window, in order (the throughput histogram).
+    windows: tuple[float, ...]
+    #: worst relative deviation of any window from the window mean;
+    #: 0.0 when fewer than two complete windows were measured.
+    flatness: float
+    #: scheduled-release latencies (queueing behind a merge is visible).
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    #: engine admission-control counters over the measured phase.
+    stall_seconds: float
+    stalls: int
+    slowdowns: int
+    compactions: int
+    sstables: int
+
+    def is_flat(self, tolerance: float = 0.20) -> bool:
+        """True when every complete window is within ``tolerance`` of the mean."""
+        return self.flatness <= tolerance
+
+
+def _value_pool(count: int, value_bytes: int, seed: int) -> list[str]:
+    """Deterministic payloads, pre-generated so the loop measures the engine."""
+    generator = random.Random(seed)
+    alphabet = string.ascii_letters + string.digits
+    return [
+        "".join(generator.choices(alphabet, k=value_bytes)) for _ in range(count)
+    ]
+
+
+def run_sustained_write(
+    directory: str,
+    *,
+    mode: str = "background",
+    seconds: float = 20.0,
+    window_seconds: float = 5.0,
+    warmup_seconds: float = 10.0,
+    rate: float = 2000.0,
+    catchup_seconds: float = 0.25,
+    value_bytes: int = 256,
+    keyspace: int = 1 << 30,
+    memtable_bytes: int = 512 * 1024,
+    compaction_trigger: int = 4,
+    sync_mode: str = "none",
+    seed: int = 2023,
+) -> SustainedResult:
+    """Offer ``rate`` paced puts/s for ``seconds``; measure the windows.
+
+    The writer releases one put every ``1/rate`` seconds, like a fixed-rate
+    ingest source.  Scheduling jitter (a ``sleep`` overshoot) is absorbed —
+    the writer replays up to ``catchup_seconds`` of backlog at full speed —
+    but anything older is **dropped, not replayed**: a telemetry source
+    does not travel back in time, so a multi-second merge stall shows up as
+    a window that genuinely achieved fewer puts rather than being papered
+    over by a catch-up burst.  Each latency is measured from the put's
+    release time (``clock: "scheduled-release"``), so time spent stalled
+    behind a merge counts against it, exactly as a caller would see.
+
+    The default ``keyspace`` is effectively unbounded: the store *grows*
+    over the run, which is precisely what exposes the O(store)
+    write-path merge — its pauses lengthen with every gigabyte while the
+    tiered background engine's per-put cost stays amortised-constant.  The
+    run starts with ``warmup_seconds`` of unrecorded (but identically
+    paced) writes so no mode gets to show off an empty store, and the
+    trailing partial window is dropped from the flatness score because its
+    rate is an artifact of where the clock ran out.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown sustained mode {mode!r}; expected one of {MODES}")
+    if seconds <= 0:
+        raise ValueError("sustained run needs a positive duration")
+    if window_seconds <= 0:
+        raise ValueError("sustained run needs a positive window")
+    if warmup_seconds < 0:
+        raise ValueError("sustained warmup cannot be negative")
+    if rate <= 0:
+        raise ValueError("sustained run needs a positive offered rate")
+    if catchup_seconds < 0:
+        raise ValueError("sustained catch-up grace cannot be negative")
+    values = _value_pool(64, value_bytes, seed)
+    # legacy mode disables the engine's own compaction entirely (a trigger no
+    # run can reach) and re-creates the old write path in the loop below:
+    # whole-store compact() the moment the table count hits the real trigger.
+    engine = LSMEngine(
+        directory,
+        memtable_bytes=memtable_bytes,
+        compaction_trigger=(1 << 30) if mode == "legacy" else compaction_trigger,
+        sync_mode=sync_mode,
+        background_compaction=(mode == "background"),
+    )
+    clock = time.perf_counter
+
+    def write(index: int) -> None:
+        engine.put(f"sustained:{index % keyspace:010d}", values[index % len(values)])
+        if mode == "legacy" and len(engine._tables) >= compaction_trigger:
+            engine.compact()
+
+    latencies: list[float] = []
+    window_counts: dict[int, int] = {}
+    operations = 0
+    interval = 1.0 / rate
+    stall_base = stalls_base = slowdowns_base = compactions_base = 0
+    try:
+        index = 0
+        started = clock()
+        deadline = started + warmup_seconds + seconds
+        measure_from = started + warmup_seconds
+        release = started
+        while True:
+            if operations == 0:
+                # still warming up: keep rebasing the engine counters so the
+                # stall audit covers only the measured phase.
+                stall_base = engine._stall_seconds
+                stalls_base = engine._stalls
+                slowdowns_base = engine._slowdowns
+                compactions_base = engine._compactions
+            now = clock()
+            if now < release:
+                time.sleep(release - now)
+            write(index)
+            after = clock()
+            index += 1
+            if after >= measure_from:
+                latencies.append(after - max(release, measure_from))
+                bucket = int((after - measure_from) / window_seconds)
+                window_counts[bucket] = window_counts.get(bucket, 0) + 1
+                operations += 1
+            release += interval
+            if release < after - catchup_seconds:
+                release = after - catchup_seconds  # drop what the stall consumed
+            if after >= deadline:
+                break
+        elapsed = clock() - measure_from
+        stats = engine.disk_stats()
+        stall_seconds = engine._stall_seconds - stall_base
+        stalls = engine._stalls - stalls_base
+        slowdowns = engine._slowdowns - slowdowns_base
+        compactions = engine._compactions - compactions_base
+    finally:
+        engine.close()
+    complete = int(elapsed // window_seconds)
+    windows = tuple(
+        window_counts.get(bucket, 0) / window_seconds for bucket in range(complete)
+    )
+    if len(windows) >= 2 and sum(windows):
+        mean = sum(windows) / len(windows)
+        flatness = max(abs(window_rate - mean) / mean for window_rate in windows)
+    else:
+        flatness = 0.0
+    from repro.service.stats import percentile
+
+    ordered = sorted(latencies)
+    return SustainedResult(
+        mode=mode,
+        offered_rate=rate,
+        operations=operations,
+        elapsed_seconds=elapsed,
+        ops_per_second=operations / elapsed if elapsed else 0.0,
+        window_seconds=window_seconds,
+        windows=windows,
+        flatness=flatness,
+        p50_ms=percentile(ordered, 0.50) * 1e3,
+        p95_ms=percentile(ordered, 0.95) * 1e3,
+        p99_ms=percentile(ordered, 0.99) * 1e3,
+        stall_seconds=stall_seconds,
+        stalls=stalls,
+        slowdowns=slowdowns,
+        compactions=compactions,
+        sstables=stats.sstable_count,
+    )

@@ -344,6 +344,7 @@ def _build_service(args: argparse.Namespace):
         sync_mode=getattr(args, "sync_mode", "flush"),
         cache_entries=args.cache_entries,
         train_size=args.train_size,
+        background_compaction=getattr(args, "background_compaction", True),
     )
     service = KVService(config)
     if args.compressor != "none" and not trained_state:
@@ -630,7 +631,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _bench_overrides(args: argparse.Namespace) -> dict:
     overrides: dict[str, object] = {}
-    for knob in ("operations", "values", "records", "rate", "clients", "workers"):
+    for knob in ("operations", "values", "records", "rate", "clients", "workers", "seconds"):
         value = getattr(args, knob, None)
         if value is not None:
             overrides[knob] = value
@@ -680,7 +681,10 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     old_document = harness.load_document(old_path)
     new_document = harness.load_document(args.new)
     report, regressions = harness.compare_documents(
-        old_document, new_document, threshold=args.threshold
+        old_document,
+        new_document,
+        threshold=args.threshold,
+        latency_threshold=args.latency_threshold,
     )
     if args.raw:
         import json
@@ -906,6 +910,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="lsm WAL durability per acknowledged write: none (buffered), flush "
              "(survives process kill; default), fsync (survives machine crash)",
     )
+    serve.add_argument(
+        "--no-background-compaction", dest="background_compaction",
+        action="store_false", default=True,
+        help="compact lsm shards inline on the write path instead of on the "
+             "per-shard background scheduler (deterministic, but sustained "
+             "writes sawtooth; ignored by tierbase)",
+    )
     serve.add_argument("--cache-entries", type=int, default=1024, help="compressed read-cache entries")
     serve.add_argument("--train-size", type=int, default=256, help="retraining reservoir size")
     serve.add_argument(
@@ -1093,6 +1104,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="override the worker thread count (service area)"
     )
     bench_run.add_argument(
+        "--seconds", type=float, default=None,
+        help="override the per-cell run duration (sustained area)",
+    )
+    bench_run.add_argument(
         "--no-pairs", action="store_true",
         help="skip re-measuring the before/after optimization pairs",
     )
@@ -1112,6 +1127,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument(
         "--threshold", type=float, default=0.15,
         help="allowed fractional throughput drop per cell (default 0.15)",
+    )
+    bench_compare.add_argument(
+        "--latency-threshold", type=float, default=None,
+        help="also fail cells whose mean p99 latency grows past this fraction "
+        "(default: latency is reported but never gates)",
     )
     bench_compare.add_argument(
         "--require-baseline", action="store_true",

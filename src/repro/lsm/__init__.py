@@ -17,6 +17,7 @@ paper's Figure 5 / Table 8 story to a persistent storage engine.
 """
 
 from repro.lsm.bloom import BloomFilter
+from repro.lsm.compaction import CompactionConfig, CompactionScheduler
 from repro.lsm.engine import QUARANTINE_DIR, DiskStats, EngineStats, LookupTiming, LSMEngine
 from repro.lsm.memtable import TOMBSTONE, MemTable
 from repro.lsm.sstable import (
@@ -27,12 +28,15 @@ from repro.lsm.sstable import (
     SSTableInfo,
     StoragePolicy,
     write_sstable,
+    write_sstable_stream,
 )
 from repro.lsm.wal import OP_DELETE, OP_PUT, SYNC_MODES, WriteAheadLog
 
 __all__ = [
     "BlockCompressionPolicy",
     "BloomFilter",
+    "CompactionConfig",
+    "CompactionScheduler",
     "DiskStats",
     "EngineStats",
     "LSMEngine",
@@ -50,4 +54,5 @@ __all__ = [
     "TOMBSTONE",
     "WriteAheadLog",
     "write_sstable",
+    "write_sstable_stream",
 ]

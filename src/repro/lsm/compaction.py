@@ -1,0 +1,138 @@
+"""Background compaction scheduling for the LSM engine.
+
+The paper's target engines (RocksDB/LevelDB-class) never merge tables inside
+``put()``: flushes make L0 tables, a background thread merges them down the
+level hierarchy, and the write path is only ever *throttled* — never parked
+for a whole merge — when compaction falls behind.  This module supplies the
+two pieces the engine composes:
+
+* :class:`CompactionConfig` — the trigger/throttle policy knobs: how many
+  tables a level may accumulate before it is merged into the next level
+  (``engine.compaction_trigger``), and the two L0 **admission-control**
+  watermarks modelled on RocksDB's ``level0_slowdown_writes_trigger`` /
+  ``level0_stop_writes_trigger``:
+
+  - at ``slowdown_tables`` L0 tables each write pays a tiny sleep, shedding
+    write throughput smoothly so the compactor can catch up;
+  - at ``stall_tables`` writes block on a condition variable until the
+    compactor has merged L0 back below the watermark.
+
+* :class:`CompactionScheduler` — the dedicated daemon thread.  It sleeps on
+  an event, is notified after every flush (and by throttled writers), and
+  drains the engine's compaction picks one streaming merge at a time.  A
+  crashed merge records the error and wakes stalled writers, who fall back
+  to inline compaction instead of deadlocking on a dead thread.
+
+Consistency does not depend on the scheduler: every merge publishes its
+output atomically before retiring its inputs, so a SIGKILL at any point
+leaves either a quarantinable ``*.tmp`` or a complete output whose inputs
+recovery detects as superseded (see ``LSMEngine._recover``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.exceptions import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lsm.engine import LSMEngine
+
+
+@dataclass(frozen=True)
+class CompactionConfig:
+    """Admission-control and scheduling knobs for background compaction.
+
+    ``slowdown_tables`` / ``stall_tables`` default (``None``) to 2x and 4x
+    the engine's ``compaction_trigger``, so a default engine slows writes at
+    8 L0 tables and stalls them at 16 — compaction debt is bounded at a few
+    multiples of one merge, which is what keeps sustained-write throughput
+    flat instead of sawtoothed.
+    """
+
+    slowdown_tables: int | None = None
+    stall_tables: int | None = None
+    #: per-write pause in the slowdown band (seconds).
+    slowdown_sleep_seconds: float = 0.002
+    #: stall re-check period; also bounds how long a writer waits on a
+    #: scheduler that died between the check and the wait.
+    poll_seconds: float = 0.05
+
+    def resolve(self, compaction_trigger: int) -> tuple[int, int]:
+        """Concrete ``(slowdown_tables, stall_tables)`` watermarks."""
+        slowdown = (
+            self.slowdown_tables
+            if self.slowdown_tables is not None
+            else 2 * compaction_trigger
+        )
+        stall = (
+            self.stall_tables if self.stall_tables is not None else 4 * compaction_trigger
+        )
+        if slowdown < 1 or stall < 1:
+            raise StoreError("admission-control watermarks must be positive")
+        if stall < slowdown:
+            raise StoreError(
+                "stall_tables must be >= slowdown_tables "
+                f"(got slowdown={slowdown}, stall={stall})"
+            )
+        return slowdown, stall
+
+
+class CompactionScheduler:
+    """Dedicated background thread draining an engine's compaction picks.
+
+    The thread idles on an event with a coarse fallback timeout, so a missed
+    notify (there are none by design, but threads are threads) costs at most
+    one poll period.  Any exception escaping a merge is recorded on
+    ``self.error``, the thread exits, and stalled writers are woken — the
+    engine's admission control treats a dead scheduler as "compact inline".
+    """
+
+    #: fallback wakeup period when no notify arrives (seconds).
+    IDLE_POLL_SECONDS = 0.2
+
+    def __init__(self, engine: "LSMEngine", name: str = "lsm-compaction") -> None:
+        self._engine = engine
+        self._wake = threading.Event()
+        self._stopped = False
+        self.error: BaseException | None = None
+        #: merges performed by this thread (diagnostics).
+        self.merges = 0
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the background thread is still running."""
+        return self._thread.is_alive()
+
+    def notify(self) -> None:
+        """Wake the thread (after a flush, or from a throttled writer)."""
+        self._wake.set()
+
+    def _run(self) -> None:
+        while True:
+            self._wake.wait(timeout=self.IDLE_POLL_SECONDS)
+            self._wake.clear()
+            if self._stopped:
+                return
+            try:
+                while self._engine._compact_once():
+                    self.merges += 1
+                    if self._stopped:
+                        return
+            except BaseException as error:  # noqa: BLE001 - recorded, not hidden
+                self.error = error
+                # Wake every stalled writer so it sees the dead scheduler and
+                # falls back to inline compaction instead of waiting forever.
+                with self._engine._lock:
+                    self._engine._stall_condition.notify_all()
+                return
+
+    def close(self) -> None:
+        """Stop the thread and wait for an in-flight merge to finish."""
+        self._stopped = True
+        self._wake.set()
+        self._thread.join(timeout=60)

@@ -8,12 +8,31 @@ engine combines
 * a write-ahead log (:mod:`repro.lsm.wal`) for durability,
 * an in-memory memtable (:mod:`repro.lsm.memtable`) absorbing writes,
 * immutable SSTables (:mod:`repro.lsm.sstable`) produced by flushes, and
-* a size-tiered compaction that merges all tables once their count crosses a
-  threshold, keeping the newest version of every key and dropping tombstones.
+* a tiered, levelled compaction: flushes make level-0 tables; once a level
+  accumulates ``compaction_trigger`` tables they are merged — a streaming
+  k-way merge in O(block) memory, not O(store) — into one table at the next
+  level, keeping the newest version of every key (tombstones are dropped only
+  when the merge includes the oldest live table, so nothing deleted can
+  resurface from below).
 
-Reads consult the memtable first, then SSTables newest-first, so the engine has
-standard LSM read/write semantics.  The storage policy decides how values are
-compressed inside SSTables, which is what the LSM integration benchmark varies.
+Compaction runs **off the write path** when ``background_compaction=True``: a
+:class:`~repro.lsm.compaction.CompactionScheduler` thread drains merges while
+writers continue, and L0 **admission control** (slowdown sleeps, then a
+condition-variable stall) throttles ``put()`` when tables pile up instead of
+parking it for a full merge — which is what keeps sustained-write throughput
+flat instead of sawtoothed.  The default is inline compaction after each
+flush, preserving the deterministic single-threaded behaviour the durability
+harness and the bare-engine tests rely on.
+
+Each level can use its own storage policy (``level_policies``): the service
+keeps the hot L0 raw, mid levels block-compressed, and cold levels on the
+trained per-record compressor — and a compaction into a record-policy level
+first gives the owning backend a chance to retrain (``compaction_hook``), so
+a new model epoch is installed exactly when the cold data is being rewritten
+anyway and the old epoch's last references are compacted away for free.
+
+Reads consult the memtable first, then SSTables newest-first, so the engine
+has standard LSM read/write semantics.
 
 Durability (docs/ARCHITECTURE.md, "Durability"): what an acknowledged write
 survives is the WAL ``sync_mode`` policy (``"none"`` / ``"flush"`` /
@@ -21,28 +40,41 @@ survives is the WAL ``sync_mode`` policy (``"none"`` / ``"flush"`` /
 ``*.sst.tmp`` sibling, fsynced, ``os.replace``-d into place, directory
 fsynced — so recovery can never open a torn table.  A leftover ``*.tmp`` from
 a crashed flush or compaction is quarantined on reopen (its contents are
-still covered by the WAL or by the surviving old tables); a corrupted
-published ``*.sst`` raises a typed :class:`~repro.exceptions.StoreError`
-instead of garbage reads.
+still covered by the WAL or by the surviving old tables); a compaction that
+crashed *after* publishing its output leaves its inputs behind, and recovery
+quarantines those superseded tables by the level/id ordering invariant.  A
+corrupted published ``*.sst`` raises a typed
+:class:`~repro.exceptions.StoreError` instead of garbage reads.
 """
 
 from __future__ import annotations
 
 import heapq
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import StoreError
 from repro.ioutil import fsync_directory
+from repro.lsm.compaction import CompactionConfig, CompactionScheduler
 from repro.lsm.memtable import MemTable
-from repro.lsm.sstable import PlainPolicy, SSTable, StoragePolicy, write_sstable
+from repro.lsm.sstable import (
+    POLICY_KIND_PLAIN,
+    POLICY_KIND_RECORD,
+    PlainPolicy,
+    SSTable,
+    StoragePolicy,
+    write_sstable,
+    write_sstable_stream,
+)
 from repro.lsm.wal import OP_DELETE, OP_PUT, SYNC_MODES, WriteAheadLog
 
-#: Subdirectory where recovery parks leftover ``*.tmp`` files (never deleted:
-#: they are evidence of a crash, and deleting data is not recovery's call).
+#: Subdirectory where recovery parks leftover ``*.tmp`` files and superseded
+#: tables (never deleted: they are evidence of a crash, and deleting data is
+#: not recovery's call).
 QUARANTINE_DIR = "quarantine"
 
 
@@ -84,6 +116,14 @@ class DiskStats:
     wal_bytes: int
     wal_fsyncs: int
     wal_fsync_seconds: float
+    #: distinct table levels currently live (0 when the store is empty).
+    levels: int = 0
+    #: bytes sitting in levels that have reached the compaction trigger.
+    pending_compaction_bytes: int = 0
+    #: cumulative seconds writes spent throttled by admission control.
+    compaction_stall_seconds: float = 0.0
+    #: merges performed (background + inline + explicit ``compact()``).
+    compactions: int = 0
 
     @property
     def bytes_on_disk(self) -> int:
@@ -107,8 +147,31 @@ class LookupTiming:
         return self.lookups / self.elapsed_seconds
 
 
+def _parse_table_name(path: Path) -> tuple[int, int] | None:
+    """``(table_id, level)`` from ``sstable-NNNNNN[-LLL].sst``, else ``None``.
+
+    Tables written before levelled compaction (``sstable-NNNNNN.sst``) parse
+    as level 0, so an old directory reopens seamlessly.
+    """
+    parts = path.stem.split("-")
+    try:
+        table_id = int(parts[1])
+        level = int(parts[2]) if len(parts) > 2 else 0
+    except (IndexError, ValueError):
+        return None
+    return table_id, level
+
+
 class LSMEngine:
-    """A single-node LSM key-value engine with pluggable SSTable compression."""
+    """A single-node LSM key-value engine with pluggable SSTable compression.
+
+    Thread model: any number of reader threads (``get``/``scan``/stats) may
+    run concurrently with one writer thread and the background compactor.
+    The internal lock only guards metadata (table list, memtable swaps);
+    block reads are lock-free ``pread`` calls on per-table descriptors, and
+    a parked :meth:`scan` iterator keeps its table snapshot readable even
+    after a compaction retires those tables (held descriptors pin them).
+    """
 
     def __init__(
         self,
@@ -119,6 +182,10 @@ class LSMEngine:
         compaction_trigger: int = 4,
         sync_mode: str = "flush",
         fsync_interval_bytes: int = 0,
+        background_compaction: bool = False,
+        level_policies: Mapping[int, StoragePolicy] | None = None,
+        compaction: CompactionConfig | None = None,
+        compaction_hook: Callable[[int], None] | None = None,
     ) -> None:
         if memtable_bytes < 1:
             raise StoreError("memtable size threshold must be positive")
@@ -126,6 +193,8 @@ class LSMEngine:
             raise StoreError("compaction trigger must be at least 2")
         if sync_mode not in SYNC_MODES:
             raise StoreError(f"unknown sync_mode {sync_mode!r}; choose from {SYNC_MODES}")
+        if level_policies is not None and any(level < 0 for level in level_policies):
+            raise StoreError("level_policies keys must be non-negative levels")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.policy = policy if policy is not None else PlainPolicy()
@@ -133,18 +202,46 @@ class LSMEngine:
         self.block_bytes = block_bytes
         self.compaction_trigger = compaction_trigger
         self.sync_mode = sync_mode
+        self.compaction_config = compaction if compaction is not None else CompactionConfig()
+        self._slowdown_tables, self._stall_tables = self.compaction_config.resolve(
+            compaction_trigger
+        )
+        self._level_policies = dict(level_policies) if level_policies else {}
+        self._compaction_hook = compaction_hook
         self._memtable = MemTable()
         self._wal = WriteAheadLog(
             self.directory / "wal.log",
             sync_mode=sync_mode,
             fsync_interval_bytes=fsync_interval_bytes,
         )
-        self._tables: list[SSTable] = []  # oldest first
+        #: live tables ordered oldest-data-first.  Invariant: sorted by
+        #: ``(table_id, level)``, and level is non-increasing as id grows
+        #: (deep levels hold old data, L0 the newest), because a merge's
+        #: output takes its newest input's id at level+1 and fresh flushes
+        #: always take a larger id at level 0.
+        self._tables: list[SSTable] = []
         self._next_table_id = 0
         self._flushes = 0
         self._compactions = 0
+        #: admission-control accounting (see ``_admission_control``).
+        self._stalls = 0
+        self._slowdowns = 0
+        self._stall_seconds = 0.0
         self._closed = False
+        #: guards _tables/_memtable/_next_table_id/counters; reads snapshot
+        #: under it and release it before touching any block data.
+        self._lock = threading.RLock()
+        self._stall_condition = threading.Condition(self._lock)
+        #: serialises merges (background scheduler vs explicit ``compact()``).
+        self._compact_mutex = threading.Lock()
         self._recover()
+        self.background_compaction = background_compaction
+        self._scheduler: CompactionScheduler | None = None
+        if background_compaction:
+            self._scheduler = CompactionScheduler(
+                self, name=f"lsm-compaction-{self.directory.name}"
+            )
+            self._scheduler.notify()  # recovery may have left a backlog
 
     # --------------------------------------------------------------- recovery
 
@@ -154,21 +251,82 @@ class LSMEngine:
         Leftover ``*.tmp`` files are a crashed flush/compaction that never
         reached its ``os.replace`` — their contents are still covered by the
         WAL (flush) or by the surviving pre-compaction tables (compact), so
-        they are quarantined, not opened and not deleted.  A published
-        ``*.sst`` that fails to open is corruption from outside the engine's
-        crash model and raises the typed :class:`StoreError` from the reader.
+        they are quarantined, not opened and not deleted.  A compaction that
+        crashed *after* publishing its output but before unlinking its
+        inputs leaves tables the output supersedes: a table is superseded
+        exactly when some table at a **deeper level** has an id at least as
+        large (the merge output reuses its newest input's id one level
+        down), and those are quarantined too.  A published ``*.sst`` that
+        fails to open is corruption from outside the engine's crash model
+        and raises the typed :class:`StoreError` from the reader.
         """
         for tmp_path in sorted(self.directory.glob("*.tmp")):
             self._quarantine(tmp_path)
+        found: list[tuple[int, int, Path]] = []
         for path in sorted(self.directory.glob("sstable-*.sst")):
-            self._tables.append(SSTable(path, self.policy))
-            table_id = int(path.stem.split("-")[1])
-            self._next_table_id = max(self._next_table_id, table_id + 1)
+            parsed = _parse_table_name(path)
+            if parsed is None:
+                raise StoreError(f"unrecognised SSTable file name {path.name}")
+            found.append((parsed[0], parsed[1], path))
+            self._next_table_id = max(self._next_table_id, parsed[0] + 1)
+        live = [
+            (table_id, level, path)
+            for table_id, level, path in found
+            if not any(
+                other_level > level and other_id >= table_id
+                for other_id, other_level, _ in found
+            )
+        ]
+        for table_id, level, path in found:
+            if (table_id, level, path) not in live:
+                self._quarantine(path)
+        live.sort(key=lambda entry: (entry[0], entry[1]))
+        for table_id, level, path in live:
+            table = SSTable(path, self._resolve_policy(path, level))
+            table.table_id = table_id
+            table.level = level
+            table.policy.acquire_block_epochs(table.block_epochs())
+            self._tables.append(table)
         for op, key, value in self._wal.replay():
             if op == OP_PUT:
                 self._memtable.put(key, value)
             elif op == OP_DELETE:
                 self._memtable.delete(key)
+
+    def _resolve_policy(self, path: Path, level: int) -> StoragePolicy:
+        """Pick the storage policy a recovered table was written with.
+
+        STB3 tables carry a ``(policy_kind, codec_id)`` stamp; resolution
+        prefers the policy configured for the table's level, then any
+        configured policy of the same kind, then a fresh plain policy for
+        plain tables.  A stamped kind with no matching configured policy is
+        a misconfiguration (e.g. a record-compressed table reopened without
+        its trained compressor) and fails typed.  Legacy STB2 tables carry
+        no stamp and open with the engine's default policy, exactly as the
+        engine that wrote them did.
+        """
+        stamp = SSTable.read_stamp(path)
+        if stamp is None:
+            return self.policy
+        kind, codec_id = stamp
+        candidates = [self._policy_for_level(level)]
+        candidates.extend(
+            policy for _, policy in sorted(self._level_policies.items())
+        )
+        candidates.append(self.policy)
+        for candidate in candidates:
+            if candidate.policy_kind != kind:
+                continue
+            stamped = candidate.stamp_codec_id()
+            if codec_id and stamped and stamped != codec_id:
+                continue
+            return candidate
+        if kind == POLICY_KIND_PLAIN:
+            return PlainPolicy()
+        raise StoreError(
+            f"SSTable file {path} was written by a storage policy of kind {kind} "
+            "but no configured policy matches it"
+        )
 
     def _quarantine(self, path: Path) -> None:
         quarantine = self.directory / QUARANTINE_DIR
@@ -184,32 +342,113 @@ class LSMEngine:
         if self._closed:
             raise StoreError("engine is closed")
 
+    # ---------------------------------------------------------------- levels
+
+    def _policy_for_level(self, level: int) -> StoragePolicy:
+        """Storage policy for tables written at ``level``.
+
+        An exact entry wins; otherwise the deepest configured level not
+        exceeding ``level`` applies, so levels past the end of the table
+        inherit the coldest configured policy.  With no per-level
+        configuration every level uses the engine default.
+        """
+        if not self._level_policies:
+            return self.policy
+        if level in self._level_policies:
+            return self._level_policies[level]
+        configured = [entry for entry in self._level_policies if entry <= level]
+        if configured:
+            return self._level_policies[max(configured)]
+        return self.policy
+
+    def _level_count(self, level: int) -> int:
+        return sum(1 for table in self._tables if table.level == level)
+
     # ------------------------------------------------------------------ write
 
     def put(self, key: str, value: str) -> None:
         """Insert or overwrite ``key``."""
         self._require_open()
-        self._wal.append_put(key, value)
-        self._memtable.put(key, value)
-        self._maybe_flush()
+        with self._lock:
+            self._wal.append_put(key, value)
+            self._memtable.put(key, value)
+            self._maybe_flush()
+        self._admission_control()
 
     def delete(self, key: str) -> None:
         """Delete ``key`` (a no-op if it never existed)."""
         self._require_open()
-        self._wal.append_delete(key)
-        self._memtable.delete(key)
-        self._maybe_flush()
+        with self._lock:
+            self._wal.append_delete(key)
+            self._memtable.delete(key)
+            self._maybe_flush()
+        self._admission_control()
 
     def put_many(self, items: Sequence[tuple[str, str]]) -> None:
-        """Bulk insert."""
-        for key, value in items:
-            self.put(key, value)
+        """Bulk insert: one batched WAL write, one flush check, one throttle.
+
+        The WAL batch is a single buffer/flush/fsync, so an N-record batch
+        pays one durability barrier instead of N (same ``sync_mode``
+        guarantee: the batch is acknowledged only once the whole buffer is
+        durable to the mode's point, and a torn batch replays as a prefix).
+        """
+        self._require_open()
+        items = list(items)
+        if not items:
+            return
+        with self._lock:
+            self._wal.append_many([(OP_PUT, key, value) for key, value in items])
+            for key, value in items:
+                self._memtable.put(key, value)
+            self._maybe_flush()
+        self._admission_control()
 
     def _maybe_flush(self) -> None:
         if self._memtable.approximate_bytes >= self.memtable_bytes:
             self.flush()
 
-    def _publish_sstable(self, entries: Sequence[tuple[str, str | None]]) -> SSTable:
+    def _admission_control(self) -> None:
+        """Throttle the write path when L0 outruns the background compactor.
+
+        Two watermarks (RocksDB's slowdown/stop pattern): in the slowdown
+        band each write sleeps a couple of milliseconds, shedding load
+        smoothly; at the stall watermark the writer blocks on the condition
+        variable the compactor notifies after every merge.  If the scheduler
+        died, the stalled writer compacts inline rather than deadlocking.
+        Inline-compaction engines never throttle — their flush already did
+        the work synchronously.
+        """
+        scheduler = self._scheduler
+        if scheduler is None or self._closed:
+            return
+        with self._lock:
+            level0 = self._level_count(0)
+        if level0 < self._slowdown_tables:
+            return
+        started = time.perf_counter()
+        scheduler.notify()
+        if level0 >= self._stall_tables:
+            with self._stall_condition:
+                while (
+                    self._level_count(0) >= self._stall_tables
+                    and scheduler.alive
+                    and scheduler.error is None
+                ):
+                    self._stall_condition.wait(
+                        timeout=self.compaction_config.poll_seconds
+                    )
+            self._stalls += 1
+            if not scheduler.alive or scheduler.error is not None:
+                while self._compact_once():
+                    pass
+        else:
+            time.sleep(self.compaction_config.slowdown_sleep_seconds)
+            self._slowdowns += 1
+        self._stall_seconds += time.perf_counter() - started
+
+    def _publish_sstable(
+        self, entries: Sequence[tuple[str, str | None]], level: int = 0
+    ) -> SSTable:
         """Atomically publish ``entries`` as the next numbered SSTable.
 
         Write to ``*.sst.tmp``, fsync the bytes, ``os.replace`` onto the final
@@ -218,18 +457,23 @@ class LSMEngine:
         The fsyncs are skipped in ``sync_mode="none"`` (the throughput
         baseline); the atomic rename is not.
         """
+        policy = self._policy_for_level(level)
         sync = self.sync_mode != "none"
-        path = self.directory / f"sstable-{self._next_table_id:06d}.sst"
+        path = self.directory / f"sstable-{self._next_table_id:06d}-{level:03d}.sst"
         tmp_path = path.with_name(path.name + ".tmp")
-        write_sstable(tmp_path, entries, self.policy, block_bytes=self.block_bytes, sync=sync)
+        write_sstable(tmp_path, entries, policy, block_bytes=self.block_bytes, sync=sync)
         os.replace(tmp_path, path)
         if sync:
             fsync_directory(self.directory)
+        table = SSTable(path, policy)
+        table.table_id = self._next_table_id
+        table.level = level
+        policy.acquire_block_epochs(table.block_epochs())
         self._next_table_id += 1
-        return SSTable(path, self.policy)
+        return table
 
     def flush(self) -> None:
-        """Write the memtable to a new SSTable and reset the write-ahead log.
+        """Write the memtable to a new level-0 SSTable and reset the WAL.
 
         Ordering is the recovery contract: the table is durably published
         *before* the WAL is truncated, so a crash in between replays WAL
@@ -237,24 +481,30 @@ class LSMEngine:
         rather than losing records covered by neither.
         """
         self._require_open()
-        if len(self._memtable) == 0:
-            return
-        self._tables.append(self._publish_sstable(list(self._memtable.items())))
-        self._memtable.clear()
-        self._wal.reset()
-        self._flushes += 1
-        if len(self._tables) >= self.compaction_trigger:
-            self.compact()
+        with self._lock:
+            if len(self._memtable) == 0:
+                return
+            self._tables.append(self._publish_sstable(list(self._memtable.items())))
+            self._memtable.clear()
+            self._wal.reset()
+            self._flushes += 1
+        if self._scheduler is not None:
+            self._scheduler.notify()
+        else:
+            while self._compact_once():
+                pass
 
     # ------------------------------------------------------------------- read
 
     def get(self, key: str) -> str | None:
         """Point lookup; returns ``None`` for missing or deleted keys."""
         self._require_open()
-        found, value = self._memtable.get(key)
-        if found:
-            return value
-        for table in reversed(self._tables):
+        with self._lock:
+            found, value = self._memtable.get(key)
+            if found:
+                return value
+            tables = list(self._tables)
+        for table in reversed(tables):
             found, value = table.get(key)
             if found:
                 return value
@@ -272,15 +522,27 @@ class LSMEngine:
         """Live entries with ``start <= key < end`` in key order, newest version wins.
 
         A true k-way merge over per-table range iterators (which seek via the
-        block index) and the memtable — nothing is materialised, so a small
-        ``limit`` over a large store reads only the blocks it touches before
-        short-circuiting.  Tombstones shadow older versions and are never
-        yielded; ``limit`` counts live results.  ``start`` is inclusive,
-        ``end`` exclusive, so a reversed range (``start >= end``) is empty.
+        block index) and a point-in-time memtable snapshot — tables are not
+        materialised, so a small ``limit`` over a large store reads only the
+        blocks it touches before short-circuiting.  The iterator owns a
+        reference to every table it reads: a compaction retiring those
+        tables only unlinks their paths, and the held file descriptors keep
+        a **parked** scan readable until it is garbage-collected (this is
+        the scan-vs-compact crash fix).  Tombstones shadow older versions
+        and are never yielded; ``limit`` counts live results.  ``start`` is
+        inclusive, ``end`` exclusive, so a reversed range (``start >= end``)
+        is empty.
         """
         self._require_open()
         if limit is not None and limit <= 0:
             return
+        with self._lock:
+            tables = list(self._tables)
+            # Materialise the memtable's window: the live memtable keeps
+            # mutating (and is cleared wholesale by a flush) while this
+            # iterator is parked, and a lazy view over it would blow up.
+            memtable_entries = list(self._memtable.range(start, end))
+
         # Tag every source with a rank (higher = newer) and merge on
         # (key, -rank): for a duplicated key the newest version surfaces
         # first and the older ones are skipped.  Ranks are distinct, so the
@@ -291,9 +553,9 @@ class LSMEngine:
 
         sources = [
             tagged(table.range(start, end), rank)
-            for rank, table in enumerate(self._tables)  # oldest first
+            for rank, table in enumerate(tables)  # oldest first
         ]
-        sources.append(tagged(self._memtable.range(start, end), len(self._tables)))
+        sources.append(tagged(iter(memtable_entries), len(tables)))
         yielded = 0
         previous: str | None = None
         for key, _, value in heapq.merge(*sources):
@@ -309,51 +571,165 @@ class LSMEngine:
 
     # ------------------------------------------------------------- compaction
 
+    def _pick_compaction(self) -> tuple[int, list[SSTable]] | None:
+        """The shallowest level holding ``compaction_trigger``-many tables.
+
+        Caller must hold ``self._lock``.  Returns ``(level, run)`` where the
+        run is every table currently at that level (tiered whole-level
+        merges), or ``None`` when no level is over the trigger.
+        """
+        by_level: dict[int, list[SSTable]] = {}
+        for table in self._tables:
+            by_level.setdefault(table.level, []).append(table)
+        for level in sorted(by_level):
+            if len(by_level[level]) >= self.compaction_trigger:
+                return level, by_level[level]
+        return None
+
+    def _compact_once(self) -> bool:
+        """Run one scheduled merge; returns whether any work was done."""
+        if self._closed:
+            return False
+        with self._compact_mutex:
+            with self._lock:
+                pick = self._pick_compaction()
+                if pick is None:
+                    return False
+                level, run = pick
+                drop_tombstones = run[0] is self._tables[0]
+            self._merge_run(run, run[-1].table_id, level + 1, drop_tombstones)
+        return True
+
     def compact(self) -> None:
-        """Merge every SSTable into one, keeping newest versions and dropping tombstones."""
+        """Merge every live SSTable into one table at the deepest level.
+
+        The explicit full merge: keeps the newest version of every key and
+        always drops tombstones (nothing can hide below a full merge).
+        Safe to call while the background scheduler runs — merges are
+        serialised — and a no-op with fewer than two tables.
+        """
         self._require_open()
-        if len(self._tables) <= 1:
-            return
-        merged: dict[str, str | None] = {}
-        for table in self._tables:  # oldest first
-            for key, value in table.scan():
-                merged[key] = value
-        live_entries = [(key, value) for key, value in sorted(merged.items()) if value is not None]
-        old_paths = [table.path for table in self._tables]
-        self._tables = []
-        # Publish the merged table (it gets the highest id, so recovery after
-        # a crash mid-cleanup sees it as newest and the surviving old tables
-        # merge beneath it) before unlinking any input.
-        if live_entries:
-            self._tables.append(self._publish_sstable(live_entries))
-        for path in old_paths:
-            path.unlink(missing_ok=True)
-        if self.sync_mode != "none":
+        with self._compact_mutex:
+            with self._lock:
+                if len(self._tables) <= 1:
+                    return
+                run = list(self._tables)
+                out_id = run[-1].table_id
+                out_level = max(table.level for table in run) + 1
+            self._merge_run(run, out_id, out_level, drop_tombstones=True)
+
+    def _merge_run(
+        self,
+        run: list[SSTable],
+        out_id: int,
+        out_level: int,
+        drop_tombstones: bool,
+    ) -> None:
+        """Streaming k-way merge of ``run`` into one table at ``out_level``.
+
+        Caller must hold ``_compact_mutex`` (and **not** ``_lock``).  Memory
+        stays O(block): entries stream from the inputs' block iterators
+        through :func:`write_sstable_stream`.  The output is published
+        atomically *before* the inputs are retired, so a crash anywhere in
+        between recovers by quarantining whichever side is superseded.
+        """
+        policy = self._policy_for_level(out_level)
+        if (
+            self._compaction_hook is not None
+            and policy.policy_kind == POLICY_KIND_RECORD
+        ):
+            # Compaction-aware retraining: the backend may install a fresh
+            # model epoch now, so the cold rewrite below encodes against it
+            # and the old epoch's last block references retire with the
+            # inputs.  Advisory — a failed retrain must not fail the merge.
+            try:
+                self._compaction_hook(out_level)
+            except Exception:
+                pass
+        sync = self.sync_mode != "none"
+        path = self.directory / f"sstable-{out_id:06d}-{out_level:03d}.sst"
+        tmp_path = path.with_name(path.name + ".tmp")
+        info = write_sstable_stream(
+            tmp_path,
+            self._merge_entries(run, drop_tombstones),
+            policy,
+            approximate_entries=sum(table.entry_count for table in run),
+            block_bytes=self.block_bytes,
+            sync=sync,
+        )
+        output: SSTable | None = None
+        if info is not None:
+            os.replace(tmp_path, path)
+            if sync:
+                fsync_directory(self.directory)
+            output = SSTable(path, policy)
+            output.table_id = out_id
+            output.level = out_level
+            policy.acquire_block_epochs(output.block_epochs())
+        with self._lock:
+            position = self._tables.index(run[0])
+            assert self._tables[position : position + len(run)] == run
+            self._tables[position : position + len(run)] = (
+                [output] if output is not None else []
+            )
+            self._compactions += 1
+            self._stall_condition.notify_all()
+        for table in run:
+            table.policy.release_block_epochs(table.block_epochs())
+            table.retire()
+        if sync:
             fsync_directory(self.directory)
-        self._compactions += 1
+
+    @staticmethod
+    def _merge_entries(
+        run: Sequence[SSTable], drop_tombstones: bool
+    ) -> Iterable[tuple[str, str | None]]:
+        """Newest-version-wins merge of the run's entries, streaming."""
+
+        def tagged(table: SSTable, rank: int):
+            for key, value in table.scan():
+                yield key, -rank, value
+
+        sources = [tagged(table, rank) for rank, table in enumerate(run)]
+        previous: str | None = None
+        for key, _, value in heapq.merge(*sources):
+            if key == previous:
+                continue
+            previous = key
+            if value is None and drop_tombstones:
+                continue
+            yield key, value
 
     # ------------------------------------------------------------ measurement
 
     def stats(self) -> EngineStats:
-        """Current engine statistics (space usage, table counts, flush/compaction counters)."""
+        """Current engine statistics (space usage, table counts, flush/compaction counters).
+
+        O(tables): each table's logical value bytes come from its STB3
+        footer (legacy STB2 tables pay one lazy scan, cached), so this no
+        longer decodes every block of the store per call.
+        """
         self._require_open()
-        logical = 0
-        for table in self._tables:
-            for _, value in table.scan():
-                if value is not None:
-                    logical += len(value.encode("utf-8"))
-        for _, value in self._memtable.items():
+        with self._lock:
+            tables = list(self._tables)
+            memtable_entries = len(self._memtable)
+            memtable_bytes = self._memtable.approximate_bytes
+            memtable_values = [value for _, value in self._memtable.items()]
+            flushes = self._flushes
+            compactions = self._compactions
+        logical = sum(table.logical_value_bytes for table in tables)
+        for value in memtable_values:
             if value is not None:
                 logical += len(value.encode("utf-8"))
         return EngineStats(
             policy=self.policy.name,
-            memtable_entries=len(self._memtable),
-            memtable_bytes=self._memtable.approximate_bytes,
-            sstable_count=len(self._tables),
-            sstable_file_bytes=sum(table.file_bytes for table in self._tables),
+            memtable_entries=memtable_entries,
+            memtable_bytes=memtable_bytes,
+            sstable_count=len(tables),
+            sstable_file_bytes=sum(table.file_bytes for table in tables),
             logical_value_bytes=logical,
-            flushes=self._flushes,
-            compactions=self._compactions,
+            flushes=flushes,
+            compactions=compactions,
         )
 
     def disk_stats(self) -> "DiskStats":
@@ -361,15 +737,32 @@ class LSMEngine:
 
         Unlike :meth:`stats` this never scans table contents — it is sized for
         a per-scrape call on the serving path (file-size sums plus the WAL's
-        in-memory fsync counters).
+        in-memory counters and the compaction/stall gauges).
         """
         self._require_open()
+        with self._lock:
+            tables = list(self._tables)
+            compactions = self._compactions
+            stall_seconds = self._stall_seconds
+        by_level: dict[int, list[SSTable]] = {}
+        for table in tables:
+            by_level.setdefault(table.level, []).append(table)
+        pending = sum(
+            table.file_bytes
+            for level_tables in by_level.values()
+            if len(level_tables) >= self.compaction_trigger
+            for table in level_tables
+        )
         return DiskStats(
-            sstable_count=len(self._tables),
-            sstable_file_bytes=sum(table.file_bytes for table in self._tables),
+            sstable_count=len(tables),
+            sstable_file_bytes=sum(table.file_bytes for table in tables),
             wal_bytes=self._wal.size_bytes,
             wal_fsyncs=self._wal.fsyncs,
             wal_fsync_seconds=self._wal.fsync_seconds,
+            levels=len(by_level),
+            pending_compaction_bytes=pending,
+            compaction_stall_seconds=stall_seconds,
+            compactions=compactions,
         )
 
     def measure_lookups(self, keys: Sequence[str]) -> LookupTiming:
@@ -391,11 +784,17 @@ class LSMEngine:
         self._wal.sync()
 
     def close(self) -> None:
-        """Flush pending writes and release the write-ahead log."""
+        """Flush pending writes, stop the compactor, release the WAL.
+
+        Table descriptors are left to garbage collection on purpose: a scan
+        iterator handed out before ``close`` stays readable to exhaustion.
+        """
         if self._closed:
             return
         if len(self._memtable):
             self.flush()
+        if self._scheduler is not None:
+            self._scheduler.close()
         self._wal.close()
         self._closed = True
 

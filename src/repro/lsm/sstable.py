@@ -18,15 +18,28 @@ How a block's payload is laid out is delegated to a :class:`StoragePolicy`:
 * :class:`RecordCompressionPolicy` — each value is compressed individually with
   a :class:`repro.tierbase.compression.ValueCompressor` (e.g. trained PBC_F):
   reading one key decompresses exactly one value.
+
+The "STB3" footer additionally stamps the table's **storage-policy identity**
+(policy kind + block-codec id) and its **logical value byte count**, so a
+reopened directory resolves the exact policy that wrote each table (per-level
+codec policies make this vary table by table) and ``stats()`` no longer has to
+re-decode every block just to report logical bytes.  "STB2" files (no stamp)
+remain readable; pre-epoch "STBL" files are rejected with a typed error.
+
+Readers hold their file descriptor open for the table's lifetime and read
+blocks with ``os.pread``: a table that a background compaction has already
+unlinked keeps serving a parked scan until the last reference drops (POSIX
+unlink semantics), which is what fixes the scan-vs-compact crash.
 """
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.compressors.base import Codec
 from repro.entropy.varint import decode_uvarint, encode_uvarint
@@ -35,19 +48,29 @@ from repro.ioutil import fsync_file
 from repro.lsm.bloom import BloomFilter
 from repro.tierbase.compression import ValueCompressor
 
-#: Magic number terminating every SSTable file.  "STB2" is the epoch-aware
-#: format: RecordCompressionPolicy blocks start with uvarint(model_epoch)
-#: (docs/FORMATS.md §3).  Pre-epoch "STBL" files are rejected with a typed
+#: Magic number terminating every SSTable file.  "STB3" is the self-describing
+#: format: the footer carries the logical value byte count and the storage
+#: policy stamp (docs/FORMATS.md §3).  "STB2" (epoch-aware blocks, 28-byte
+#: footer) stays readable; pre-epoch "STBL" files are rejected with a typed
 #: error instead of being silently misparsed.
-_MAGIC = 0x53544232  # "STB2"
-_MAGIC_V1 = 0x5354424C  # "STBL" (pre-epoch block layout)
+_MAGIC = 0x53544233  # "STB3"
+_MAGIC_V2 = 0x53544232  # "STB2" (no footer stamp; still readable)
+_MAGIC_V1 = 0x5354424C  # "STBL" (pre-epoch block layout; rejected)
 
-#: Footer layout: index offset, bloom offset, entry count (8 bytes each) + magic (4 bytes).
-_FOOTER_SIZE = 8 + 8 + 8 + 4
+#: STB3 footer layout: index offset, bloom offset, entry count, logical value
+#: bytes (8 bytes each) + policy kind (1) + block codec id (1) + magic (4).
+_FOOTER_SIZE = 8 + 8 + 8 + 8 + 1 + 1 + 4
+#: Legacy STB2 footer: index offset, bloom offset, entry count + magic.
+_FOOTER_SIZE_V2 = 8 + 8 + 8 + 4
 
 #: Flag bytes stored per entry.
 _FLAG_VALUE = 0
 _FLAG_TOMBSTONE = 1
+
+#: Storage-policy kinds stamped into the STB3 footer.
+POLICY_KIND_PLAIN = 0
+POLICY_KIND_BLOCK = 1
+POLICY_KIND_RECORD = 2
 
 
 # ------------------------------------------------------------------- policies
@@ -58,6 +81,8 @@ class StoragePolicy(ABC):
 
     #: Name reported in engine statistics.
     name: str = "policy"
+    #: Identity stamped into the STB3 footer (plain/block/record).
+    policy_kind: int = POLICY_KIND_PLAIN
 
     @abstractmethod
     def encode_block(self, entries: Sequence[tuple[str, str | None]]) -> bytes:
@@ -75,6 +100,21 @@ class StoragePolicy(ABC):
             if entry_key > key:
                 break
         return False, None
+
+    def stamp_codec_id(self) -> int:
+        """One-byte block-codec id stamped into the footer (0 = none/unknown)."""
+        return 0
+
+    # Model-epoch retention hooks: only the record policy refcounts the model
+    # epochs its blocks reference; the engine calls these when tables are
+    # opened/published and retired, so a compaction that rewrites the last
+    # block of an old epoch releases that epoch's model for pruning.
+
+    def acquire_block_epochs(self, epochs: Iterable[int]) -> None:
+        """Record live block references to model ``epochs`` (no-op here)."""
+
+    def release_block_epochs(self, epochs: Iterable[int]) -> None:
+        """Drop block references to model ``epochs`` (no-op here)."""
 
 
 def _encode_entries(
@@ -119,6 +159,7 @@ class PlainPolicy(StoragePolicy):
     """Entries stored uncompressed."""
 
     name = "plain"
+    policy_kind = POLICY_KIND_PLAIN
 
     def encode_block(self, entries: Sequence[tuple[str, str | None]]) -> bytes:
         return _encode_entries(entries, lambda value: value.encode("utf-8"))
@@ -129,6 +170,8 @@ class PlainPolicy(StoragePolicy):
 
 class BlockCompressionPolicy(StoragePolicy):
     """The whole block payload is compressed with a block codec (RocksDB style)."""
+
+    policy_kind = POLICY_KIND_BLOCK
 
     def __init__(self, codec: Codec) -> None:
         self.codec = codec
@@ -142,6 +185,18 @@ class BlockCompressionPolicy(StoragePolicy):
         raw = self.codec.decompress(payload)
         return _decode_entries(raw, lambda value_bytes: value_bytes.decode("utf-8"))
 
+    def stamp_codec_id(self) -> int:
+        # The registry is the one codec-id authority; block codecs that are
+        # not registered there (bespoke instances) stamp 0 = unknown, which
+        # resolution treats as "match by kind".
+        from repro.codecs.registry import codec_by_name
+        from repro.exceptions import UnknownCodecError
+
+        try:
+            return codec_by_name(self.codec.name).codec_id
+        except UnknownCodecError:
+            return 0
+
 
 class RecordCompressionPolicy(StoragePolicy):
     """Every value compressed individually with a trained :class:`ValueCompressor`.
@@ -153,10 +208,14 @@ class RecordCompressionPolicy(StoragePolicy):
     *epoch* is stamped once into the block header — ``uvarint(epoch)`` before
     the entry layout — and values are stored as headerless epoch bodies.
     Reads decode against the exact epoch that wrote the block, which is what
-    lets a retrained compressor keep every existing SSTable readable (the
-    :class:`~repro.codecs.ModelStore` retains superseded epochs; LSM blocks
-    never release them because payload lifetimes span compactions).
+    lets a retrained compressor keep every existing SSTable readable.  The
+    engine refcounts each live table's block epochs through
+    :meth:`acquire_block_epochs` / :meth:`release_block_epochs`, so the
+    :class:`~repro.codecs.ModelStore` can prune an old epoch once the last
+    block referencing it has been compacted away.
     """
+
+    policy_kind = POLICY_KIND_RECORD
 
     def __init__(self, compressor: ValueCompressor) -> None:
         self.compressor = compressor
@@ -181,6 +240,14 @@ class RecordCompressionPolicy(StoragePolicy):
     def block_epoch(self, payload: bytes) -> int:
         """The model epoch stamped into a block header (diagnostics/tests)."""
         return decode_uvarint(payload, 0)[0]
+
+    def acquire_block_epochs(self, epochs: Iterable[int]) -> None:
+        for epoch in epochs:
+            self.compressor.acquire_epoch(epoch)
+
+    def release_block_epochs(self, epochs: Iterable[int]) -> None:
+        for epoch in epochs:
+            self.compressor.release_epoch(epoch)
 
     def lookup_in_block(self, payload: bytes, key: str) -> tuple[bool, str | None]:
         # Scan the entry headers without decompressing values we skip over.
@@ -220,6 +287,8 @@ class SSTableInfo:
     logical_value_bytes: int
     min_key: str
     max_key: str
+    #: model epochs stamped into the table's blocks (record policies only).
+    epochs: tuple[int, ...] = field(default=())
 
 
 def write_sstable(
@@ -243,14 +312,58 @@ def write_sstable(
         raise StoreError("SSTable entries must be sorted by key")
     if len(set(keys)) != len(keys):
         raise StoreError("SSTable entries must have unique keys")
+    info = write_sstable_stream(
+        path,
+        entries,
+        policy,
+        approximate_entries=len(entries),
+        block_bytes=block_bytes,
+        bloom_false_positive_rate=bloom_false_positive_rate,
+        sync=sync,
+    )
+    assert info is not None  # non-empty input was checked above
+    return info
+
+
+def write_sstable_stream(
+    path: str | Path,
+    entries: Iterable[tuple[str, str | None]],
+    policy: StoragePolicy,
+    approximate_entries: int,
+    block_bytes: int = 4096,
+    bloom_false_positive_rate: float = 0.01,
+    sync: bool = False,
+) -> SSTableInfo | None:
+    """Stream an already-sorted entry iterator into an SSTable at ``path``.
+
+    The compaction writer: memory stays O(block) regardless of how many
+    entries flow through, which is what lets a background merge rewrite a
+    store far bigger than RAM.  ``approximate_entries`` sizes the Bloom
+    filter and must be an **upper bound** on the real entry count (a merge
+    passes the sum of its inputs' entry counts; deduplication only lowers
+    the false-positive rate below target).  Sortedness and uniqueness are
+    validated on the fly with the same typed errors as :func:`write_sstable`.
+
+    Returns ``None`` — and writes no file — when the iterator is empty (a
+    compaction whose inputs cancel out entirely publishes nothing).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
 
-    bloom = BloomFilter(capacity=len(entries), false_positive_rate=bloom_false_positive_rate)
+    bloom = BloomFilter(
+        capacity=max(1, approximate_entries),
+        false_positive_rate=bloom_false_positive_rate,
+    )
     index: list[tuple[str, int, int]] = []  # (first key, offset, length)
+    epochs: set[int] = set()
+    record_policy = isinstance(policy, RecordCompressionPolicy)
     logical_value_bytes = 0
+    entry_count = 0
+    previous_key: str | None = None
+    min_key: str | None = None
+    handle = None
 
-    with open(path, "wb") as handle:
+    try:
         offset = 0
         block: list[tuple[str, str | None]] = []
         block_logical = 0
@@ -260,6 +373,8 @@ def write_sstable(
             if not block:
                 return
             payload = policy.encode_block(block)
+            if record_policy:
+                epochs.add(decode_uvarint(payload, 0)[0])
             index.append((block[0][0], offset, len(payload)))
             handle.write(payload)
             offset += len(payload)
@@ -267,6 +382,16 @@ def write_sstable(
             block_logical = 0
 
         for key, value in entries:
+            if previous_key is not None:
+                if key < previous_key:
+                    raise StoreError("SSTable entries must be sorted by key")
+                if key == previous_key:
+                    raise StoreError("SSTable entries must have unique keys")
+            if handle is None:
+                handle = open(path, "wb")
+                min_key = key
+            previous_key = key
+            entry_count += 1
             bloom.add(key.encode("utf-8"))
             entry_size = len(key.encode("utf-8")) + (len(value.encode("utf-8")) if value else 0)
             logical_value_bytes += len(value.encode("utf-8")) if value else 0
@@ -274,6 +399,8 @@ def write_sstable(
                 flush_block()
             block.append((key, value))
             block_logical += entry_size
+        if handle is None:
+            return None
         flush_block()
 
         index_offset = offset
@@ -296,21 +423,33 @@ def write_sstable(
         footer = (
             index_offset.to_bytes(8, "big")
             + bloom_offset.to_bytes(8, "big")
-            + len(entries).to_bytes(8, "big")
+            + entry_count.to_bytes(8, "big")
+            + logical_value_bytes.to_bytes(8, "big")
+            + bytes([policy.policy_kind & 0xFF, policy.stamp_codec_id() & 0xFF])
             + _MAGIC.to_bytes(4, "big")
         )
         handle.write(footer)
         if sync:
             fsync_file(handle)
+    except BaseException:
+        if handle is not None:
+            handle.close()
+            handle = None
+            path.unlink(missing_ok=True)
+        raise
+    finally:
+        if handle is not None:
+            handle.close()
 
     return SSTableInfo(
         path=path,
-        entry_count=len(entries),
+        entry_count=entry_count,
         block_count=len(index),
         file_bytes=path.stat().st_size,
         logical_value_bytes=logical_value_bytes,
-        min_key=entries[0][0],
-        max_key=entries[-1][0],
+        min_key=min_key if min_key is not None else "",
+        max_key=previous_key if previous_key is not None else "",
+        epochs=tuple(sorted(epochs)),
     )
 
 
@@ -318,49 +457,112 @@ def write_sstable(
 
 
 class SSTable:
-    """Read-only view over a table file written by :func:`write_sstable`."""
+    """Read-only view over a table file written by :func:`write_sstable`.
+
+    The file descriptor opened at construction stays open for the object's
+    lifetime and every block read is an ``os.pread`` on it: thread-safe
+    (no shared seek position) and immune to the path being unlinked by a
+    compaction — a parked iterator keeps reading the dead file until the
+    table object itself is garbage-collected (or :meth:`close` is called).
+    """
+
+    #: slot id / level assigned by the owning engine (diagnostics; -1 = free-standing).
+    table_id: int = -1
+    level: int = 0
 
     def __init__(self, path: str | Path, policy: StoragePolicy) -> None:
         self.path = Path(path)
         self.policy = policy
-        if not self.path.exists():
-            raise StoreError(f"SSTable file {self.path} does not exist")
-        file_size = self.path.stat().st_size
-        if file_size < _FOOTER_SIZE:
+        self._fd = -1
+        try:
+            self._fd = os.open(str(self.path), os.O_RDONLY)
+        except FileNotFoundError:
+            raise StoreError(f"SSTable file {self.path} does not exist") from None
+        try:
+            file_size = os.fstat(self._fd).st_size
+            self._file_bytes = file_size
+            self._parse_footer(file_size)
+            # A torn or bit-flipped file that happens to keep a valid-looking
+            # footer must still fail *typed* — never feed garbage offsets into
+            # varint parsing and return misdecoded entries.
+            try:
+                self._load_metadata(file_size)
+            except StoreError:
+                raise
+            except (DecodingError, UnicodeDecodeError, IndexError, ValueError) as error:
+                raise StoreError(
+                    f"SSTable file {self.path} has a corrupt metadata section"
+                ) from error
+        except BaseException:
+            os.close(self._fd)
+            self._fd = -1
+            raise
+
+    def _parse_footer(self, file_size: int) -> None:
+        if file_size < _FOOTER_SIZE_V2:
             raise StoreError(f"SSTable file {self.path} is too small to contain a footer")
-        with open(self.path, "rb") as handle:
-            handle.seek(file_size - _FOOTER_SIZE)
-            footer = handle.read(_FOOTER_SIZE)
-        magic = int.from_bytes(footer[24:28], "big")
+        magic = int.from_bytes(os.pread(self._fd, 4, file_size - 4), "big")
         if magic == _MAGIC_V1:
             raise StoreError(
                 f"SSTable file {self.path} uses the pre-epoch 'STBL' block layout; "
                 "rewrite it with this version (record-policy blocks now carry a "
                 "model-epoch header)"
             )
-        if magic != _MAGIC:
+        if magic == _MAGIC:
+            if file_size < _FOOTER_SIZE:
+                raise StoreError(
+                    f"SSTable file {self.path} is too small to contain a footer"
+                )
+            footer = os.pread(self._fd, _FOOTER_SIZE, file_size - _FOOTER_SIZE)
+            self._index_offset = int.from_bytes(footer[0:8], "big")
+            self._bloom_offset = int.from_bytes(footer[8:16], "big")
+            self.entry_count = int.from_bytes(footer[16:24], "big")
+            self._logical_value_bytes: int | None = int.from_bytes(footer[24:32], "big")
+            self.policy_stamp: tuple[int, int] | None = (footer[32], footer[33])
+            metadata_end = file_size - _FOOTER_SIZE
+        elif magic == _MAGIC_V2:
+            footer = os.pread(self._fd, _FOOTER_SIZE_V2, file_size - _FOOTER_SIZE_V2)
+            self._index_offset = int.from_bytes(footer[0:8], "big")
+            self._bloom_offset = int.from_bytes(footer[8:16], "big")
+            self.entry_count = int.from_bytes(footer[16:24], "big")
+            self._logical_value_bytes = None  # computed lazily on first use
+            self.policy_stamp = None
+            metadata_end = file_size - _FOOTER_SIZE_V2
+        else:
             raise StoreError(f"SSTable file {self.path} has a bad magic number")
-        self._index_offset = int.from_bytes(footer[0:8], "big")
-        self._bloom_offset = int.from_bytes(footer[8:16], "big")
-        self.entry_count = int.from_bytes(footer[16:24], "big")
-        if not 0 <= self._index_offset <= self._bloom_offset <= file_size - _FOOTER_SIZE:
+        self._metadata_end = metadata_end
+        if not 0 <= self._index_offset <= self._bloom_offset <= metadata_end:
             raise StoreError(
                 f"SSTable file {self.path} is corrupt: footer offsets do not fit the file"
             )
-        # A torn or bit-flipped file that happens to keep a valid-looking
-        # footer must still fail *typed* — never feed garbage offsets into
-        # varint parsing and return misdecoded entries.
+
+    @staticmethod
+    def read_stamp(path: str | Path) -> tuple[int, int] | None:
+        """The ``(policy_kind, codec_id)`` stamp of an STB3 file, else ``None``.
+
+        Cheap (two small reads, no metadata parse) — the engine uses it during
+        recovery to resolve each table's storage policy before opening it.
+        Returns ``None`` for legacy "STB2" files and for anything unreadable;
+        the :class:`SSTable` constructor is where malformed files fail typed.
+        """
         try:
-            self._load_metadata(file_size)
-        except StoreError:
-            raise
-        except (DecodingError, UnicodeDecodeError, IndexError, ValueError) as error:
-            raise StoreError(f"SSTable file {self.path} has a corrupt metadata section") from error
+            with open(path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size < _FOOTER_SIZE:
+                    return None
+                handle.seek(size - _FOOTER_SIZE)
+                footer = handle.read(_FOOTER_SIZE)
+        except OSError:
+            return None
+        if int.from_bytes(footer[-4:], "big") != _MAGIC:
+            return None
+        return footer[32], footer[33]
 
     def _load_metadata(self, file_size: int) -> None:
-        with open(self.path, "rb") as handle:
-            handle.seek(self._index_offset)
-            metadata = handle.read(file_size - _FOOTER_SIZE - self._index_offset)
+        metadata = os.pread(
+            self._fd, self._metadata_end - self._index_offset, self._index_offset
+        )
         index_payload = metadata[: self._bloom_offset - self._index_offset]
         bloom_payload = metadata[self._bloom_offset - self._index_offset :]
         block_count, offset = decode_uvarint(index_payload, 0)
@@ -379,6 +581,29 @@ class SSTable:
         self._first_keys = [first_key for first_key, _, _ in self._index]
         self._bloom, _ = BloomFilter.from_bytes(bloom_payload, 0)
 
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release the held file descriptor (idempotent)."""
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def retire(self) -> None:
+        """Unlink the table file; the open descriptor keeps serving readers.
+
+        Called by the engine once a compaction's output supersedes this
+        table.  Disk space is reclaimed when the last reference (a parked
+        scan, a snapshot list) drops and the descriptor closes.
+        """
+        self.path.unlink(missing_ok=True)
+
     # ------------------------------------------------------------------- read
 
     @property
@@ -388,14 +613,44 @@ class SSTable:
 
     @property
     def file_bytes(self) -> int:
-        """On-disk size of the table file."""
-        return self.path.stat().st_size
+        """On-disk size of the table file (captured at open; survives unlink)."""
+        return self._file_bytes
+
+    @property
+    def logical_value_bytes(self) -> int:
+        """Uncompressed bytes of every live value in the table.
+
+        STB3 files answer from the footer; legacy STB2 files pay one full
+        decode on first use and cache the result (the table is immutable).
+        """
+        if self._logical_value_bytes is None:
+            logical = 0
+            for _, value in self.scan():
+                if value is not None:
+                    logical += len(value.encode("utf-8"))
+            self._logical_value_bytes = logical
+        return self._logical_value_bytes
+
+    def block_epochs(self) -> tuple[int, ...]:
+        """Model epochs referenced by this table's blocks (record policy only).
+
+        Reads only each block's uvarint header prefix via ``pread`` — no
+        value is decompressed — so the engine can refcount epoch retention
+        at table-open time in O(blocks) tiny reads.
+        """
+        if not hasattr(self.policy, "block_epoch"):
+            return ()
+        epochs: set[int] = set()
+        for _, block_offset, block_length in self._index:
+            prefix = os.pread(self._fd, min(10, block_length), block_offset)
+            epochs.add(decode_uvarint(prefix, 0)[0])
+        return tuple(sorted(epochs))
 
     def _read_block(self, position: int) -> bytes:
         _, block_offset, block_length = self._index[position]
-        with open(self.path, "rb") as handle:
-            handle.seek(block_offset)
-            return handle.read(block_length)
+        if self._fd < 0:
+            raise StoreError(f"SSTable {self.path} is closed")
+        return os.pread(self._fd, block_length, block_offset)
 
     def get(self, key: str) -> tuple[bool, str | None]:
         """Point lookup; returns ``(found, value)`` where a found tombstone is ``(True, None)``."""

@@ -322,6 +322,22 @@ class KVServer:
             "Cumulative WAL fsync wall time, per shard.",
             shard_labels,
         )
+        self._shard_levels = registry.gauge(
+            "repro_shard_levels", "Distinct live SSTable levels per shard.", shard_labels
+        )
+        self._shard_pending_compaction = registry.gauge(
+            "repro_shard_pending_compaction_bytes",
+            "Bytes in levels at/over the compaction trigger (merge backlog), per shard.",
+            shard_labels,
+        )
+        self._shard_stall_seconds = registry.gauge(
+            "repro_shard_compaction_stall_seconds",
+            "Cumulative seconds writes spent throttled by L0 admission control, per shard.",
+            shard_labels,
+        )
+        self._shard_compactions = registry.gauge(
+            "repro_shard_compactions", "Compaction merges performed, per shard.", shard_labels
+        )
         self._cache_hit_rate = registry.gauge(
             "repro_cache_hit_rate", "Service cache hit rate over its lifetime."
         )
@@ -356,6 +372,10 @@ class KVServer:
             self._shard_retrains.labels(*labels).set(shard.retrain_events)
             self._shard_wal_fsyncs.labels(*labels).set(shard.wal_fsyncs)
             self._shard_wal_fsync_seconds.labels(*labels).set(shard.wal_fsync_seconds)
+            self._shard_levels.labels(*labels).set(shard.levels)
+            self._shard_pending_compaction.labels(*labels).set(shard.pending_compaction_bytes)
+            self._shard_stall_seconds.labels(*labels).set(shard.compaction_stall_seconds)
+            self._shard_compactions.labels(*labels).set(shard.compactions)
         self._cache_hit_rate.set(snapshot.cache.hit_rate)
         self._cache_entries.set(snapshot.cache.entries)
         self._service_keys.set(snapshot.keys)

@@ -33,10 +33,16 @@ from typing import Iterator, Sequence
 
 from repro.codecs import ModelLifecycle
 from repro.codecs.registry import trainable_codec_names
+from repro.compressors.stdlib_codecs import GzipCodec
 from repro.exceptions import CodecError, ServiceError
 from repro.ioutil import atomic_write_bytes
 from repro.lsm.engine import LSMEngine
-from repro.lsm.sstable import RecordCompressionPolicy
+from repro.lsm.sstable import (
+    BlockCompressionPolicy,
+    PlainPolicy,
+    RecordCompressionPolicy,
+    StoragePolicy,
+)
 from repro.service.stats import ShardSnapshot
 from repro.tierbase.compression import (
     NoopValueCompressor,
@@ -86,6 +92,13 @@ class ShardBackend(ABC):
     @abstractmethod
     def set(self, key: str, value: str) -> None:
         """Insert or overwrite ``key``."""
+
+    def set_many(self, items: Sequence[tuple[str, str]]) -> None:
+        """Insert/overwrite a batch.  Backends with a batched write path
+        (LSM: one WAL buffer, one durability barrier) override this; the
+        default is a per-item loop with identical semantics."""
+        for key, value in items:
+            self.set(key, value)
 
     @abstractmethod
     def get_compressed(self, key: str) -> bytes | None:
@@ -282,14 +295,25 @@ class TierBaseShard(ShardBackend):
 class LSMShard(ShardBackend):
     """On-disk shard over an :class:`LSMEngine` with per-record compression.
 
-    The engine's :class:`RecordCompressionPolicy` compresses values when
-    memtable contents are flushed into SSTable blocks — each block stamped
-    with the model epoch that wrote it — and the shard additionally
-    compresses each value once on SET to feed the drift monitor (the monitor
-    tracks what the policy *will* store).
+    Storage is tiered by level ("hot levels raw, cold levels trained"):
+    level-0 flush tables stay **plain** (the write path never waits on a
+    compressor), level 1 is **block-compressed** with a cheap general-purpose
+    codec, and every deeper level uses the shard's trained
+    :class:`RecordCompressionPolicy` — each block stamped with the model
+    epoch that wrote it.  Background compaction migrates data down the
+    hierarchy, so values are record-compressed exactly once, when they go
+    cold; the shard additionally compresses each value once on SET to feed
+    the drift monitor (the monitor tracks what the cold levels *will*
+    store).  A merge into a cold level first offers the shard a retrain
+    (``compaction_hook``): if the drift monitor says the model is stale, a
+    new epoch is installed right before the rewrite, and the old epoch's
+    last block references retire with the compacted inputs.
     """
 
     name = "lsm"
+
+    #: level at which tables switch to the trained per-record compressor.
+    COLD_LEVEL = 2
 
     def __init__(
         self,
@@ -300,6 +324,7 @@ class LSMShard(ShardBackend):
         memtable_bytes: int = 64 * 1024,
         train_size: int = 256,
         sync_mode: str = "flush",
+        background_compaction: bool = True,
     ) -> None:
         self.directory = Path(directory)
         self.compressor = compressor
@@ -325,15 +350,38 @@ class LSMShard(ShardBackend):
                     f"{self.compressor.name!r}"
                 )
             self.compressor.load_models(self._models_path.read_bytes())
+        record_policy = RecordCompressionPolicy(compressor)
+        level_policies: dict[int, StoragePolicy] = {
+            0: PlainPolicy(),
+            1: BlockCompressionPolicy(GzipCodec()),
+            self.COLD_LEVEL: record_policy,
+        }
         self.engine = LSMEngine(
             self.directory,
-            policy=RecordCompressionPolicy(compressor),
+            # Default policy doubles as the resolver for pre-stamp (STB2)
+            # tables, which this shard only ever wrote record-compressed.
+            policy=record_policy,
             memtable_bytes=memtable_bytes,
             sync_mode=sync_mode,
+            background_compaction=background_compaction,
+            level_policies=level_policies,
+            compaction_hook=self._before_cold_rewrite,
         )
         self._retrain_events = 0
         self._sets = 0
         self._gets = 0
+
+    def _before_cold_rewrite(self, level: int) -> None:
+        """Compaction-aware retraining, called by the engine's compactor
+        right before it merges into a record-compressed level.
+
+        If the drift monitor flags the model as stale, the new epoch is
+        installed *now*, so the cold rewrite encodes against it — retraining
+        rides a rewrite that was happening anyway, and the superseded
+        epoch's last block references go away with the compacted inputs.
+        """
+        if self.lifecycle.needs_retrain(self.compressor.outlier_rate):
+            self.retrain_from_recent()
 
     def _save_models(self) -> None:
         payload = self.compressor.dump_models()
@@ -352,6 +400,16 @@ class LSMShard(ShardBackend):
         self.lifecycle.observe(value, len(value.encode("utf-8")), len(payload))
         self.engine.put(key, value)
         self._sets += 1
+
+    def set_many(self, items: Sequence[tuple[str, str]]) -> None:
+        # One WAL buffer + one durability barrier + one flush check for the
+        # whole batch (vs per-item in the default loop); the drift monitor
+        # still observes every value.
+        for _, value in items:
+            payload = self.compressor.compress(value)
+            self.lifecycle.observe(value, len(value.encode("utf-8")), len(payload))
+        self.engine.put_many(items)
+        self._sets += len(items)
 
     def get_compressed(self, key: str) -> bytes | None:
         return self.fetch(key)[1]
@@ -416,6 +474,10 @@ class LSMShard(ShardBackend):
             sstables=disk.sstable_count,
             wal_fsyncs=disk.wal_fsyncs,
             wal_fsync_seconds=disk.wal_fsync_seconds,
+            levels=disk.levels,
+            pending_compaction_bytes=disk.pending_compaction_bytes,
+            compaction_stall_seconds=disk.compaction_stall_seconds,
+            compactions=disk.compactions,
         )
 
     def flush(self) -> None:
@@ -434,12 +496,16 @@ def make_shard_backend(
     directory: str | Path | None = None,
     train_size: int = 256,
     sync_mode: str = "flush",
+    background_compaction: bool = True,
 ) -> ShardBackend:
     """Build one shard backend of ``kind`` with a fresh compressor.
 
     With a base ``directory`` both backends are persistent under
     ``shard-NNN/`` subdirectories: lsm shards always (WAL + SSTables +
     models.bin), tierbase shards via ``TBS1`` snapshots written on flush.
+    ``background_compaction`` puts each lsm shard's compaction on its own
+    scheduler thread (admission-controlled writes); disable it for
+    strictly deterministic single-threaded shards.
     """
     compressor = make_value_compressor(compressor_name)
     shard_directory = (
@@ -451,6 +517,10 @@ def make_shard_backend(
         if shard_directory is None:
             raise ServiceError("the lsm backend needs a base directory")
         return LSMShard(
-            shard_directory, compressor, train_size=train_size, sync_mode=sync_mode
+            shard_directory,
+            compressor,
+            train_size=train_size,
+            sync_mode=sync_mode,
+            background_compaction=background_compaction,
         )
     raise ServiceError(f"unknown shard backend {kind!r}; choose from {BACKEND_CHOICES}")

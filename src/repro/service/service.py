@@ -83,6 +83,10 @@ class ServiceConfig:
     auto_retrain: bool = True
     #: sliding-window size of the latency recorders.
     latency_window: int = 8192
+    #: whether lsm shards compact on a background scheduler thread with
+    #: admission-controlled writes (off = inline compaction after flushes,
+    #: the deterministic single-threaded mode; ignored by tierbase).
+    background_compaction: bool = True
 
     def __post_init__(self) -> None:
         if self.shard_count < 1:
@@ -156,6 +160,7 @@ class KVService:
                     directory=self.config.directory,
                     train_size=self.config.train_size,
                     sync_mode=self.config.sync_mode,
+                    background_compaction=self.config.background_compaction,
                 ),
             )
             for shard_id in range(self.config.shard_count)
@@ -244,9 +249,11 @@ class KVService:
     # --------------------------------------------------------------- shard tasks
 
     def _shard_set(self, shard: _Shard, items: Sequence[tuple[str, str]]) -> None:
-        for key, value in items:
-            # backend.set feeds the lifecycle reservoir + drift monitor.
-            shard.backend.set(key, value)
+        # backend.set_many feeds the lifecycle reservoir + drift monitor per
+        # value, and batched backends (LSM) pay one WAL durability barrier
+        # for the whole batch instead of one per record.
+        shard.backend.set_many(items)
+        for key, _ in items:
             # Invalidate inside the shard task: reads of this shard are
             # serialised with us, so no reader can re-cache the old payload
             # after this point.

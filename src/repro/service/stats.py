@@ -104,6 +104,14 @@ class ShardSnapshot:
     #: WAL fsync barriers taken and their cumulative duration (lsm shards).
     wal_fsyncs: int = 0
     wal_fsync_seconds: float = 0.0
+    #: distinct live SSTable levels (lsm shards; 0 when empty).
+    levels: int = 0
+    #: bytes in levels at/over the compaction trigger, i.e. merge backlog.
+    pending_compaction_bytes: int = 0
+    #: cumulative seconds writes spent throttled by L0 admission control.
+    compaction_stall_seconds: float = 0.0
+    #: merges performed by this shard's engine (background + inline).
+    compactions: int = 0
 
     @property
     def ratio(self) -> float:

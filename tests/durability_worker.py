@@ -20,6 +20,12 @@ This module is imported by the test (for the op generators and the pure
 
     python durability_worker.py lsm <dir> <sync_mode> <seed>
     python durability_worker.py tierbase <dir> <seed>
+    python durability_worker.py compaction <dir> <sync_mode> <seed>
+
+The ``compaction`` mode is the adversarial flavour: background compaction
+enabled (a merge can be mid-flight at any kill point), batched ``put_many``
+writes (a torn batch must replay as a prefix), and scans parked across the
+compactor's table swaps.
 """
 
 from __future__ import annotations
@@ -69,6 +75,63 @@ def apply_lsm(ops) -> dict[str, str]:
         elif op[0] == "del":
             state.pop(op[1], None)
     return state
+
+
+def compaction_ops(seed: int):
+    """Deterministic op stream for the background-compaction worker.
+
+    Single puts, multi-record ``put_many`` batches, deletes, explicit
+    flushes (to pile up L0 tables for the scheduler), and scans that park a
+    reader across whatever merge is in flight.
+    """
+    rng = random.Random(seed)
+    index = 0
+    while True:
+        roll = rng.random()
+        if roll < 0.50:
+            key = f"k{rng.randrange(64):03d}"
+            filler = "x" * rng.randrange(4, 60)
+            yield ("put", key, f"v{index}:{key}:{filler}")
+        elif roll < 0.75:
+            batch = []
+            for offset in range(rng.randrange(2, 9)):
+                key = f"k{rng.randrange(64):03d}"
+                filler = "b" * rng.randrange(4, 40)
+                batch.append((key, f"v{index}.{offset}:{key}:{filler}"))
+            yield ("batch", batch)
+        elif roll < 0.85:
+            yield ("del", f"k{rng.randrange(64):03d}")
+        elif roll < 0.95:
+            yield ("flush",)
+        else:
+            yield ("scan",)
+        index += 1
+
+
+def apply_compaction(ops) -> dict[str, str]:
+    """Live key→value state after applying ``ops`` in order.
+
+    A ``batch`` op applies its records in order with last-write-wins, same
+    as ``LSMEngine.put_many``; ``flush``/``scan`` do not change state.
+    """
+    state: dict[str, str] = {}
+    for op in ops:
+        if op[0] == "put":
+            state[op[1]] = op[2]
+        elif op[0] == "batch":
+            for key, value in op[1]:
+                state[key] = value
+        elif op[0] == "del":
+            state.pop(op[1], None)
+    return state
+
+
+def apply_partial_batch(state: dict[str, str], batch, cut: int) -> dict[str, str]:
+    """State after the first ``cut`` records of a torn ``put_many`` batch."""
+    partial = dict(state)
+    for key, value in batch[:cut]:
+        partial[key] = value
+    return partial
 
 
 def tierbase_ops(seed: int):
@@ -150,6 +213,35 @@ def run_lsm(directory: str, sync_mode: str, seed: int) -> None:
         _ack(index)
 
 
+def run_compaction(directory: str, sync_mode: str, seed: int) -> None:
+    import itertools
+
+    from repro.lsm.engine import LSMEngine
+
+    engine = LSMEngine(
+        directory,
+        memtable_bytes=1024,
+        compaction_trigger=2,
+        sync_mode=sync_mode,
+        background_compaction=True,
+    )
+    for index, op in enumerate(compaction_ops(seed)):
+        if index >= MAX_OPS:
+            break
+        if op[0] == "put":
+            engine.put(op[1], op[2])
+        elif op[0] == "batch":
+            engine.put_many(op[1])
+        elif op[0] == "del":
+            engine.delete(op[1])
+        elif op[0] == "flush":
+            engine.flush()
+        else:
+            # Park a reader partway through a scan while merges run.
+            list(itertools.islice(engine.scan(), 8))
+        _ack(index)
+
+
 def run_tierbase(directory: str, seed: int) -> None:
     from repro.tierbase import TierBase, ZstdDictValueCompressor
 
@@ -174,6 +266,8 @@ def main(argv: list[str]) -> int:
     mode = argv[0]
     if mode == "lsm":
         run_lsm(argv[1], argv[2], int(argv[3]))
+    elif mode == "compaction":
+        run_compaction(argv[1], argv[2], int(argv[3]))
     elif mode == "tierbase":
         run_tierbase(argv[1], int(argv[2]))
     else:

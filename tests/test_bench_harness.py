@@ -62,11 +62,13 @@ class TestGrid:
         assert [cell["a"] for cell in cells] == [1, 1, 1, 2, 2, 2]
 
     def test_registered_areas(self):
-        assert set(AREAS) == {"wire", "service"}
+        assert set(AREAS) == {"wire", "service", "sustained"}
         assert AREAS["wire"].kind == "closed_wire"
         assert AREAS["service"].kind == "open_scenario"
-        for grid in AREAS.values():
-            assert len(grid.cells()) == 4
+        assert AREAS["sustained"].kind == "sustained_write"
+        assert len(AREAS["wire"].cells()) == 4
+        assert len(AREAS["service"].cells()) == 4
+        assert len(AREAS["sustained"].cells()) == 3
 
     def test_unknown_area_is_rejected(self):
         with pytest.raises(BenchHarnessError, match="unknown bench area"):
@@ -238,6 +240,36 @@ class TestCompare:
         with pytest.raises(BenchHarnessError, match="threshold"):
             compare_documents(wire_document, wire_document, threshold=-0.1)
 
+    def test_latency_regression_fails_only_when_gated(self, wire_document):
+        lagged = copy.deepcopy(wire_document)
+        for row in lagged["rows"]:
+            if row["codec"] == "pbc_f" and row["pipeline_depth"] == 8:
+                row["p99_ms"] = row["p99_ms"] * 10 + 5.0
+        # Without the gate, a pure latency regression passes...
+        _, regressions = compare_documents(wire_document, lagged, threshold=0.15)
+        assert regressions == 0
+        # ...with it, the lagged cell fails as "slower".
+        report, regressions = compare_documents(
+            wire_document, lagged, threshold=0.15, latency_threshold=0.5
+        )
+        assert regressions == 1
+        (slower,) = [row for row in report if row["status"] == "slower"]
+        assert slower["cell"] == "codec=pbc_f, pipeline_depth=8"
+        assert slower["new_p99_ms"] > slower["old_p99_ms"]
+
+    def test_latency_within_threshold_passes(self, wire_document):
+        report, regressions = compare_documents(
+            wire_document, wire_document, threshold=0.15, latency_threshold=0.5
+        )
+        assert regressions == 0
+        assert {row["status"] for row in report} == {"ok"}
+
+    def test_negative_latency_threshold_rejected(self, wire_document):
+        with pytest.raises(BenchHarnessError, match="latency"):
+            compare_documents(
+                wire_document, wire_document, latency_threshold=-0.5
+            )
+
 
 # ------------------------------------------------------------------------ CLI
 
@@ -256,7 +288,7 @@ class TestCli:
     def test_bench_list_raw_is_json(self, capsys):
         assert main(["bench", "list", "--raw"]) == 0
         rows = json.loads(capsys.readouterr().out)
-        assert [row["area"] for row in rows] == ["wire", "service"]
+        assert [row["area"] for row in rows] == ["wire", "service", "sustained"]
 
     def test_compare_identical_exits_zero(self, tmp_path, wire_document, capsys):
         path = self._write(tmp_path, "a.json", wire_document)

@@ -1,0 +1,186 @@
+"""Compaction soak: concurrent writers/scanners plus kill-at-random-point
+crash injection while background compaction is running.
+
+The crash harness reuses the exact-ack protocol of ``test_durability.py``
+(see ``durability_worker.py``): the worker runs a deterministic op stream —
+single puts, batched ``put_many``, deletes, flushes, parked scans — against
+a background-compaction engine and acks each completed op over a pipe.  The
+parent SIGKILLs it after ``m`` acks land, so the kill falls into an
+arbitrary crash window: mid-WAL-batch, mid-flush, or — the new surface —
+mid-*merge* on the scheduler thread (torn ``.tmp`` output, output published
+but inputs not yet retired).  Recovery must land on a state explained by
+the ack stream: some acked prefix, at most one unacked op, and for a torn
+``put_many`` batch a strict prefix of that batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))  # for durability_worker
+import durability_worker as worker
+
+from tests.test_durability import matching_prefix, run_and_kill
+
+from repro.lsm import LSMEngine
+
+
+def compaction_candidates(
+    ops: list, lower: int, upper: int
+) -> list[dict[str, str]]:
+    """Every legal recovered state: full prefixes plus torn-batch prefixes.
+
+    For each candidate completed-op count ``m`` the state after ``ops[:m]``
+    is legal; if ``ops[m]`` is a ``put_many`` batch, the WAL may addition-
+    ally have persisted any strict prefix of that batch (a torn batch
+    replays as a prefix — the engine's documented guarantee).
+    """
+    states = []
+    for m in range(lower, upper):
+        base = worker.apply_compaction(ops[:m])
+        states.append(base)
+        if m < len(ops) and ops[m][0] == "batch":
+            for cut in range(1, len(ops[m][1])):
+                states.append(worker.apply_partial_batch(base, ops[m][1], cut))
+    return states
+
+
+def check_compaction_recovery(
+    directory: Path, sync_mode: str, seed: int, m_drained: int
+) -> None:
+    ops = list(itertools.islice(worker.compaction_ops(seed), m_drained + 2))
+    # Recover with the same background configuration the worker crashed
+    # under: the scheduler must come up cleanly over whatever the kill left
+    # (quarantined tmp files, superseded tables, a torn WAL tail).
+    engine = LSMEngine(
+        directory,
+        memtable_bytes=1024,
+        compaction_trigger=2,
+        sync_mode=sync_mode,
+        background_compaction=True,
+    )
+    try:
+        recovered = dict(engine.scan())
+    finally:
+        engine.close()
+    lower = 0 if sync_mode == "none" else m_drained
+    candidates = compaction_candidates(ops, lower, m_drained + 2)
+    match = matching_prefix(recovered, candidates)
+    assert match is not None, (
+        f"recovered state matches no acked prefix (sync_mode={sync_mode}, "
+        f"seed={seed}, m_drained={m_drained}): {sorted(recovered)[:6]}..."
+    )
+
+
+class TestCrashDuringBackgroundCompaction:
+    @pytest.mark.parametrize("seed", [11, 47, 203])
+    @pytest.mark.parametrize("sync_mode", ["fsync", "flush"])
+    def test_kill_at_random_point_recovers_acked_prefix(
+        self, tmp_path, sync_mode, seed
+    ):
+        kill_after = 40 + (seed % 37)
+        m = run_and_kill(
+            ["compaction", str(tmp_path), sync_mode, str(seed)], kill_after
+        )
+        check_compaction_recovery(tmp_path, sync_mode, seed, m)
+
+    def test_kill_in_none_mode_recovers_some_prefix(self, tmp_path):
+        seed = 77
+        m = run_and_kill(["compaction", str(tmp_path), "none", str(seed)], 60)
+        check_compaction_recovery(tmp_path, "none", seed, m)
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        """Re-opening a crashed store repeatedly converges: same state every
+        time, no quarantine churn after the first recovery."""
+        seed = 31
+        m = run_and_kill(["compaction", str(tmp_path), "fsync", str(seed)], 55)
+        states = []
+        for _ in range(3):
+            engine = LSMEngine(
+                tmp_path,
+                memtable_bytes=1024,
+                compaction_trigger=2,
+                sync_mode="fsync",
+                background_compaction=True,
+            )
+            try:
+                states.append(dict(engine.scan()))
+            finally:
+                engine.close()
+        assert states[0] == states[1] == states[2]
+        check_compaction_recovery(tmp_path, "fsync", seed, m)
+
+
+class TestConcurrentSoak:
+    def test_writers_and_scanners_race_the_compactor(self, tmp_path):
+        """In-process soak: parallel writers (put + put_many), parallel
+        scanners parked mid-iteration, background merges throughout — no
+        exceptions, no lost acked write, scheduler healthy at the end."""
+        engine = LSMEngine(
+            tmp_path,
+            memtable_bytes=2048,
+            compaction_trigger=2,
+            sync_mode="none",
+            background_compaction=True,
+        )
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer(worker_id: int) -> None:
+            try:
+                for index in range(300):
+                    key = f"w{worker_id}:{index:04d}"
+                    if index % 5 == 4:
+                        engine.put_many(
+                            [
+                                (f"w{worker_id}:batch:{index:04d}:{n}", "b" * 48)
+                                for n in range(4)
+                            ]
+                        )
+                    else:
+                        engine.put(key, f"value-{worker_id}-{index}" + "x" * 32)
+                    if index % 40 == 39:
+                        engine.flush()
+            except BaseException as error:  # noqa: BLE001 - collected for the assert
+                errors.append(error)
+
+        def scanner() -> None:
+            try:
+                while not stop.is_set():
+                    iterator = engine.scan()
+                    for _ in itertools.islice(iterator, 50):
+                        pass  # park partway, drop the iterator mid-table
+                    list(itertools.islice(engine.scan("w1:", "w2:"), 25))
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        writers = [threading.Thread(target=writer, args=(n,)) for n in range(3)]
+        scanners = [threading.Thread(target=scanner) for _ in range(2)]
+        try:
+            for thread in writers + scanners:
+                thread.start()
+            for thread in writers:
+                thread.join(timeout=120)
+            stop.set()
+            for thread in scanners:
+                thread.join(timeout=60)
+            assert not errors, errors
+            assert all(not thread.is_alive() for thread in writers + scanners)
+            assert engine._scheduler is not None
+            assert engine._scheduler.alive and engine._scheduler.error is None
+            # Every non-overwritten write is readable after the dust settles.
+            for worker_id in range(3):
+                for index in range(0, 300, 37):
+                    if index % 5 == 4:
+                        continue  # that index issued a batch, not the keyed put
+                    key = f"w{worker_id}:{index:04d}"
+                    assert (
+                        engine.get(key) == f"value-{worker_id}-{index}" + "x" * 32
+                    ), key
+        finally:
+            engine.close()
