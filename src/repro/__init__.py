@@ -43,7 +43,7 @@ from repro.core.compressor import (
 from repro.core.extraction import ExtractionConfig, PatternExtractor
 from repro.core.pattern import Pattern, PatternDictionary
 
-__version__ = "1.10.0"
+__version__ = "1.11.0"
 
 #: Lazily re-exported from :mod:`repro.net` (keeps ``import repro`` light).
 _NET_EXPORTS = ("KVServer", "KVClient", "AsyncKVClient")

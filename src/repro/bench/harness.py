@@ -157,9 +157,13 @@ AREAS: dict[str, ExperimentGrid] = {
         ),
         ExperimentGrid(
             name="service",
-            description="YCSB mixes over the full stack: backend × mix, open loop",
+            description="YCSB mixes over the full stack: backend × mix × shards, open loop",
             kind="open_scenario",
-            dimensions={"backend": ("tierbase", "lsm"), "mix": ("ycsb_a", "ycsb_b")},
+            dimensions={
+                "backend": ("tierbase", "lsm"),
+                "mix": ("ycsb_a", "ycsb_b"),
+                "shards": (1, 4),
+            },
             base={
                 "codec": "pbc_f",
                 "sync_mode": "flush",
@@ -205,7 +209,7 @@ AREAS: dict[str, ExperimentGrid] = {
 _AREA_PAIRS: dict[str, tuple[str, ...]] = {
     "wire": ("pair_frame_decode", "pair_mvalue_decode"),
     "service": ("pair_matcher_index", "pair_service_dispatch", "pair_background_compaction"),
-    "sustained": (),
+    "sustained": ("pair_wal_encode",),
 }
 
 

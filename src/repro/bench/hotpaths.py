@@ -15,6 +15,10 @@ harness re-measures both sides live on the machine that writes the JSON:
 * :func:`legacy_service_set` / :func:`legacy_service_get` — the service's
   original single-op dispatch: one executor submit + ``Future.result()``
   handoff per operation, instead of running inline under the shard lock.
+* :func:`legacy_wal_encode_record` — the WAL record encoder before the
+  operation-log codec unified it: the body ``bytearray`` was copied once
+  into ``bytes`` for the checksum and again for the returned envelope,
+  two allocations per record on the write path.
 
 Each ``pair_*`` function times before vs after on the same workload and
 returns one optimization row for the harness
@@ -41,11 +45,13 @@ __all__ = [
     "LegacyMatcher",
     "legacy_service_get",
     "legacy_service_set",
+    "legacy_wal_encode_record",
     "pair_background_compaction",
     "pair_frame_decode",
     "pair_mvalue_decode",
     "pair_matcher_index",
     "pair_service_dispatch",
+    "pair_wal_encode",
 ]
 
 
@@ -450,3 +456,64 @@ def pair_background_compaction(seconds: float | None = None) -> dict:
         }
     )
     return row
+
+
+# --------------------------------------------------------- WAL record encoding
+
+
+def legacy_wal_encode_record(op: int, key: str, value: str) -> bytes:
+    """The pre-oplog WAL encoder, verbatim: two body copies per record.
+
+    ``zlib.crc32(bytes(body))`` copied the body once for the checksum and
+    ``... + bytes(body)`` copied it again into the returned envelope (plus
+    the final concatenation's own allocation).  The operation-log codec
+    (:func:`repro.oplog.append_record`) checksums the ``bytearray`` directly
+    and assembles envelope + body into one output buffer.
+    """
+    import zlib
+
+    from repro.entropy.varint import encode_uvarint
+
+    key_bytes = key.encode("utf-8")
+    value_bytes = value.encode("utf-8")
+    body = bytearray()
+    body.append(op)
+    body += encode_uvarint(len(key_bytes))
+    body += key_bytes
+    body += encode_uvarint(len(value_bytes))
+    body += value_bytes
+    checksum = zlib.crc32(bytes(body))
+    return encode_uvarint(len(body)) + checksum.to_bytes(4, "big") + bytes(body)
+
+
+def pair_wal_encode(records: int = 4000, value_bytes: int = 256, repeats: int = 5) -> dict:
+    """Double-copy WAL record encoding vs the single-buffer oplog codec.
+
+    Both sides encode the same batch of put records into one contiguous
+    buffer, exactly what ``append_many`` writes with one syscall.  The
+    before side concatenates :func:`legacy_wal_encode_record` outputs; the
+    after side streams :class:`~repro.oplog.OpRecord` instances through
+    :func:`repro.oplog.append_record` into a shared ``bytearray``.
+    """
+    from repro.oplog import OP_PUT, OpRecord, append_record
+
+    value = "v" * value_bytes
+    keys = [f"bench:key:{index:08d}" for index in range(records)]
+    batch = [OpRecord(lsn=index + 1, op=OP_PUT, key=key, value=value.encode("utf-8"))
+             for index, key in enumerate(keys)]
+
+    def run_before() -> int:
+        buffer = bytearray()
+        for key in keys:
+            buffer += legacy_wal_encode_record(OP_PUT, key, value)
+        return len(keys)
+
+    def run_after() -> int:
+        buffer = bytearray()
+        for record in batch:
+            append_record(buffer, record)
+        return len(batch)
+
+    before = _best_rate(run_before, repeats=repeats)
+    after = _best_rate(run_after, repeats=repeats)
+    return _pair_row("wal_record_encode", "records_per_second", before, after)

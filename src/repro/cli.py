@@ -698,6 +698,31 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_oplog_dump(args: argparse.Namespace) -> int:
+    from repro.oplog import OP_CHECKPOINT, OP_DELETE, OP_PUT, iter_records
+
+    op_names = {OP_PUT: "put", OP_DELETE: "delete", OP_CHECKPOINT: "checkpoint"}
+    data = Path(args.file).read_bytes()
+    rows = []
+    for record in iter_records(data, start_lsn=args.start_lsn):
+        rows.append(
+            {
+                "lsn": record.lsn,
+                "op": op_names.get(record.op, f"op{record.op}"),
+                "key": record.key,
+                "value_bytes": len(record.value),
+                "epoch": record.epoch,
+            }
+        )
+    if args.raw:
+        import json
+
+        print(json.dumps(rows, indent=2))
+    else:
+        print(render_table(rows, title=f"oplog {args.file} ({len(rows)} records)"))
+    return 0
+
+
 def _cmd_bench_list(args: argparse.Namespace) -> int:
     from repro.bench import harness
 
@@ -1155,6 +1180,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--sort", default="cumulative", help="pstats sort key (default cumulative)"
     )
     bench_profile.set_defaults(func=_cmd_bench_profile)
+
+    oplog = subparsers.add_parser(
+        "oplog", help="inspect LSN-stamped operation-log artifacts"
+    )
+    oplog_sub = oplog.add_subparsers(dest="oplog_command", required=True)
+
+    oplog_dump = oplog_sub.add_parser(
+        "dump", help="decode a WAL/oplog file record by record (stops at torn tail)"
+    )
+    oplog_dump.add_argument("file", help="path to the log file")
+    oplog_dump.add_argument(
+        "--start-lsn", type=int, default=0,
+        help="LSN the file is expected to continue from (default 0)",
+    )
+    oplog_dump.add_argument("--raw", action="store_true", help="print records as JSON")
+    oplog_dump.set_defaults(func=_cmd_oplog_dump)
 
     return parser
 

@@ -137,6 +137,26 @@ class RemoteError(NetError):
         self.remote_message = remote_message
 
 
+class OplogError(ReproError):
+    """A :mod:`repro.oplog` operation failed (closed sink/subscription, bad
+    sequencer or ring configuration)."""
+
+
+class SubscriberLagError(OplogError):
+    """An operation-log subscriber was overrun: the bounded ring evicted
+    records it had not read yet.
+
+    The subscriber's cursor is resynchronised to the oldest retained record,
+    but the stream it sees now has a gap — a follower must re-seed from a
+    snapshot rather than keep applying.  ``missed`` counts the evicted
+    records.
+    """
+
+    def __init__(self, message: str, missed: int = 0) -> None:
+        super().__init__(message)
+        self.missed = missed
+
+
 class ModelEpochError(CodecError):
     """A payload references a trained-model epoch that is no longer retained.
 

@@ -2,7 +2,7 @@
 
 Durability on a POSIX file system is a three-step contract, and every layer
 that persists state (the LSM write-ahead log, SSTable publication, the
-TierBase ``TBS1`` snapshot, the persisted model store) goes through the same
+TierBase ``TBS2`` snapshot, the persisted model store) goes through the same
 helpers so none of them forgets a step:
 
 1. ``flush`` — drain Python's userspace buffer into the kernel.  After this a

@@ -71,6 +71,8 @@ from repro.lsm.sstable import (
     write_sstable_stream,
 )
 from repro.lsm.wal import OP_DELETE, OP_PUT, SYNC_MODES, WriteAheadLog
+from repro.oplog.log import OperationLog
+from repro.oplog.sink import LogSink
 
 #: Subdirectory where recovery parks leftover ``*.tmp`` files and superseded
 #: tables (never deleted: they are evidence of a crash, and deleting data is
@@ -186,6 +188,7 @@ class LSMEngine:
         level_policies: Mapping[int, StoragePolicy] | None = None,
         compaction: CompactionConfig | None = None,
         compaction_hook: Callable[[int], None] | None = None,
+        epoch_provider: Callable[[], int] | None = None,
     ) -> None:
         if memtable_bytes < 1:
             raise StoreError("memtable size threshold must be positive")
@@ -214,6 +217,13 @@ class LSMEngine:
             sync_mode=sync_mode,
             fsync_interval_bytes=fsync_interval_bytes,
         )
+        #: the shard's mutation spine: sequences every put/delete, fans the
+        #: LSN-stamped records to the WAL and any attached replication sinks.
+        self._oplog = OperationLog(sinks=[self._wal])
+        self._epoch_provider = epoch_provider
+        #: contiguous max LSN the write-ahead log replayed at startup (0 for
+        #: a fresh or fully-flushed-then-legacy directory).
+        self.recovered_lsn = 0
         #: live tables ordered oldest-data-first.  Invariant: sorted by
         #: ``(table_id, level)``, and level is non-increasing as id grows
         #: (deep levels hold old data, L0 the newest), because a merge's
@@ -287,11 +297,17 @@ class LSMEngine:
             table.level = level
             table.policy.acquire_block_epochs(table.block_epochs())
             self._tables.append(table)
-        for op, key, value in self._wal.replay():
-            if op == OP_PUT:
-                self._memtable.put(key, value)
-            elif op == OP_DELETE:
-                self._memtable.delete(key)
+        for record in self._wal.replay_records():
+            if record.op == OP_PUT:
+                self._memtable.put(record.key, record.value.decode("utf-8"))
+            elif record.op == OP_DELETE:
+                self._memtable.delete(record.key)
+            # Checkpoints carry no mutation, only the LSN watermark below.
+            self.recovered_lsn = record.lsn
+        # Resume the sequence past everything replayed (legacy records come
+        # back with synthesised LSNs, checkpoints with the flushed prefix's
+        # last LSN) — an LSN is never issued twice across a reopen.
+        self._oplog.advance_to(self.recovered_lsn)
 
     def _resolve_policy(self, path: Path, level: int) -> StoragePolicy:
         """Pick the storage policy a recovered table was written with.
@@ -366,27 +382,35 @@ class LSMEngine:
 
     # ------------------------------------------------------------------ write
 
-    def put(self, key: str, value: str) -> None:
-        """Insert or overwrite ``key``."""
+    def _current_epoch(self) -> int:
+        return self._epoch_provider() if self._epoch_provider is not None else 0
+
+    def put(self, key: str, value: str) -> int:
+        """Insert or overwrite ``key``; returns the assigned LSN."""
         self._require_open()
         with self._lock:
-            self._wal.append_put(key, value)
+            record = self._oplog.append(
+                OP_PUT, key, value.encode("utf-8"), self._current_epoch()
+            )
             self._memtable.put(key, value)
             self._maybe_flush()
         self._admission_control()
+        return record.lsn
 
-    def delete(self, key: str) -> None:
-        """Delete ``key`` (a no-op if it never existed)."""
+    def delete(self, key: str) -> int:
+        """Delete ``key`` (a no-op if it never existed); returns the LSN."""
         self._require_open()
         with self._lock:
-            self._wal.append_delete(key)
+            record = self._oplog.append(OP_DELETE, key, b"", self._current_epoch())
             self._memtable.delete(key)
             self._maybe_flush()
         self._admission_control()
+        return record.lsn
 
-    def put_many(self, items: Sequence[tuple[str, str]]) -> None:
+    def put_many(self, items: Sequence[tuple[str, str]]) -> int:
         """Bulk insert: one batched WAL write, one flush check, one throttle.
 
+        Returns the batch's **last** assigned LSN (0 for an empty batch).
         The WAL batch is a single buffer/flush/fsync, so an N-record batch
         pays one durability barrier instead of N (same ``sync_mode``
         guarantee: the batch is acknowledged only once the whole buffer is
@@ -395,13 +419,17 @@ class LSMEngine:
         self._require_open()
         items = list(items)
         if not items:
-            return
+            return self._oplog.last_lsn
         with self._lock:
-            self._wal.append_many([(OP_PUT, key, value) for key, value in items])
+            epoch = self._current_epoch()
+            records = self._oplog.append_many(
+                [(OP_PUT, key, value.encode("utf-8"), epoch) for key, value in items]
+            )
             for key, value in items:
                 self._memtable.put(key, value)
             self._maybe_flush()
         self._admission_control()
+        return records[-1].lsn
 
     def _maybe_flush(self) -> None:
         if self._memtable.approximate_bytes >= self.memtable_bytes:
@@ -486,13 +514,35 @@ class LSMEngine:
                 return
             self._tables.append(self._publish_sstable(list(self._memtable.items())))
             self._memtable.clear()
-            self._wal.reset()
+            # Checkpoint the truncated log with the LSN the flushed prefix
+            # reached: recovery resumes the sequence there, never reuses one.
+            self._wal.reset(checkpoint_lsn=self._oplog.last_lsn)
             self._flushes += 1
         if self._scheduler is not None:
             self._scheduler.notify()
         else:
             while self._compact_once():
                 pass
+
+    # -------------------------------------------------------------- operation log
+
+    @property
+    def oplog(self) -> OperationLog:
+        """The engine's mutation spine (attach replication sinks here)."""
+        return self._oplog
+
+    @property
+    def last_applied_lsn(self) -> int:
+        """The newest LSN this engine has assigned (0 before the first write)."""
+        return self._oplog.last_lsn
+
+    def attach_sink(self, sink: LogSink) -> LogSink:
+        """Attach a sink (e.g. a :class:`~repro.oplog.sink.SubscriberSink`);
+        it sees every mutation from this point on, in LSN order."""
+        return self._oplog.attach(sink)
+
+    def detach_sink(self, sink: LogSink) -> None:
+        self._oplog.detach(sink)
 
     # ------------------------------------------------------------------- read
 

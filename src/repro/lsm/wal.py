@@ -1,66 +1,51 @@
-"""Write-ahead log of the LSM engine.
+"""Write-ahead log of the LSM engine — a thin wrapper over the operation log's
+:class:`~repro.oplog.disk.DiskSink`.
 
-Every mutation is appended to the log before it is applied to the memtable, so
-an engine that crashes before flushing can rebuild the memtable on restart.
-Each entry carries a CRC32 of its body; replay stops at the first corrupt or
-truncated entry, which models the standard "torn tail" recovery behaviour of
-LevelDB/RocksDB logs.
+The file mechanics (append, durability policy, torn-tail replay, truncate)
+moved to :mod:`repro.oplog.disk` in the operation-log refactor; this module
+keeps the WAL's historical API and adds the LSN-aware one:
 
-What an *acknowledged* append guarantees is the log's ``sync_mode`` policy
-(docs/ARCHITECTURE.md, "Durability"):
+* the legacy methods (:meth:`WriteAheadLog.append_put` /
+  :meth:`~WriteAheadLog.append_delete` / :meth:`~WriteAheadLog.append_many`,
+  and :meth:`~WriteAheadLog.replay`'s ``(op, key, value)`` tuples) still
+  write and read the pre-LSN record format, byte-identical to old files —
+  they exist for direct-WAL callers and the mixed-version tests;
+* as a :class:`~repro.oplog.sink.LogSink`, :meth:`WriteAheadLog.append`
+  accepts sequenced :class:`~repro.oplog.record.OpRecord`\\ s from the
+  engine's :class:`~repro.oplog.log.OperationLog`, and
+  :meth:`~WriteAheadLog.replay_records` yields them back as a gap-free LSN
+  prefix (legacy records replay with synthesised LSNs, so an old file
+  reopens seamlessly under the new contract);
+* :meth:`~WriteAheadLog.reset` takes the flushed prefix's last LSN and
+  stamps it into the fresh file as an ``OP_CHECKPOINT`` record, so a shard
+  never re-issues an LSN across flush/reopen.
 
-* ``"none"`` — records may sit in Python's userspace buffer; a process kill
-  (SIGKILL) can lose every buffered record.  The throughput baseline.
-* ``"flush"`` (default) — every append drains the userspace buffer into the
-  kernel, so a **process** crash loses nothing; a machine/power crash can
-  still lose the kernel's page cache.  This is the mode the original module
-  docstring promised and — the PR-5 bugfix — never actually delivered: records
-  stayed in the userspace buffer and an acknowledged ``put`` vanished on kill.
-* ``"fsync"`` — every append additionally ``os.fsync``-es the file, so even a
-  machine crash loses nothing acknowledged.  ``fsync_interval_bytes > 0``
-  relaxes this to group commit: at most that many appended bytes ride between
-  fsyncs (the unsynced tail a machine crash may lose).
-
-``sync()`` is always the hard barrier (flush + ``os.fsync``) regardless of
-mode.
+What an *acknowledged* append guarantees is the ``sync_mode`` policy
+(``"none"`` / ``"flush"`` / ``"fsync"``, plus ``fsync_interval_bytes`` group
+commit) documented on :class:`~repro.oplog.disk.DiskSink` and in
+docs/ARCHITECTURE.md ("Durability").  ``sync()`` is always the hard barrier
+(flush + ``os.fsync``) regardless of mode.
 """
 
 from __future__ import annotations
 
-import os
-import time
-import zlib
 from pathlib import Path
 from typing import Iterator, Sequence
 
-from repro.entropy.varint import decode_uvarint, encode_uvarint
-from repro.exceptions import StoreError
-from repro.ioutil import fsync_directory
+from repro.oplog.disk import SYNC_MODES, DiskSink
+from repro.oplog.record import (
+    OP_DELETE,
+    OP_PUT,
+    OpRecord,
+    encode_legacy_record,
+)
+from repro.oplog.sink import LogSink
 
-#: Operation tags used in log entries.
-OP_PUT = 1
-OP_DELETE = 2
-
-#: Accepted per-append durability policies, weakest to strongest.
-SYNC_MODES = ("none", "flush", "fsync")
-
-
-def _encode_record(op: int, key: str, value: str) -> bytes:
-    """One log record: uvarint body length, CRC32 of the body, body."""
-    key_bytes = key.encode("utf-8")
-    value_bytes = value.encode("utf-8")
-    body = bytearray()
-    body.append(op)
-    body += encode_uvarint(len(key_bytes))
-    body += key_bytes
-    body += encode_uvarint(len(value_bytes))
-    body += value_bytes
-    checksum = zlib.crc32(bytes(body))
-    return encode_uvarint(len(body)) + checksum.to_bytes(4, "big") + bytes(body)
+__all__ = ["OP_DELETE", "OP_PUT", "SYNC_MODES", "WriteAheadLog"]
 
 
-class WriteAheadLog:
-    """Append-only log of ``put`` / ``delete`` operations."""
+class WriteAheadLog(LogSink):
+    """Append-only log of ``put`` / ``delete`` operations (LSN-aware)."""
 
     def __init__(
         self,
@@ -68,154 +53,117 @@ class WriteAheadLog:
         sync_mode: str = "flush",
         fsync_interval_bytes: int = 0,
     ) -> None:
-        if sync_mode not in SYNC_MODES:
-            raise StoreError(f"unknown sync_mode {sync_mode!r}; choose from {SYNC_MODES}")
-        if fsync_interval_bytes < 0:
-            raise StoreError("fsync_interval_bytes must be >= 0")
-        self.path = Path(path)
-        self.sync_mode = sync_mode
-        self.fsync_interval_bytes = fsync_interval_bytes
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._file = open(self.path, "ab")
-        self._unsynced_bytes = 0
-        #: fsync barriers taken and their cumulative wall time, for the
-        #: ``repro_shard_wal_fsync*`` metrics (process-lifetime, not replayed).
-        self.fsyncs = 0
-        self.fsync_seconds = 0.0
+        self._sink = DiskSink(
+            path, sync_mode=sync_mode, fsync_interval_bytes=fsync_interval_bytes
+        )
 
-    def _fsync(self) -> None:
-        started = time.perf_counter()
-        os.fsync(self._file.fileno())
-        self.fsync_seconds += time.perf_counter() - started
-        self.fsyncs += 1
-        self._unsynced_bytes = 0
+    # ------------------------------------------------------------ sink facade
+
+    @property
+    def path(self) -> Path:
+        return self._sink.path
+
+    @property
+    def sync_mode(self) -> str:
+        return self._sink.sync_mode
+
+    @property
+    def fsync_interval_bytes(self) -> int:
+        return self._sink.fsync_interval_bytes
+
+    @property
+    def fsyncs(self) -> int:
+        """fsync barriers taken (process-lifetime, not replayed)."""
+        return self._sink.fsyncs
+
+    @property
+    def fsync_seconds(self) -> float:
+        """Cumulative wall time spent inside fsync barriers."""
+        return self._sink.fsync_seconds
 
     # ------------------------------------------------------------------ write
 
+    def append(self, records: Sequence[OpRecord]) -> None:
+        """LogSink entry point: write sequenced LSN-stamped records (batched:
+        one buffer, one durability barrier for the whole batch)."""
+        self._sink.append(records)
+
     def append_put(self, key: str, value: str) -> None:
-        """Log an insert/overwrite."""
-        self._append(OP_PUT, key, value)
+        """Log an insert/overwrite in the legacy (pre-LSN) record format."""
+        self._sink.append_raw(encode_legacy_record(OP_PUT, key, value))
 
     def append_delete(self, key: str) -> None:
-        """Log a deletion."""
-        self._append(OP_DELETE, key, "")
+        """Log a deletion in the legacy (pre-LSN) record format."""
+        self._sink.append_raw(encode_legacy_record(OP_DELETE, key, ""))
 
     def append_many(self, records: Sequence[tuple[int, str, str]]) -> None:
-        """Log a batch of ``(op, key, value)`` records with **one** write.
+        """Log a batch of legacy ``(op, key, value)`` records with **one** write.
 
         The batch is encoded into a single buffer, written with one syscall
-        and flushed/fsynced once, so an N-record ``put_many`` pays one
-        durability barrier instead of N.  The ``sync_mode`` guarantee is
-        unchanged — the batch is not acknowledged until the whole buffer has
-        reached the mode's durability point — and each record still carries
-        its own CRC, so a torn batch replays as a valid prefix.
+        and flushed/fsynced once, so an N-record batch pays one durability
+        barrier instead of N.  Each record still carries its own CRC, so a
+        torn batch replays as a valid prefix.
         """
         if not records:
             return
-        if self._file.closed:
-            raise StoreError("write-ahead log is closed")
         buffer = bytearray()
         for op, key, value in records:
-            buffer += _encode_record(op, key, value)
-        self._file.write(bytes(buffer))
-        self._after_write(len(buffer))
-
-    def _append(self, op: int, key: str, value: str) -> None:
-        if self._file.closed:
-            raise StoreError("write-ahead log is closed")
-        record = _encode_record(op, key, value)
-        self._file.write(record)
-        self._after_write(len(record))
-
-    def _after_write(self, written_bytes: int) -> None:
-        """Apply the ``sync_mode`` durability policy to freshly written bytes."""
-        if self.sync_mode == "none":
-            return
-        self._file.flush()
-        if self.sync_mode == "fsync":
-            self._unsynced_bytes += written_bytes
-            if self.fsync_interval_bytes == 0 or self._unsynced_bytes >= self.fsync_interval_bytes:
-                self._fsync()
+            buffer += encode_legacy_record(op, key, value)
+        self._sink.append_raw(bytes(buffer))
 
     def flush(self) -> None:
         """Drain the userspace buffer into the kernel (survives a process kill)."""
-        if not self._file.closed:
-            self._file.flush()
+        self._sink.flush()
 
     def sync(self) -> None:
         """Hard durability barrier: flush and ``os.fsync`` regardless of mode."""
-        if not self._file.closed:
-            self._file.flush()
-            self._fsync()
+        self._sink.sync()
 
     # ------------------------------------------------------------------- read
 
-    def replay(self) -> Iterator[tuple[int, str, str]]:
-        """Yield ``(op, key, value)`` for every intact entry, oldest first.
+    def replay_records(self, start_lsn: int = 0) -> Iterator[OpRecord]:
+        """Every intact record, oldest first, as a gap-free LSN prefix.
 
-        Replay stops silently at the first truncated or corrupt entry: the tail
-        of a log written during a crash is expected to be damaged and everything
-        before it is still valid.
+        Stops at the first torn/corrupt entry or LSN gap (see
+        :func:`repro.oplog.record.iter_records`); legacy records come back
+        with synthesised contiguous LSNs, checkpoints with the LSN the
+        truncated prefix had reached.
         """
-        self.flush()
-        try:
-            data = self.path.read_bytes()
-        except FileNotFoundError:
-            return
-        offset = 0
-        total = len(data)
-        while offset < total:
-            try:
-                body_length, body_start = decode_uvarint(data, offset)
-            except Exception:
-                return
-            checksum_end = body_start + 4
-            body_end = checksum_end + body_length
-            if body_end > total:
-                return
-            expected_checksum = int.from_bytes(data[body_start:checksum_end], "big")
-            body = data[checksum_end:body_end]
-            if zlib.crc32(body) != expected_checksum:
-                return
-            op = body[0]
-            key_length, position = decode_uvarint(body, 1)
-            key = body[position : position + key_length].decode("utf-8")
-            position += key_length
-            value_length, position = decode_uvarint(body, position)
-            value = body[position : position + value_length].decode("utf-8")
-            yield op, key, value
-            offset = body_end
+        return self._sink.replay(start_lsn=start_lsn)
+
+    def replay(self) -> Iterator[tuple[int, str, str]]:
+        """Yield ``(op, key, value)`` for every intact mutation, oldest first.
+
+        The historical 3-tuple API: checkpoint control records are skipped
+        and values are decoded to text.  Replay stops silently at the first
+        truncated or corrupt entry — the torn tail of a crash — and
+        everything before it is still valid.
+        """
+        for record in self.replay_records():
+            if record.checkpoint():
+                continue
+            yield record.op, record.key, record.value.decode("utf-8")
 
     # ------------------------------------------------------------ maintenance
 
-    def reset(self) -> None:
+    def reset(self, checkpoint_lsn: int = 0) -> None:
         """Truncate the log (after the memtable it protects has been flushed).
 
-        In ``"fsync"`` mode the truncation itself is fsynced (file and
-        directory): a machine crash right after a flush must not resurrect the
-        pre-flush log over the already-published SSTable's directory state.
+        ``checkpoint_lsn`` is the LSN the flushed prefix reached; when
+        positive, the fresh file opens with an ``OP_CHECKPOINT`` record
+        carrying it, so recovery resumes the shard's sequence instead of
+        re-issuing LSNs.  In ``"fsync"`` mode the truncation is fsynced
+        (file and directory): a machine crash right after a flush must not
+        resurrect the pre-flush log over the already-published SSTable's
+        directory state.
         """
-        if not self._file.closed:
-            self._file.close()
-        self._file = open(self.path, "wb")
-        if self.sync_mode == "fsync":
-            self._fsync()
-        self._file.close()
-        self._file = open(self.path, "ab")
-        self._unsynced_bytes = 0
-        if self.sync_mode == "fsync":
-            fsync_directory(self.path.parent)
+        self._sink.reset(checkpoint_lsn=checkpoint_lsn)
 
     def close(self) -> None:
         """Close the underlying file (fsyncing first in ``"fsync"`` mode)."""
-        if not self._file.closed:
-            self._file.flush()
-            if self.sync_mode == "fsync":
-                self._fsync()
-            self._file.close()
+        self._sink.close()
 
     @property
     def size_bytes(self) -> int:
         """Current size of the log file."""
-        self.flush()
-        return self.path.stat().st_size if self.path.exists() else 0
+        return self._sink.size_bytes

@@ -295,7 +295,7 @@ class KVServer:
         )
         self._shard_disk = registry.gauge(
             "repro_shard_bytes_on_disk",
-            "Durable footprint per shard (SSTables + WAL, or TBS1 snapshot).",
+            "Durable footprint per shard (SSTables + WAL, or TBS2 snapshot).",
             shard_labels,
         )
         self._shard_sstables = registry.gauge(
@@ -338,6 +338,16 @@ class KVServer:
         self._shard_compactions = registry.gauge(
             "repro_shard_compactions", "Compaction merges performed, per shard.", shard_labels
         )
+        self._shard_last_lsn = registry.gauge(
+            "repro_shard_last_lsn",
+            "Newest operation-log LSN applied, per shard (read-your-writes watermark).",
+            shard_labels,
+        )
+        self._oplog_subscriber_lag = registry.gauge(
+            "repro_oplog_subscriber_lag_records",
+            "Worst operation-log subscriber backlog in records, per shard.",
+            shard_labels,
+        )
         self._cache_hit_rate = registry.gauge(
             "repro_cache_hit_rate", "Service cache hit rate over its lifetime."
         )
@@ -376,6 +386,8 @@ class KVServer:
             self._shard_pending_compaction.labels(*labels).set(shard.pending_compaction_bytes)
             self._shard_stall_seconds.labels(*labels).set(shard.compaction_stall_seconds)
             self._shard_compactions.labels(*labels).set(shard.compactions)
+            self._shard_last_lsn.labels(*labels).set(shard.last_lsn)
+            self._oplog_subscriber_lag.labels(*labels).set(shard.oplog_lag_records)
         self._cache_hit_rate.set(snapshot.cache.hit_rate)
         self._cache_entries.set(snapshot.cache.entries)
         self._service_keys.set(snapshot.keys)
@@ -470,7 +482,7 @@ class KVServer:
         try:
             if drain and not self.service.closed:
                 # Every answered request is now durable: persistent shards
-                # write their WAL barrier / TBS1 snapshot before the server
+                # write their WAL barrier / TBS2 snapshot before the server
                 # exits, so a restart on the same data directory serves every
                 # acknowledged key.  Bridged off the loop like any other
                 # blocking service call.

@@ -1,0 +1,57 @@
+"""The operation log: every mutation in the system as one LSN-stamped stream.
+
+This package is the replication-ready spine the ROADMAP's replication item
+builds on.  Each shard owns an :class:`OperationLog` that assigns a per-shard
+monotone **log sequence number** to every mutation, wraps it in an
+:class:`OpRecord` (op tag, key, value bytes, codec epoch), and fans it to
+pluggable :class:`LogSink`\\ s:
+
+* :class:`DiskSink` — the durable sink; the LSM write-ahead log is now a
+  thin wrapper over it, and its files replay as a gap-free LSN prefix with
+  the torn-tail contract (pre-LSN files replay with synthesised LSNs);
+* :class:`SubscriberSink` — a bounded in-memory ring with writer-side
+  backpressure and lag accounting; the tap replication reads from;
+* :class:`FollowerStore` — the first consumer: tails a subscription and
+  converges byte-exactly with the primary (crash-tested).
+
+See docs/ARCHITECTURE.md ("Operation log") and docs/FORMATS.md §9/§8 for the
+record and snapshot layouts.
+"""
+
+from repro.oplog.disk import SYNC_MODES, DiskSink
+from repro.oplog.follower import FollowerStore
+from repro.oplog.log import OperationLog, Sequencer
+from repro.oplog.record import (
+    LSN_FLAG,
+    OP_CHECKPOINT,
+    OP_DELETE,
+    OP_PUT,
+    OpRecord,
+    append_record,
+    encode_legacy_record,
+    encode_record,
+    encode_records,
+    iter_records,
+)
+from repro.oplog.sink import LogSink, SubscriberSink, Subscription
+
+__all__ = [
+    "DiskSink",
+    "FollowerStore",
+    "LSN_FLAG",
+    "LogSink",
+    "OP_CHECKPOINT",
+    "OP_DELETE",
+    "OP_PUT",
+    "OpRecord",
+    "OperationLog",
+    "SYNC_MODES",
+    "Sequencer",
+    "SubscriberSink",
+    "Subscription",
+    "append_record",
+    "encode_legacy_record",
+    "encode_record",
+    "encode_records",
+    "iter_records",
+]

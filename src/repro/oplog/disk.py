@@ -1,0 +1,181 @@
+"""``DiskSink``: the durable log sink (the refactored write-ahead log).
+
+This is where the WAL's file mechanics moved in the operation-log refactor:
+:class:`repro.lsm.wal.WriteAheadLog` is now a thin compatibility wrapper over
+this sink.  One append-only file of :mod:`repro.oplog.record` envelopes, with
+the per-append durability policy the durability suite crash-proves
+(docs/ARCHITECTURE.md, "Durability"):
+
+* ``"none"`` — records may sit in Python's userspace buffer; a SIGKILL can
+  lose every buffered record.  The throughput baseline.
+* ``"flush"`` (default) — every append drains the userspace buffer into the
+  kernel, so a **process** crash loses nothing; a machine/power crash can
+  still lose the kernel's page cache.
+* ``"fsync"`` — every append additionally ``os.fsync``-es the file, so even
+  a machine crash loses nothing acknowledged.  ``fsync_interval_bytes > 0``
+  relaxes this to group commit: at most that many appended bytes ride
+  between fsyncs.
+
+``sync()`` is always the hard barrier (flush + ``os.fsync``) regardless of
+mode.  :meth:`DiskSink.reset` truncates the file after the state it protects
+has been flushed elsewhere — and, when given the LSN that flushed prefix
+reached, writes an ``OP_CHECKPOINT`` record as the fresh file's first entry,
+so a reopened shard resumes its sequence instead of re-issuing LSNs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.exceptions import StoreError
+from repro.ioutil import fsync_directory
+from repro.oplog.record import (
+    OP_CHECKPOINT,
+    OpRecord,
+    encode_records,
+    iter_records,
+)
+from repro.oplog.sink import LogSink
+
+#: Accepted per-append durability policies, weakest to strongest.
+SYNC_MODES = ("none", "flush", "fsync")
+
+
+class DiskSink(LogSink):
+    """Append-only record log on disk with a configurable durability policy."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        sync_mode: str = "flush",
+        fsync_interval_bytes: int = 0,
+    ) -> None:
+        if sync_mode not in SYNC_MODES:
+            raise StoreError(f"unknown sync_mode {sync_mode!r}; choose from {SYNC_MODES}")
+        if fsync_interval_bytes < 0:
+            raise StoreError("fsync_interval_bytes must be >= 0")
+        self.path = Path(path)
+        self.sync_mode = sync_mode
+        self.fsync_interval_bytes = fsync_interval_bytes
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self._unsynced_bytes = 0
+        #: fsync barriers taken and their cumulative wall time, for the
+        #: ``repro_shard_wal_fsync*`` metrics (process-lifetime, not replayed).
+        self.fsyncs = 0
+        self.fsync_seconds = 0.0
+
+    # ------------------------------------------------------------------ write
+
+    def append(self, records: Sequence[OpRecord]) -> None:
+        """Write a batch of LSN-stamped records with **one** syscall.
+
+        The batch is encoded into a single buffer, written once and
+        flushed/fsynced once, so an N-record batch pays one durability
+        barrier instead of N.  Each record still carries its own CRC, so a
+        torn batch replays as a valid prefix.
+        """
+        if not records:
+            return
+        self.append_raw(encode_records(records))
+
+    def append_raw(self, payload: bytes) -> None:
+        """Write already-encoded record bytes (the legacy-format write path)."""
+        if self._file.closed:
+            raise StoreError("write-ahead log is closed")
+        self._file.write(payload)
+        self._after_write(len(payload))
+
+    def _after_write(self, written_bytes: int) -> None:
+        """Apply the ``sync_mode`` durability policy to freshly written bytes."""
+        if self.sync_mode == "none":
+            return
+        self._file.flush()
+        if self.sync_mode == "fsync":
+            self._unsynced_bytes += written_bytes
+            if self.fsync_interval_bytes == 0 or self._unsynced_bytes >= self.fsync_interval_bytes:
+                self._fsync()
+
+    def _fsync(self) -> None:
+        started = time.perf_counter()
+        os.fsync(self._file.fileno())
+        self.fsync_seconds += time.perf_counter() - started
+        self.fsyncs += 1
+        self._unsynced_bytes = 0
+
+    def flush(self) -> None:
+        """Drain the userspace buffer into the kernel (survives a process kill)."""
+        if not self._file.closed:
+            self._file.flush()
+
+    def sync(self) -> None:
+        """Hard durability barrier: flush and ``os.fsync`` regardless of mode."""
+        if not self._file.closed:
+            self._file.flush()
+            self._fsync()
+
+    # ------------------------------------------------------------------- read
+
+    def replay(self, start_lsn: int = 0) -> Iterator[OpRecord]:
+        """Every intact record, oldest first, as a gap-free LSN prefix.
+
+        Replay stops silently at the first truncated/corrupt entry (torn
+        tail) or non-contiguous LSN — see
+        :func:`repro.oplog.record.iter_records`.  Legacy pre-LSN records
+        come back with synthesised contiguous LSNs starting at
+        ``start_lsn + 1``.
+        """
+        self.flush()
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return iter(())
+        return iter_records(data, start_lsn=start_lsn)
+
+    # ------------------------------------------------------------ maintenance
+
+    def reset(self, checkpoint_lsn: int = 0) -> None:
+        """Truncate the log after the state it protects was flushed elsewhere.
+
+        With ``checkpoint_lsn > 0`` the fresh file immediately receives an
+        ``OP_CHECKPOINT`` record carrying that LSN, so recovery resumes the
+        shard's sequence past everything the flush made durable — no LSN is
+        ever issued twice, even across truncate + reopen.  In ``"fsync"``
+        mode the truncation (and checkpoint) is fsynced, file and directory:
+        a machine crash right after a flush must not resurrect the pre-flush
+        log over the already-published state.
+        """
+        if not self._file.closed:
+            self._file.close()
+        self._file = open(self.path, "wb")
+        self._unsynced_bytes = 0
+        if checkpoint_lsn > 0:
+            self._file.write(
+                encode_records([OpRecord(lsn=checkpoint_lsn, op=OP_CHECKPOINT, key="")])
+            )
+            if self.sync_mode != "none":
+                self._file.flush()
+        if self.sync_mode == "fsync":
+            self._fsync()
+        self._file.close()
+        self._file = open(self.path, "ab")
+        self._unsynced_bytes = 0
+        if self.sync_mode == "fsync":
+            fsync_directory(self.path.parent)
+
+    def close(self) -> None:
+        """Close the underlying file (fsyncing first in ``"fsync"`` mode)."""
+        if not self._file.closed:
+            self._file.flush()
+            if self.sync_mode == "fsync":
+                self._fsync()
+            self._file.close()
+
+    @property
+    def size_bytes(self) -> int:
+        """Current size of the log file."""
+        self.flush()
+        return self.path.stat().st_size if self.path.exists() else 0

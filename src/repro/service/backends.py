@@ -90,15 +90,34 @@ class ShardBackend(ABC):
         """Offline-train this shard's value compressor."""
 
     @abstractmethod
-    def set(self, key: str, value: str) -> None:
-        """Insert or overwrite ``key``."""
+    def set(self, key: str, value: str) -> int:
+        """Insert or overwrite ``key``; returns the assigned LSN."""
 
-    def set_many(self, items: Sequence[tuple[str, str]]) -> None:
-        """Insert/overwrite a batch.  Backends with a batched write path
-        (LSM: one WAL buffer, one durability barrier) override this; the
-        default is a per-item loop with identical semantics."""
+    def set_many(self, items: Sequence[tuple[str, str]]) -> int:
+        """Insert/overwrite a batch; returns the batch's **last** LSN.
+
+        Backends with a batched write path (LSM: one WAL buffer, one
+        durability barrier) override this; the default is a per-item loop
+        with identical semantics."""
+        lsn = self.last_applied()
         for key, value in items:
-            self.set(key, value)
+            lsn = self.set(key, value)
+        return lsn
+
+    @abstractmethod
+    def last_applied(self) -> int:
+        """The newest LSN this shard has applied (0 before the first write).
+
+        This is the read-your-writes watermark: once ``last_applied() >=
+        lsn`` for an LSN a ``set`` returned, a read against this shard
+        observes that write.
+        """
+
+    @property
+    @abstractmethod
+    def oplog(self):
+        """The shard's :class:`~repro.oplog.log.OperationLog` (attach
+        :class:`~repro.oplog.sink.SubscriberSink` replication taps here)."""
 
     @abstractmethod
     def get_compressed(self, key: str) -> bytes | None:
@@ -181,7 +200,7 @@ class TierBaseShard(ShardBackend):
     """In-memory shard over a :class:`TierBase` store (compression built in).
 
     With a ``directory`` the shard is persistent, RDB-style: :meth:`flush`
-    publishes an atomic ``TBS1`` snapshot (``snapshot.tbs``) of the whole
+    publishes an atomic ``TBS2`` snapshot (``snapshot.tbs``) of the whole
     store — payloads and trained model epochs — and construction reloads an
     existing snapshot, so a reopened shard serves every key that was
     acknowledged before the last flush (the service flushes on close/drain).
@@ -229,9 +248,17 @@ class TierBaseShard(ShardBackend):
         self.store.train(sample_values)
         self._dirty = True
 
-    def set(self, key: str, value: str) -> None:
-        self.store.set(key, value)
+    def set(self, key: str, value: str) -> int:
+        lsn = self.store.set(key, value)
         self._dirty = True
+        return lsn
+
+    def last_applied(self) -> int:
+        return self.store.last_applied_lsn
+
+    @property
+    def oplog(self):
+        return self.store.oplog
 
     def get_compressed(self, key: str) -> bytes | None:
         return self.store.get_compressed(key)
@@ -278,6 +305,8 @@ class TierBaseShard(ShardBackend):
             bytes_on_disk=bytes_on_disk,
             model_epoch=self.store.compressor.current_epoch,
             model_epoch_age_seconds=self.lifecycle.model_age_seconds,
+            last_lsn=self.store.last_applied_lsn,
+            oplog_lag_records=self.store.oplog.subscriber_lag(),
         )
 
     def flush(self) -> None:
@@ -366,6 +395,9 @@ class LSMShard(ShardBackend):
             background_compaction=background_compaction,
             level_policies=level_policies,
             compaction_hook=self._before_cold_rewrite,
+            # Stamp every logged record with the model epoch current at
+            # write time, so a follower knows which epoch governed the value.
+            epoch_provider=lambda: self.compressor.current_epoch,
         )
         self._retrain_events = 0
         self._sets = 0
@@ -395,21 +427,30 @@ class LSMShard(ShardBackend):
         self.lifecycle.mark_trained()
         self._save_models()
 
-    def set(self, key: str, value: str) -> None:
+    def set(self, key: str, value: str) -> int:
         payload = self.compressor.compress(value)
         self.lifecycle.observe(value, len(value.encode("utf-8")), len(payload))
-        self.engine.put(key, value)
+        lsn = self.engine.put(key, value)
         self._sets += 1
+        return lsn
 
-    def set_many(self, items: Sequence[tuple[str, str]]) -> None:
+    def set_many(self, items: Sequence[tuple[str, str]]) -> int:
         # One WAL buffer + one durability barrier + one flush check for the
         # whole batch (vs per-item in the default loop); the drift monitor
         # still observes every value.
         for _, value in items:
             payload = self.compressor.compress(value)
             self.lifecycle.observe(value, len(value.encode("utf-8")), len(payload))
-        self.engine.put_many(items)
+        lsn = self.engine.put_many(items)
         self._sets += len(items)
+        return lsn
+
+    def last_applied(self) -> int:
+        return self.engine.last_applied_lsn
+
+    @property
+    def oplog(self):
+        return self.engine.oplog
 
     def get_compressed(self, key: str) -> bytes | None:
         return self.fetch(key)[1]
@@ -478,6 +519,8 @@ class LSMShard(ShardBackend):
             pending_compaction_bytes=disk.pending_compaction_bytes,
             compaction_stall_seconds=disk.compaction_stall_seconds,
             compactions=disk.compactions,
+            last_lsn=self.engine.last_applied_lsn,
+            oplog_lag_records=self.engine.oplog.subscriber_lag(),
         )
 
     def flush(self) -> None:
@@ -502,7 +545,7 @@ def make_shard_backend(
 
     With a base ``directory`` both backends are persistent under
     ``shard-NNN/`` subdirectories: lsm shards always (WAL + SSTables +
-    models.bin), tierbase shards via ``TBS1`` snapshots written on flush.
+    models.bin), tierbase shards via ``TBS2`` snapshots written on flush.
     ``background_compaction`` puts each lsm shard's compaction on its own
     scheduler thread (admission-controlled writes); disable it for
     strictly deterministic single-threaded shards.

@@ -68,7 +68,7 @@ class ServiceConfig:
     #: per-shard value compressor: "none", "zstd", "pbc" or "pbc_f".
     compressor: str = "pbc_f"
     #: base directory for on-disk backends (required for "lsm"; optional for
-    #: "tierbase", which then persists TBS1 snapshots on flush/close).
+    #: "tierbase", which then persists TBS2 snapshots on flush/close).
     directory: str | Path | None = None
     #: WAL durability policy of lsm shards: "none", "flush" or "fsync"
     #: (see repro.lsm.wal.SYNC_MODES; ignored by the tierbase backend).
@@ -190,7 +190,7 @@ class KVService:
 
         Runs on the shard executors, serialised with writes: lsm shards take
         a WAL fsync barrier, directory-backed tierbase shards publish a fresh
-        ``TBS1`` snapshot.  After it returns, every previously acknowledged
+        ``TBS2`` snapshot.  After it returns, every previously acknowledged
         write survives a process kill (and, for fsynced backends, a machine
         crash).  A no-op for purely in-memory shards.
         """
@@ -248,17 +248,18 @@ class KVService:
 
     # --------------------------------------------------------------- shard tasks
 
-    def _shard_set(self, shard: _Shard, items: Sequence[tuple[str, str]]) -> None:
+    def _shard_set(self, shard: _Shard, items: Sequence[tuple[str, str]]) -> int:
         # backend.set_many feeds the lifecycle reservoir + drift monitor per
         # value, and batched backends (LSM) pay one WAL durability barrier
         # for the whole batch instead of one per record.
-        shard.backend.set_many(items)
+        lsn = shard.backend.set_many(items)
         for key, _ in items:
             # Invalidate inside the shard task: reads of this shard are
             # serialised with us, so no reader can re-cache the old payload
             # after this point.
             self.cache.invalidate(key)
         self._maybe_schedule_retrain(shard)
+        return lsn
 
     def _shard_get(self, shard: _Shard, keys: Sequence[str]) -> list[str | None]:
         results: list[str | None] = []
@@ -309,15 +310,22 @@ class KVService:
 
     # ------------------------------------------------------------- single ops
 
-    def set(self, key: str, value: str) -> None:
-        """Store ``value`` under ``key`` (compressed by the owning shard)."""
+    def set(self, key: str, value: str) -> int:
+        """Store ``value`` under ``key``; returns the write's assigned LSN.
+
+        The LSN, together with :meth:`shard_for` and :meth:`wait_for_lsn`,
+        is the read-your-writes handle: once the owning shard's
+        :meth:`last_applied` watermark reaches it, any read observes this
+        write.
+        """
         self._require_open()
         started = time.perf_counter()
         shard = self._shards[self.router.shard_for(key)]
-        shard.run(self._shard_set, shard, [(key, value)])
+        lsn = shard.run(self._shard_set, shard, [(key, value)])
         self._set_latency.record(time.perf_counter() - started)
         with self._counter_lock:
             self._sets += 1
+        return lsn
 
     def get(self, key: str) -> str | None:
         """Fetch ``key``; ``None`` when missing.  Cache hits skip the shard.
@@ -358,29 +366,40 @@ class KVService:
 
     # ------------------------------------------------------------- batched ops
 
-    def mset(self, items: Sequence[tuple[str, str]]) -> None:
-        """Batched SET: one task per shard, executed in parallel across shards."""
+    def mset(self, items: Sequence[tuple[str, str]]) -> dict[int, int]:
+        """Batched SET: one task per shard, executed in parallel across shards.
+
+        Returns ``{shard_id: last_assigned_lsn}`` for every shard the batch
+        touched — the per-shard read-your-writes handles (LSNs are per-shard
+        sequences, so a multi-shard batch has one watermark per shard).
+        """
         self._require_open()
         if not items:
-            return
+            return {}
         started = time.perf_counter()
         groups = self.router.group_items(items)
+        lsns: dict[int, int] = {}
         if len(groups) == 1:
             # One shard touched: run inline, skip the executor handoff.
             ((shard_id, shard_items),) = groups.items()
             shard = self._shards[shard_id]
-            shard.run(self._shard_set, shard, shard_items)
+            lsns[shard_id] = shard.run(self._shard_set, shard, shard_items)
         else:
             futures = [
-                self._shards[shard_id].defer(
-                    self._shard_set, self._shards[shard_id], shard_items
+                (
+                    shard_id,
+                    self._shards[shard_id].defer(
+                        self._shard_set, self._shards[shard_id], shard_items
+                    ),
                 )
                 for shard_id, shard_items in groups.items()
             ]
-            self._raise_first_error(futures)
+            self._raise_first_error([future for _, future in futures])
+            lsns = {shard_id: future.result() for shard_id, future in futures}
         self._set_latency.record(time.perf_counter() - started, operations=len(items))
         with self._counter_lock:
             self._sets += len(items)
+        return lsns
 
     def mget(self, keys: Sequence[str]) -> list[str | None]:
         """Batched GET preserving key order; cache hits answered inline.
@@ -442,6 +461,58 @@ class KVService:
             with self._counter_lock:
                 self._gets += looked_up
                 self._cache_hits += hits
+
+    # ----------------------------------------------------------- operation log
+
+    def shard_for(self, key: str) -> int:
+        """The shard id that owns ``key`` (the router's stable mapping)."""
+        return self.router.shard_for(key)
+
+    def last_applied(self, shard_id: int) -> int:
+        """Shard ``shard_id``'s operation-log watermark (newest applied LSN).
+
+        Read under the shard lock, so it is ordered with that shard's
+        writes: if it returns ``>= lsn`` for an LSN a :meth:`set` returned,
+        a subsequent read observes that write (read-your-writes).
+        """
+        self._require_open()
+        shard = self._shard_by_id(shard_id)
+        return shard.run(shard.backend.last_applied)
+
+    def wait_for_lsn(self, shard_id: int, lsn: int, timeout: float = 5.0) -> int:
+        """Block until shard ``shard_id`` has applied ``lsn``; returns the
+        watermark that satisfied the wait.
+
+        This is the read-your-writes primitive: ``wait_for_lsn(shard_for(k),
+        set(k, v))`` returning guarantees a following ``get(k)`` sees ``v``.
+        On the primary the watermark already covers every acknowledged write,
+        so the wait is immediate; against a replica (next PR) it polls until
+        replication catches up.  Raises :class:`ServiceError` after
+        ``timeout`` seconds.
+        """
+        self._require_open()
+        if lsn < 0:
+            raise ServiceError("lsn must be >= 0")
+        shard = self._shard_by_id(shard_id)
+        deadline = time.monotonic() + timeout
+        while True:
+            applied = shard.run(shard.backend.last_applied)
+            if applied >= lsn:
+                return applied
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"shard {shard_id} did not reach LSN {lsn} within "
+                    f"{timeout:g}s (last applied: {applied})"
+                )
+            time.sleep(0.001)
+
+    def _shard_by_id(self, shard_id: int) -> _Shard:
+        if not 0 <= shard_id < len(self._shards):
+            raise ServiceError(
+                f"shard id {shard_id} out of range (service has "
+                f"{len(self._shards)} shards)"
+            )
+        return self._shards[shard_id]
 
     # ------------------------------------------------------------------- scans
 

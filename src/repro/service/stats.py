@@ -92,7 +92,7 @@ class ShardSnapshot:
     gets: int
     retrain_events: int
     outlier_rate: float
-    #: durable footprint: SSTables + WAL (lsm) or the TBS1 snapshot file
+    #: durable footprint: SSTables + WAL (lsm) or the TBS2 snapshot file
     #: (directory-backed tierbase); 0 for purely in-memory shards.
     bytes_on_disk: int = 0
     #: model epoch new writes are stamped with (0 = untrained / plain codec).
@@ -112,6 +112,13 @@ class ShardSnapshot:
     compaction_stall_seconds: float = 0.0
     #: merges performed by this shard's engine (background + inline).
     compactions: int = 0
+    #: newest operation-log LSN this shard has applied (0 = no writes yet);
+    #: the ``repro_shard_last_lsn`` gauge and the read-your-writes watermark.
+    last_lsn: int = 0
+    #: worst subscriber backlog on this shard's operation log, in records
+    #: (the ``repro_oplog_subscriber_lag_records`` gauge; 0 = no subscribers
+    #: or all caught up).
+    oplog_lag_records: int = 0
 
     @property
     def ratio(self) -> float:

@@ -14,6 +14,7 @@ from repro.tierbase.compression import (
     ZstdDictValueCompressor,
 )
 from repro.tierbase.snapshot import (
+    LEGACY_SNAPSHOT_MAGIC,
     SNAPSHOT_MAGIC,
     SnapshotContent,
     read_snapshot,
@@ -24,6 +25,7 @@ from repro.tierbase.workload import WorkloadResult, WorkloadSpec, run_workload
 
 __all__ = [
     "CompressionMonitor",
+    "LEGACY_SNAPSHOT_MAGIC",
     "NoopValueCompressor",
     "SNAPSHOT_MAGIC",
     "SnapshotContent",

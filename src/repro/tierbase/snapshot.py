@@ -1,21 +1,29 @@
-"""``TBS1`` snapshot format: persistence for the in-memory TierBase store.
+"""``TBS2`` snapshot format: persistence for the in-memory TierBase store.
 
 TierBase is Redis-shaped, and this is its RDB analogue: a point-in-time dump
 of every stored (still-compressed) payload plus the compressor's persisted
 :class:`~repro.codecs.ModelStore`, so a reopened store decodes every payload
-with the exact model epoch that wrote it.  Byte layout (docs/FORMATS.md §8)::
+with the exact model epoch that wrote it.  ``TBS2`` additionally stamps the
+store's **last-applied LSN**, so a reloaded store resumes its operation-log
+sequence instead of re-issuing sequence numbers.  Byte layout
+(docs/FORMATS.md §8)::
 
-    snapshot := magic "TBS1" (4)
+    snapshot := magic "TBS2" (4)
                 flags u8                      (bit 0: model store present)
                 uvarint(len(name)) name       (compressor name, mismatch check)
                 [flag] uvarint(len(models)) models
                                               (ValueCompressor.dump_models():
                                                codec magic + ModelStore bytes)
+                uvarint(last_applied_lsn)     (operation-log watermark)
                 uvarint(key_count)
                 per key: uvarint(len(key)) key
                          uvarint(original_size)
                          uvarint(len(payload)) payload   (epoch-stamped)
                 crc32 u32-be                  (over everything above)
+
+Legacy ``TBS1`` files (identical except no ``last_applied_lsn`` field) stay
+readable: they parse with a watermark of 0, exactly as a pre-LSN writer left
+them.  New snapshots are always written as ``TBS2``.
 
 Snapshots are published with the atomic tmp-then-rename pattern
 (:func:`repro.ioutil.atomic_write_bytes`), so a crash mid-save leaves the
@@ -33,8 +41,11 @@ from repro.entropy.varint import decode_uvarint, encode_uvarint
 from repro.exceptions import DecodingError, StoreError
 from repro.ioutil import atomic_write_bytes
 
-#: Magic prefix of every TierBase snapshot file.
-SNAPSHOT_MAGIC = b"TBS1"
+#: Magic prefix of every snapshot this module writes (LSN-stamped format).
+SNAPSHOT_MAGIC = b"TBS2"
+
+#: Magic prefix of the legacy (pre-LSN) format, still accepted on read.
+LEGACY_SNAPSHOT_MAGIC = b"TBS1"
 
 #: Flag bit: the snapshot carries a persisted model store.
 _FLAG_MODELS = 0x01
@@ -42,7 +53,7 @@ _FLAG_MODELS = 0x01
 
 @dataclass(frozen=True)
 class SnapshotContent:
-    """Parsed contents of a ``TBS1`` file, before being applied to a store."""
+    """Parsed contents of a snapshot file, before being applied to a store."""
 
     #: name of the compressor that wrote the snapshot (e.g. ``"PBC_F"``).
     compressor_name: str
@@ -51,10 +62,12 @@ class SnapshotContent:
     models: bytes | None
     #: ``(key, original_size, compressed_payload)`` per stored key.
     entries: tuple[tuple[str, int, bytes], ...]
+    #: operation-log watermark at save time (0 for legacy ``TBS1`` files).
+    last_applied_lsn: int = 0
 
 
 def dump_snapshot(store) -> bytes:
-    """Serialise a :class:`~repro.tierbase.store.TierBase` into ``TBS1`` bytes."""
+    """Serialise a :class:`~repro.tierbase.store.TierBase` into ``TBS2`` bytes."""
     models = store.compressor.dump_models()
     name_bytes = store.compressor.name.encode("utf-8")
     out = bytearray()
@@ -65,6 +78,7 @@ def dump_snapshot(store) -> bytes:
     if models is not None:
         out += encode_uvarint(len(models))
         out += models
+    out += encode_uvarint(getattr(store, "last_applied_lsn", 0))
     out += encode_uvarint(len(store._data))
     for key, payload in store._data.items():
         key_bytes = key.encode("utf-8")
@@ -73,33 +87,34 @@ def dump_snapshot(store) -> bytes:
         out += encode_uvarint(store._original_sizes.get(key, len(payload)))
         out += encode_uvarint(len(payload))
         out += payload
-    out += zlib.crc32(bytes(out)).to_bytes(4, "big")
+    out += zlib.crc32(out).to_bytes(4, "big")
     return bytes(out)
 
 
 def write_snapshot(store, path: str | Path, sync: bool = True) -> None:
-    """Atomically publish ``store`` as a ``TBS1`` snapshot at ``path``."""
+    """Atomically publish ``store`` as a ``TBS2`` snapshot at ``path``."""
     atomic_write_bytes(path, dump_snapshot(store), sync=sync)
 
 
 def read_snapshot(path: str | Path) -> SnapshotContent:
-    """Parse a ``TBS1`` file; any damage is a typed :class:`StoreError`."""
+    """Parse a ``TBS2``/``TBS1`` file; any damage is a typed :class:`StoreError`."""
     path = Path(path)
     data = path.read_bytes()
     if len(data) < len(SNAPSHOT_MAGIC) + 4 + 1:
-        raise StoreError(f"{path} is too small to be a TBS1 snapshot")
-    if data[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
-        raise StoreError(f"{path} is not a TBS1 snapshot (bad magic)")
+        raise StoreError(f"{path} is too small to be a TierBase snapshot")
+    magic = data[: len(SNAPSHOT_MAGIC)]
+    if magic not in (SNAPSHOT_MAGIC, LEGACY_SNAPSHOT_MAGIC):
+        raise StoreError(f"{path} is not a TierBase snapshot (bad magic)")
     body, footer = data[:-4], data[-4:]
     if zlib.crc32(body) != int.from_bytes(footer, "big"):
         raise StoreError(f"{path} failed its CRC32 check (torn or corrupted snapshot)")
     try:
-        return _parse_body(body, path)
+        return _parse_body(body, path, legacy=magic == LEGACY_SNAPSHOT_MAGIC)
     except (DecodingError, UnicodeDecodeError, IndexError) as error:
         raise StoreError(f"{path} has a malformed snapshot body") from error
 
 
-def _parse_body(body: bytes, path: Path) -> SnapshotContent:
+def _parse_body(body: bytes, path: Path, legacy: bool) -> SnapshotContent:
     offset = len(SNAPSHOT_MAGIC)
     flags = body[offset]
     offset += 1
@@ -113,6 +128,9 @@ def _parse_body(body: bytes, path: Path) -> SnapshotContent:
         if len(models) != models_length:
             raise StoreError(f"{path} has a truncated model store section")
         offset += models_length
+    last_applied_lsn = 0
+    if not legacy:
+        last_applied_lsn, offset = decode_uvarint(body, offset)
     key_count, offset = decode_uvarint(body, offset)
     entries: list[tuple[str, int, bytes]] = []
     for _ in range(key_count):
@@ -129,5 +147,8 @@ def _parse_body(body: bytes, path: Path) -> SnapshotContent:
     if offset != len(body):
         raise StoreError(f"{path} has trailing bytes after the last snapshot entry")
     return SnapshotContent(
-        compressor_name=compressor_name, models=models, entries=tuple(entries)
+        compressor_name=compressor_name,
+        models=models,
+        entries=tuple(entries),
+        last_applied_lsn=last_applied_lsn,
     )

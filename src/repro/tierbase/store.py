@@ -29,6 +29,8 @@ from typing import Iterator, Sequence
 
 from repro.codecs.lifecycle import DriftMonitor, ModelLifecycle
 from repro.exceptions import StoreError
+from repro.oplog.log import OperationLog
+from repro.oplog.record import OP_DELETE, OP_PUT
 from repro.tierbase import snapshot as tbs
 from repro.tierbase.compression import NoopValueCompressor, ValueCompressor
 
@@ -79,6 +81,11 @@ class TierBase:
         self._data: dict[str, bytes] = {}
         self._original_sizes: dict[str, int] = {}
         self._epochs: dict[str, int] = {}
+        #: the store's mutation spine: every SET/DELETE is sequenced through
+        #: it as an LSN-stamped record whose value is the *epoch-stamped
+        #: compressed payload* — which is what lets a follower converge
+        #: byte-exactly without ever holding a trained model.
+        self.oplog = OperationLog()
         self._sets = 0
         self._gets = 0
         self._hits = 0
@@ -129,11 +136,17 @@ class TierBase:
 
     # ------------------------------------------------------------- operations
 
-    def set(self, key: str, value: str) -> None:
-        """Store ``value`` under ``key`` (compressed)."""
+    def set(self, key: str, value: str) -> int:
+        """Store ``value`` under ``key`` (compressed); returns the assigned LSN.
+
+        The mutation is sequenced through the operation log *as the
+        compressed, epoch-stamped payload*: a subscriber replays exactly the
+        bytes this store keeps, so replication needs no model shipping.
+        """
         payload = self.compressor.compress(value)
         original_size = len(value.encode("utf-8"))
         epoch = self.compressor.payload_epoch(payload)
+        record = self.oplog.append(OP_PUT, key, payload, epoch)
         previous = self._epochs.get(key)
         self.compressor.acquire_epoch(epoch)
         if previous is not None:
@@ -143,6 +156,7 @@ class TierBase:
         self._original_sizes[key] = original_size
         self._sets += 1
         self.lifecycle.observe(value, original_size, len(payload))
+        return record.lsn
 
     def get(self, key: str) -> str:
         """Fetch and decompress the value stored under ``key``."""
@@ -167,7 +181,14 @@ class TierBase:
         return payload
 
     def delete(self, key: str) -> bool:
-        """Remove ``key``; returns whether it existed."""
+        """Remove ``key``; returns whether it existed.
+
+        Sequenced through the operation log unconditionally (the attempt is
+        the mutation command; deleting an absent key replays as a no-op), so
+        a follower sees every delete the primary saw.  The assigned LSN is
+        observable as :attr:`last_applied_lsn`.
+        """
+        self.oplog.append(OP_DELETE, key)
         existed = key in self._data
         self._data.pop(key, None)
         self._original_sizes.pop(key, None)
@@ -223,12 +244,14 @@ class TierBase:
     # ------------------------------------------------------------ persistence
 
     def save(self, path: str | Path, sync: bool = True) -> None:
-        """Atomically publish a ``TBS1`` snapshot of this store at ``path``.
+        """Atomically publish a ``TBS2`` snapshot of this store at ``path``.
 
-        The snapshot carries the still-compressed payloads plus the
-        compressor's persisted model store (docs/FORMATS.md §8), so
-        :meth:`load` decodes every payload with the exact epoch that wrote
-        it.  A crash mid-save leaves the previous complete snapshot in place.
+        The snapshot carries the still-compressed payloads, the compressor's
+        persisted model store, and the store's last-applied LSN
+        (docs/FORMATS.md §8), so :meth:`load` decodes every payload with the
+        exact epoch that wrote it and resumes the operation-log sequence
+        where it left off.  A crash mid-save leaves the previous complete
+        snapshot in place.
         """
         tbs.write_snapshot(self, path, sync=sync)
 
@@ -241,7 +264,7 @@ class TierBase:
         unmatched_threshold: float = 0.2,
         train_size: int = 256,
     ) -> "TierBase":
-        """Rebuild a store from a ``TBS1`` snapshot written by :meth:`save`.
+        """Rebuild a store from a ``TBS2`` (or legacy ``TBS1``) snapshot.
 
         ``compressor`` must be a fresh instance of the same compressor kind
         that wrote the snapshot — its trained model epochs are restored from
@@ -278,7 +301,18 @@ class TierBase:
             store._epochs[key] = epoch
             store._data[key] = payload
             store._original_sizes[key] = original_size
+        # Snapshot entries are *applied*, not re-logged — they already carry
+        # the LSNs the writer assigned; resume the sequence past the stamp
+        # (0 for legacy TBS1 snapshots, which predate LSNs).
+        store.oplog.advance_to(content.last_applied_lsn)
         return store
+
+    # ---------------------------------------------------------- operation log
+
+    @property
+    def last_applied_lsn(self) -> int:
+        """The newest LSN this store has applied (0 before the first mutation)."""
+        return self.oplog.last_lsn
 
     # --------------------------------------------------------------- metrics
 

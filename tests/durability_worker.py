@@ -21,11 +21,20 @@ This module is imported by the test (for the op generators and the pure
     python durability_worker.py lsm <dir> <sync_mode> <seed>
     python durability_worker.py tierbase <dir> <seed>
     python durability_worker.py compaction <dir> <sync_mode> <seed>
+    python durability_worker.py oplog <dir> <sync_mode> <seed>
 
 The ``compaction`` mode is the adversarial flavour: background compaction
 enabled (a merge can be mid-flight at any kill point), batched ``put_many``
 writes (a torn batch must replay as a prefix), and scans parked across the
 compactor's table swaps.
+
+The ``oplog`` mode targets the LSN contract: every op is a mutation (put /
+delete / put_many — no flushes, and the memtable is big enough never to
+flush on its own), so the WAL holds the shard's *complete* LSN-stamped
+history from 1.  The parent decodes that file after the kill and asserts the
+replayed LSNs are a gap-free contiguous prefix, then feeds them through a
+``SubscriberSink`` into a ``FollowerStore`` and demands byte-exact
+convergence with the recovered primary.
 """
 
 from __future__ import annotations
@@ -132,6 +141,39 @@ def apply_partial_batch(state: dict[str, str], batch, cut: int) -> dict[str, str
     for key, value in batch[:cut]:
         partial[key] = value
     return partial
+
+
+def oplog_ops(seed: int):
+    """Deterministic all-mutation stream: put / delete / put_many batches."""
+    rng = random.Random(seed)
+    index = 0
+    while True:
+        roll = rng.random()
+        if roll < 0.60:
+            key = f"k{rng.randrange(48):03d}"
+            filler = "x" * rng.randrange(4, 48)
+            yield ("put", key, f"v{index}:{key}:{filler}")
+        elif roll < 0.82:
+            batch = []
+            for offset in range(rng.randrange(2, 7)):
+                key = f"k{rng.randrange(48):03d}"
+                filler = "b" * rng.randrange(4, 32)
+                batch.append((key, f"v{index}.{offset}:{key}:{filler}"))
+            yield ("batch", batch)
+        else:
+            yield ("del", f"k{rng.randrange(48):03d}")
+        index += 1
+
+
+def oplog_lsn_after(ops) -> int:
+    """The LSN the shard reaches after ``ops`` (every record burns one LSN)."""
+    lsn = 0
+    for op in ops:
+        if op[0] == "batch":
+            lsn += len(op[1])
+        else:
+            lsn += 1
+    return lsn
 
 
 def tierbase_ops(seed: int):
@@ -242,6 +284,24 @@ def run_compaction(directory: str, sync_mode: str, seed: int) -> None:
         _ack(index)
 
 
+def run_oplog(directory: str, sync_mode: str, seed: int) -> None:
+    from repro.lsm.engine import LSMEngine
+
+    # Memtable far larger than the workload ever grows: the WAL is never
+    # truncated, so it carries the complete LSN history for the parent.
+    engine = LSMEngine(directory, memtable_bytes=1 << 26, sync_mode=sync_mode)
+    for index, op in enumerate(oplog_ops(seed)):
+        if index >= MAX_OPS:
+            break
+        if op[0] == "put":
+            engine.put(op[1], op[2])
+        elif op[0] == "batch":
+            engine.put_many(op[1])
+        else:
+            engine.delete(op[1])
+        _ack(index)
+
+
 def run_tierbase(directory: str, seed: int) -> None:
     from repro.tierbase import TierBase, ZstdDictValueCompressor
 
@@ -268,6 +328,8 @@ def main(argv: list[str]) -> int:
         run_lsm(argv[1], argv[2], int(argv[3]))
     elif mode == "compaction":
         run_compaction(argv[1], argv[2], int(argv[3]))
+    elif mode == "oplog":
+        run_oplog(argv[1], argv[2], int(argv[3]))
     elif mode == "tierbase":
         run_tierbase(argv[1], int(argv[2]))
     else:

@@ -67,7 +67,7 @@ class TestGrid:
         assert AREAS["service"].kind == "open_scenario"
         assert AREAS["sustained"].kind == "sustained_write"
         assert len(AREAS["wire"].cells()) == 4
-        assert len(AREAS["service"].cells()) == 4
+        assert len(AREAS["service"].cells()) == 8  # backend × mix × shards
         assert len(AREAS["sustained"].cells()) == 3
 
     def test_unknown_area_is_rejected(self):
@@ -121,9 +121,10 @@ class TestDocument:
         document = run_area(
             "service", repetitions=1, warmup=0, overrides=SERVICE_OVERRIDES, pairs=False
         )
-        assert len(document["rows"]) == 4
+        assert len(document["rows"]) == 8
         assert {row["clock"] for row in document["rows"]} == {"scheduled-release"}
         assert {row["backend"] for row in document["rows"]} == {"tierbase", "lsm"}
+        assert {row["shards"] for row in document["rows"]} == {1, 4}
 
     def test_env_fingerprint_shape(self):
         fingerprint = env_fingerprint()

@@ -110,9 +110,13 @@ class TestFormatsMatchCode:
     def test_tierbase_snapshot_magic(self):
         from repro.tierbase.snapshot import SNAPSHOT_MAGIC
 
+        from repro.tierbase.snapshot import LEGACY_SNAPSHOT_MAGIC
+
         text = _read("docs/FORMATS.md")
-        assert SNAPSHOT_MAGIC == b"TBS1"
+        assert SNAPSHOT_MAGIC == b"TBS2"
+        assert LEGACY_SNAPSHOT_MAGIC == b"TBS1"
         assert f'magic "{SNAPSHOT_MAGIC.decode("ascii")}"' in text
+        assert f'magic `"{LEGACY_SNAPSHOT_MAGIC.decode("ascii")}"`' in text
         assert "TierBase snapshot" in text
 
     def test_sstable_quarantine_documented(self):
@@ -260,7 +264,7 @@ def test_documented_cli_commands_exist():
     commands = set(subparsers.choices)
     for expected in ("train", "compress", "decompress", "inspect", "stream", "serve-bench",
                      "serve", "client", "scenarios", "experiments", "experiment",
-                     "datasets", "codecs", "bench"):
+                     "datasets", "codecs", "bench", "oplog"):
         assert expected in commands, f"CLI command {expected!r} documented but not implemented"
 
 

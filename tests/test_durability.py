@@ -32,6 +32,7 @@ import signal
 import subprocess
 import sys
 import threading
+import zlib
 from pathlib import Path
 
 import pytest
@@ -351,6 +352,76 @@ def test_space_ratio_counts_memtable_before_flush(tmp_path):
         assert after.space_ratio == after.sstable_file_bytes / after.logical_value_bytes
 
 
+# ------------------------------------ oplog: LSN contiguity under SIGKILL
+
+#: randomized kill points for the LSN-contract suite.
+OPLOG_SEEDS = range(6)
+
+
+@pytest.mark.parametrize("seed", OPLOG_SEEDS)
+def test_oplog_sigkill_replays_contiguous_lsn_prefix(tmp_path, seed):
+    """After a SIGKILL the WAL decodes to a gap-free LSN prefix 1..N with N
+    covering every acknowledged mutation, and a FollowerStore fed those
+    records through a SubscriberSink converges byte-exactly with the
+    recovered primary."""
+    from repro.oplog import FollowerStore, SubscriberSink, iter_records
+
+    kill_after = 10 + (seed * 47) % 140
+    m = run_and_kill(["oplog", str(tmp_path), "fsync", str(seed)], kill_after)
+    ops = list(itertools.islice(worker.oplog_ops(seed), m + 2))
+
+    wal_data = (tmp_path / "wal.log").read_bytes()
+    replayed = list(iter_records(wal_data))
+    lsns = [record.lsn for record in replayed]
+    assert lsns == list(range(1, len(lsns) + 1)), "replayed LSNs are not contiguous"
+    # fsync mode: every acknowledged mutation is on disk; at most one more
+    # op (possibly a torn put_many batch, replayed as a prefix) follows.
+    assert worker.oplog_lsn_after(ops[:m]) <= len(lsns) <= worker.oplog_lsn_after(ops[: m + 2])
+
+    engine = LSMEngine(tmp_path, memtable_bytes=1 << 26, sync_mode="fsync")
+    try:
+        assert engine.recovered_lsn == len(lsns)
+        # Replication from the crash artifact: sink -> follower, byte-exact.
+        sink = SubscriberSink(capacity=len(lsns) + 1)
+        subscription = sink.subscribe()
+        sink.append(replayed)
+        follower = FollowerStore()
+        follower.catch_up(subscription)
+        expected = {key: value.encode("utf-8") for key, value in engine.scan()}
+        assert follower.diverges_from(expected) == []
+        assert follower.last_applied == engine.last_applied_lsn
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_oplog_sigkill_reopen_never_reuses_lsns(tmp_path, seed):
+    """Reopening a crashed shard resumes the sequence past the recovered
+    watermark — across WAL truncations (flush writes a checkpoint record),
+    an LSN is never assigned twice."""
+    kill_after = 15 + (seed * 59) % 120
+    m = run_and_kill(["lsm", str(tmp_path), "fsync", str(seed)], kill_after)
+    ops = list(itertools.islice(worker.lsm_ops(seed), m))
+    acked_mutations = sum(1 for op in ops if op[0] in ("put", "del"))
+
+    engine = LSMEngine(tmp_path, memtable_bytes=1024, compaction_trigger=3, sync_mode="fsync")
+    try:
+        recovered = engine.recovered_lsn
+        assert recovered >= acked_mutations, "an acknowledged LSN was lost"
+        assert engine.put("reopen-probe", "1") == recovered + 1
+        engine.flush()  # truncate the WAL behind a checkpoint
+        assert engine.put("post-flush-probe", "2") == recovered + 2
+    finally:
+        engine.close()
+
+    reopened = LSMEngine(tmp_path, memtable_bytes=1024, compaction_trigger=3, sync_mode="fsync")
+    try:
+        assert reopened.recovered_lsn == recovered + 2
+        assert reopened.put("second-reopen", "3") == recovered + 3
+    finally:
+        reopened.close()
+
+
 # --------------------------------------------- satellite: TBS1 robustness
 
 
@@ -366,7 +437,37 @@ class TestSnapshotFormat:
 
     def test_snapshot_starts_with_magic(self, tmp_path):
         path, _ = self._saved(tmp_path)
-        assert path.read_bytes()[:4] == SNAPSHOT_MAGIC == b"TBS1"
+        assert path.read_bytes()[:4] == SNAPSHOT_MAGIC == b"TBS2"
+
+    def test_legacy_tbs1_snapshot_still_loads(self, tmp_path):
+        # A pre-LSN snapshot (TBS1 magic, no last_applied_lsn field) must
+        # reopen with a watermark of 0 and every entry intact.
+        path, store = self._saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        body = bytes(data[:-4]).replace(b"TBS2", b"TBS1", 1)
+        # TBS1 has no LSN field: drop the uvarint that follows the models
+        # section.  Rebuild by re-dumping with the legacy layout instead of
+        # patching offsets: write magic..models, skip lsn, keep the rest.
+        from repro.entropy.varint import decode_uvarint
+        from repro.tierbase.snapshot import _FLAG_MODELS
+
+        offset = 4
+        flags = body[offset]
+        offset += 1
+        name_len, offset = decode_uvarint(body, offset)
+        offset += name_len
+        if flags & _FLAG_MODELS:
+            models_len, offset = decode_uvarint(body, offset)
+            offset += models_len
+        _, after_lsn = decode_uvarint(body, offset)
+        legacy_body = body[:offset] + body[after_lsn:]
+        legacy = legacy_body + zlib.crc32(legacy_body).to_bytes(4, "big")
+        legacy_path = tmp_path / "legacy.tbs"
+        legacy_path.write_bytes(legacy)
+        loaded = TierBase.load(legacy_path, compressor=ZstdDictValueCompressor())
+        assert loaded.last_applied_lsn == 0
+        assert len(loaded) == len(store)
+        assert loaded.get("key7") == store.get("key7")
 
     def test_bad_magic_rejected(self, tmp_path):
         path, _ = self._saved(tmp_path)

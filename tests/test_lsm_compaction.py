@@ -387,13 +387,13 @@ class TestPutManyBatching:
     def test_one_wal_write_per_batch(self, tmp_path):
         with LSMEngine(tmp_path) as engine:
             writes = []
-            original = engine._wal._file.write
+            original = engine._wal._sink._file.write
 
             def counting_write(data):
                 writes.append(len(data))
                 return original(data)
 
-            engine._wal._file.write = counting_write
+            engine._wal._sink._file.write = counting_write
             engine.put_many([(f"key:{index}", "value") for index in range(50)])
             assert len(writes) == 1  # one buffer for the whole batch
 
@@ -414,7 +414,7 @@ class TestPutManyBatching:
         items = [(f"key:{index:03d}", f"value-{index}") for index in range(30)]
         engine = LSMEngine(tmp_path, sync_mode="fsync")
         engine.put_many(items)
-        engine._wal._file.close()  # crash without flush: WAL is the only copy
+        engine._wal._sink._file.close()  # crash without flush: WAL is the only copy
         engine._closed = True
         with LSMEngine(tmp_path) as reopened:
             assert dict(reopened.scan()) == dict(items)
